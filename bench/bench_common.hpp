@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction benches.
+ *
+ * Every bench accepts the same scaling knobs:
+ *   --tracks N     tracks per cylinder (default 1; the paper's disk has
+ *                  14 — seek/rotation behaviour is identical, capacity
+ *                  and thus reconstruction sweep length scale with N)
+ *   --cylinders N  cylinders (default 949, the full IBM 0661)
+ *   --warmup S / --measure S  measurement window lengths
+ *   --seed N       RNG seed
+ *   --csv          emit CSV instead of an aligned table
+ *
+ * PD_FULL=1 in the environment selects the paper's full-scale disk
+ * (equivalent to --tracks 14), trading minutes of wall-clock for
+ * paper-scale absolute reconstruction times.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/array_sim.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace declust::bench {
+
+/** The paper's G sweep: alpha = 0.1 ... 1.0 on 21 disks. */
+inline std::vector<int>
+paperStripeSizes()
+{
+    return {3, 4, 5, 6, 10, 18, 21};
+}
+
+/** Register the shared scaling options. */
+inline void
+addCommonOptions(Options &opts)
+{
+    opts.add("tracks", "1", "tracks per cylinder (14 = paper scale)");
+    opts.add("cylinders", "949", "cylinders (949 = paper scale)");
+    opts.add("warmup", "5", "warmup seconds per phase");
+    opts.add("measure", "30", "measured seconds per phase");
+    opts.add("seed", "1", "rng seed");
+    opts.addFlag("csv", "emit csv");
+}
+
+/** Build the experiment geometry from parsed options / environment. */
+inline DiskGeometry
+geometryFrom(const Options &opts)
+{
+    DiskGeometry g = DiskGeometry::ibm0661();
+    g.cylinders = static_cast<int>(opts.getInt("cylinders"));
+    int tracks = static_cast<int>(opts.getInt("tracks"));
+    if (const char *full = std::getenv("PD_FULL");
+        full && full[0] == '1')
+        tracks = 14;
+    g.tracksPerCyl = tracks;
+    g.validate();
+    return g;
+}
+
+/** Emit a finished table in the selected format. */
+inline void
+emit(const Options &opts, const TablePrinter &table)
+{
+    if (opts.getFlag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+} // namespace declust::bench

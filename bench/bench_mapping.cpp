@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Microbenchmark for layout criterion 4 ("efficient mapping"): the
+ * logical-to-physical and inverse mapping functions must be cheap enough
+ * for a device driver's data path. Uses google-benchmark.
+ */
+#include <benchmark/benchmark.h>
+
+#include "designs/catalog.hpp"
+#include "layout/declustered.hpp"
+#include "layout/left_symmetric.hpp"
+
+namespace {
+
+using namespace declust;
+
+constexpr int kUnitsPerDisk = 11388; // 2-track-scaled IBM 0661
+
+const DeclusteredLayout &
+declusteredLayout(int G)
+{
+    static const DeclusteredLayout g4(appendixDesign(4), kUnitsPerDisk);
+    static const DeclusteredLayout g10(appendixDesign(10), kUnitsPerDisk);
+    return G == 4 ? g4 : g10;
+}
+
+void
+BM_DeclusteredPlace(benchmark::State &state)
+{
+    const Layout &lay = declusteredLayout(static_cast<int>(state.range(0)));
+    std::int64_t unit = 0;
+    const std::int64_t n = lay.numDataUnits();
+    for (auto _ : state) {
+        const StripeUnit su = lay.dataUnitToStripe(unit);
+        benchmark::DoNotOptimize(lay.place(su.stripe, su.pos));
+        benchmark::DoNotOptimize(lay.placeParity(su.stripe));
+        unit = (unit + 7919) % n;
+    }
+}
+BENCHMARK(BM_DeclusteredPlace)->Arg(4)->Arg(10);
+
+void
+BM_DeclusteredInvert(benchmark::State &state)
+{
+    const Layout &lay = declusteredLayout(static_cast<int>(state.range(0)));
+    int disk = 0, offset = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lay.invert(disk, offset));
+        disk = (disk + 1) % lay.numDisks();
+        offset = (offset + 373) % lay.unitsPerDisk();
+    }
+}
+BENCHMARK(BM_DeclusteredInvert)->Arg(4)->Arg(10);
+
+void
+BM_LeftSymmetricPlace(benchmark::State &state)
+{
+    const LeftSymmetricLayout lay(21, kUnitsPerDisk);
+    std::int64_t unit = 0;
+    const std::int64_t n = lay.numDataUnits();
+    for (auto _ : state) {
+        const StripeUnit su = lay.dataUnitToStripe(unit);
+        benchmark::DoNotOptimize(lay.place(su.stripe, su.pos));
+        benchmark::DoNotOptimize(lay.placeParity(su.stripe));
+        unit = (unit + 7919) % n;
+    }
+}
+BENCHMARK(BM_LeftSymmetricPlace);
+
+void
+BM_LayoutConstruction(benchmark::State &state)
+{
+    const BlockDesign design = appendixDesign(4);
+    for (auto _ : state) {
+        DeclusteredLayout lay(design, kUnitsPerDisk);
+        benchmark::DoNotOptimize(lay.numStripes());
+    }
+}
+BENCHMARK(BM_LayoutConstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figures 6-1 and 6-2: average user response time vs. declustering
+ * ratio, fault-free and degraded, for 100% reads (rates 105/210/378) and
+ * 100% writes (rates 105/210; 378 writes/sec exceeds the array's
+ * capacity, as the paper notes).
+ *
+ * One row per (G, mode, rate): fault-free mean response time and
+ * degraded-mode mean response time in milliseconds.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace declust;
+    using namespace declust::bench;
+
+    Options opts("Figures 6-1/6-2: fault-free and degraded response time");
+    addCommonOptions(opts);
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    const double warmup = opts.getDouble("warmup");
+    const double measure = opts.getDouble("measure");
+
+    TablePrinter table({"alpha", "G", "mode", "rate/s", "fault-free ms",
+                        "degraded ms", "ff util", "deg util"});
+
+    struct Mode
+    {
+        const char *name;
+        double readFraction;
+        std::vector<long> rates;
+    };
+    const std::vector<Mode> modes = {
+        {"read", 1.0, {105, 210, 378}},
+        {"write", 0.0, {105, 210}},
+    };
+
+    for (int G : paperStripeSizes()) {
+        for (const Mode &mode : modes) {
+            for (long rate : mode.rates) {
+                SimConfig cfg;
+                cfg.numDisks = 21;
+                cfg.stripeUnits = G;
+                cfg.geometry = geometryFrom(opts);
+                cfg.accessesPerSec = static_cast<double>(rate);
+                cfg.readFraction = mode.readFraction;
+                cfg.seed =
+                    static_cast<std::uint64_t>(opts.getInt("seed"));
+
+                ArraySimulation sim(cfg);
+                const PhaseStats healthy =
+                    sim.runFaultFree(warmup, measure);
+                const PhaseStats degraded =
+                    sim.failAndRunDegraded(warmup, measure);
+
+                table.addRow({fmtDouble(cfg.alpha(), 2),
+                              std::to_string(G), mode.name,
+                              std::to_string(rate),
+                              fmtDouble(mode.readFraction == 1.0
+                                            ? healthy.meanReadMs
+                                            : healthy.meanWriteMs,
+                                        2),
+                              fmtDouble(mode.readFraction == 1.0
+                                            ? degraded.meanReadMs
+                                            : degraded.meanWriteMs,
+                                        2),
+                              fmtDouble(healthy.meanDiskUtilization, 3),
+                              fmtDouble(degraded.meanDiskUtilization,
+                                        3)});
+                std::cerr << "done G=" << G << " " << mode.name
+                          << " rate=" << rate << "\n";
+            }
+        }
+    }
+
+    std::cout << "Figures 6-1 (reads) and 6-2 (writes): response time vs "
+                 "alpha, fault-free and degraded\n";
+    emit(opts, table);
+    return 0;
+}

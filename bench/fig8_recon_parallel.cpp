@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figures 8-3 and 8-4: eight-way parallel reconstruction time and user
+ * response time during reconstruction — the same sweep as figures
+ * 8-1/8-2 but with eight concurrent reconstruction processes.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace declust;
+    using namespace declust::bench;
+
+    Options opts(
+        "Figures 8-3/8-4: eight-way parallel reconstruction vs alpha");
+    addCommonOptions(opts);
+    opts.add("rates", "105,210", "user access rates to sweep");
+    opts.add("processes", "8", "reconstruction processes");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    const double warmup = opts.getDouble("warmup");
+    const std::vector<ReconAlgorithm> algorithms = {
+        ReconAlgorithm::Baseline, ReconAlgorithm::UserWrites,
+        ReconAlgorithm::Redirect, ReconAlgorithm::RedirectPiggyback};
+
+    TablePrinter table({"alpha", "G", "rate/s", "algorithm",
+                        "recon time s", "user resp ms", "p90 ms"});
+
+    for (int G : paperStripeSizes()) {
+        for (long rate : opts.getIntList("rates")) {
+            for (ReconAlgorithm algorithm : algorithms) {
+                SimConfig cfg;
+                cfg.numDisks = 21;
+                cfg.stripeUnits = G;
+                cfg.geometry = geometryFrom(opts);
+                cfg.accessesPerSec = static_cast<double>(rate);
+                cfg.readFraction = 0.5;
+                cfg.algorithm = algorithm;
+                cfg.reconProcesses =
+                    static_cast<int>(opts.getInt("processes"));
+                cfg.seed =
+                    static_cast<std::uint64_t>(opts.getInt("seed"));
+
+                ArraySimulation sim(cfg);
+                sim.failAndRunDegraded(warmup, warmup);
+                const ReconOutcome outcome = sim.reconstruct();
+
+                table.addRow(
+                    {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                     std::to_string(rate), toString(algorithm),
+                     fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                     fmtDouble(outcome.userDuringRecon.meanMs, 1),
+                     fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
+                std::cerr << "done G=" << G << " rate=" << rate << " "
+                          << toString(algorithm) << "\n";
+            }
+        }
+    }
+
+    std::cout << "Figures 8-3 (reconstruction time) and 8-4 (user "
+                 "response during reconstruction), "
+              << opts.getInt("processes") << " processes\n";
+    emit(opts, table);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figures 8-1 and 8-2: single-threaded reconstruction time and average
+ * user response time during reconstruction, for all four reconstruction
+ * algorithms, under 50/50 read/write workloads at 105 and 210 user
+ * accesses per second, across the alpha sweep.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace declust;
+    using namespace declust::bench;
+
+    Options opts(
+        "Figures 8-1/8-2: single-thread reconstruction vs alpha");
+    addCommonOptions(opts);
+    opts.add("rates", "105,210", "user access rates to sweep");
+    opts.add("processes", "1", "reconstruction processes");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    const double warmup = opts.getDouble("warmup");
+    const std::vector<ReconAlgorithm> algorithms = {
+        ReconAlgorithm::Baseline, ReconAlgorithm::UserWrites,
+        ReconAlgorithm::Redirect, ReconAlgorithm::RedirectPiggyback};
+
+    TablePrinter table({"alpha", "G", "rate/s", "algorithm",
+                        "recon time s", "user resp ms", "p90 ms"});
+
+    for (int G : paperStripeSizes()) {
+        for (long rate : opts.getIntList("rates")) {
+            for (ReconAlgorithm algorithm : algorithms) {
+                SimConfig cfg;
+                cfg.numDisks = 21;
+                cfg.stripeUnits = G;
+                cfg.geometry = geometryFrom(opts);
+                cfg.accessesPerSec = static_cast<double>(rate);
+                cfg.readFraction = 0.5;
+                cfg.algorithm = algorithm;
+                cfg.reconProcesses =
+                    static_cast<int>(opts.getInt("processes"));
+                cfg.seed =
+                    static_cast<std::uint64_t>(opts.getInt("seed"));
+
+                ArraySimulation sim(cfg);
+                sim.failAndRunDegraded(warmup, warmup);
+                const ReconOutcome outcome = sim.reconstruct();
+
+                table.addRow(
+                    {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                     std::to_string(rate), toString(algorithm),
+                     fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                     fmtDouble(outcome.userDuringRecon.meanMs, 1),
+                     fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
+                std::cerr << "done G=" << G << " rate=" << rate << " "
+                          << toString(algorithm) << "\n";
+            }
+        }
+    }
+
+    std::cout << "Figures 8-1 (reconstruction time) and 8-2 (user "
+                 "response during reconstruction), "
+              << opts.getInt("processes") << " process(es)\n";
+    emit(opts, table);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 8-1: reconstruction cycle times — read phase + write phase =
+ * cycle, averaged over the last 300 stripe units of the reconstruction,
+ * at 210 user accesses/sec (50/50 read/write), for alpha in
+ * {0.15, 0.45, 1.0}, all four algorithms, single-thread and eight-way
+ * parallel. Standard deviations in parentheses, as in the paper.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+std::string
+phaseCell(const declust::Accumulator &acc)
+{
+    return declust::fmtDouble(acc.mean(), 0) + "(" +
+           declust::fmtDouble(acc.stddev(), 1) + ")";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace declust;
+    using namespace declust::bench;
+
+    Options opts("Table 8-1: reconstruction cycle phase times");
+    addCommonOptions(opts);
+    opts.add("rate", "210", "user access rate");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    const double warmup = opts.getDouble("warmup");
+    const std::vector<ReconAlgorithm> algorithms = {
+        ReconAlgorithm::Baseline, ReconAlgorithm::UserWrites,
+        ReconAlgorithm::Redirect, ReconAlgorithm::RedirectPiggyback};
+    const std::vector<int> stripeSizes = {4, 10, 21}; // alpha .15/.45/1.0
+
+    for (int processes : {1, 8}) {
+        TablePrinter table({"algorithm", "alpha", "read ms(sd)",
+                            "write ms(sd)", "cycle ms"});
+        for (ReconAlgorithm algorithm : algorithms) {
+            for (int G : stripeSizes) {
+                SimConfig cfg;
+                cfg.numDisks = 21;
+                cfg.stripeUnits = G;
+                cfg.geometry = geometryFrom(opts);
+                cfg.accessesPerSec = opts.getDouble("rate");
+                cfg.readFraction = 0.5;
+                cfg.algorithm = algorithm;
+                cfg.reconProcesses = processes;
+                cfg.seed =
+                    static_cast<std::uint64_t>(opts.getInt("seed"));
+
+                ArraySimulation sim(cfg);
+                sim.failAndRunDegraded(warmup, warmup);
+                const ReconReport rep = sim.reconstruct().report;
+
+                table.addRow(
+                    {toString(algorithm), fmtDouble(cfg.alpha(), 2),
+                     phaseCell(rep.tailReadPhaseMs),
+                     phaseCell(rep.tailWritePhaseMs),
+                     fmtDouble(rep.tailReadPhaseMs.mean() +
+                                   rep.tailWritePhaseMs.mean(),
+                               0)});
+                std::cerr << "done " << processes << "-way "
+                          << toString(algorithm) << " G=" << G << "\n";
+            }
+        }
+        std::cout << "\nTable 8-1 (" << processes
+                  << "-way reconstruction), rate = "
+                  << opts.getInt("rate")
+                  << "/s, last-300-unit window:\n";
+        emit(opts, table);
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Distributed sparing walkthrough: the full life of a failure when the
+ * array rebuilds into itself instead of onto a replacement disk.
+ *
+ *   1. fault-free service on a sparing layout (G live units + 1 spare
+ *      per parity stripe),
+ *   2. disk failure and degraded service,
+ *   3. reconstruction scattered into the spare units of all surviving
+ *      disks (no replacement needed, no single write bottleneck),
+ *   4. normal service with the rebuilt units remapped to their spares,
+ *   5. a replacement drive arrives: on-line copyback restores it and
+ *      frees the spares for the next failure.
+ *
+ * Compare the rebuild time against the dedicated-replacement run the
+ * example prints alongside.
+ */
+#include <iostream>
+
+#include "core/array_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace declust;
+
+SimConfig
+baseConfig(bool spared)
+{
+    SimConfig cfg;
+    cfg.numDisks = 21;
+    cfg.stripeUnits = 5;
+    cfg.geometry = DiskGeometry::ibm0661Scaled(1);
+    cfg.accessesPerSec = 105;
+    cfg.readFraction = 0.5;
+    cfg.algorithm = ReconAlgorithm::Baseline;
+    cfg.reconProcesses = 8;
+    cfg.distributedSparing = spared;
+    cfg.seed = 7;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "distributed sparing vs dedicated replacement "
+                 "(C=21, G=5, 105 accesses/s, 8-way rebuild)\n\n";
+
+    // Dedicated replacement: the classic flow.
+    ArraySimulation dedicated(baseConfig(false));
+    dedicated.runFaultFree(3.0, 10.0);
+    dedicated.failAndRunDegraded(3.0, 5.0);
+    const ReconOutcome dr = dedicated.reconstruct();
+
+    // Distributed sparing: rebuild into the array, then copy back.
+    ArraySimulation spared(baseConfig(true));
+    const PhaseStats healthy = spared.runFaultFree(3.0, 10.0);
+    spared.failAndRunDegraded(3.0, 5.0);
+    const ReconOutcome sr = spared.reconstruct();
+    std::cout << "spare rebuild done: "
+              << spared.controller().remappedCount()
+              << " units now live in spare locations; array is fully\n"
+              << "single-failure tolerant again WITHOUT any replacement "
+                 "hardware.\n\n";
+    const CopybackOutcome cb = spared.copyback();
+    spared.drain();
+    spared.controller().verifyConsistency();
+
+    TablePrinter table({"mode", "rebuild s", "user resp during rebuild",
+                        "copyback s"});
+    table.addRow({"dedicated replacement",
+                  fmtDouble(dr.report.reconstructionTimeSec, 1),
+                  fmtDouble(dr.userDuringRecon.meanMs, 1) + " ms", "-"});
+    table.addRow({"distributed sparing",
+                  fmtDouble(sr.report.reconstructionTimeSec, 1),
+                  fmtDouble(sr.userDuringRecon.meanMs, 1) + " ms",
+                  fmtDouble(cb.copybackTimeSec, 1)});
+    table.print(std::cout);
+
+    std::cout << "\nfault-free response on the sparing layout: "
+              << fmtDouble(healthy.meanMs, 1)
+              << " ms (spares cost 1/(G+1) = "
+              << fmtDouble(100.0 / 6, 1) << "% capacity)\n"
+              << "copyback copied " << cb.unitsCopied
+              << " units while serving user I/O at "
+              << fmtDouble(cb.userDuringCopyback.meanMs, 1) << " ms\n";
+    return 0;
+}

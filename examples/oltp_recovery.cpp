@@ -1,0 +1,101 @@
+/**
+ * @file
+ * OLTP continuous-operation scenario (the paper's motivating workload).
+ *
+ * A transaction-processing system must keep 90% of its transactions
+ * under two seconds even while a failed disk is being rebuilt. This
+ * example compares a RAID 5 array (alpha = 1.0) against a declustered
+ * array (alpha = 0.25) through a full failure-and-recovery timeline and
+ * checks the OLTP rule at each stage, assuming up to three disk
+ * accesses per transaction.
+ *
+ * Usage: oltp_recovery [rate]   (default 210 user accesses/sec)
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "core/array_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace declust;
+
+struct Timeline
+{
+    PhaseStats healthy;
+    PhaseStats degraded;
+    ReconOutcome recovery;
+};
+
+Timeline
+runTimeline(int G, double rate)
+{
+    SimConfig cfg;
+    cfg.numDisks = 21;
+    cfg.stripeUnits = G;
+    cfg.geometry = DiskGeometry::ibm0661Scaled(1);
+    cfg.accessesPerSec = rate;
+    cfg.readFraction = 0.5;
+    cfg.algorithm = ReconAlgorithm::Redirect;
+    cfg.reconProcesses = 8;
+    cfg.seed = 2026;
+
+    ArraySimulation sim(cfg);
+    Timeline t;
+    t.healthy = sim.runFaultFree(5.0, 30.0);
+    t.degraded = sim.failAndRunDegraded(5.0, 30.0);
+    t.recovery = sim.reconstruct();
+    sim.drain();
+    sim.controller().verifyConsistency();
+    return t;
+}
+
+std::string
+oltpVerdict(double p90Ms)
+{
+    // <= 3 disk accesses per transaction; the 2-second budget per
+    // transaction allows ~666 ms per access at the 90th percentile.
+    return p90Ms * 3 <= 2000.0 ? "PASS" : "FAIL";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double rate = argc > 1 ? std::atof(argv[1]) : 210.0;
+
+    std::cout << "OLTP recovery timeline at " << rate
+              << " user accesses/sec (50% reads)\n\n";
+
+    TablePrinter table({"array", "phase", "mean ms", "p90 ms",
+                        "2s rule", "recovery s"});
+
+    for (int G : {21, 6}) {
+        const Timeline t = runTimeline(G, rate);
+        const std::string name =
+            G == 21 ? "RAID5 (a=1.0)" : "declustered (a=0.25)";
+        table.addRow({name, "fault-free",
+                      fmtDouble(t.healthy.meanMs, 1),
+                      fmtDouble(t.healthy.p90Ms, 1),
+                      oltpVerdict(t.healthy.p90Ms), "-"});
+        table.addRow({name, "degraded",
+                      fmtDouble(t.degraded.meanMs, 1),
+                      fmtDouble(t.degraded.p90Ms, 1),
+                      oltpVerdict(t.degraded.p90Ms), "-"});
+        table.addRow(
+            {name, "rebuilding",
+             fmtDouble(t.recovery.userDuringRecon.meanMs, 1),
+             fmtDouble(t.recovery.userDuringRecon.p90Ms, 1),
+             oltpVerdict(t.recovery.userDuringRecon.p90Ms),
+             fmtDouble(t.recovery.report.reconstructionTimeSec, 1)});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nDeclustering trades 5% extra parity capacity "
+                 "(G=6 vs G=21) for a faster rebuild and\n"
+                 "smaller response-time hit while rebuilding — the "
+                 "paper's core claim.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: stand up a 21-disk declustered-parity array, run a small
+ * OLTP-like workload, fail a disk, reconstruct it on-line, and print
+ * what happened at each stage.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "core/array_sim.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace declust;
+
+    // A 21-disk array with parity stripes of 5 units: 20% parity
+    // overhead, declustering ratio alpha = 0.2. The geometry is the
+    // paper's IBM 0661 "Lightning" scaled to one track per cylinder so
+    // this demo finishes in seconds (pass ibm0661() for full scale).
+    SimConfig cfg;
+    cfg.numDisks = 21;
+    cfg.stripeUnits = 5;
+    cfg.geometry = DiskGeometry::ibm0661Scaled(1);
+    cfg.accessesPerSec = 105;   // 4 KB user accesses per second
+    cfg.readFraction = 0.5;     // 50% reads / 50% writes
+    cfg.algorithm = ReconAlgorithm::Redirect;
+    cfg.reconProcesses = 8;
+
+    std::cout << "declust quickstart: C=" << cfg.numDisks
+              << " disks, G=" << cfg.stripeUnits
+              << " units/parity stripe (alpha=" << cfg.alpha() << ", "
+              << fmtDouble(100.0 / cfg.stripeUnits, 0)
+              << "% parity overhead)\n\n";
+
+    ArraySimulation sim(cfg);
+
+    // Phase 1: fault-free operation.
+    const PhaseStats healthy = sim.runFaultFree(5.0, 30.0);
+    std::cout << "fault-free:  reads " << fmtDouble(healthy.meanReadMs, 1)
+              << " ms, writes " << fmtDouble(healthy.meanWriteMs, 1)
+              << " ms (disk utilization "
+              << fmtDouble(healthy.meanDiskUtilization * 100, 0)
+              << "%)\n";
+
+    // Phase 2: disk 0 dies; the array keeps serving everything.
+    const PhaseStats degraded = sim.failAndRunDegraded(5.0, 30.0);
+    std::cout << "degraded:    reads " << fmtDouble(degraded.meanReadMs, 1)
+              << " ms, writes " << fmtDouble(degraded.meanWriteMs, 1)
+              << " ms  (disk 0 failed, on-the-fly reconstruction)\n";
+
+    // Phase 3: rebuild the lost disk on-line onto a replacement.
+    const ReconOutcome outcome = sim.reconstruct();
+    std::cout << "rebuild:     "
+              << fmtDouble(outcome.report.reconstructionTimeSec, 1)
+              << " s for " << outcome.report.cycles
+              << " stripe units; user response during rebuild "
+              << fmtDouble(outcome.userDuringRecon.meanMs, 1)
+              << " ms (p90 "
+              << fmtDouble(outcome.userDuringRecon.p90Ms, 1) << " ms)\n";
+
+    // The controller re-verified every rebuilt unit against parity and
+    // the shadow model before declaring the array healthy.
+    sim.drain();
+    sim.controller().verifyConsistency();
+    std::cout << "\narray healthy again; contents verified.\n";
+    return 0;
+}

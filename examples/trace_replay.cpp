@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Trace-driven evaluation: record a workload once, replay it against
+ * different array configurations — the standard methodology for judging
+ * a layout against a *specific* workload rather than a synthetic
+ * distribution.
+ *
+ * This example synthesizes a bursty trace (a steady OLTP base plus
+ * periodic sequential batch scans), saves it in the text trace format,
+ * and replays the identical trace against a declustered array in the
+ * fault-free and degraded states, reporting per-phase response times.
+ *
+ * Usage: trace_replay [trace-file]
+ *   With an argument, replays an existing trace file instead.
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/array_sim.hpp"
+#include "util/error.hpp"
+#include "sim/rng.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace declust;
+
+/** OLTP base load plus periodic batch scans. */
+std::vector<TraceRecord>
+synthesizeTrace(std::int64_t dataUnits, double seconds)
+{
+    Rng rng(424242);
+    std::vector<TraceRecord> records;
+    double t = 0.0;
+    while (t < seconds) {
+        // ~100/s Poisson base of single-unit accesses, 60% reads.
+        t += rng.exponential(1.0 / 100.0);
+        TraceRecord rec;
+        rec.timeSec = t;
+        rec.kind = rng.bernoulli(0.6) ? RequestKind::Read
+                                      : RequestKind::Write;
+        rec.firstUnit = static_cast<std::int64_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(dataUnits - 8)));
+        rec.unitCount = 1;
+        records.push_back(rec);
+        // Every ~2 s, an 8-unit (32 KB) batch scan.
+        if (records.size() % 200 == 0) {
+            TraceRecord scan = rec;
+            scan.kind = RequestKind::Read;
+            scan.unitCount = 8;
+            records.push_back(scan);
+        }
+    }
+    return records;
+}
+
+double
+replay(const std::vector<TraceRecord> &records, bool degraded)
+{
+    SimConfig cfg;
+    cfg.numDisks = 21;
+    cfg.stripeUnits = 5;
+    cfg.geometry = DiskGeometry::ibm0661Scaled(1);
+    cfg.accessesPerSec = 1; // unused: the trace drives the array
+    ArraySimulation sim(cfg);
+    sim.workload().stop();
+    if (degraded)
+        sim.controller().failDisk(0);
+    sim.controller().resetStats();
+
+    TraceWorkload trace(sim.eventQueue(), sim.controller(), records);
+    trace.start();
+    sim.eventQueue().runToCompletion();
+    if (!trace.done()) {
+        std::cerr << "trace did not complete\n";
+        std::exit(1);
+    }
+    sim.controller().verifyConsistency();
+    return sim.controller().userStats().allMs.mean();
+}
+
+} // namespace
+
+namespace {
+
+int
+run(int argc, char **argv)
+{
+    SimConfig probe;
+    probe.stripeUnits = 5; // must match the replay configuration
+    probe.geometry = DiskGeometry::ibm0661Scaled(1);
+    const std::int64_t dataUnits =
+        ArraySimulation(probe).controller().numDataUnits();
+
+    std::vector<TraceRecord> records;
+    if (argc > 1) {
+        records = loadTrace(argv[1]);
+        std::cout << "loaded " << records.size() << " records from "
+                  << argv[1] << "\n";
+    } else {
+        records = synthesizeTrace(dataUnits, 20.0);
+        std::ofstream out("oltp_batch.trace");
+        writeTrace(out, records);
+        std::cout << "synthesized " << records.size()
+                  << " records (saved to oltp_batch.trace)\n";
+    }
+
+    const double healthyMs = replay(records, false);
+    const double degradedMs = replay(records, true);
+
+    std::cout << "replayed the identical trace twice (G=5, alpha=0.2):\n"
+              << "  fault-free mean response: " << fmtDouble(healthyMs, 1)
+              << " ms\n"
+              << "  degraded   mean response: "
+              << fmtDouble(degradedMs, 1) << " ms\n"
+              << "Trace replay makes the comparison exact: same arrival "
+                 "times, same addresses,\nonly the array state differs.\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const declust::ConfigError &e) {
+        std::cerr << "configuration error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Logical-contents models used to verify array correctness end to end.
+ *
+ * The simulator does not move real bytes; instead every stripe unit
+ * carries a 64-bit UnitValue and parity is the XOR of its stripe's data
+ * values, so "XOR over every stripe's units == 0" is the global
+ * consistency invariant. ArrayContents tracks what is physically stored
+ * on each disk; ShadowModel tracks what a perfect array would return for
+ * each logical data unit. Together they let tests assert that every user
+ * read returns the right data and that a completed reconstruction
+ * restored exactly the lost contents.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/types.hpp"
+
+namespace declust {
+
+/** Physical per-(disk, offset) stored values. */
+class ArrayContents
+{
+  public:
+    ArrayContents(int numDisks, int unitsPerDisk);
+
+    UnitValue get(int disk, int offset) const;
+    void set(int disk, int offset, UnitValue value);
+
+    /**
+     * Poison every unit of @p disk (simulating loss of its contents on
+     * failure) so stale reads are detectable.
+     */
+    void poisonDisk(int disk);
+
+    /** Zero every unit of @p disk (a blank replacement drive). */
+    void blankDisk(int disk);
+
+    int numDisks() const { return numDisks_; }
+    int unitsPerDisk() const { return unitsPerDisk_; }
+
+  private:
+    std::size_t index(int disk, int offset) const;
+
+    int numDisks_;
+    int unitsPerDisk_;
+    std::vector<UnitValue> values_;
+};
+
+/** Expected value of every logical data unit. */
+class ShadowModel
+{
+  public:
+    explicit ShadowModel(std::int64_t numDataUnits);
+
+    UnitValue get(std::int64_t dataUnit) const;
+    void set(std::int64_t dataUnit, UnitValue value);
+
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(values_.size());
+    }
+
+  private:
+    std::vector<UnitValue> values_;
+};
+
+/** Deterministic generator of distinct non-zero unit values. */
+class ValueSource
+{
+  public:
+    explicit ValueSource(std::uint64_t seed = 0xc0ffee);
+
+    /** Next fresh value (never returns 0). */
+    UnitValue fresh();
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace declust

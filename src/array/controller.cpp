@@ -1,0 +1,951 @@
+#include "array/controller.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/join.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+
+const char *
+toString(ReconAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case ReconAlgorithm::Baseline:          return "baseline";
+      case ReconAlgorithm::UserWrites:        return "user-writes";
+      case ReconAlgorithm::Redirect:          return "redirect";
+      case ReconAlgorithm::RedirectPiggyback: return "redir+piggyback";
+    }
+    return "?";
+}
+
+ArrayController::ArrayController(EventQueue &eq,
+                                 std::unique_ptr<Layout> layout,
+                                 const ArrayParams &params)
+    : eq_(eq),
+      layout_(std::move(layout)),
+      params_(params),
+      contents_(layout_->numDisks(), layout_->unitsPerDisk()),
+      shadow_(layout_->numDataUnits()),
+      values_(params.valueSeed),
+      stats_(params.histogramLimitMs, params.histogramBuckets)
+{
+    DECLUST_ASSERT(layout_, "controller needs a layout");
+    params_.geometry.validate();
+    // G == 2 degenerates to mirroring: the "parity" unit of a two-unit
+    // stripe is an exact copy of its data unit (XOR over one value),
+    // which makes a declustered G=2 layout Copeland & Keller's
+    // interleaved declustering (paper section 3).
+    DECLUST_ASSERT(layout_->stripeWidth() >= 2,
+                   "parity stripes need at least 2 units");
+    const std::int64_t unitCapacity =
+        params_.geometry.totalSectors() / params_.unitSectors;
+    DECLUST_ASSERT(layout_->unitsPerDisk() <= unitCapacity,
+                   "layout maps ", layout_->unitsPerDisk(),
+                   " units/disk but the geometry only holds ",
+                   unitCapacity);
+    if (params_.controllerOverheadMs > 0 ||
+        params_.xorOverheadMsPerUnit > 0) {
+        cpu_ = std::make_unique<SerialResource>(eq_);
+    }
+    for (int d = 0; d < layout_->numDisks(); ++d) {
+        auto background =
+            params_.prioritizeUserIo
+                ? makeScheduler(params_.scheduler,
+                                params_.geometry.cylinders)
+                : nullptr;
+        disks_.push_back(std::make_unique<Disk>(
+            eq_, params_.geometry,
+            makeScheduler(params_.scheduler, params_.geometry.cylinders),
+            d, std::move(background)));
+        if (params_.trackBuffer)
+            disks_.back()->enableTrackBuffer();
+    }
+}
+
+ArrayController::UnitLoc
+ArrayController::locate(std::int64_t dataUnit) const
+{
+    UnitLoc loc;
+    loc.su = layout_->dataUnitToStripe(dataUnit);
+    loc.data = layout_->place(loc.su.stripe, loc.su.pos);
+    loc.parity = layout_->placeParity(loc.su.stripe);
+    return loc;
+}
+
+void
+ArrayController::issueUnit(const PhysicalUnit &pu, bool isWrite,
+                           std::function<void()> cb, Priority priority)
+{
+    DiskRequest req;
+    req.startSector =
+        static_cast<std::int64_t>(pu.offset) * params_.unitSectors;
+    req.sectorCount = params_.unitSectors;
+    req.isWrite = isWrite;
+    req.priority = priority;
+    req.onComplete = std::move(cb);
+    if (cpu_ && params_.controllerOverheadMs > 0) {
+        // The access occupies the (serial) controller CPU before it can
+        // reach the disk.
+        cpu_->use(msToTicks(params_.controllerOverheadMs),
+                  [this, disk = pu.disk, req = std::move(req)]() mutable {
+                      disks_[static_cast<std::size_t>(disk)]->submit(
+                          std::move(req));
+                  });
+        return;
+    }
+    disks_[static_cast<std::size_t>(pu.disk)]->submit(std::move(req));
+}
+
+void
+ArrayController::afterXor(int units, std::function<void()> fn)
+{
+    const double ms = params_.xorOverheadMsPerUnit * units;
+    if (cpu_ && ms > 0) {
+        cpu_->use(msToTicks(ms), std::move(fn));
+        return;
+    }
+    fn();
+}
+
+bool
+ArrayController::unitLost(const PhysicalUnit &pu) const
+{
+    if (pu.disk != failedDisk_)
+        return false;
+    return !reconActive_ ||
+           !reconstructed_[static_cast<std::size_t>(pu.offset)];
+}
+
+PhysicalUnit
+ArrayController::effectiveUnit(std::int64_t stripe, int pos) const
+{
+    const PhysicalUnit pu = layout_->place(stripe, pos);
+    const bool spared =
+        (reconActive_ && distributedSpare_ && pu.disk == failedDisk_) ||
+        (remapActive_ && pu.disk == remapDisk_);
+    if (spared && reconstructed_[static_cast<std::size_t>(pu.offset)])
+        return layout_->placeSpare(stripe);
+    return pu;
+}
+
+PhysicalUnit
+ArrayController::rebuildTarget(std::int64_t stripe, int offset) const
+{
+    if (distributedSpare_)
+        return layout_->placeSpare(stripe);
+    return PhysicalUnit{failedDisk_, offset};
+}
+
+UnitValue
+ArrayController::xorStripeExcept(std::int64_t stripe, int excludePos) const
+{
+    UnitValue acc = 0;
+    for (int pos = 0; pos < layout_->stripeWidth(); ++pos) {
+        if (pos == excludePos)
+            continue;
+        const PhysicalUnit pu = effectiveUnit(stripe, pos);
+        acc ^= contents_.get(pu.disk, pu.offset);
+    }
+    return acc;
+}
+
+void
+ArrayController::finishUserOp(RequestKind kind, Tick start,
+                              const std::function<void()> &done)
+{
+    const double ms = ticksToMs(eq_.now() - start);
+    if (kind == RequestKind::Read) {
+        stats_.readMs.add(ms);
+        ++stats_.readsDone;
+    } else {
+        stats_.writeMs.add(ms);
+        ++stats_.writesDone;
+    }
+    stats_.allMs.add(ms);
+    stats_.allHist.add(ms);
+    --outstanding_;
+    if (done)
+        done();
+}
+
+// ----------------------------------------------------------------------
+// Reads
+// ----------------------------------------------------------------------
+
+void
+ArrayController::readUnit(std::int64_t dataUnit, std::function<void()> done)
+{
+    ++outstanding_;
+    const Tick start = eq_.now();
+    const UnitLoc loc = locate(dataUnit);
+    readCritical(loc, start, [this, start, done = std::move(done)] {
+        finishUserOp(RequestKind::Read, start, done);
+    });
+}
+
+void
+ArrayController::readCritical(const UnitLoc &loc, Tick,
+                              std::function<void()> done)
+{
+    const std::int64_t dataUnit = layout_->stripeToDataUnit(loc.su);
+
+    const bool onFailed = loc.data.disk == failedDisk_;
+    const bool redirectable =
+        reconActive_ &&
+        reconstructed_[static_cast<std::size_t>(loc.data.offset)] &&
+        (algorithm_ == ReconAlgorithm::Redirect ||
+         algorithm_ == ReconAlgorithm::RedirectPiggyback);
+
+    if (!onFailed || redirectable) {
+        // Plain read of valid contents: a healthy disk, a redirected
+        // read of the rebuilt replacement/spare unit, or a remapped
+        // spare location after a distributed-sparing rebuild.
+        const PhysicalUnit src = effectiveUnit(loc.su.stripe, loc.su.pos);
+        issueUnit(src, false,
+                  [this, src, dataUnit, done = std::move(done)] {
+                      const UnitValue got =
+                          contents_.get(src.disk, src.offset);
+                      DECLUST_ASSERT(got == shadow_.get(dataUnit),
+                                     "read of unit ", dataUnit,
+                                     " returned wrong data");
+                      done();
+                  });
+        return;
+    }
+
+    // On-the-fly reconstruction: read the G-1 surviving units of the
+    // stripe under the stripe lock and XOR them.
+    locks_.acquire(loc.su.stripe, [this, loc, dataUnit,
+                                   done = std::move(done)] {
+        const int G = layout_->stripeWidth();
+        auto combined = [this, loc, dataUnit, done = std::move(done)] {
+            const UnitValue value =
+                xorStripeExcept(loc.su.stripe, loc.su.pos);
+            DECLUST_ASSERT(value == shadow_.get(dataUnit),
+                           "on-the-fly reconstruction of unit ", dataUnit,
+                           " produced wrong data");
+            const bool piggyback =
+                reconActive_ &&
+                algorithm_ == ReconAlgorithm::RedirectPiggyback &&
+                !reconstructed_[static_cast<std::size_t>(loc.data.offset)];
+            if (!piggyback) {
+                locks_.release(loc.su.stripe);
+                done();
+                return;
+            }
+            // Piggyback: the user response is complete, but the freshly
+            // reconstructed unit is also written to its rebuild home
+            // (the replacement disk or the stripe's spare unit).
+            done();
+            const PhysicalUnit dst =
+                rebuildTarget(loc.su.stripe, loc.data.offset);
+            issueUnit(
+                dst, true,
+                [this, loc, dst, value] {
+                    contents_.set(dst.disk, dst.offset, value);
+                    markReconstructed(loc.data.offset);
+                    locks_.release(loc.su.stripe);
+                },
+                Priority::Background);
+        };
+        auto join = makeJoin(G - 1, [this, G, combined = std::move(
+                                                  combined)]() mutable {
+            afterXor(G - 1, std::move(combined));
+        });
+        for (int pos = 0; pos < G; ++pos) {
+            if (pos == loc.su.pos)
+                continue;
+            const PhysicalUnit pu = effectiveUnit(loc.su.stripe, pos);
+            DECLUST_ASSERT(pu.disk != failedDisk_,
+                           "two stripe units on one disk");
+            issueUnit(pu, false, join);
+        }
+    });
+}
+
+void
+ArrayController::readUnits(std::int64_t firstDataUnit, int count,
+                           std::function<void()> done)
+{
+    DECLUST_ASSERT(count > 0, "empty read");
+    if (count == 1) {
+        readUnit(firstDataUnit, std::move(done));
+        return;
+    }
+    ++outstanding_;
+    const Tick start = eq_.now();
+    auto join = makeJoin(count, [this, start, done = std::move(done)] {
+        finishUserOp(RequestKind::Read, start, done);
+    });
+    for (int i = 0; i < count; ++i)
+        readCritical(locate(firstDataUnit + i), start, join);
+}
+
+// ----------------------------------------------------------------------
+// Writes
+// ----------------------------------------------------------------------
+
+void
+ArrayController::writeUnit(std::int64_t dataUnit, std::function<void()> done)
+{
+    ++outstanding_;
+    const Tick start = eq_.now();
+    const UnitLoc loc = locate(dataUnit);
+    locks_.acquire(loc.su.stripe,
+                   [this, loc, start, done = std::move(done)] {
+                       writeCritical(loc, start,
+                                     [this, start, done = std::move(done)] {
+                                         finishUserOp(RequestKind::Write,
+                                                      start, done);
+                                     });
+                   });
+}
+
+void
+ArrayController::writeCritical(const UnitLoc &loc, Tick,
+                               std::function<void()> done)
+{
+    const std::int64_t dataUnit = layout_->stripeToDataUnit(loc.su);
+    const UnitValue v = values_.fresh();
+    const int G = layout_->stripeWidth();
+    const std::int64_t stripe = loc.su.stripe;
+
+    const bool dataLost = unitLost(loc.data);
+    const bool parityLost = unitLost(loc.parity);
+    DECLUST_ASSERT(!(dataLost && parityLost),
+                   "data and parity units of one stripe both lost");
+
+    // Where the (valid) data and parity currently live: the layout
+    // location, or the stripe's spare after a distributed rebuild.
+    const PhysicalUnit dataDst = effectiveUnit(stripe, loc.su.pos);
+    const PhysicalUnit parityDst = effectiveUnit(stripe, G - 1);
+
+    if (parityLost) {
+        // The parity unit is gone: there is no value in updating it, so
+        // the write is a single data access (the paper's degraded-mode
+        // "one, rather than four, disk accesses" case).
+        issueUnit(dataDst, true,
+                  [this, dataDst, stripe, dataUnit, v,
+                   done = std::move(done)] {
+                      contents_.set(dataDst.disk, dataDst.offset, v);
+                      shadow_.set(dataUnit, v);
+                      locks_.release(stripe);
+                      done();
+                  });
+        return;
+    }
+
+    if (dataLost) {
+        if (G == 2) {
+            // Mirrored pair with a lost primary: just write the copy
+            // (new "parity" = the new value itself).
+            const bool writeThrough =
+                reconActive_ && algorithm_ != ReconAlgorithm::Baseline;
+            if (writeThrough) {
+                const PhysicalUnit home =
+                    rebuildTarget(stripe, loc.data.offset);
+                auto join = makeJoin(
+                    2, [this, loc, parityDst, home, stripe, dataUnit, v,
+                        done = std::move(done)] {
+                        contents_.set(parityDst.disk, parityDst.offset,
+                                      v);
+                        contents_.set(home.disk, home.offset, v);
+                        shadow_.set(dataUnit, v);
+                        markReconstructed(loc.data.offset);
+                        locks_.release(stripe);
+                        done();
+                    });
+                issueUnit(parityDst, true, join);
+                issueUnit(home, true, join);
+            } else {
+                issueUnit(parityDst, true,
+                          [this, parityDst, stripe, dataUnit, v,
+                           done = std::move(done)] {
+                              contents_.set(parityDst.disk,
+                                            parityDst.offset, v);
+                              shadow_.set(dataUnit, v);
+                              locks_.release(stripe);
+                              done();
+                          });
+            }
+            return;
+        }
+        // The target data unit is lost. Read the other G-2 data units;
+        // the new parity is their XOR with the new data.
+        auto afterReads = [this, loc, parityDst, stripe, dataUnit, v, G,
+                           done = std::move(done)]() mutable {
+            UnitValue othersXor = 0;
+            for (int pos = 0; pos < G - 1; ++pos) {
+                if (pos == loc.su.pos)
+                    continue;
+                const PhysicalUnit pu = effectiveUnit(stripe, pos);
+                othersXor ^= contents_.get(pu.disk, pu.offset);
+            }
+            const UnitValue newParity = othersXor ^ v;
+            const bool writeThrough =
+                reconActive_ && algorithm_ != ReconAlgorithm::Baseline;
+            if (writeThrough) {
+                // Send the data to its rebuild home as well (user-writes
+                // and both redirect algorithms).
+                const PhysicalUnit home =
+                    rebuildTarget(stripe, loc.data.offset);
+                auto join = makeJoin(
+                    2, [this, loc, parityDst, home, stripe, dataUnit, v,
+                        newParity, done = std::move(done)] {
+                        contents_.set(parityDst.disk, parityDst.offset,
+                                      newParity);
+                        contents_.set(home.disk, home.offset, v);
+                        shadow_.set(dataUnit, v);
+                        markReconstructed(loc.data.offset);
+                        locks_.release(stripe);
+                        done();
+                    });
+                issueUnit(parityDst, true, join);
+                issueUnit(home, true, join);
+            } else {
+                // Fold the write into the parity unit alone.
+                issueUnit(parityDst, true,
+                          [this, parityDst, stripe, dataUnit, v,
+                           newParity, done = std::move(done)] {
+                              contents_.set(parityDst.disk,
+                                            parityDst.offset, newParity);
+                              shadow_.set(dataUnit, v);
+                              locks_.release(stripe);
+                              done();
+                          });
+            }
+        };
+        // New parity = XOR of G-2 survivors and the new data.
+        auto xorThen = [this, G, afterReads =
+                                     std::move(afterReads)]() mutable {
+            afterXor(G - 1, std::move(afterReads));
+        };
+        if (G == 3) {
+            // Only one other data unit to read.
+            int otherPos = loc.su.pos == 0 ? 1 : 0;
+            issueUnit(effectiveUnit(stripe, otherPos), false,
+                      std::move(xorThen));
+        } else {
+            auto join = makeJoin(G - 2, std::move(xorThen));
+            for (int pos = 0; pos < G - 1; ++pos) {
+                if (pos == loc.su.pos)
+                    continue;
+                issueUnit(effectiveUnit(stripe, pos), false, join);
+            }
+        }
+        return;
+    }
+
+    // Both the data and parity units are readable.
+    if (G == 2) {
+        // Mirrored write: update both copies in parallel, no pre-reads.
+        auto join = makeJoin(2, [this, dataDst, parityDst, stripe,
+                                 dataUnit, v, done = std::move(done)] {
+            contents_.set(dataDst.disk, dataDst.offset, v);
+            contents_.set(parityDst.disk, parityDst.offset, v);
+            shadow_.set(dataUnit, v);
+            locks_.release(stripe);
+            done();
+        });
+        issueUnit(dataDst, true, join);
+        issueUnit(parityDst, true, join);
+        return;
+    }
+    if (G == 3) {
+        const int otherPos = loc.su.pos == 0 ? 1 : 0;
+        const PhysicalUnit otherRaw = layout_->place(stripe, otherPos);
+        if (!unitLost(otherRaw)) {
+            // Three-access reconstruct-write (section 6): write the new
+            // data and read the other data unit in parallel, then write
+            // parity computed from the two.
+            const PhysicalUnit otherPU = effectiveUnit(stripe, otherPos);
+            auto join = makeJoin(
+                2, [this, dataDst, parityDst, stripe, dataUnit, v,
+                    otherPU, done = std::move(done)]() mutable {
+                    afterXor(2, [this, dataDst, parityDst, stripe,
+                                 dataUnit, v, otherPU,
+                                 done = std::move(done)] {
+                    const UnitValue newParity =
+                        contents_.get(otherPU.disk, otherPU.offset) ^ v;
+                    issueUnit(parityDst, true,
+                              [this, dataDst, parityDst, stripe, dataUnit,
+                               v, newParity, done = std::move(done)] {
+                                  contents_.set(dataDst.disk,
+                                                dataDst.offset, v);
+                                  contents_.set(parityDst.disk,
+                                                parityDst.offset,
+                                                newParity);
+                                  shadow_.set(dataUnit, v);
+                                  locks_.release(stripe);
+                                  done();
+                              });
+                    });
+                });
+            issueUnit(dataDst, true, join);
+            issueUnit(otherPU, false, join);
+            return;
+        }
+    }
+
+    // Standard four-access read-modify-write: pre-read old data and old
+    // parity, then overwrite both.
+    auto preRead = makeJoin(2, [this, dataDst, parityDst, stripe,
+                                dataUnit, v,
+                                done = std::move(done)]() mutable {
+        // New parity combines old data, old parity, and the new data.
+        afterXor(3, [this, dataDst, parityDst, stripe, dataUnit, v,
+                     done = std::move(done)] {
+        const UnitValue oldData =
+            contents_.get(dataDst.disk, dataDst.offset);
+        const UnitValue oldParity =
+            contents_.get(parityDst.disk, parityDst.offset);
+        const UnitValue newParity = oldParity ^ oldData ^ v;
+        auto join = makeJoin(2, [this, dataDst, parityDst, stripe,
+                                 dataUnit, v, newParity,
+                                 done = std::move(done)] {
+            contents_.set(dataDst.disk, dataDst.offset, v);
+            contents_.set(parityDst.disk, parityDst.offset, newParity);
+            shadow_.set(dataUnit, v);
+            locks_.release(stripe);
+            done();
+        });
+        issueUnit(dataDst, true, join);
+        issueUnit(parityDst, true, join);
+        });
+    });
+    issueUnit(dataDst, false, preRead);
+    issueUnit(parityDst, false, preRead);
+}
+
+void
+ArrayController::largeWriteCritical(std::int64_t stripe, Tick,
+                                    std::function<void()> done)
+{
+    DECLUST_ASSERT(failedDisk_ < 0,
+                   "large-write path requires a fault-free array");
+    const int G = layout_->stripeWidth();
+    std::vector<UnitValue> newValues(static_cast<std::size_t>(G - 1));
+    UnitValue parity = 0;
+    for (auto &value : newValues) {
+        value = values_.fresh();
+        parity ^= value;
+    }
+    auto issueAll = makeJoin(G, [this, stripe, newValues, parity, G,
+                                 done = std::move(done)] {
+        for (int pos = 0; pos < G - 1; ++pos) {
+            const PhysicalUnit pu = effectiveUnit(stripe, pos);
+            contents_.set(pu.disk, pu.offset,
+                          newValues[static_cast<std::size_t>(pos)]);
+            shadow_.set(layout_->stripeToDataUnit(StripeUnit{stripe, pos}),
+                        newValues[static_cast<std::size_t>(pos)]);
+        }
+        const PhysicalUnit ppu = effectiveUnit(stripe, G - 1);
+        contents_.set(ppu.disk, ppu.offset, parity);
+        locks_.release(stripe);
+        done();
+    });
+    // The new parity XORs the G-1 fresh data units before anything hits
+    // the disks.
+    afterXor(G - 1, [this, stripe, G, issueAll = std::move(issueAll)] {
+        for (int pos = 0; pos < G; ++pos)
+            issueUnit(effectiveUnit(stripe, pos), true, issueAll);
+    });
+}
+
+void
+ArrayController::writeUnits(std::int64_t firstDataUnit, int count,
+                            std::function<void()> done)
+{
+    DECLUST_ASSERT(count > 0, "empty write");
+    if (count == 1) {
+        writeUnit(firstDataUnit, std::move(done));
+        return;
+    }
+    ++outstanding_;
+    const Tick start = eq_.now();
+
+    // Partition into whole-stripe spans (large-write optimized when
+    // fault-free) and leftover single units.
+    const int dus = layout_->dataUnitsPerStripe();
+    struct Part
+    {
+        bool wholeStripe;
+        std::int64_t id; // stripe index or data unit index
+    };
+    std::vector<Part> parts;
+    std::int64_t unit = firstDataUnit;
+    const std::int64_t end = firstDataUnit + count;
+    while (unit < end) {
+        if (failedDisk_ < 0 && unit % dus == 0 && unit + dus <= end) {
+            parts.push_back(Part{true, unit / dus});
+            unit += dus;
+        } else {
+            parts.push_back(Part{false, unit});
+            ++unit;
+        }
+    }
+
+    auto join = makeJoin(static_cast<int>(parts.size()),
+                         [this, start, done = std::move(done)] {
+                             finishUserOp(RequestKind::Write, start, done);
+                         });
+    for (const Part &part : parts) {
+        if (part.wholeStripe) {
+            locks_.acquire(part.id, [this, stripe = part.id, start, join] {
+                largeWriteCritical(stripe, start, join);
+            });
+        } else {
+            const UnitLoc loc = locate(part.id);
+            locks_.acquire(loc.su.stripe, [this, loc, start, join] {
+                writeCritical(loc, start, join);
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Failure and reconstruction
+// ----------------------------------------------------------------------
+
+bool
+ArrayController::quiescent() const
+{
+    if (outstanding_ != 0 || locks_.heldCount() != 0)
+        return false;
+    if (cpu_ && (cpu_->busy() || cpu_->queued() != 0))
+        return false;
+    for (const auto &d : disks_)
+        if (d->outstanding() != 0)
+            return false;
+    return true;
+}
+
+void
+ArrayController::failDisk(int disk)
+{
+    DECLUST_ASSERT(disk >= 0 && disk < numDisks(), "bad disk id ", disk);
+    DECLUST_ASSERT(failedDisk_ < 0, "disk ", failedDisk_,
+                   " already failed: double failures lose data");
+    DECLUST_ASSERT(!remapActive_,
+                   "units still remapped to spares: copy back before "
+                   "surviving another failure");
+    DECLUST_ASSERT(quiescent(),
+                   "failDisk requires a quiescent array (drain first)");
+    failedDisk_ = disk;
+    reconActive_ = false;
+    contents_.poisonDisk(disk);
+}
+
+void
+ArrayController::attachCommon(ReconAlgorithm algorithm)
+{
+    DECLUST_ASSERT(failedDisk_ >= 0, "no failed disk to replace");
+    DECLUST_ASSERT(!reconActive_, "reconstruction already running");
+    algorithm_ = algorithm;
+    reconActive_ = true;
+    reconstructed_.assign(static_cast<std::size_t>(unitsPerDisk()), 0);
+    reconstructedCount_ = 0;
+    mappedOnFailed_ = 0;
+    for (int off = 0; off < unitsPerDisk(); ++off) {
+        const auto su = layout_->invert(failedDisk_, off);
+        // Spare units (pos == stripeWidth()) hold no protected data and
+        // are not reconstructible.
+        if (su && su->pos < layout_->stripeWidth())
+            ++mappedOnFailed_;
+    }
+}
+
+void
+ArrayController::attachReplacement(ReconAlgorithm algorithm)
+{
+    DECLUST_ASSERT(failedDisk_ >= 0, "no failed disk to replace");
+    contents_.blankDisk(failedDisk_);
+    distributedSpare_ = false;
+    attachCommon(algorithm);
+}
+
+void
+ArrayController::attachDistributedSpare(ReconAlgorithm algorithm)
+{
+    DECLUST_ASSERT(layout_->hasSpareUnits(),
+                   "this layout has no distributed spare units");
+    DECLUST_ASSERT(!remapActive_, "spares already in use");
+    distributedSpare_ = true;
+    attachCommon(algorithm);
+}
+
+bool
+ArrayController::isReconstructed(int offset) const
+{
+    DECLUST_ASSERT(reconActive_, "no reconstruction in progress");
+    return reconstructed_[static_cast<std::size_t>(offset)] != 0;
+}
+
+std::int64_t
+ArrayController::unrecoverableStripesIf(int secondDisk) const
+{
+    DECLUST_ASSERT(failedDisk_ >= 0, "no failed disk");
+    DECLUST_ASSERT(secondDisk >= 0 && secondDisk < numDisks() &&
+                       secondDisk != failedDisk_,
+                   "second disk must be a different live disk");
+    std::int64_t lost = 0;
+    for (int off = 0; off < unitsPerDisk(); ++off) {
+        const auto su = layout_->invert(failedDisk_, off);
+        if (!su)
+            continue;
+        if (reconActive_ && reconstructed_[static_cast<std::size_t>(off)])
+            continue; // this unit is already safe on the replacement
+        for (int pos = 0; pos < layout_->stripeWidth(); ++pos) {
+            if (pos == su->pos)
+                continue;
+            if (layout_->place(su->stripe, pos).disk == secondDisk) {
+                ++lost;
+                break;
+            }
+        }
+    }
+    return lost;
+}
+
+void
+ArrayController::markReconstructed(int offset)
+{
+    DECLUST_ASSERT(reconActive_, "no reconstruction in progress");
+    auto &flag = reconstructed_[static_cast<std::size_t>(offset)];
+    if (!flag) {
+        flag = 1;
+        ++reconstructedCount_;
+    }
+}
+
+void
+ArrayController::reconstructOffset(int offset,
+                                   std::function<void(CycleResult)> done)
+{
+    DECLUST_ASSERT(reconActive_, "no reconstruction in progress");
+    DECLUST_ASSERT(offset >= 0 && offset < unitsPerDisk(),
+                   "offset out of range");
+
+    const auto su = layout_->invert(failedDisk_, offset);
+    if (!su || su->pos >= layout_->stripeWidth() ||
+        reconstructed_[static_cast<std::size_t>(offset)]) {
+        // Unmapped, a spare unit (nothing to regenerate), or already
+        // rebuilt by user activity.
+        done(CycleResult{});
+        return;
+    }
+
+    const std::int64_t stripe = su->stripe;
+    const int pos = su->pos;
+    locks_.acquire(stripe, [this, stripe, pos, offset,
+                            done = std::move(done)] {
+        // A user write-through may have reconstructed it while we waited.
+        if (reconstructed_[static_cast<std::size_t>(offset)]) {
+            locks_.release(stripe);
+            done(CycleResult{});
+            return;
+        }
+        const Tick readStart = eq_.now();
+        const int G = layout_->stripeWidth();
+        auto combined = [this, stripe, pos, offset, readStart,
+                         done = std::move(done)] {
+            const Tick writeStart = eq_.now();
+            const UnitValue value = xorStripeExcept(stripe, pos);
+            const PhysicalUnit home = rebuildTarget(stripe, offset);
+            issueUnit(
+                home, true,
+                [this, stripe, home, offset, value, readStart, writeStart,
+                 done = std::move(done)] {
+                    contents_.set(home.disk, home.offset, value);
+                    markReconstructed(offset);
+                    locks_.release(stripe);
+                    CycleResult res;
+                    res.skipped = false;
+                    res.readPhaseMs = ticksToMs(writeStart - readStart);
+                    res.writePhaseMs = ticksToMs(eq_.now() - writeStart);
+                    done(res);
+                },
+                Priority::Background);
+        };
+        auto join = makeJoin(G - 1, [this, G, combined = std::move(
+                                                  combined)]() mutable {
+            afterXor(G - 1, std::move(combined));
+        });
+        for (int p = 0; p < G; ++p) {
+            if (p == pos)
+                continue;
+            const PhysicalUnit pu = effectiveUnit(stripe, p);
+            DECLUST_ASSERT(pu.disk != failedDisk_,
+                           "two stripe units on one disk");
+            issueUnit(pu, false, join, Priority::Background);
+        }
+    });
+}
+
+void
+ArrayController::finishReconstruction()
+{
+    DECLUST_ASSERT(reconActive_, "no reconstruction in progress");
+    DECLUST_ASSERT(reconstructedCount_ == mappedOnFailed_,
+                   "reconstruction incomplete: ", reconstructedCount_,
+                   " of ", mappedOnFailed_, " units");
+    // Verify every rebuilt unit before declaring the array healthy.
+    for (int off = 0; off < unitsPerDisk(); ++off) {
+        const auto su = layout_->invert(failedDisk_, off);
+        if (!su || su->pos >= layout_->stripeWidth())
+            continue; // unmapped or a (data-free) spare unit
+        const PhysicalUnit home = effectiveUnit(su->stripe, su->pos);
+        const UnitValue stored = contents_.get(home.disk, home.offset);
+        const UnitValue implied = xorStripeExcept(su->stripe, su->pos);
+        DECLUST_ASSERT(stored == implied, "reconstructed unit at offset ",
+                       off, " disagrees with parity");
+        if (su->pos < layout_->dataUnitsPerStripe()) {
+            DECLUST_ASSERT(stored ==
+                               shadow_.get(layout_->stripeToDataUnit(*su)),
+                           "reconstructed data unit at offset ", off,
+                           " disagrees with shadow contents");
+        }
+    }
+    if (distributedSpare_) {
+        // Rebuilt units keep living in their spares until copyback.
+        remapActive_ = true;
+        remapDisk_ = failedDisk_;
+        remappedCount_ = reconstructedCount_;
+        reconActive_ = false;
+        failedDisk_ = -1;
+        // reconstructed_ is retained: it is now the remap marker.
+    } else {
+        reconActive_ = false;
+        failedDisk_ = -1;
+        reconstructed_.clear();
+    }
+}
+
+void
+ArrayController::beginCopyback()
+{
+    DECLUST_ASSERT(remapActive_, "no spare remap to copy back");
+    DECLUST_ASSERT(!copybackActive_, "copyback already running");
+    DECLUST_ASSERT(failedDisk_ < 0 && !reconActive_,
+                   "cannot copy back during a failure");
+    // A fresh replacement drive arrives blank.
+    contents_.blankDisk(remapDisk_);
+    copybackActive_ = true;
+}
+
+void
+ArrayController::copybackOffset(int offset, std::function<void(bool)> done)
+{
+    DECLUST_ASSERT(copybackActive_, "beginCopyback() first");
+    DECLUST_ASSERT(offset >= 0 && offset < unitsPerDisk(),
+                   "offset out of range");
+    const auto su = layout_->invert(remapDisk_, offset);
+    if (!su || su->pos >= layout_->stripeWidth() ||
+        !reconstructed_[static_cast<std::size_t>(offset)]) {
+        done(false);
+        return;
+    }
+    const std::int64_t stripe = su->stripe;
+    locks_.acquire(stripe, [this, stripe, offset,
+                            done = std::move(done)] {
+        const PhysicalUnit spare = layout_->placeSpare(stripe);
+        issueUnit(
+            spare, false,
+            [this, stripe, spare, offset, done = std::move(done)] {
+                const UnitValue value =
+                    contents_.get(spare.disk, spare.offset);
+                issueUnit(
+                    PhysicalUnit{remapDisk_, offset}, true,
+                    [this, stripe, offset, value,
+                     done = std::move(done)] {
+                        contents_.set(remapDisk_, offset, value);
+                        // Unit lives on the replacement again; the spare
+                        // slot is free.
+                        reconstructed_[static_cast<std::size_t>(offset)] =
+                            0;
+                        --remappedCount_;
+                        locks_.release(stripe);
+                        done(true);
+                    },
+                    Priority::Background);
+            },
+            Priority::Background);
+    });
+}
+
+void
+ArrayController::finishCopyback()
+{
+    DECLUST_ASSERT(copybackActive_, "no copyback in progress");
+    DECLUST_ASSERT(remappedCount_ == 0, "copyback incomplete: ",
+                   remappedCount_, " units still remapped");
+    copybackActive_ = false;
+    remapActive_ = false;
+    remapDisk_ = -1;
+    reconstructed_.clear();
+}
+
+// ----------------------------------------------------------------------
+// Statistics and verification
+// ----------------------------------------------------------------------
+
+void
+ArrayController::setAccessTracer(AccessTracer tracer)
+{
+    for (auto &disk : disks_)
+        disk->setTracer(tracer);
+}
+
+void
+ArrayController::resetStats()
+{
+    stats_ = UserStats(params_.histogramLimitMs, params_.histogramBuckets);
+    for (auto &d : disks_)
+        d->resetStats();
+    if (cpu_)
+        cpu_->resetWindow();
+}
+
+void
+ArrayController::verifyConsistency() const
+{
+    DECLUST_ASSERT(quiescent(), "verifyConsistency requires quiescence");
+    const int G = layout_->stripeWidth();
+    for (std::int64_t s = 0; s < layout_->numStripes(); ++s) {
+        bool stripeIntact = true;
+        int lostPos = -1;
+        for (int pos = 0; pos < G; ++pos) {
+            const PhysicalUnit pu = layout_->place(s, pos);
+            if (unitLost(pu)) {
+                stripeIntact = false;
+                lostPos = pos;
+            }
+        }
+        if (stripeIntact) {
+            DECLUST_ASSERT(xorStripeExcept(s, -1) == 0,
+                           "stripe ", s, " fails the parity invariant");
+            for (int pos = 0; pos < G - 1; ++pos) {
+                const PhysicalUnit pu = effectiveUnit(s, pos);
+                DECLUST_ASSERT(
+                    contents_.get(pu.disk, pu.offset) ==
+                        shadow_.get(layout_->stripeToDataUnit(
+                            StripeUnit{s, pos})),
+                    "data unit (stripe ", s, ", pos ", pos,
+                    ") disagrees with shadow");
+            }
+        } else if (lostPos < G - 1) {
+            // Lost data unit: its parity-implied value must match shadow.
+            DECLUST_ASSERT(
+                xorStripeExcept(s, lostPos) ==
+                    shadow_.get(layout_->stripeToDataUnit(
+                        StripeUnit{s, lostPos})),
+                "implied value of lost unit in stripe ", s,
+                " disagrees with shadow");
+        }
+        // Lost parity unit: nothing further to check.
+    }
+}
+
+} // namespace declust

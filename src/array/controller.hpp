@@ -1,0 +1,357 @@
+/**
+ * @file
+ * The RAID striping driver: maps user requests onto disk accesses under
+ * a parity layout, in fault-free, degraded, and reconstructing states.
+ *
+ * Behaviour follows the paper exactly:
+ *  - fault-free reads are one disk access; fault-free writes are a
+ *    four-access read-modify-write (no caching, no combined
+ *    read-modify-write arm timing), except G = 3 stripes which use the
+ *    three-access reconstruct-write (section 6);
+ *  - with a failed disk, reads of lost units reconstruct on the fly
+ *    (G-1 reads); writes to lost data units fold into the parity unit;
+ *    writes whose parity unit is lost update only the data (section 7);
+ *  - with a replacement disk attached, the four reconstruction
+ *    algorithms of section 8 decide what user work is sent to it.
+ *
+ * Every parity-mutating flow runs under a per-stripe lock, and the
+ * simulated contents (64-bit value per unit, parity = XOR of data) are
+ * checked against a shadow model on every user read.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/contents.hpp"
+#include "array/stripe_lock.hpp"
+#include "array/types.hpp"
+#include "disk/disk.hpp"
+#include "layout/layout.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/serial_resource.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace declust {
+
+/** Array-level configuration independent of the layout. */
+struct ArrayParams
+{
+    DiskGeometry geometry = DiskGeometry::ibm0661();
+    /** Head scheduler name: fcfs | sstf | scan | cvscan. */
+    std::string scheduler = "cvscan";
+    /** Sectors per stripe unit (8 x 512 B = the paper's 4 KB unit). */
+    int unitSectors = 8;
+    /** Seed for the written-value generator. */
+    std::uint64_t valueSeed = 0xc0ffee;
+    /**
+     * Give user requests strict priority over reconstruction requests
+     * at every disk (paper section 9's prioritization future work).
+     */
+    bool prioritizeUserIo = false;
+    /**
+     * Model the drives' track buffers (off by default: the paper's
+     * simulator did not credit them either; see Disk::enableTrackBuffer).
+     */
+    bool trackBuffer = false;
+    /**
+     * Controller CPU cost charged before each disk access is issued,
+     * milliseconds (default 0 = the paper's free-controller assumption;
+     * section 9 flags CPU overhead as unmodeled, citing Chervenak &
+     * Katz's RAID-prototype bottleneck measurements). When either
+     * overhead is non-zero the controller CPU is modeled as a single
+     * serial resource, so heavy recovery traffic can saturate it.
+     */
+    double controllerOverheadMs = 0.0;
+    /**
+     * XOR-engine cost per stripe unit combined, milliseconds. Charged
+     * on the same serial controller CPU between the read and write
+     * phases of any parity computation (read-modify-write, on-the-fly
+     * reconstruction, rebuild cycles).
+     */
+    double xorOverheadMsPerUnit = 0.0;
+    /** Response-time histogram range (ms) and bucket count. */
+    double histogramLimitMs = 4000.0;
+    std::size_t histogramBuckets = 4000;
+};
+
+/** Outcome of one reconstruction cycle. */
+struct CycleResult
+{
+    /** True if the unit was unmapped or already reconstructed. */
+    bool skipped = true;
+    double readPhaseMs = 0.0;
+    double writePhaseMs = 0.0;
+};
+
+/** User-visible response-time statistics. */
+struct UserStats
+{
+    Accumulator readMs;
+    Accumulator writeMs;
+    Accumulator allMs;
+    Histogram allHist;
+    std::uint64_t readsDone = 0;
+    std::uint64_t writesDone = 0;
+
+    UserStats(double limitMs, std::size_t buckets)
+        : allHist(limitMs, buckets) {}
+};
+
+/** The striping driver plus its disks. */
+class ArrayController
+{
+  public:
+    /**
+     * @param eq Event queue driving the simulation.
+     * @param layout Parity layout; its unitsPerDisk must equal the
+     *        geometry's capacity in units.
+     * @param params Array parameters.
+     */
+    ArrayController(EventQueue &eq, std::unique_ptr<Layout> layout,
+                    const ArrayParams &params);
+
+    ArrayController(const ArrayController &) = delete;
+    ArrayController &operator=(const ArrayController &) = delete;
+
+    /** @{ Topology accessors. */
+    int numDisks() const { return layout_->numDisks(); }
+    int stripeWidth() const { return layout_->stripeWidth(); }
+    int unitsPerDisk() const { return layout_->unitsPerDisk(); }
+    std::int64_t numDataUnits() const { return layout_->numDataUnits(); }
+    const Layout &layout() const { return *layout_; }
+    Disk &disk(int i) { return *disks_[static_cast<std::size_t>(i)]; }
+    const Disk &disk(int i) const
+    {
+        return *disks_[static_cast<std::size_t>(i)];
+    }
+    EventQueue &eventQueue() { return eq_; }
+    /** @} */
+
+    // ------------------------------------------------------------------
+    // User I/O
+    // ------------------------------------------------------------------
+
+    /** Read one data unit; @p done runs when the data is available. */
+    void readUnit(std::int64_t dataUnit, std::function<void()> done);
+
+    /** Write one data unit with fresh contents. */
+    void writeUnit(std::int64_t dataUnit, std::function<void()> done);
+
+    /**
+     * Multi-unit accesses decompose per parity stripe; in the fault-free
+     * state a write covering a whole stripe's data uses the large-write
+     * optimization (criterion 5): G parallel writes, no pre-reads.
+     */
+    void readUnits(std::int64_t firstDataUnit, int count,
+                   std::function<void()> done);
+    void writeUnits(std::int64_t firstDataUnit, int count,
+                    std::function<void()> done);
+
+    /** User operations submitted but not yet completed. */
+    std::int64_t outstandingUserOps() const { return outstanding_; }
+
+    /** True when no user ops are in flight and all disks are idle. */
+    bool quiescent() const;
+
+    // ------------------------------------------------------------------
+    // Failure and recovery control
+    // ------------------------------------------------------------------
+
+    /**
+     * Fail @p disk, losing its contents. Requires a quiescent array (the
+     * benches drain in-flight work first; the failure transient itself
+     * is outside the paper's scope).
+     */
+    void failDisk(int disk);
+
+    /**
+     * Attach a blank replacement for the failed disk and select the
+     * reconstruction algorithm. Reconstruction itself is driven by
+     * calling reconstructOffset() (see core/Reconstructor).
+     */
+    void attachReplacement(ReconAlgorithm algorithm);
+
+    /**
+     * Begin rebuilding the failed disk into the layout's distributed
+     * spare units instead of onto a replacement disk (requires a layout
+     * with hasSpareUnits()). Reconstruction writes then scatter across
+     * all surviving disks. After finishReconstruction() the rebuilt
+     * units stay *remapped* to their spares until copyback.
+     */
+    void attachDistributedSpare(ReconAlgorithm algorithm);
+
+    /** True if rebuilt units currently live in spare locations. */
+    bool spareRemapActive() const { return remapActive_; }
+
+    /** The disk whose units are remapped to spares (-1 if none). */
+    int remappedDisk() const { return remapDisk_; }
+
+    /**
+     * Copy one remapped unit from its spare back to a fresh replacement
+     * disk (beginCopyback() must have run). @p done receives true if a
+     * unit was copied, false if the offset needed no copy.
+     */
+    void copybackOffset(int offset, std::function<void(bool)> done);
+
+    /** Install a blank replacement for the remapped disk (copyback). */
+    void beginCopyback();
+
+    /** All units copied back: clear the remap, verify, return healthy. */
+    void finishCopyback();
+
+    /** Units still living in spare locations. */
+    std::int64_t remappedCount() const { return remappedCount_; }
+
+    /**
+     * Run one reconstruction cycle for the failed disk's unit at
+     * @p offset: under the stripe lock, read the G-1 surviving units,
+     * XOR, write the result to the replacement. Skips unmapped or
+     * already-reconstructed units.
+     */
+    void reconstructOffset(int offset,
+                           std::function<void(CycleResult)> done);
+
+    /**
+     * Declare reconstruction complete (all mapped units reconstructed),
+     * verify the replacement's contents against parity and shadow, and
+     * return the array to the fault-free state.
+     */
+    void finishReconstruction();
+
+    int failedDisk() const { return failedDisk_; }
+    bool reconstructing() const { return reconActive_; }
+    ReconAlgorithm reconAlgorithm() const { return algorithm_; }
+
+    /** Mapped (reconstructible) units on the failed disk. */
+    std::int64_t unitsToReconstruct() const { return mappedOnFailed_; }
+
+    /** Units reconstructed so far (by sweep or by user write-through). */
+    std::int64_t reconstructedCount() const { return reconstructedCount_; }
+
+    /** True if the failed disk's unit at @p offset has valid contents. */
+    bool isReconstructed(int offset) const;
+
+    /**
+     * How many parity stripes would become unrecoverable if
+     * @p secondDisk failed right now: stripes with a unit on
+     * @p secondDisk whose failed-disk unit is still lost. Requires a
+     * failed disk; decays to ~0 as reconstruction completes (the
+     * vulnerability-window view of section 2's reliability argument).
+     */
+    std::int64_t unrecoverableStripesIf(int secondDisk) const;
+
+    // ------------------------------------------------------------------
+    // Statistics and verification
+    // ------------------------------------------------------------------
+
+    const UserStats &userStats() const { return stats_; }
+    StripeLockTable &stripeLocks() { return locks_; }
+
+    /** Controller CPU utilization (0 when overheads are disabled). */
+    double cpuUtilization() const
+    {
+        return cpu_ ? cpu_->utilization() : 0.0;
+    }
+
+    /** Install an access tracer on every disk (null to disable). */
+    void setAccessTracer(AccessTracer tracer);
+
+    /** Clear user and per-disk statistics (start of measurement window). */
+    void resetStats();
+
+    /**
+     * Assert full contents consistency. Requires quiescence. In the
+     * healthy state checks that every stripe XORs to zero and every data
+     * unit matches the shadow; with a failed disk checks surviving units
+     * only. Throws InternalError on violation.
+     */
+    void verifyConsistency() const;
+
+  private:
+    struct UnitLoc
+    {
+        StripeUnit su;
+        PhysicalUnit data;
+        PhysicalUnit parity;
+    };
+
+    UnitLoc locate(std::int64_t dataUnit) const;
+
+    /** Issue a one-unit disk access. */
+    void issueUnit(const PhysicalUnit &pu, bool isWrite,
+                   std::function<void()> cb,
+                   Priority priority = Priority::Normal);
+
+    /** Run @p fn after the XOR engine combines @p units units. */
+    void afterXor(int units, std::function<void()> fn);
+
+    /** True if this unit's contents are lost (failed and not rebuilt). */
+    bool unitLost(const PhysicalUnit &pu) const;
+
+    /**
+     * Where stripe @p stripe's unit at @p pos physically lives right
+     * now: its layout location, unless that unit has been rebuilt into
+     * (or remains remapped to) the stripe's spare unit.
+     */
+    PhysicalUnit effectiveUnit(std::int64_t stripe, int pos) const;
+
+    /** Destination a rebuilt unit is written to: the replacement disk
+     * (dedicated sparing) or the stripe's spare unit (distributed). */
+    PhysicalUnit rebuildTarget(std::int64_t stripe, int offset) const;
+
+    /** Shared tail of attachReplacement/attachDistributedSpare. */
+    void attachCommon(ReconAlgorithm algorithm);
+
+    void readCritical(const UnitLoc &loc, Tick start,
+                      std::function<void()> done);
+    void writeCritical(const UnitLoc &loc, Tick start,
+                       std::function<void()> done);
+    void largeWriteCritical(std::int64_t stripe, Tick start,
+                            std::function<void()> done);
+
+    void finishUserOp(RequestKind kind, Tick start,
+                      const std::function<void()> &done);
+
+    /** XOR of the stored values of stripe @p stripe except position
+     * @p excludePos (pass -1 to include all positions). */
+    UnitValue xorStripeExcept(std::int64_t stripe, int excludePos) const;
+
+    void markReconstructed(int offset);
+
+    EventQueue &eq_;
+    std::unique_ptr<Layout> layout_;
+    ArrayParams params_;
+
+    std::vector<std::unique_ptr<Disk>> disks_;
+    /** Serial controller CPU; null when overheads are disabled. */
+    std::unique_ptr<SerialResource> cpu_;
+    ArrayContents contents_;
+    ShadowModel shadow_;
+    ValueSource values_;
+    StripeLockTable locks_;
+
+    int failedDisk_ = -1;
+    bool reconActive_ = false;
+    /** Rebuilding into distributed spares rather than a replacement. */
+    bool distributedSpare_ = false;
+    ReconAlgorithm algorithm_ = ReconAlgorithm::Baseline;
+    std::vector<std::uint8_t> reconstructed_;
+    std::int64_t reconstructedCount_ = 0;
+    std::int64_t mappedOnFailed_ = 0;
+
+    /** Post-reconstruction spare remap (distributed sparing only). */
+    bool remapActive_ = false;
+    int remapDisk_ = -1;
+    std::int64_t remappedCount_ = 0;
+    bool copybackActive_ = false;
+
+    std::int64_t outstanding_ = 0;
+    UserStats stats_;
+};
+
+} // namespace declust

@@ -1,0 +1,42 @@
+#include "array/stripe_lock.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+void
+StripeLockTable::acquire(std::int64_t stripe, std::function<void()> critical)
+{
+    DECLUST_ASSERT(critical, "null critical section");
+    auto [it, inserted] = held_.try_emplace(stripe);
+    if (inserted) {
+        critical();
+    } else {
+        ++contended_;
+        it->second.push_back(std::move(critical));
+    }
+}
+
+void
+StripeLockTable::release(std::int64_t stripe)
+{
+    auto it = held_.find(stripe);
+    DECLUST_ASSERT(it != held_.end(), "release of unheld stripe ", stripe);
+    if (it->second.empty()) {
+        held_.erase(it);
+        return;
+    }
+    auto next = std::move(it->second.front());
+    it->second.pop_front();
+    next(); // lock stays held on behalf of the next waiter
+}
+
+bool
+StripeLockTable::locked(std::int64_t stripe) const
+{
+    return held_.count(stripe) != 0;
+}
+
+} // namespace declust

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-parity-stripe locking.
+ *
+ * Any flow that mutates a stripe's parity relationship (user writes,
+ * degraded-mode operations, reconstruction cycles) runs inside the
+ * stripe's critical section so concurrent flows cannot interleave their
+ * read and write phases and corrupt parity — the same serialization a
+ * real striping driver enforces.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+namespace declust {
+
+/** Non-blocking (callback-queueing) lock table keyed by stripe index. */
+class StripeLockTable
+{
+  public:
+    /**
+     * Acquire @p stripe's lock: run @p critical immediately if free,
+     * otherwise queue it to run when the holder releases. The critical
+     * section ends only when release(stripe) is called (possibly from a
+     * later event).
+     */
+    void acquire(std::int64_t stripe, std::function<void()> critical);
+
+    /** Release @p stripe's lock and start the next waiter, if any. */
+    void release(std::int64_t stripe);
+
+    /** True if the stripe's lock is currently held. */
+    bool locked(std::int64_t stripe) const;
+
+    /** Number of stripes currently locked. */
+    std::size_t heldCount() const { return held_.size(); }
+
+    /** Total acquisitions that had to wait (contention metric). */
+    std::uint64_t contended() const { return contended_; }
+
+  private:
+    std::unordered_map<std::int64_t, std::deque<std::function<void()>>>
+        held_;
+    std::uint64_t contended_ = 0;
+};
+
+} // namespace declust

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared types for the array striping driver.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace declust {
+
+/** Simulated contents of one stripe unit (stands in for 4 KB of data). */
+using UnitValue = std::uint64_t;
+
+/** Kind of a user request. */
+enum class RequestKind { Read, Write };
+
+/**
+ * Reconstruction algorithms (paper section 8): distinguished by how much
+ * non-reconstruction work is sent to the replacement disk.
+ */
+enum class ReconAlgorithm
+{
+    /** Writes fold into parity; no optimizations. */
+    Baseline,
+    /** + user writes aimed at the replacement go directly to it. */
+    UserWrites,
+    /** + reads of already-reconstructed units go to the replacement. */
+    Redirect,
+    /** + on-the-fly reconstructions are written back to the replacement. */
+    RedirectPiggyback,
+};
+
+/** Display name for a reconstruction algorithm. */
+const char *toString(ReconAlgorithm algorithm);
+
+} // namespace declust

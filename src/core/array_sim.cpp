@@ -1,0 +1,249 @@
+#include "core/array_sim.hpp"
+
+#include "designs/generators.hpp"
+#include "designs/select.hpp"
+#include "layout/declustered.hpp"
+#include "layout/left_symmetric.hpp"
+#include "layout/spared.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace declust {
+
+double
+SimConfig::alpha() const
+{
+    return static_cast<double>(stripeUnits - 1) /
+           static_cast<double>(numDisks - 1);
+}
+
+std::unique_ptr<Layout>
+makeLayout(int numDisks, int stripeUnits, const DiskGeometry &geometry,
+           int unitSectors, bool distributedSparing)
+{
+    geometry.validate();
+    const std::int64_t unitsPerDisk =
+        geometry.totalSectors() / unitSectors;
+    DECLUST_ASSERT(unitsPerDisk > 0 &&
+                       unitsPerDisk <= INT32_MAX,
+                   "units per disk out of range: ", unitsPerDisk);
+    if (distributedSparing) {
+        // The sparing layout maps tuples of G+1 (live stripe + spare).
+        DECLUST_ASSERT(stripeUnits + 1 <= numDisks,
+                       "distributed sparing needs G + 1 <= C");
+        SelectedDesign selected =
+            stripeUnits + 1 == numDisks
+                ? SelectedDesign{makeCompleteDesign(numDisks,
+                                                    stripeUnits + 1),
+                                 DesignSource::Complete, true}
+                : selectDesign(numDisks, stripeUnits + 1);
+        DECLUST_ASSERT(selected.exactG,
+                       "no sparing design with k=", stripeUnits + 1,
+                       " on ", numDisks, " disks");
+        return std::make_unique<SparedDeclusteredLayout>(
+            std::move(selected.design), static_cast<int>(unitsPerDisk));
+    }
+    if (stripeUnits == numDisks) {
+        return std::make_unique<LeftSymmetricLayout>(
+            numDisks, static_cast<int>(unitsPerDisk));
+    }
+    SelectedDesign selected = selectDesign(numDisks, stripeUnits);
+    if (!selected.exactG) {
+        logWarn("layout uses G=", selected.design.k(),
+                " instead of requested G=", stripeUnits);
+    }
+    return std::make_unique<DeclusteredLayout>(
+        std::move(selected.design), static_cast<int>(unitsPerDisk));
+}
+
+ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
+{
+    // Configuration mistakes are the caller's, not library bugs.
+    if (config_.numDisks < 3)
+        DECLUST_FATAL("array too small: C=", config_.numDisks);
+    if (config_.stripeUnits < 2 ||
+        config_.stripeUnits > config_.numDisks) {
+        DECLUST_FATAL("parity stripe size G=", config_.stripeUnits,
+                      " must satisfy 2 <= G <= C=", config_.numDisks,
+                      " (G = 2 is declustered mirroring, G = C RAID 5)");
+    }
+
+    ArrayParams params;
+    params.geometry = config_.geometry;
+    params.scheduler = config_.scheduler;
+    params.valueSeed = config_.seed ^ 0x5eedf00d;
+    params.prioritizeUserIo = config_.prioritizeUserIo;
+    params.trackBuffer = config_.trackBuffer;
+    params.unitSectors = config_.unitSectors;
+    params.controllerOverheadMs = config_.controllerOverheadMs;
+    params.xorOverheadMsPerUnit = config_.xorOverheadMsPerUnit;
+
+    controller_ = std::make_unique<ArrayController>(
+        eq_,
+        makeLayout(config_.numDisks, config_.stripeUnits,
+                   config_.geometry, params.unitSectors,
+                   config_.distributedSparing),
+        params);
+
+    WorkloadConfig wl;
+    wl.accessesPerSec = config_.accessesPerSec;
+    wl.readFraction = config_.readFraction;
+    wl.accessUnits = config_.accessUnits;
+    wl.seed = config_.seed;
+    workload_ = std::make_unique<SyntheticWorkload>(eq_, *controller_, wl);
+}
+
+ArraySimulation::~ArraySimulation()
+{
+    // Stop arrivals so destruction does not leave self-rescheduling
+    // events pointing at a dead workload (the queue dies with us anyway,
+    // but be tidy if callers keep the event queue alive longer).
+    workload_->stop();
+}
+
+PhaseStats
+ArraySimulation::collectPhase() const
+{
+    const UserStats &us = controller_->userStats();
+    PhaseStats ps;
+    ps.meanReadMs = us.readMs.mean();
+    ps.meanWriteMs = us.writeMs.mean();
+    ps.meanMs = us.allMs.mean();
+    ps.p90Ms = us.allHist.count() ? us.allHist.quantile(0.90) : 0.0;
+    ps.reads = us.readsDone;
+    ps.writes = us.writesDone;
+    double util = 0.0;
+    for (int d = 0; d < controller_->numDisks(); ++d)
+        util += controller_->disk(d).utilization();
+    ps.meanDiskUtilization = util / controller_->numDisks();
+    return ps;
+}
+
+PhaseStats
+ArraySimulation::runFaultFree(double warmupSec, double measureSec)
+{
+    workload_->start();
+    eq_.runUntil(eq_.now() + secToTicks(warmupSec));
+    controller_->resetStats();
+    eq_.runUntil(eq_.now() + secToTicks(measureSec));
+    return collectPhase();
+}
+
+void
+ArraySimulation::drain()
+{
+    workload_->stop();
+    const bool ok = eq_.runUntilCondition(
+        [this] { return controller_->quiescent(); });
+    DECLUST_ASSERT(ok || controller_->quiescent(),
+                   "array failed to drain");
+}
+
+PhaseStats
+ArraySimulation::failAndRunDegraded(double warmupSec, double measureSec,
+                                    int disk)
+{
+    drain();
+    controller_->failDisk(disk);
+    workload_->start();
+    eq_.runUntil(eq_.now() + secToTicks(warmupSec));
+    controller_->resetStats();
+    eq_.runUntil(eq_.now() + secToTicks(measureSec));
+    return collectPhase();
+}
+
+CopybackOutcome
+ArraySimulation::copyback()
+{
+    DECLUST_ASSERT(controller_->spareRemapActive(),
+                   "copyback() needs a completed distributed-sparing "
+                   "reconstruction");
+    workload_->start();
+    controller_->resetStats();
+    controller_->beginCopyback();
+    const Tick start = eq_.now();
+
+    // Sweep the remapped disk with the same degree of parallelism as
+    // reconstruction. Offsets that need no copy are skipped inline;
+    // copybackOffset() is only invoked for real copies, so its callback
+    // always arrives asynchronously (after disk I/O).
+    struct Sweep
+    {
+        int nextOffset = 0;
+        int active = 0;
+        std::int64_t copied = 0;
+        bool complete = false;
+    };
+    auto sweep = std::make_shared<Sweep>();
+    sweep->active = config_.reconProcesses;
+    const int remapDisk = controller_->remappedDisk();
+
+    std::function<void()> run = [this, sweep, remapDisk, &run] {
+        for (;;) {
+            if (sweep->nextOffset >= controller_->unitsPerDisk()) {
+                if (--sweep->active == 0) {
+                    controller_->finishCopyback();
+                    sweep->complete = true;
+                }
+                return;
+            }
+            const int offset = sweep->nextOffset++;
+            const auto su =
+                controller_->layout().invert(remapDisk, offset);
+            if (!su || su->pos >= controller_->layout().stripeWidth())
+                continue; // unmapped or spare: nothing to copy
+            controller_->copybackOffset(offset, [sweep, &run](bool c) {
+                sweep->copied += c;
+                run();
+            });
+            return;
+        }
+    };
+    for (int p = 0; p < config_.reconProcesses; ++p)
+        run();
+    const bool ok = eq_.runUntilCondition(
+        [sweep] { return sweep->complete; });
+    DECLUST_ASSERT(ok && sweep->complete, "copyback did not finish");
+
+    CopybackOutcome outcome;
+    outcome.copybackTimeSec = ticksToSec(eq_.now() - start);
+    outcome.unitsCopied = sweep->copied;
+    outcome.userDuringCopyback = collectPhase();
+    return outcome;
+}
+
+ReconOutcome
+ArraySimulation::reconstruct()
+{
+    DECLUST_ASSERT(controller_->failedDisk() >= 0,
+                   "reconstruct() needs a failed disk "
+                   "(call failAndRunDegraded first)");
+    workload_->start();
+    // Waiting for the replacement drive: degraded service continues.
+    if (config_.replacementDelaySec > 0)
+        eq_.runUntil(eq_.now() + secToTicks(config_.replacementDelaySec));
+    controller_->resetStats();
+
+    ReconConfig rc;
+    rc.algorithm = config_.algorithm;
+    rc.processes = config_.reconProcesses;
+    rc.throttleDelay = config_.reconThrottle;
+    rc.distributedSparing = config_.distributedSparing;
+    Reconstructor recon(*controller_, rc);
+
+    bool complete = false;
+    recon.start([&complete] { complete = true; });
+    const bool ok =
+        eq_.runUntilCondition([&complete] { return complete; });
+    DECLUST_ASSERT(ok && recon.finished(),
+                   "event queue drained before reconstruction finished");
+
+    ReconOutcome outcome;
+    outcome.report = recon.report();
+    outcome.userDuringRecon = collectPhase();
+    outcome.totalRepairSec = config_.replacementDelaySec +
+                             outcome.report.reconstructionTimeSec;
+    return outcome;
+}
+
+} // namespace declust

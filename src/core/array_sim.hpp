@@ -1,0 +1,177 @@
+/**
+ * @file
+ * High-level experiment façade: builds a complete simulated array
+ * (layout, disks, controller, workload) from one config structure and
+ * orchestrates the phases the paper measures — fault-free steady state,
+ * degraded mode, and on-line reconstruction.
+ *
+ * This is the public entry point examples and benches use; the phases
+ * map one-to-one onto the paper's figures:
+ *   runFaultFree()    -> figures 6-1/6-2 fault-free curves
+ *   failAndRunDegraded() -> figures 6-1/6-2 degraded curves
+ *   reconstruct()     -> figures 8-1..8-4, table 8-1
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "array/controller.hpp"
+#include "core/reconstructor.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/synthetic.hpp"
+
+namespace declust {
+
+/** Everything needed to stand up one experiment. */
+struct SimConfig
+{
+    /** Array width C. */
+    int numDisks = 21;
+    /** Parity stripe size G; G == numDisks selects left-symmetric
+     * RAID 5, otherwise a block-design declustered layout. */
+    int stripeUnits = 21;
+    /** Disk geometry (use DiskGeometry::ibm0661Scaled to shrink runs). */
+    DiskGeometry geometry = DiskGeometry::ibm0661Scaled(2);
+    /** Head scheduler: fcfs | sstf | scan | cvscan. */
+    std::string scheduler = "cvscan";
+
+    /** Workload. */
+    double accessesPerSec = 105.0;
+    double readFraction = 0.5;
+    int accessUnits = 1;
+
+    /** Reconstruction engine. */
+    ReconAlgorithm algorithm = ReconAlgorithm::Baseline;
+    int reconProcesses = 1;
+    Tick reconThrottle = 0;
+    /** Strict user-over-reconstruction disk scheduling (section 9). */
+    bool prioritizeUserIo = false;
+    /**
+     * Use a distributed-sparing layout: each parity stripe reserves a
+     * spare unit (capacity cost 1/(G+1)) and reconstruction rebuilds
+     * into the array instead of onto a replacement disk. Requires
+     * stripeUnits + 1 <= numDisks.
+     */
+    bool distributedSparing = false;
+    /** Stripe unit size in sectors (8 x 512 B = the paper's 4 KB). */
+    int unitSectors = 8;
+    /** Model the drives' track buffers (see Disk::enableTrackBuffer). */
+    bool trackBuffer = false;
+    /** Controller CPU cost per disk access, ms (0 = paper's model). */
+    double controllerOverheadMs = 0.0;
+    /** XOR cost per stripe unit combined, ms (0 = paper's model). */
+    double xorOverheadMsPerUnit = 0.0;
+    /**
+     * Delay between failure and replacement availability, seconds.
+     * With an on-line spare pool this is ~0 (section 8: "repair time is
+     * essentially reconstruction time"); order-and-swap service models
+     * use hours. The array serves degraded traffic in the meantime.
+     */
+    double replacementDelaySec = 0.0;
+
+    std::uint64_t seed = 1;
+
+    /** Declustering ratio (G-1)/(C-1). */
+    double alpha() const;
+};
+
+/** User response-time summary for one measured phase. */
+struct PhaseStats
+{
+    double meanReadMs = 0.0;
+    double meanWriteMs = 0.0;
+    double meanMs = 0.0;
+    double p90Ms = 0.0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    /** Mean disk utilization over the phase. */
+    double meanDiskUtilization = 0.0;
+};
+
+/** Outcome of a copyback phase (distributed sparing only). */
+struct CopybackOutcome
+{
+    double copybackTimeSec = 0.0;
+    std::int64_t unitsCopied = 0;
+    /** User response times measured while copyback ran. */
+    PhaseStats userDuringCopyback;
+};
+
+/** Outcome of a reconstruction phase. */
+struct ReconOutcome
+{
+    ReconReport report;
+    /** User response times measured while reconstruction ran. */
+    PhaseStats userDuringRecon;
+    /** Replacement delay + reconstruction time: the repair window that
+     * enters the MTTDL computation. */
+    double totalRepairSec = 0.0;
+};
+
+/** One simulated array with phase orchestration. */
+class ArraySimulation
+{
+  public:
+    explicit ArraySimulation(const SimConfig &config);
+    ~ArraySimulation();
+
+    ArraySimulation(const ArraySimulation &) = delete;
+    ArraySimulation &operator=(const ArraySimulation &) = delete;
+
+    /**
+     * Run the workload fault-free: @p warmupSec discarded, then
+     * @p measureSec measured. Returns user stats for the window.
+     */
+    PhaseStats runFaultFree(double warmupSec, double measureSec);
+
+    /**
+     * Drain, fail disk @p disk (default: disk 0), then run degraded:
+     * warmup plus measured window as above.
+     */
+    PhaseStats failAndRunDegraded(double warmupSec, double measureSec,
+                                  int disk = 0);
+
+    /**
+     * With a disk already failed, attach a replacement and reconstruct
+     * to completion while the workload keeps running. Returns the
+     * reconstruction report and user stats measured during it.
+     */
+    ReconOutcome reconstruct();
+
+    /**
+     * After a distributed-sparing reconstruction, install a fresh
+     * replacement and copy every remapped unit back from its spare
+     * while the workload keeps running.
+     */
+    CopybackOutcome copyback();
+
+    /** Stop arrivals and run until every queue drains. */
+    void drain();
+
+    ArrayController &controller() { return *controller_; }
+    EventQueue &eventQueue() { return eq_; }
+    SyntheticWorkload &workload() { return *workload_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    PhaseStats collectPhase() const;
+
+    SimConfig config_;
+    EventQueue eq_;
+    std::unique_ptr<ArrayController> controller_;
+    std::unique_ptr<SyntheticWorkload> workload_;
+};
+
+/**
+ * Construct the layout a SimConfig describes (left-symmetric for
+ * G == C, block-design declustered otherwise). Exposed for tests and
+ * for tools that inspect layouts without running a simulation.
+ */
+std::unique_ptr<Layout> makeLayout(int numDisks, int stripeUnits,
+                                   const DiskGeometry &geometry,
+                                   int unitSectors = 8,
+                                   bool distributedSparing = false);
+
+} // namespace declust

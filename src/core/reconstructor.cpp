@@ -1,0 +1,90 @@
+#include "core/reconstructor.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+Reconstructor::Reconstructor(ArrayController &array,
+                             const ReconConfig &config)
+    : array_(array), config_(config)
+{
+    DECLUST_ASSERT(config_.processes >= 1, "need at least one process");
+}
+
+void
+Reconstructor::start(std::function<void()> onComplete)
+{
+    DECLUST_ASSERT(!started_, "reconstructor can only run once");
+    DECLUST_ASSERT(array_.failedDisk() >= 0, "no failed disk");
+    started_ = true;
+    onComplete_ = std::move(onComplete);
+    if (config_.distributedSparing)
+        array_.attachDistributedSpare(config_.algorithm);
+    else
+        array_.attachReplacement(config_.algorithm);
+    startTick_ = array_.eventQueue().now();
+    activeProcesses_ = config_.processes;
+    for (int p = 0; p < config_.processes; ++p)
+        pump();
+}
+
+void
+Reconstructor::pump()
+{
+    // Claim the next offset that actually needs a cycle; units that are
+    // unmapped or already rebuilt (by user write-through or piggyback)
+    // are skipped inline to bound recursion depth.
+    const int end = array_.unitsPerDisk();
+    while (nextOffset_ < end) {
+        const int offset = nextOffset_++;
+        const bool mapped =
+            array_.layout().invert(array_.failedDisk(), offset).has_value();
+        if (!mapped || array_.isReconstructed(offset)) {
+            ++report_.skipped;
+            continue;
+        }
+        array_.reconstructOffset(offset, [this](const CycleResult &result) {
+            cycleDone(result);
+        });
+        return;
+    }
+
+    // This process is done; the last one out finalizes.
+    if (--activeProcesses_ == 0) {
+        array_.finishReconstruction();
+        report_.reconstructionTimeSec =
+            ticksToSec(array_.eventQueue().now() - startTick_);
+        // Fold the sliding tail into the tail accumulators.
+        for (const auto &[readMs, writeMs] : tail_) {
+            report_.tailReadPhaseMs.add(readMs);
+            report_.tailWritePhaseMs.add(writeMs);
+        }
+        finished_ = true;
+        if (onComplete_)
+            onComplete_();
+    }
+}
+
+void
+Reconstructor::cycleDone(const CycleResult &result)
+{
+    if (result.skipped) {
+        ++report_.skipped;
+    } else {
+        ++report_.cycles;
+        report_.readPhaseMs.add(result.readPhaseMs);
+        report_.writePhaseMs.add(result.writePhaseMs);
+        report_.cycleMs.add(result.readPhaseMs + result.writePhaseMs);
+        tail_.emplace_back(result.readPhaseMs, result.writePhaseMs);
+        if (tail_.size() > static_cast<std::size_t>(config_.tailWindow))
+            tail_.pop_front();
+    }
+    if (config_.throttleDelay > 0) {
+        array_.eventQueue().scheduleIn(config_.throttleDelay,
+                                       [this] { pump(); });
+    } else {
+        pump();
+    }
+}
+
+} // namespace declust

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The background reconstruction engine (paper section 8).
+ *
+ * Sweeps the failed disk's stripe units in offset order, regenerating
+ * each from its parity stripe's survivors and writing it to the
+ * replacement. Runs 1..N logical reconstruction processes against a
+ * shared sweep cursor (section 8.1's single-threaded vs. eight-way
+ * parallel comparison), records per-cycle read/write phase durations
+ * (table 8-1, including the last-300-units tail window), and supports an
+ * optional per-cycle throttle delay (the paper's future-work item).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "array/controller.hpp"
+#include "stats/accumulator.hpp"
+
+namespace declust {
+
+/** Reconstruction engine configuration. */
+struct ReconConfig
+{
+    ReconAlgorithm algorithm = ReconAlgorithm::Baseline;
+    /** Concurrent reconstruction processes. */
+    int processes = 1;
+    /** Rebuild into the layout's distributed spare units instead of a
+     * dedicated replacement disk (requires a sparing layout). */
+    bool distributedSparing = false;
+    /** Delay inserted after each cycle of each process (0 = none). */
+    Tick throttleDelay = 0;
+    /** Cycles contributing to the tail window statistics. */
+    int tailWindow = 300;
+};
+
+/** Results of one complete reconstruction. */
+struct ReconReport
+{
+    double reconstructionTimeSec = 0.0;
+    std::uint64_t cycles = 0;   ///< units rebuilt by the sweep
+    std::uint64_t skipped = 0;  ///< units rebuilt by user writes, or unmapped
+    Accumulator readPhaseMs;
+    Accumulator writePhaseMs;
+    Accumulator cycleMs;
+    /** Same phases measured over only the last `tailWindow` cycles. */
+    Accumulator tailReadPhaseMs;
+    Accumulator tailWritePhaseMs;
+};
+
+/** Drives reconstruction of the currently failed disk to completion. */
+class Reconstructor
+{
+  public:
+    /**
+     * @param array Controller with a failed disk (failDisk() already
+     *        called, replacement not yet attached).
+     * @param config Engine configuration.
+     */
+    Reconstructor(ArrayController &array, const ReconConfig &config);
+
+    /**
+     * Attach the replacement and start the sweep. @p onComplete fires
+     * after the controller verifies and finishes the reconstruction.
+     */
+    void start(std::function<void()> onComplete);
+
+    bool finished() const { return finished_; }
+    const ReconReport &report() const { return report_; }
+
+  private:
+    void pump();
+    void cycleDone(const CycleResult &result);
+
+    ArrayController &array_;
+    ReconConfig config_;
+    std::function<void()> onComplete_;
+
+    Tick startTick_ = 0;
+    int nextOffset_ = 0;
+    int activeProcesses_ = 0;
+    bool started_ = false;
+    bool finished_ = false;
+    ReconReport report_;
+    /** Sliding tail of recent (read, write) phase pairs. */
+    std::deque<std::pair<double, double>> tail_;
+};
+
+} // namespace declust

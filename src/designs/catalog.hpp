@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Catalog of block designs: the paper's six appendix designs (C = 21) and
+ * a programmatic stand-in for Hall's list of known designs (figure 4-3).
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "designs/design.hpp"
+
+namespace declust {
+
+/**
+ * The exact design the paper's appendix gives for a 21-disk array and
+ * parity stripe size @p G.
+ *
+ * Supported G: 3, 4, 5, 6, 10, 18 (alpha = 0.1, 0.15, 0.2, 0.25, 0.45,
+ * 0.85). Throws ConfigError for other G.
+ */
+BlockDesign appendixDesign(int G);
+
+/** The G values for which appendixDesign() is defined. */
+std::vector<int> appendixDesignSizes();
+
+/**
+ * General catalog lookup: a known small design on v objects with tuple
+ * size k, or nullopt. Currently backed by the appendix designs (v = 21)
+ * plus classical cyclic families for other small parameters.
+ */
+std::optional<BlockDesign> catalogDesign(int v, int k);
+
+/** Parameter point of a known design family (for figure 4-3). */
+struct DesignPoint
+{
+    int v;
+    int k;
+    int b;
+    int r;
+    int lambda;
+    std::string family;
+};
+
+/**
+ * Enumerate parameter points of designs this library knows how to build
+ * (or knows to exist from classical families) with v <= maxV. This is our
+ * reproduction of the scatter in figure 4-3 ("Hall's list").
+ */
+std::vector<DesignPoint> knownDesignPoints(int maxV);
+
+} // namespace declust

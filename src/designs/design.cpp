@@ -1,0 +1,110 @@
+#include "designs/design.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+BlockDesign::BlockDesign(int v, std::vector<Tuple> tuples, std::string name)
+    : v_(v), tuples_(std::move(tuples)), name_(std::move(name))
+{
+    DECLUST_ASSERT(v_ > 1, "design needs at least 2 objects, got ", v_);
+    DECLUST_ASSERT(!tuples_.empty(), "design needs at least one tuple");
+    k_ = static_cast<int>(tuples_.front().size());
+    DECLUST_ASSERT(k_ >= 2 && k_ <= v_, "bad tuple size k=", k_, " v=", v_);
+
+    const long bk = static_cast<long>(b()) * k_;
+    DECLUST_ASSERT(bk % v_ == 0,
+                   "bk=", bk, " not divisible by v=", v_,
+                   "; tuples cannot be balanced");
+    r_ = static_cast<int>(bk / v_);
+
+    const long pairs = static_cast<long>(r_) * (k_ - 1);
+    // lambda may be fractional for unbalanced input; verify() reports it.
+    lambda_ = static_cast<int>(pairs / (v_ - 1));
+}
+
+double
+BlockDesign::alpha() const
+{
+    return static_cast<double>(k_ - 1) / static_cast<double>(v_ - 1);
+}
+
+BlockDesign::VerifyResult
+BlockDesign::verify() const
+{
+    VerifyResult res;
+    std::ostringstream detail;
+    int violations = 0;
+    auto report = [&](auto &&...args) {
+        if (violations < 8)
+            ((detail << args), ..., (detail << "; "));
+        ++violations;
+        res.ok = false;
+    };
+
+    // Identity checks.
+    if (static_cast<long>(b()) * k_ != static_cast<long>(v_) * r_)
+        report("bk != vr");
+    if (static_cast<long>(r_) * (k_ - 1) !=
+        static_cast<long>(lambda_) * (v_ - 1)) {
+        report("r(k-1)=", static_cast<long>(r_) * (k_ - 1),
+               " != lambda(v-1)=", static_cast<long>(lambda_) * (v_ - 1));
+    }
+
+    // Element validity and distinctness per tuple.
+    std::vector<int> occur(static_cast<size_t>(v_), 0);
+    std::vector<int> pairCount(static_cast<size_t>(v_) * v_, 0);
+    for (size_t t = 0; t < tuples_.size(); ++t) {
+        const Tuple &tup = tuples_[t];
+        if (static_cast<int>(tup.size()) != k_) {
+            report("tuple ", t, " has size ", tup.size(), " != k=", k_);
+            continue;
+        }
+        for (int e : tup) {
+            if (e < 0 || e >= v_) {
+                report("tuple ", t, " has out-of-range element ", e);
+            } else {
+                ++occur[static_cast<size_t>(e)];
+            }
+        }
+        for (size_t i = 0; i < tup.size(); ++i) {
+            for (size_t j = i + 1; j < tup.size(); ++j) {
+                int a = tup[i], c = tup[j];
+                if (a == c) {
+                    report("tuple ", t, " repeats element ", a);
+                    continue;
+                }
+                if (a >= 0 && a < v_ && c >= 0 && c < v_) {
+                    ++pairCount[static_cast<size_t>(a) * v_ + c];
+                    ++pairCount[static_cast<size_t>(c) * v_ + a];
+                }
+            }
+        }
+    }
+
+    for (int o = 0; o < v_; ++o) {
+        if (occur[static_cast<size_t>(o)] != r_)
+            report("object ", o, " appears ", occur[static_cast<size_t>(o)],
+                   " times, expected r=", r_);
+    }
+    for (int a = 0; a < v_; ++a) {
+        for (int c = a + 1; c < v_; ++c) {
+            int got = pairCount[static_cast<size_t>(a) * v_ + c];
+            if (got != lambda_)
+                report("pair (", a, ",", c, ") appears ", got,
+                       " times, expected lambda=", lambda_);
+        }
+    }
+
+    if (!res.ok) {
+        if (violations > 8)
+            detail << "... (" << violations << " violations total)";
+        res.detail = detail.str();
+    }
+    return res;
+}
+
+} // namespace declust

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Block design representation and verification.
+ *
+ * A (balanced) block design arranges v distinct objects into b tuples of k
+ * elements each, such that every object appears in exactly r tuples and
+ * every unordered pair of objects appears in exactly lambda tuples
+ * (Hall, "Combinatorial Theory"; paper section 4.2). The identities
+ * bk = vr and r(k-1) = lambda(v-1) always hold.
+ *
+ * In the parity-declustering layout, objects are disks (v = C) and tuples
+ * are parity stripes (k = G).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace declust {
+
+/** One tuple (block) of a design: k distinct object indices. */
+using Tuple = std::vector<int>;
+
+/** A block design plus its derived parameters. */
+class BlockDesign
+{
+  public:
+    /**
+     * Build from raw tuples over objects 0..v-1.
+     *
+     * Derived parameters (b, r, lambda) are computed from the tuples; use
+     * verify() to check the balance properties actually hold.
+     *
+     * @param v Number of objects.
+     * @param tuples The blocks; every tuple must have the same size k.
+     * @param name Human-readable provenance tag (e.g. "appendix-2").
+     */
+    BlockDesign(int v, std::vector<Tuple> tuples, std::string name = "");
+
+    int v() const { return v_; }
+    int k() const { return k_; }
+    int b() const { return static_cast<int>(tuples_.size()); }
+
+    /** Replication count r = bk/v (exact only if the design is balanced). */
+    int r() const { return r_; }
+
+    /** Pair count lambda = r(k-1)/(v-1) (exact only if balanced). */
+    int lambda() const { return lambda_; }
+
+    /** Declustering ratio alpha = (k-1)/(v-1) (paper's (G-1)/(C-1)). */
+    double alpha() const;
+
+    const std::vector<Tuple> &tuples() const { return tuples_; }
+    const Tuple &tuple(int i) const { return tuples_[static_cast<size_t>(i)]; }
+
+    const std::string &name() const { return name_; }
+
+    /** Result of a full balance verification. */
+    struct VerifyResult
+    {
+        bool ok = true;
+        /** Human-readable description of the first few violations. */
+        std::string detail;
+    };
+
+    /**
+     * Check all block-design properties exhaustively:
+     *  - every tuple has k distinct elements in [0, v)
+     *  - every object appears in exactly r tuples
+     *  - every unordered pair appears in exactly lambda tuples
+     *  - the counting identities bk = vr and r(k-1) = lambda(v-1) hold
+     */
+    VerifyResult verify() const;
+
+    /** True iff b == v and k == r (symmetric design). */
+    bool symmetric() const { return b() == v_ && k_ == r_; }
+
+  private:
+    int v_;
+    int k_;
+    int r_;
+    int lambda_;
+    std::vector<Tuple> tuples_;
+    std::string name_;
+};
+
+} // namespace declust

@@ -1,0 +1,123 @@
+#include "designs/generators.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+std::uint64_t
+binomial(int v, int k)
+{
+    DECLUST_ASSERT(v >= 0 && k >= 0, "binomial needs non-negative args");
+    if (k > v)
+        return 0;
+    k = std::min(k, v - k);
+    std::uint64_t result = 1;
+    for (int i = 1; i <= k; ++i) {
+        // result * (v - k + i) / i, guarding overflow.
+        const std::uint64_t num = static_cast<std::uint64_t>(v - k + i);
+        if (result > UINT64_MAX / num)
+            DECLUST_FATAL("binomial(", v, ",", k, ") overflows");
+        result = result * num / static_cast<std::uint64_t>(i);
+    }
+    return result;
+}
+
+BlockDesign
+makeCompleteDesign(int v, int k, std::uint64_t maxTuples)
+{
+    DECLUST_ASSERT(v >= 2 && k >= 2 && k <= v, "bad complete design params");
+    const std::uint64_t b = binomial(v, k);
+    if (b > maxTuples) {
+        DECLUST_FATAL("complete design C(", v, ",", k, ") has ", b,
+                      " tuples, above limit ", maxTuples);
+    }
+
+    std::vector<Tuple> tuples;
+    tuples.reserve(b);
+    Tuple cur(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i)
+        cur[static_cast<size_t>(i)] = i;
+    for (;;) {
+        tuples.push_back(cur);
+        // Advance to the next combination in lexicographic order.
+        int i = k - 1;
+        while (i >= 0 && cur[static_cast<size_t>(i)] == v - k + i)
+            --i;
+        if (i < 0)
+            break;
+        ++cur[static_cast<size_t>(i)];
+        for (int j = i + 1; j < k; ++j)
+            cur[static_cast<size_t>(j)] = cur[static_cast<size_t>(j - 1)] + 1;
+    }
+    DECLUST_ASSERT(tuples.size() == b, "combination enumeration bug");
+    return BlockDesign(v, std::move(tuples),
+                       "complete(" + std::to_string(v) + "," +
+                           std::to_string(k) + ")");
+}
+
+BlockDesign
+makeCyclicDesign(int v, const std::vector<BaseBlock> &bases, std::string name)
+{
+    DECLUST_ASSERT(!bases.empty(), "cyclic design needs base blocks");
+    std::vector<Tuple> tuples;
+    for (const BaseBlock &base : bases) {
+        const int period = base.period > 0 ? base.period : v;
+        DECLUST_ASSERT(period <= v, "period ", period, " exceeds modulus ",
+                       v);
+        for (int shift = 0; shift < period; ++shift) {
+            Tuple t;
+            t.reserve(base.block.size());
+            for (int e : base.block)
+                t.push_back((e + shift) % v);
+            std::sort(t.begin(), t.end());
+            tuples.push_back(std::move(t));
+        }
+    }
+    if (name.empty())
+        name = "cyclic(mod " + std::to_string(v) + ")";
+    return BlockDesign(v, std::move(tuples), std::move(name));
+}
+
+BlockDesign
+makeDerivedDesign(const BlockDesign &symmetric, int baseBlock,
+                  std::string name)
+{
+    DECLUST_ASSERT(symmetric.symmetric(),
+                   "derived designs require a symmetric design (b=v, k=r)");
+    DECLUST_ASSERT(baseBlock >= 0 && baseBlock < symmetric.b(),
+                   "base block index out of range");
+
+    const Tuple &b0 = symmetric.tuple(baseBlock);
+
+    // Relabel the k objects of B0 to 0..k-1.
+    std::vector<int> relabel(static_cast<size_t>(symmetric.v()), -1);
+    for (size_t i = 0; i < b0.size(); ++i)
+        relabel[static_cast<size_t>(b0[i])] = static_cast<int>(i);
+
+    std::vector<Tuple> tuples;
+    tuples.reserve(static_cast<size_t>(symmetric.b() - 1));
+    for (int i = 0; i < symmetric.b(); ++i) {
+        if (i == baseBlock)
+            continue;
+        Tuple t;
+        for (int e : symmetric.tuple(i)) {
+            int m = relabel[static_cast<size_t>(e)];
+            if (m >= 0)
+                t.push_back(m);
+        }
+        // In a symmetric design any two distinct blocks intersect in
+        // exactly lambda objects.
+        DECLUST_ASSERT(static_cast<int>(t.size()) == symmetric.lambda(),
+                       "block ", i, " intersects B0 in ", t.size(),
+                       " objects, expected lambda=", symmetric.lambda());
+        std::sort(t.begin(), t.end());
+        tuples.push_back(std::move(t));
+    }
+    if (name.empty())
+        name = "derived(" + symmetric.name() + ")";
+    return BlockDesign(symmetric.k(), std::move(tuples), std::move(name));
+}
+
+} // namespace declust

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Constructive generators for block designs (paper sections 4.2/4.3 and
+ * appendix).
+ *
+ * Three constructions cover everything the paper uses:
+ *  - complete designs: all C(v, k) combinations;
+ *  - cyclic designs from base blocks developed modulo v (Hall's
+ *    abbreviated notation, optionally with a shortened period);
+ *  - derived designs of symmetric designs (used for the alpha = 0.45
+ *    design: the blocks of a symmetric design intersected with one
+ *    distinguished block).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "designs/design.hpp"
+
+namespace declust {
+
+/** Number of k-combinations of v objects (throws ConfigError on overflow). */
+std::uint64_t binomial(int v, int k);
+
+/**
+ * Complete block design: every k-subset of {0..v-1} is a tuple.
+ * b = C(v, k); refuses (ConfigError) if b exceeds @p maxTuples.
+ */
+BlockDesign makeCompleteDesign(int v, int k,
+                               std::uint64_t maxTuples = 2'000'000);
+
+/** One base block plus its development period for cyclic construction. */
+struct BaseBlock
+{
+    Tuple block;
+    /** Number of cyclic shifts to generate; 0 means full period (v). */
+    int period = 0;
+};
+
+/**
+ * Cyclic design: develop each base block through `period` shifts modulo v
+ * (Hall's "[a, b, c] (mod v)" notation; a period P generates only the
+ * first P shifts, used for short-orbit blocks like [0,7,14] mod 21).
+ */
+BlockDesign makeCyclicDesign(int v, const std::vector<BaseBlock> &bases,
+                             std::string name = "");
+
+/**
+ * Derived design of a symmetric design.
+ *
+ * Given a symmetric design (b = v, k = r) and a distinguished block B0,
+ * the derived design has blocks { Bi intersect B0 : i != 0 } relabeled to
+ * objects 0..k-1: parameters v' = k, b' = b-1, k' = lambda,
+ * r' = r-1, lambda' = lambda-1 (Hall; paper appendix, design 5).
+ *
+ * @param symmetric A verified symmetric design.
+ * @param baseBlock Index of the distinguished block B0.
+ */
+BlockDesign makeDerivedDesign(const BlockDesign &symmetric,
+                              int baseBlock = 0, std::string name = "");
+
+} // namespace declust

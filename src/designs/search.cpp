@@ -1,0 +1,129 @@
+#include "designs/search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "designs/generators.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace declust {
+
+namespace {
+
+/**
+ * Count how unbalanced the difference coverage of a candidate family is.
+ * Returns sum over nonzero residues of |count - lambda| (0 == perfect).
+ */
+long
+imbalance(const std::vector<Tuple> &bases, int v, int lambda,
+          std::vector<int> &scratch)
+{
+    scratch.assign(static_cast<size_t>(v), 0);
+    for (const Tuple &blk : bases) {
+        for (size_t i = 0; i < blk.size(); ++i) {
+            for (size_t j = 0; j < blk.size(); ++j) {
+                if (i == j)
+                    continue;
+                int d = blk[i] - blk[j];
+                d %= v;
+                if (d < 0)
+                    d += v;
+                ++scratch[static_cast<size_t>(d)];
+            }
+        }
+    }
+    long err = 0;
+    for (int d = 1; d < v; ++d)
+        err += std::abs(scratch[static_cast<size_t>(d)] - lambda);
+    return err;
+}
+
+} // namespace
+
+std::optional<BlockDesign>
+searchCyclicDesign(int v, int k, const SearchParams &params)
+{
+    DECLUST_ASSERT(v >= 3 && k >= 2 && k < v, "bad search params v=", v,
+                   " k=", k);
+    Rng rng(params.seed ^ (static_cast<std::uint64_t>(v) << 16) ^
+            static_cast<std::uint64_t>(k));
+    std::vector<int> scratch;
+
+    for (int t = 1; t <= params.maxBaseBlocks; ++t) {
+        const long diffs = static_cast<long>(t) * k * (k - 1);
+        if (diffs % (v - 1))
+            continue; // cannot balance with t full-orbit blocks
+        const int lambda = static_cast<int>(diffs / (v - 1));
+
+        for (int restart = 0; restart < params.restarts; ++restart) {
+            // Random initial family: each block starts with 0 plus k-1
+            // distinct random residues.
+            std::vector<Tuple> bases(static_cast<size_t>(t));
+            for (Tuple &blk : bases) {
+                std::vector<char> used(static_cast<size_t>(v), 0);
+                blk = {0};
+                used[0] = 1;
+                while (static_cast<int>(blk.size()) < k) {
+                    int e = static_cast<int>(rng.uniformInt(
+                        static_cast<std::uint64_t>(v)));
+                    if (!used[static_cast<size_t>(e)]) {
+                        used[static_cast<size_t>(e)] = 1;
+                        blk.push_back(e);
+                    }
+                }
+            }
+
+            long err = imbalance(bases, v, lambda, scratch);
+            for (int step = 0; step < params.steps && err > 0; ++step) {
+                // Mutate: replace one non-zero element of one block.
+                auto bi = static_cast<size_t>(
+                    rng.uniformInt(static_cast<std::uint64_t>(t)));
+                auto ei = 1 + static_cast<size_t>(rng.uniformInt(
+                    static_cast<std::uint64_t>(k - 1)));
+                Tuple &blk = bases[bi];
+                const int old = blk[ei];
+                int candidate;
+                do {
+                    candidate = static_cast<int>(
+                        rng.uniformInt(static_cast<std::uint64_t>(v)));
+                } while (std::find(blk.begin(), blk.end(), candidate) !=
+                         blk.end());
+                blk[ei] = candidate;
+                const long newErr = imbalance(bases, v, lambda, scratch);
+                // Accept improvements and (rarely) sideways/worse moves to
+                // escape local minima.
+                if (newErr <= err || rng.bernoulli(0.02)) {
+                    err = newErr;
+                } else {
+                    blk[ei] = old;
+                }
+            }
+
+            if (err == 0) {
+                std::vector<BaseBlock> bb;
+                bb.reserve(bases.size());
+                for (Tuple &blk : bases) {
+                    std::sort(blk.begin(), blk.end());
+                    bb.push_back(BaseBlock{std::move(blk), 0});
+                }
+                BlockDesign design = makeCyclicDesign(
+                    v, bb,
+                    "searched(" + std::to_string(v) + "," +
+                        std::to_string(k) + "," + std::to_string(lambda) +
+                        ")");
+                auto check = design.verify();
+                DECLUST_ASSERT(check.ok,
+                               "search produced unbalanced design: ",
+                               check.detail);
+                logInfo("difference-family search found (", v, ",", k, ",",
+                        lambda, ") with ", t, " base blocks");
+                return design;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace declust

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Randomized search for cyclic difference families.
+ *
+ * Stands in for "look the design up in Hall's tables" when the catalog has
+ * no entry: searches for full-orbit base blocks over Z_v whose differences
+ * cover every nonzero residue equally, which develop into a BIBD with
+ * b = t*v tuples (t = number of base blocks).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "designs/design.hpp"
+
+namespace declust {
+
+/** Tunables for the difference-family search. */
+struct SearchParams
+{
+    /** Maximum number of base blocks to try (caps b at maxBaseBlocks*v). */
+    int maxBaseBlocks = 12;
+    /** Random restarts per (t, lambda) combination. */
+    int restarts = 40;
+    /** Hill-climbing steps per restart. */
+    int steps = 4000;
+    /** RNG seed (deterministic search). */
+    std::uint64_t seed = 0xdec1u;
+};
+
+/**
+ * Search for a cyclic difference family on Z_v with block size k.
+ *
+ * Tries t = 1..maxBaseBlocks base blocks; for each t where
+ * t*k*(k-1) is divisible by (v-1), hill-climbs on the difference-coverage
+ * imbalance. Returns the developed design (verified) or nullopt.
+ */
+std::optional<BlockDesign> searchCyclicDesign(int v, int k,
+                                              const SearchParams &params = {});
+
+} // namespace declust

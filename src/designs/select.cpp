@@ -1,0 +1,108 @@
+#include "designs/select.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "designs/catalog.hpp"
+#include "designs/generators.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace declust {
+
+namespace {
+
+/**
+ * Try the exact (C, G) point: the catalog wins outright; otherwise the
+ * smaller-b of a searched difference family and a complete design (the
+ * paper asks for "the minimum possible value for b", section 4.2).
+ */
+std::optional<SelectedDesign>
+tryExact(int C, int G, const SelectPolicy &policy)
+{
+    if (auto d = catalogDesign(C, G))
+        return SelectedDesign{std::move(*d), DesignSource::Catalog, true};
+
+    std::optional<BlockDesign> searched;
+    if (policy.allowSearch)
+        searched = searchCyclicDesign(C, G, policy.searchParams);
+
+    const std::uint64_t completeTuples = binomial(C, G);
+    const bool completeFeasible =
+        completeTuples <= policy.maxCompleteTuples;
+
+    if (searched &&
+        (!completeFeasible ||
+         static_cast<std::uint64_t>(searched->b()) <= completeTuples)) {
+        return SelectedDesign{std::move(*searched),
+                              DesignSource::Searched, true};
+    }
+    if (completeFeasible) {
+        return SelectedDesign{makeCompleteDesign(C, G),
+                              DesignSource::Complete, true};
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+SelectedDesign
+selectDesign(int C, int G, const SelectPolicy &policy)
+{
+    DECLUST_ASSERT(C >= 3, "array too small: C=", C);
+    if (G < 2 || G >= C) {
+        DECLUST_FATAL("parity stripe size G=", G,
+                      " must satisfy 2 <= G < C=", C,
+                      " (G == C is RAID 5; use the left-symmetric layout)");
+    }
+
+    if (auto exact = tryExact(C, G, policy))
+        return *exact;
+
+    // Closest feasible alpha: widen the G search outward from the request.
+    const double targetAlpha =
+        static_cast<double>(G - 1) / static_cast<double>(C - 1);
+    std::optional<SelectedDesign> best;
+    double bestDist = 0.0;
+    for (int delta = 1; delta < C; ++delta) {
+        for (int candidate : {G - delta, G + delta}) {
+            if (candidate < 2 || candidate >= C)
+                continue;
+            auto found = tryExact(C, candidate, policy);
+            if (!found)
+                continue;
+            const double alpha = static_cast<double>(candidate - 1) /
+                                 static_cast<double>(C - 1);
+            const double dist = std::fabs(alpha - targetAlpha);
+            if (!best || dist < bestDist) {
+                best = found;
+                bestDist = dist;
+            }
+        }
+        if (best)
+            break; // nearest delta wins; no need to widen further
+    }
+    if (!best) {
+        DECLUST_FATAL("no feasible block design near C=", C, " G=", G);
+    }
+    best->exactG = false;
+    best->source = DesignSource::ClosestAlpha;
+    logWarn("no design for C=", C, " G=", G, "; substituting G=",
+            best->design.k(), " (alpha ",
+            best->design.alpha(), " vs requested ", targetAlpha, ")");
+    return *best;
+}
+
+std::string
+toString(DesignSource source)
+{
+    switch (source) {
+      case DesignSource::Catalog:      return "catalog";
+      case DesignSource::Complete:     return "complete";
+      case DesignSource::Searched:     return "searched";
+      case DesignSource::ClosestAlpha: return "closest-alpha";
+    }
+    return "?";
+}
+
+} // namespace declust

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Design-selection policy (paper section 4.3).
+ *
+ * Given the array width C and parity stripe size G, pick a block design
+ * for the layout: a known catalog design, else a complete design if its
+ * table is small enough, else a searched difference family, else the
+ * closest feasible alpha (the paper: "we resort to choosing the closest
+ * feasible design point").
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "designs/design.hpp"
+#include "designs/search.hpp"
+
+namespace declust {
+
+/** How a design was obtained, for reporting. */
+enum class DesignSource { Catalog, Complete, Searched, ClosestAlpha };
+
+/** Result of design selection. */
+struct SelectedDesign
+{
+    BlockDesign design;
+    DesignSource source;
+    /** True if design.k() == requested G (no alpha substitution). */
+    bool exactG;
+};
+
+/** Policy knobs for selectDesign(). */
+struct SelectPolicy
+{
+    /** Largest acceptable tuple count for a complete design's table. */
+    std::uint64_t maxCompleteTuples = 20'000;
+    /** Enable the randomized difference-family search. */
+    bool allowSearch = true;
+    SearchParams searchParams = {};
+};
+
+/**
+ * Select a block design for a C-disk array with parity stripes of G units.
+ * G == C is rejected here (that configuration is RAID 5; use the
+ * left-symmetric layout instead). Throws ConfigError if nothing feasible
+ * is found even after alpha substitution.
+ */
+SelectedDesign selectDesign(int C, int G, const SelectPolicy &policy = {});
+
+/** Human-readable name of a DesignSource. */
+std::string toString(DesignSource source);
+
+} // namespace declust

@@ -1,0 +1,212 @@
+#include "disk/disk.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+Disk::Disk(EventQueue &eq, const DiskGeometry &geometry,
+           std::unique_ptr<Scheduler> scheduler, int id,
+           std::unique_ptr<Scheduler> backgroundScheduler)
+    : eq_(eq),
+      geometry_(geometry),
+      seekModel_(geometry),
+      scheduler_(std::move(scheduler)),
+      backgroundScheduler_(std::move(backgroundScheduler)),
+      id_(id)
+{
+    geometry_.validate();
+    DECLUST_ASSERT(scheduler_, "disk needs a scheduler");
+    util_.resetWindow(eq_.now());
+}
+
+void
+Disk::submit(DiskRequest request)
+{
+    DECLUST_ASSERT(request.sectorCount > 0, "empty transfer");
+    DECLUST_ASSERT(request.startSector >= 0 &&
+                       request.startSector + request.sectorCount <=
+                           geometry_.totalSectors(),
+                   "disk ", id_, ": transfer [", request.startSector, ",+",
+                   request.sectorCount, ") out of range");
+    DECLUST_ASSERT(request.onComplete, "request needs a callback");
+
+    const std::int64_t reqId = nextReqId_++;
+    const Chs chs = geometry_.lbaToChs(request.startSector);
+    Scheduler &queue =
+        (backgroundScheduler_ && request.priority == Priority::Background)
+            ? *backgroundScheduler_
+            : *scheduler_;
+    queue.push(SchedEntry{reqId, chs.cylinder, eq_.now()});
+    pending_.emplace(reqId, Pending{std::move(request), eq_.now()});
+    dispatch();
+}
+
+std::size_t
+Disk::queueDepth() const
+{
+    return scheduler_->size() +
+           (backgroundScheduler_ ? backgroundScheduler_->size() : 0);
+}
+
+void
+Disk::dispatch()
+{
+    if (busy_)
+        return;
+    // Background requests are serviced only when no user request waits.
+    Scheduler *queue = nullptr;
+    if (!scheduler_->empty())
+        queue = scheduler_.get();
+    else if (backgroundScheduler_ && !backgroundScheduler_->empty())
+        queue = backgroundScheduler_.get();
+    if (!queue)
+        return;
+
+    const SchedEntry entry = queue->pop(headCylinder_, direction_);
+    auto it = pending_.find(entry.id);
+    DECLUST_ASSERT(it != pending_.end(), "scheduler returned unknown id");
+
+    busy_ = true;
+    util_.setBusy(eq_.now());
+
+    const Tick dispatched = eq_.now();
+    const Tick end = computeServiceEnd(it->second.request, dispatched);
+    eq_.scheduleAt(end, [this, reqId = entry.id, dispatched] {
+        complete(reqId, dispatched);
+    });
+}
+
+void
+Disk::complete(std::int64_t reqId, Tick dispatched)
+{
+    auto it = pending_.find(reqId);
+    DECLUST_ASSERT(it != pending_.end(), "completion for unknown request");
+    Pending done = std::move(it->second);
+    pending_.erase(it);
+
+    const Tick now = eq_.now();
+    stats_.serviceMs.add(ticksToMs(now - dispatched));
+    stats_.queueMs.add(ticksToMs(dispatched - done.enqueued));
+    stats_.responseMs.add(ticksToMs(now - done.enqueued));
+    if (done.request.isWrite)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    busy_ = false;
+    util_.setIdle(now);
+
+    if (tracer_) {
+        AccessRecord record;
+        record.disk = id_;
+        record.startSector = done.request.startSector;
+        record.sectorCount = done.request.sectorCount;
+        record.isWrite = done.request.isWrite;
+        record.priority = done.request.priority;
+        record.enqueued = done.enqueued;
+        record.dispatched = dispatched;
+        record.completed = now;
+        tracer_(record);
+    }
+
+    // The callback may submit more work to this disk; submit() will start
+    // it immediately since we are idle, and the trailing dispatch() below
+    // then finds the disk busy and backs off harmlessly.
+    done.request.onComplete();
+    dispatch();
+}
+
+Tick
+Disk::rotationalWait(int slot, Tick t) const
+{
+    const Tick rev = geometry_.revolutionTicks();
+    const Tick slotStart = static_cast<Tick>(slot) *
+                           geometry_.sectorTicks();
+    const Tick phase = t % rev;
+    return (slotStart + rev - phase) % rev;
+}
+
+void
+Disk::enableTrackBuffer(double hitServiceMs)
+{
+    DECLUST_ASSERT(hitServiceMs > 0, "buffer hit time must be positive");
+    trackBufferEnabled_ = true;
+    trackBufferHitTicks_ = msToTicks(hitServiceMs);
+}
+
+Tick
+Disk::computeServiceEnd(const DiskRequest &request, Tick start)
+{
+    Chs chs = geometry_.lbaToChs(request.startSector);
+
+    if (trackBufferEnabled_) {
+        const Chs last = geometry_.lbaToChs(request.startSector +
+                                            request.sectorCount - 1);
+        const std::int64_t firstTrack = geometry_.absoluteTrack(chs);
+        const std::int64_t lastTrack = geometry_.absoluteTrack(last);
+        if (!request.isWrite && firstTrack == lastTrack &&
+            firstTrack == bufferedTrack_) {
+            // Whole read served from the buffer: no head movement.
+            return start + trackBufferHitTicks_;
+        }
+        if (request.isWrite) {
+            // Write-through invalidates a buffered copy of any track
+            // the transfer touches.
+            if (bufferedTrack_ >= firstTrack && bufferedTrack_ <= lastTrack)
+                bufferedTrack_ = -1;
+        } else {
+            // The drive read-ahead leaves the last track read buffered.
+            bufferedTrack_ = lastTrack;
+        }
+    }
+
+    // Seek to the target cylinder.
+    const int distance = std::abs(chs.cylinder - headCylinder_);
+    Tick t = start + seekModel_.seekTicks(distance);
+    if (chs.cylinder != headCylinder_) {
+        direction_ = chs.cylinder > headCylinder_ ? SeekDirection::Up
+                                                  : SeekDirection::Down;
+    }
+    headCylinder_ = chs.cylinder;
+
+    // Transfer track by track. Head switches within a cylinder are free
+    // (the 4-sector skew covers them); cylinder crossings pay a
+    // single-cylinder seek before the rotational wait.
+    int remaining = request.sectorCount;
+    while (remaining > 0) {
+        t += rotationalWait(geometry_.physicalSlot(chs), t);
+        const int onTrack = std::min(
+            remaining, geometry_.sectorsPerTrack - chs.sector);
+        t += static_cast<Tick>(onTrack) * geometry_.sectorTicks();
+        remaining -= onTrack;
+        if (remaining == 0)
+            break;
+        chs.sector = 0;
+        if (++chs.track == geometry_.tracksPerCyl) {
+            chs.track = 0;
+            ++chs.cylinder;
+            DECLUST_ASSERT(chs.cylinder < geometry_.cylinders,
+                           "transfer ran off the disk");
+            t += seekModel_.seekTicks(1);
+            headCylinder_ = chs.cylinder;
+        }
+    }
+    return t;
+}
+
+double
+Disk::utilization() const
+{
+    return util_.utilization(eq_.now());
+}
+
+void
+Disk::resetStats()
+{
+    stats_ = DiskStats{};
+    util_.resetWindow(eq_.now());
+}
+
+} // namespace declust

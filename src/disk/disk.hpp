@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Event-driven model of a single disk drive.
+ *
+ * Models every significant component of an access (paper section 5):
+ * queueing under a pluggable head scheduler, seek time from the calibrated
+ * seek curve, rotational latency against a continuously spinning platter,
+ * and per-sector transfer including track-skew-aware track and cylinder
+ * crossings. Disks are deliberately not "work-preserving": a request's
+ * cost depends on the head/rotation state its predecessors left behind,
+ * which is the effect the paper shows the analytic model misses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "disk/geometry.hpp"
+#include "disk/scheduler.hpp"
+#include "disk/seek_model.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/utilization.hpp"
+
+namespace declust {
+
+/** One I/O request against a disk. */
+struct DiskRequest
+{
+    std::int64_t startSector = 0;
+    int sectorCount = 0;
+    bool isWrite = false;
+    /** Invoked (once) when the transfer completes. */
+    std::function<void()> onComplete;
+    /** Scheduling class; Background yields to Normal when the disk has
+     * priority separation enabled. */
+    Priority priority = Priority::Normal;
+};
+
+/** One completed access, as seen by an access tracer. */
+struct AccessRecord
+{
+    int disk = 0;
+    std::int64_t startSector = 0;
+    int sectorCount = 0;
+    bool isWrite = false;
+    Priority priority = Priority::Normal;
+    Tick enqueued = 0;
+    Tick dispatched = 0;
+    Tick completed = 0;
+};
+
+/** Callback invoked at the completion of every traced access. */
+using AccessTracer = std::function<void(const AccessRecord &)>;
+
+/** Aggregate per-disk statistics (times in milliseconds). */
+struct DiskStats
+{
+    Accumulator serviceMs;  ///< dispatch -> completion
+    Accumulator queueMs;    ///< submit -> dispatch
+    Accumulator responseMs; ///< submit -> completion
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/** Simulated disk drive. */
+class Disk
+{
+  public:
+    /**
+     * @param eq Owning event queue (must outlive the disk).
+     * @param geometry Validated geometry.
+     * @param scheduler Queue discipline (takes ownership).
+     * @param id Identifier used in diagnostics.
+     * @param backgroundScheduler Optional second queue for
+     *        Priority::Background requests; when null, background
+     *        requests share the primary queue (no prioritization).
+     */
+    Disk(EventQueue &eq, const DiskGeometry &geometry,
+         std::unique_ptr<Scheduler> scheduler, int id,
+         std::unique_ptr<Scheduler> backgroundScheduler = nullptr);
+
+    Disk(const Disk &) = delete;
+    Disk &operator=(const Disk &) = delete;
+
+    /** Enqueue a request; completion is signalled via its callback. */
+    void submit(DiskRequest request);
+
+    int id() const { return id_; }
+    const DiskGeometry &geometry() const { return geometry_; }
+    const SeekModel &seekModel() const { return seekModel_; }
+
+    /** True while a request is being serviced. */
+    bool busy() const { return busy_; }
+
+    /** Requests waiting in queue (excluding the one in service). */
+    std::size_t queueDepth() const;
+
+    /** In-service plus queued requests. */
+    std::size_t outstanding() const
+    {
+        return queueDepth() + (busy_ ? 1 : 0);
+    }
+
+    /** True if this disk separates background from user requests. */
+    bool hasPrioritySeparation() const
+    {
+        return backgroundScheduler_ != nullptr;
+    }
+
+    const DiskStats &stats() const { return stats_; }
+
+    /** Busy fraction since the last resetStats(). */
+    double utilization() const;
+
+    /** Clear statistics and start a new utilization window now. */
+    void resetStats();
+
+    /**
+     * Install an access tracer invoked at every completion (null to
+     * disable). Tracing is an observer: it never alters timing.
+     */
+    void setTracer(AccessTracer tracer) { tracer_ = std::move(tracer); }
+
+    /**
+     * Enable the drive's track buffer (the IBM 0661 had one; the paper
+     * mentions reading "all sectors on our disks into their track
+     * buffers"). Model: the most recently *read* track stays buffered;
+     * a read wholly within it is served from the buffer in
+     * @p hitServiceMs without moving the head. Writes to the buffered
+     * track invalidate it (write-through).
+     */
+    void enableTrackBuffer(double hitServiceMs = 0.5);
+
+  private:
+    void dispatch();
+    void complete(std::int64_t reqId, Tick dispatched);
+
+    /**
+     * Compute the completion time of @p request starting service at
+     * @p start, updating the head position. Pure function of the head
+     * and rotation state.
+     */
+    Tick computeServiceEnd(const DiskRequest &request, Tick start);
+
+    /** Ticks until the rotational slot @p slot next starts, at time t. */
+    Tick rotationalWait(int slot, Tick t) const;
+
+    EventQueue &eq_;
+    DiskGeometry geometry_;
+    SeekModel seekModel_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<Scheduler> backgroundScheduler_;
+    int id_;
+
+    // Head state.
+    int headCylinder_ = 0;
+    SeekDirection direction_ = SeekDirection::None;
+
+    bool busy_ = false;
+    std::int64_t nextReqId_ = 0;
+
+    struct Pending
+    {
+        DiskRequest request;
+        Tick enqueued;
+    };
+    std::unordered_map<std::int64_t, Pending> pending_;
+
+    DiskStats stats_;
+    UtilizationTracker util_;
+    AccessTracer tracer_;
+
+    // Track buffer state (disabled unless enableTrackBuffer()).
+    bool trackBufferEnabled_ = false;
+    Tick trackBufferHitTicks_ = 0;
+    std::int64_t bufferedTrack_ = -1;
+};
+
+} // namespace declust

@@ -1,0 +1,104 @@
+#include "disk/geometry.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+DiskGeometry
+DiskGeometry::ibm0661()
+{
+    return DiskGeometry{};
+}
+
+DiskGeometry
+DiskGeometry::ibm0661Scaled(int tracksPerCyl)
+{
+    DiskGeometry g;
+    DECLUST_ASSERT(tracksPerCyl >= 1 && tracksPerCyl <= g.tracksPerCyl,
+                   "scaled tracks/cylinder must be in [1,",
+                   g.tracksPerCyl, "]");
+    g.tracksPerCyl = tracksPerCyl;
+    return g;
+}
+
+std::int64_t
+DiskGeometry::sectorsPerCylinder() const
+{
+    return static_cast<std::int64_t>(tracksPerCyl) * sectorsPerTrack;
+}
+
+std::int64_t
+DiskGeometry::totalSectors() const
+{
+    return static_cast<std::int64_t>(cylinders) * sectorsPerCylinder();
+}
+
+std::int64_t
+DiskGeometry::totalBytes() const
+{
+    return totalSectors() * sectorBytes;
+}
+
+std::int64_t
+DiskGeometry::absoluteTrack(const Chs &chs) const
+{
+    return static_cast<std::int64_t>(chs.cylinder) * tracksPerCyl +
+           chs.track;
+}
+
+Chs
+DiskGeometry::lbaToChs(std::int64_t lba) const
+{
+    DECLUST_ASSERT(lba >= 0 && lba < totalSectors(), "lba ", lba,
+                   " out of range");
+    Chs chs;
+    chs.cylinder = static_cast<int>(lba / sectorsPerCylinder());
+    const std::int64_t inCyl = lba % sectorsPerCylinder();
+    chs.track = static_cast<int>(inCyl / sectorsPerTrack);
+    chs.sector = static_cast<int>(inCyl % sectorsPerTrack);
+    return chs;
+}
+
+std::int64_t
+DiskGeometry::chsToLba(const Chs &chs) const
+{
+    return static_cast<std::int64_t>(chs.cylinder) * sectorsPerCylinder() +
+           static_cast<std::int64_t>(chs.track) * sectorsPerTrack +
+           chs.sector;
+}
+
+Tick
+DiskGeometry::revolutionTicks() const
+{
+    return msToTicks(revolutionMs);
+}
+
+Tick
+DiskGeometry::sectorTicks() const
+{
+    return msToTicks(revolutionMs / sectorsPerTrack);
+}
+
+int
+DiskGeometry::physicalSlot(const Chs &chs) const
+{
+    const std::int64_t skewed =
+        chs.sector +
+        static_cast<std::int64_t>(trackSkewSectors) * absoluteTrack(chs);
+    return static_cast<int>(skewed % sectorsPerTrack);
+}
+
+void
+DiskGeometry::validate() const
+{
+    if (cylinders < 2 || tracksPerCyl < 1 || sectorsPerTrack < 1 ||
+        sectorBytes < 1)
+        DECLUST_FATAL("degenerate disk geometry");
+    if (revolutionMs <= 0 || seekMinMs <= 0 || seekAvgMs < seekMinMs ||
+        seekMaxMs < seekAvgMs)
+        DECLUST_FATAL("inconsistent disk timing parameters");
+    if (trackSkewSectors < 0 || trackSkewSectors >= sectorsPerTrack)
+        DECLUST_FATAL("track skew out of range");
+}
+
+} // namespace declust

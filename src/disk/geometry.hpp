@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Disk geometry description and address translation.
+ *
+ * Default parameters are the IBM 0661 Model 370 "Lightning" from the
+ * paper's table 5-1(b): 949 cylinders, 14 tracks/cylinder, 48 sectors of
+ * 512 bytes per track, 13.9 ms revolution, 2/12.5/25 ms min/avg/max seek,
+ * and a 4-sector track skew.
+ *
+ * Track skew: logical sector 0 of absolute track T is physically rotated
+ * by (skew * T) mod sectorsPerTrack slots, so a sequential transfer that
+ * crosses a track boundary resumes after a head switch without losing a
+ * full revolution.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace declust {
+
+/** Cylinder/track/sector coordinates. */
+struct Chs
+{
+    int cylinder = 0;
+    int track = 0;   // within the cylinder
+    int sector = 0;  // within the track
+
+    bool operator==(const Chs &) const = default;
+};
+
+/** Static description of one disk's geometry and timing. */
+struct DiskGeometry
+{
+    int cylinders = 949;
+    int tracksPerCyl = 14;
+    int sectorsPerTrack = 48;
+    int sectorBytes = 512;
+    double revolutionMs = 13.9;
+    int trackSkewSectors = 4;
+    double seekMinMs = 2.0;
+    double seekAvgMs = 12.5;
+    double seekMaxMs = 25.0;
+
+    /** The paper's disk, full scale. */
+    static DiskGeometry ibm0661();
+
+    /**
+     * The paper's disk with capacity scaled down by using fewer tracks
+     * per cylinder. Seek distances, rotation, and per-track layout are
+     * unchanged, so service-time distributions match the full disk; only
+     * capacity (and hence reconstruction sweep length) shrinks.
+     */
+    static DiskGeometry ibm0661Scaled(int tracksPerCyl);
+
+    std::int64_t sectorsPerCylinder() const;
+    std::int64_t totalSectors() const;
+    std::int64_t totalBytes() const;
+
+    /** Absolute track index (cylinder * tracksPerCyl + track). */
+    std::int64_t absoluteTrack(const Chs &chs) const;
+
+    Chs lbaToChs(std::int64_t lba) const;
+    std::int64_t chsToLba(const Chs &chs) const;
+
+    /** Duration of one revolution in ticks. */
+    Tick revolutionTicks() const;
+
+    /** Duration of one sector passing under the head, in ticks. */
+    Tick sectorTicks() const;
+
+    /**
+     * Physical rotational slot of a logical sector, applying track skew:
+     * (sector + skew * absoluteTrack) mod sectorsPerTrack.
+     */
+    int physicalSlot(const Chs &chs) const;
+
+    /** Validate parameter sanity; throws ConfigError on nonsense. */
+    void validate() const;
+};
+
+} // namespace declust

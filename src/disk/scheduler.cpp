@@ -1,0 +1,148 @@
+#include "disk/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+namespace {
+
+class FcfsScheduler : public Scheduler
+{
+  public:
+    void
+    push(const SchedEntry &entry) override
+    {
+        queue_.push_back(entry);
+    }
+
+    SchedEntry
+    pop(int, SeekDirection) override
+    {
+        DECLUST_ASSERT(!queue_.empty(), "pop on empty queue");
+        SchedEntry e = queue_.front();
+        queue_.pop_front();
+        return e;
+    }
+
+    bool empty() const override { return queue_.empty(); }
+    std::size_t size() const override { return queue_.size(); }
+
+  private:
+    std::deque<SchedEntry> queue_;
+};
+
+class VrScheduler : public Scheduler
+{
+  public:
+    VrScheduler(double r, int cylinders) : r_(r), cylinders_(cylinders)
+    {
+        DECLUST_ASSERT(r_ >= 0.0 && r_ <= 1.0, "V(R) needs R in [0,1]");
+        DECLUST_ASSERT(cylinders_ > 0, "V(R) needs cylinder count");
+    }
+
+    void
+    push(const SchedEntry &entry) override
+    {
+        queue_.push_back(entry);
+    }
+
+    SchedEntry
+    pop(int headCylinder, SeekDirection direction) override
+    {
+        DECLUST_ASSERT(!queue_.empty(), "pop on empty queue");
+        const double penalty = r_ * cylinders_;
+        std::size_t best = 0;
+        double bestCost = cost(queue_[0], headCylinder, direction, penalty);
+        for (std::size_t i = 1; i < queue_.size(); ++i) {
+            const double c =
+                cost(queue_[i], headCylinder, direction, penalty);
+            // Ties go to the older request to avoid starvation.
+            if (c < bestCost ||
+                (c == bestCost &&
+                 queue_[i].enqueued < queue_[best].enqueued)) {
+                bestCost = c;
+                best = i;
+            }
+        }
+        SchedEntry e = queue_[best];
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(best));
+        return e;
+    }
+
+    bool empty() const override { return queue_.empty(); }
+    std::size_t size() const override { return queue_.size(); }
+
+  private:
+    static double
+    cost(const SchedEntry &entry, int head, SeekDirection direction,
+         double penalty)
+    {
+        const int delta = entry.cylinder - head;
+        double c = std::abs(delta);
+        const bool reversal =
+            (direction == SeekDirection::Up && delta < 0) ||
+            (direction == SeekDirection::Down && delta > 0);
+        if (reversal)
+            c += penalty;
+        return c;
+    }
+
+    double r_;
+    int cylinders_;
+    std::vector<SchedEntry> queue_;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+makeFcfsScheduler()
+{
+    return std::make_unique<FcfsScheduler>();
+}
+
+std::unique_ptr<Scheduler>
+makeVrScheduler(double r, int cylinders)
+{
+    return std::make_unique<VrScheduler>(r, cylinders);
+}
+
+std::unique_ptr<Scheduler>
+makeSstfScheduler(int cylinders)
+{
+    return makeVrScheduler(0.0, cylinders);
+}
+
+std::unique_ptr<Scheduler>
+makeScanScheduler(int cylinders)
+{
+    return makeVrScheduler(1.0, cylinders);
+}
+
+std::unique_ptr<Scheduler>
+makeCvscanScheduler(int cylinders)
+{
+    return makeVrScheduler(0.2, cylinders);
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string &name, int cylinders)
+{
+    if (name == "fcfs")
+        return makeFcfsScheduler();
+    if (name == "sstf")
+        return makeSstfScheduler(cylinders);
+    if (name == "scan")
+        return makeScanScheduler(cylinders);
+    if (name == "cvscan")
+        return makeCvscanScheduler(cylinders);
+    DECLUST_FATAL("unknown scheduler '", name,
+                  "' (want fcfs|sstf|scan|cvscan)");
+}
+
+} // namespace declust

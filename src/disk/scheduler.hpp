@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Disk head scheduling disciplines.
+ *
+ * The paper's array uses CVSCAN (Geist & Daniel's V(R) continuum,
+ * ACM TOCS 1987): among queued requests, choose the one minimizing
+ * seek distance plus a direction-change penalty of R * total cylinders.
+ * R = 0 degenerates to SSTF, R = 1 to SCAN; Geist & Daniel recommend an
+ * intermediate R (we default to 0.2). FCFS is included as a baseline for
+ * the scheduler ablation bench.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace declust {
+
+/**
+ * Request priority class. Background requests (the reconstruction
+ * sweep's reads and writes) are only serviced when no Normal (user)
+ * request is queued — the paper's section-9 "flexible prioritization
+ * scheme" — provided the disk was built with priority separation.
+ */
+enum class Priority { Normal = 0, Background = 1 };
+
+/** A request as seen by the scheduler. */
+struct SchedEntry
+{
+    std::int64_t id = 0;
+    int cylinder = 0;
+    Tick enqueued = 0;
+};
+
+/** Head-movement direction. */
+enum class SeekDirection { None, Up, Down };
+
+/** Queue discipline for selecting the next request to service. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Add a request to the queue. */
+    virtual void push(const SchedEntry &entry) = 0;
+
+    /**
+     * Remove and return the next request to service given the current
+     * head cylinder and travel direction. Precondition: !empty().
+     */
+    virtual SchedEntry pop(int headCylinder, SeekDirection direction) = 0;
+
+    virtual bool empty() const = 0;
+    virtual std::size_t size() const = 0;
+};
+
+/** First-come first-served. */
+std::unique_ptr<Scheduler> makeFcfsScheduler();
+
+/**
+ * Geist & Daniel V(R): cost = |cyl - head| + (reversal ? R * cylinders
+ * : 0); R = 0 is SSTF, R = 1 is SCAN.
+ */
+std::unique_ptr<Scheduler> makeVrScheduler(double r, int cylinders);
+
+/** SSTF = V(0). */
+std::unique_ptr<Scheduler> makeSstfScheduler(int cylinders);
+
+/** SCAN = V(1). */
+std::unique_ptr<Scheduler> makeScanScheduler(int cylinders);
+
+/** CVSCAN with the library default R = 0.2. */
+std::unique_ptr<Scheduler> makeCvscanScheduler(int cylinders);
+
+/** Factory by name ("fcfs", "sstf", "scan", "cvscan"). */
+std::unique_ptr<Scheduler> makeScheduler(const std::string &name,
+                                         int cylinders);
+
+} // namespace declust

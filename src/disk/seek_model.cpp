@@ -1,0 +1,109 @@
+#include "disk/seek_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+SeekModel::SeekModel(const DiskGeometry &geometry)
+{
+    geometry.validate();
+    const int N = geometry.cylinders;
+    maxDistance_ = N - 1;
+
+    // Distance distribution of a uniform random ordered cylinder pair:
+    // P(d) = 2(N-d)/N^2 for d in [1, N-1]; condition on d >= 1.
+    double norm = 0.0, eSqrt = 0.0, eLin = 0.0;
+    for (int d = 1; d <= maxDistance_; ++d) {
+        const double p = 2.0 * (N - d);
+        norm += p;
+        eSqrt += p * std::sqrt(static_cast<double>(d));
+        eLin += p * d;
+    }
+    eSqrt /= norm;
+    eLin /= norm;
+
+    // Solve the 3x3 linear system for (a, b, c):
+    //   a*1          + b*1       + c = min
+    //   a*sqrt(N-1)  + b*(N-1)   + c = max
+    //   a*eSqrt      + b*eLin    + c = avg
+    const double m = static_cast<double>(maxDistance_);
+    const double rows[3][4] = {
+        {1.0, 1.0, 1.0, geometry.seekMinMs},
+        {std::sqrt(m), m, 1.0, geometry.seekMaxMs},
+        {eSqrt, eLin, 1.0, geometry.seekAvgMs},
+    };
+    // Gaussian elimination on the tiny system.
+    double mat[3][4];
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 4; ++j)
+            mat[i][j] = rows[i][j];
+    for (int col = 0; col < 3; ++col) {
+        int pivot = col;
+        for (int rr = col + 1; rr < 3; ++rr)
+            if (std::fabs(mat[rr][col]) > std::fabs(mat[pivot][col]))
+                pivot = rr;
+        for (int j = 0; j < 4; ++j)
+            std::swap(mat[col][j], mat[pivot][j]);
+        DECLUST_ASSERT(std::fabs(mat[col][col]) > 1e-12,
+                       "singular seek calibration system");
+        for (int rr = 0; rr < 3; ++rr) {
+            if (rr == col)
+                continue;
+            const double f = mat[rr][col] / mat[col][col];
+            for (int j = col; j < 4; ++j)
+                mat[rr][j] -= f * mat[col][j];
+        }
+    }
+    a_ = mat[0][3] / mat[0][0];
+    b_ = mat[1][3] / mat[1][1];
+    c_ = mat[2][3] / mat[2][2];
+
+    // The curve must be physically sensible: non-decreasing and
+    // positive. Violations come from the caller's geometry (min/avg/max
+    // seeks inconsistent with the cylinder count), so report them as
+    // configuration errors.
+    double prev = 0.0;
+    for (int d = 1; d <= maxDistance_; ++d) {
+        const double t = seekMs(d);
+        if (t < prev - 1e-9 || t <= 0) {
+            DECLUST_FATAL("seek curve not monotone at distance ", d,
+                          ": min/avg/max seek times (",
+                          geometry.seekMinMs, "/", geometry.seekAvgMs,
+                          "/", geometry.seekMaxMs,
+                          " ms) are inconsistent with ", N, " cylinders");
+        }
+        prev = t;
+    }
+
+    double avg = 0.0;
+    for (int d = 1; d <= maxDistance_; ++d)
+        avg += 2.0 * (N - d) * seekMs(d);
+    averageMs_ = avg / norm;
+}
+
+double
+SeekModel::seekMs(int distance) const
+{
+    DECLUST_ASSERT(distance >= 0 && distance <= maxDistance_,
+                   "seek distance ", distance, " out of range");
+    if (distance == 0)
+        return 0.0;
+    return a_ * std::sqrt(static_cast<double>(distance)) + b_ * distance +
+           c_;
+}
+
+Tick
+SeekModel::seekTicks(int distance) const
+{
+    return msToTicks(seekMs(distance));
+}
+
+double
+SeekModel::averageMs() const
+{
+    return averageMs_;
+}
+
+} // namespace declust

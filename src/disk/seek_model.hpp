@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Seek-time model calibrated to a disk's published min/avg/max seeks.
+ *
+ * Uses the classical two-regime-free curve t(d) = a*sqrt(d) + b*d + c for
+ * d >= 1 (t(0) = 0): the sqrt term models the accelerate/decelerate
+ * regime of short seeks, the linear term the coast regime of long seeks.
+ * The three coefficients are solved from three constraints:
+ *
+ *   t(1)        = seekMin
+ *   t(N-1)      = seekMax
+ *   E[t(D)]     = seekAvg,  D ~ distance of a uniform random cylinder
+ *                 pair conditioned on D >= 1 (the spec-sheet convention).
+ */
+#pragma once
+
+#include "disk/geometry.hpp"
+#include "sim/time.hpp"
+
+namespace declust {
+
+/** Calibrated seek-time curve for one geometry. */
+class SeekModel
+{
+  public:
+    explicit SeekModel(const DiskGeometry &geometry);
+
+    /** Seek time for a @p distance-cylinder move (0 for distance 0). */
+    Tick seekTicks(int distance) const;
+
+    /** Seek time in fractional milliseconds. */
+    double seekMs(int distance) const;
+
+    /** @{ Calibrated coefficients (exposed for tests). */
+    double coeffSqrt() const { return a_; }
+    double coeffLinear() const { return b_; }
+    double coeffConst() const { return c_; }
+    /** @} */
+
+    /**
+     * Mean seek time over the uniform-random-pair distance distribution
+     * (should reproduce the geometry's seekAvgMs).
+     */
+    double averageMs() const;
+
+  private:
+    int maxDistance_;
+    double a_ = 0.0;
+    double b_ = 0.0;
+    double c_ = 0.0;
+    double averageMs_ = 0.0;
+};
+
+} // namespace declust

@@ -1,0 +1,161 @@
+#include "layout/criteria.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+LayoutAudit
+auditLayout(const Layout &layout, double spreadTolerance,
+            int parallelWindows)
+{
+    LayoutAudit audit;
+    const int C = layout.numDisks();
+    const int G = layout.stripeWidth();
+    const std::int64_t stripes = layout.numStripes();
+
+    // ---- Criterion 1 + gather per-stripe disk sets.
+    audit.singleFailureCorrecting = true;
+    std::vector<std::int64_t> parityPerDisk(static_cast<size_t>(C), 0);
+    // reconWork[failed][survivor]: units survivor reads to rebuild failed.
+    std::vector<std::int64_t> reconWork(static_cast<size_t>(C) * C, 0);
+
+    std::vector<int> disks(static_cast<size_t>(G));
+    for (std::int64_t s = 0; s < stripes; ++s) {
+        for (int pos = 0; pos < G; ++pos)
+            disks[static_cast<size_t>(pos)] = layout.place(s, pos).disk;
+        ++parityPerDisk[static_cast<size_t>(disks[static_cast<size_t>(
+            G - 1)])];
+        for (int i = 0; i < G && audit.singleFailureCorrecting; ++i)
+            for (int j = i + 1; j < G; ++j)
+                if (disks[static_cast<size_t>(i)] ==
+                    disks[static_cast<size_t>(j)]) {
+                    audit.singleFailureCorrecting = false;
+                    break;
+                }
+        // Every unit of the stripe is read by every other unit's disk
+        // when that disk's unit is lost.
+        for (int i = 0; i < G; ++i)
+            for (int j = 0; j < G; ++j)
+                if (i != j)
+                    ++reconWork[static_cast<size_t>(
+                                    disks[static_cast<size_t>(i)]) * C +
+                                disks[static_cast<size_t>(j)]];
+    }
+
+    // ---- Criterion 2: reconstruction balance across survivor pairs.
+    std::int64_t mn = INT64_MAX, mx = INT64_MIN;
+    double sum = 0;
+    int pairs = 0;
+    for (int f = 0; f < C; ++f) {
+        for (int s = 0; s < C; ++s) {
+            if (f == s)
+                continue;
+            const std::int64_t w =
+                reconWork[static_cast<size_t>(f) * C + s];
+            mn = std::min(mn, w);
+            mx = std::max(mx, w);
+            sum += static_cast<double>(w);
+            ++pairs;
+        }
+    }
+    audit.reconWorkMin = mn;
+    audit.reconWorkMax = mx;
+    const double meanWork = sum / pairs;
+    audit.reconWorkSpread =
+        meanWork > 0 ? static_cast<double>(mx - mn) / meanWork : 0.0;
+    audit.distributedReconstruction =
+        audit.reconWorkSpread <= spreadTolerance + 1e-12;
+
+    // ---- Criterion 3: parity balance.
+    const auto [pmin, pmax] =
+        std::minmax_element(parityPerDisk.begin(), parityPerDisk.end());
+    audit.parityMin = *pmin;
+    audit.parityMax = *pmax;
+    const double meanParity =
+        static_cast<double>(stripes) / static_cast<double>(C);
+    audit.paritySpread =
+        meanParity > 0 ? static_cast<double>(*pmax - *pmin) / meanParity
+                       : 0.0;
+    audit.distributedParity = audit.paritySpread <= spreadTolerance + 1e-12;
+
+    // ---- Criterion 4: the layout reports its own table footprint
+    // (0 for arithmetic layouts such as left-symmetric RAID 5).
+    audit.mappingTableBytes = layout.mappingTableBytes();
+
+    // ---- Criterion 5: with the sequential data map, the data portion of
+    // each parity stripe is logically contiguous by construction; verify
+    // the round trip anyway.
+    audit.largeWriteOptimization = true;
+    const std::int64_t checkStripes = std::min<std::int64_t>(stripes, 1024);
+    for (std::int64_t s = 0; s < checkStripes; ++s) {
+        for (int j = 0; j < G - 1; ++j) {
+            const std::int64_t d =
+                layout.stripeToDataUnit(StripeUnit{s, j});
+            if (d != s * (G - 1) + j) {
+                audit.largeWriteOptimization = false;
+                break;
+            }
+        }
+    }
+
+    // ---- Criterion 6: sample windows of C consecutive data units and
+    // count how many hit C distinct disks.
+    const std::int64_t dataUnits = layout.numDataUnits();
+    std::int64_t good = 0, total = 0;
+    if (dataUnits >= C) {
+        const std::int64_t lastStart = dataUnits - C;
+        const std::int64_t step =
+            std::max<std::int64_t>(1, lastStart / std::max(1,
+                                                           parallelWindows));
+        std::vector<char> seen(static_cast<size_t>(C));
+        for (std::int64_t start = 0; start <= lastStart; start += step) {
+            std::fill(seen.begin(), seen.end(), 0);
+            bool distinct = true;
+            for (int i = 0; i < C; ++i) {
+                const StripeUnit su = layout.dataUnitToStripe(start + i);
+                const int disk = layout.place(su.stripe, su.pos).disk;
+                if (seen[static_cast<size_t>(disk)]) {
+                    distinct = false;
+                    break;
+                }
+                seen[static_cast<size_t>(disk)] = 1;
+            }
+            good += distinct;
+            ++total;
+        }
+    }
+    audit.parallelWindowFraction =
+        total ? static_cast<double>(good) / static_cast<double>(total) : 0.0;
+    audit.maximalParallelism = total > 0 && good == total;
+
+    audit.unmappedUnits = layout.unmappedUnits();
+    return audit;
+}
+
+std::string
+LayoutAudit::summary() const
+{
+    std::ostringstream os;
+    os << "1 single-failure-correcting: "
+       << (singleFailureCorrecting ? "yes" : "NO") << "\n"
+       << "2 distributed reconstruction: "
+       << (distributedReconstruction ? "yes" : "NO") << " (per-pair units "
+       << reconWorkMin << ".." << reconWorkMax << ", spread "
+       << reconWorkSpread << ")\n"
+       << "3 distributed parity: " << (distributedParity ? "yes" : "NO")
+       << " (per-disk parity " << parityMin << ".." << parityMax
+       << ", spread " << paritySpread << ")\n"
+       << "4 mapping table footprint: " << mappingTableBytes << " bytes\n"
+       << "5 large-write optimization: "
+       << (largeWriteOptimization ? "yes" : "NO") << "\n"
+       << "6 maximal parallelism: " << (maximalParallelism ? "yes" : "no")
+       << " (" << parallelWindowFraction * 100.0
+       << "% of windows fully parallel)\n"
+       << "unmapped tail units: " << unmappedUnits << "\n";
+    return os.str();
+}
+
+} // namespace declust

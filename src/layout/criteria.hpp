@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Auditor for the paper's six layout-goodness criteria (section 4.1).
+ *
+ * Criteria 1-4 are intrinsic to the parity layout; 5-6 depend on the data
+ * mapping (here always the sequential by-parity-stripe-index map). The
+ * audit measures each one over the full mapped region and reports both
+ * pass/fail and the underlying distribution metrics.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace declust {
+
+/** Measured results for one layout. */
+struct LayoutAudit
+{
+    // Criterion 1: no two units of a stripe on one disk.
+    bool singleFailureCorrecting = false;
+
+    // Criterion 2: reconstruction work spread evenly. For each ordered
+    // pair (failed, survivor), the number of units the survivor reads
+    // while reconstructing the failed disk; even means equal per survivor.
+    bool distributedReconstruction = false;
+    std::int64_t reconWorkMin = 0;
+    std::int64_t reconWorkMax = 0;
+    /** Max relative spread (max-min)/mean of reconstruction work. */
+    double reconWorkSpread = 0.0;
+
+    // Criterion 3: parity units spread evenly across disks.
+    bool distributedParity = false;
+    std::int64_t parityMin = 0;
+    std::int64_t parityMax = 0;
+    double paritySpread = 0.0;
+
+    // Criterion 4: mapping table footprint (bytes); "efficient" is a
+    // judgement call -- we report the number for the caller.
+    std::int64_t mappingTableBytes = 0;
+
+    // Criterion 5: large-write optimization. True if every parity
+    // stripe's data units are logically contiguous (by construction of
+    // the sequential data map).
+    bool largeWriteOptimization = false;
+
+    // Criterion 6: maximal parallelism. Fraction of C-unit windows of
+    // consecutive logical data that touch C distinct disks.
+    bool maximalParallelism = false;
+    double parallelWindowFraction = 0.0;
+
+    /** Units unmapped by table truncation. */
+    std::int64_t unmappedUnits = 0;
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Audit @p layout against all six criteria.
+ *
+ * @param layout The layout to audit.
+ * @param spreadTolerance Relative spread ((max-min)/mean) accepted for
+ *        criteria 2 and 3; 0 demands perfect balance. Truncated partial
+ *        tables produce small nonzero spreads.
+ * @param parallelWindows Number of window samples for criterion 6.
+ */
+LayoutAudit auditLayout(const Layout &layout, double spreadTolerance = 0.0,
+                        int parallelWindows = 4096);
+
+} // namespace declust

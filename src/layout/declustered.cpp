@@ -1,0 +1,183 @@
+#include "layout/declustered.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+DeclusteredLayout::DeclusteredLayout(BlockDesign design, int unitsPerDisk,
+                                     TableOrder order, int specialSlots)
+    : design_(std::move(design)), unitsPerDisk_(unitsPerDisk)
+{
+    const int C = design_.v();
+    const int G = design_.k();
+    const int b = design_.b();
+    const int r = design_.r();
+    DECLUST_ASSERT(G < C, "declustered layout needs G < C (got G=", G,
+                   ", C=", C, "); use LeftSymmetricLayout for G == C");
+    DECLUST_ASSERT(unitsPerDisk_ >= 1, "empty disks");
+    DECLUST_ASSERT(specialSlots >= 1 && specialSlots < G,
+                   "specialSlots out of range");
+
+    stripesPerTable_ = b * G;
+    unitsPerTable_ = r * G;
+    // DupMajor (the paper's figure 4-2 order) is perfectly balanced only
+    // in whole tables; whenever a trailing partial table exists the
+    // staggered order keeps the truncated prefix balanced too.
+    order_ = order != TableOrder::Auto ? order
+             : (unitsPerDisk_ % unitsPerTable_ == 0
+                    ? TableOrder::DupMajor
+                    : TableOrder::Staggered);
+
+    // If the disk cannot cover even one pass through the tuple list, a
+    // lexicographic prefix decides the entire layout, and complete
+    // designs enumerate tuples in an order that clusters low-numbered
+    // disks. Permute the tuple order deterministically in that case so
+    // any prefix samples the design uniformly. (When at least one full
+    // pass fits, every tuple is covered and no shuffle is needed.)
+    std::vector<int> tupleOrder(static_cast<size_t>(b));
+    for (int t = 0; t < b; ++t)
+        tupleOrder[static_cast<size_t>(t)] = t;
+    const std::int64_t coveredStripes =
+        static_cast<std::int64_t>(unitsPerDisk_) * C / G;
+    if (coveredStripes < b) {
+        std::uint64_t state = 0x9e3779b97f4a7c15ull ^
+                              (static_cast<std::uint64_t>(b) << 20) ^
+                              static_cast<std::uint64_t>(G);
+        auto nextRandom = [&state] {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            return state;
+        };
+        for (int t = b - 1; t > 0; --t) {
+            const auto j = static_cast<int>(
+                nextRandom() % static_cast<std::uint64_t>(t + 1));
+            std::swap(tupleOrder[static_cast<size_t>(t)],
+                      tupleOrder[static_cast<size_t>(j)]);
+        }
+    }
+
+    // Lay out one full block design table. Duplication `dup` assigns
+    // parity to tuple element (G-1-dup); in DupMajor order duplication 0
+    // (parity on the last element) is written out whole first, matching
+    // the paper's figure 4-2; in Staggered order stripe idx uses tuple
+    // (idx mod b) with parity rotation ((idx mod b) + idx/b) mod G so any
+    // prefix covers tuples and rotations near-uniformly.
+    tableUnits_.assign(static_cast<size_t>(stripesPerTable_) * G,
+                       PhysicalUnit{});
+    inverse_.assign(static_cast<size_t>(C) * unitsPerTable_,
+                    InvEntry{-1, -1});
+    std::vector<int> nextFree(static_cast<size_t>(C), 0);
+
+    // Position k-1-j of the stripe (j < specialSlots) is a "special"
+    // slot placed on tuple element k-1-((dup+j) mod k): each special
+    // slot visits every element exactly once across the G duplications,
+    // so parity (and, for sparing layouts, the spare) is balanced.
+    std::vector<int> slotOfElem(static_cast<size_t>(G));
+    for (int idx = 0; idx < stripesPerTable_; ++idx) {
+        const int t = idx % b;
+        const int dup = order_ == TableOrder::DupMajor
+                            ? idx / b
+                            : (t + idx / b) % G;
+        std::fill(slotOfElem.begin(), slotOfElem.end(), -1);
+        for (int j = 0; j < specialSlots; ++j)
+            slotOfElem[static_cast<size_t>(G - 1 - (dup + j) % G)] =
+                G - 1 - j;
+        const Tuple &tup = design_.tuple(tupleOrder[static_cast<size_t>(t)]);
+        int dataPos = 0;
+        for (int e = 0; e < G; ++e) {
+            const int disk = tup[static_cast<size_t>(e)];
+            const int off = nextFree[static_cast<size_t>(disk)]++;
+            DECLUST_ASSERT(off < unitsPerTable_,
+                           "allocation overflow on disk ", disk);
+            const int special = slotOfElem[static_cast<size_t>(e)];
+            const int pos = special >= 0 ? special : dataPos++;
+            tableUnits_[static_cast<size_t>(idx) * G + pos] =
+                PhysicalUnit{disk, off};
+            inverse_[static_cast<size_t>(disk) * unitsPerTable_ + off] =
+                InvEntry{idx, pos};
+        }
+    }
+    // Balance property of the design: every disk ends exactly full.
+    for (int d = 0; d < C; ++d) {
+        DECLUST_ASSERT(nextFree[static_cast<size_t>(d)] == unitsPerTable_,
+                       "disk ", d, " allocated ",
+                       nextFree[static_cast<size_t>(d)], " of ",
+                       unitsPerTable_, " table units");
+    }
+
+    fullTables_ = unitsPerDisk_ / unitsPerTable_;
+    const int remainder = unitsPerDisk_ % unitsPerTable_;
+
+    // The trailing partial table keeps the longest prefix of stripes whose
+    // every unit falls below the remainder; allocation is deterministic,
+    // so the full-table offsets are reusable.
+    partialStripes_ = 0;
+    for (int idx = 0; idx < stripesPerTable_; ++idx) {
+        bool fits = true;
+        for (int pos = 0; pos < G; ++pos) {
+            if (tableUnits_[static_cast<size_t>(idx) * G + pos].offset >=
+                remainder) {
+                fits = false;
+                break;
+            }
+        }
+        if (!fits)
+            break;
+        ++partialStripes_;
+    }
+
+    numStripes_ = fullTables_ * stripesPerTable_ + partialStripes_;
+    DECLUST_ASSERT(numStripes_ > 0,
+                   "disk too small for even one parity stripe "
+                   "(unitsPerDisk=", unitsPerDisk_, ")");
+}
+
+PhysicalUnit
+DeclusteredLayout::place(std::int64_t stripe, int pos) const
+{
+    DECLUST_ASSERT(stripe >= 0 && stripe < numStripes_, "stripe ", stripe,
+                   " out of range [0,", numStripes_, ")");
+    DECLUST_ASSERT(pos >= 0 && pos < design_.k(), "pos out of range");
+    const std::int64_t table = stripe / stripesPerTable_;
+    const int idx = static_cast<int>(stripe % stripesPerTable_);
+    PhysicalUnit unit = tableUnits_[static_cast<size_t>(idx) *
+                                        design_.k() + pos];
+    unit.offset += static_cast<int>(table * unitsPerTable_);
+    return unit;
+}
+
+std::optional<StripeUnit>
+DeclusteredLayout::invert(int disk, int offset) const
+{
+    DECLUST_ASSERT(disk >= 0 && disk < design_.v(), "disk out of range");
+    DECLUST_ASSERT(offset >= 0 && offset < unitsPerDisk_,
+                   "offset out of range");
+    const std::int64_t table = offset / unitsPerTable_;
+    const int tOff = offset % unitsPerTable_;
+    const InvEntry &e =
+        inverse_[static_cast<size_t>(disk) * unitsPerTable_ + tOff];
+    if (table == fullTables_ && e.stripeIdx >= partialStripes_)
+        return std::nullopt; // beyond the truncated partial table
+    return StripeUnit{table * stripesPerTable_ + e.stripeIdx, e.pos};
+}
+
+std::int64_t
+DeclusteredLayout::mappingTableBytes() const
+{
+    return static_cast<std::int64_t>(tableUnits_.size() *
+                                     sizeof(PhysicalUnit)) +
+           static_cast<std::int64_t>(inverse_.size() * sizeof(InvEntry));
+}
+
+std::int64_t
+DeclusteredLayout::unmappedUnits() const
+{
+    const std::int64_t physical =
+        static_cast<std::int64_t>(design_.v()) * unitsPerDisk_;
+    return physical - numStripes_ * design_.k();
+}
+
+} // namespace declust

@@ -1,0 +1,49 @@
+#include "layout/layout.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+PhysicalUnit
+Layout::placeSpare(std::int64_t) const
+{
+    DECLUST_PANIC("this layout has no spare units");
+}
+
+double
+Layout::alpha() const
+{
+    return static_cast<double>(stripeWidth() - 1) /
+           static_cast<double>(numDisks() - 1);
+}
+
+std::int64_t
+Layout::numDataUnits() const
+{
+    return numStripes() * dataUnitsPerStripe();
+}
+
+PhysicalUnit
+Layout::placeParity(std::int64_t stripe) const
+{
+    return place(stripe, stripeWidth() - 1);
+}
+
+StripeUnit
+Layout::dataUnitToStripe(std::int64_t dataUnit) const
+{
+    DECLUST_ASSERT(dataUnit >= 0 && dataUnit < numDataUnits(),
+                   "data unit ", dataUnit, " out of range");
+    const int dus = dataUnitsPerStripe();
+    return StripeUnit{dataUnit / dus, static_cast<int>(dataUnit % dus)};
+}
+
+std::int64_t
+Layout::stripeToDataUnit(const StripeUnit &su) const
+{
+    DECLUST_ASSERT(su.pos >= 0 && su.pos < dataUnitsPerStripe(),
+                   "position ", su.pos, " is not a data position");
+    return su.stripe * dataUnitsPerStripe() + su.pos;
+}
+
+} // namespace declust

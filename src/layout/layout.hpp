@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parity layout interface: the mapping between parity stripes and
+ * physical stripe units (paper section 2).
+ *
+ * A parity stripe is G stripe units: G-1 data units (positions 0..G-2)
+ * plus one parity unit (position G-1). A layout places every unit of
+ * every stripe on a (disk, offset) and provides the inverse map. The
+ * user-data map is the paper's "by parity stripe index" rule: logical
+ * data unit d lives at stripe d/(G-1), position d%(G-1), which is also
+ * the data order of a left-symmetric RAID 5.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace declust {
+
+/** Physical location of one stripe unit. */
+struct PhysicalUnit
+{
+    int disk = -1;
+    /** Offset on the disk, counted in stripe units. */
+    int offset = -1;
+
+    bool operator==(const PhysicalUnit &) const = default;
+};
+
+/** Logical identity of one stripe unit within the parity organization. */
+struct StripeUnit
+{
+    /** Parity stripe index. */
+    std::int64_t stripe = -1;
+    /** Position within the stripe: 0..G-2 data, G-1 parity. */
+    int pos = -1;
+
+    bool operator==(const StripeUnit &) const = default;
+};
+
+/** Abstract parity layout over a C-disk array. */
+class Layout
+{
+  public:
+    virtual ~Layout() = default;
+
+    /** Number of disks in the array (paper's C). */
+    virtual int numDisks() const = 0;
+
+    /** Stripe units per parity stripe including parity (paper's G). */
+    virtual int stripeWidth() const = 0;
+
+    /** Stripe units per disk that the layout was built over. */
+    virtual int unitsPerDisk() const = 0;
+
+    /** Number of complete (usable) parity stripes mapped. */
+    virtual std::int64_t numStripes() const = 0;
+
+    /** Physical location of stripe @p stripe's unit at position @p pos. */
+    virtual PhysicalUnit place(std::int64_t stripe, int pos) const = 0;
+
+    /**
+     * Inverse map: which stripe unit lives at (disk, offset)?
+     * Returns nullopt for units left unmapped by table truncation.
+     */
+    virtual std::optional<StripeUnit> invert(int disk,
+                                             int offset) const = 0;
+
+    /** Data units per stripe (G - 1). */
+    int dataUnitsPerStripe() const { return stripeWidth() - 1; }
+
+    /** Declustering ratio alpha = (G-1)/(C-1). */
+    double alpha() const;
+
+    /** Total user data units mapped: numStripes() * (G-1). */
+    std::int64_t numDataUnits() const;
+
+    /** Physical location of stripe @p stripe's parity unit. */
+    PhysicalUnit placeParity(std::int64_t stripe) const;
+
+    /** Logical data unit -> (stripe, pos) under the sequential data map. */
+    StripeUnit dataUnitToStripe(std::int64_t dataUnit) const;
+
+    /** (stripe, pos) -> logical data unit (pos must be a data position). */
+    std::int64_t stripeToDataUnit(const StripeUnit &su) const;
+
+    /** Physical units on each disk left unmapped by table truncation. */
+    virtual std::int64_t unmappedUnits() const { return 0; }
+
+    /**
+     * Memory the mapping tables consume (criterion 4: efficient
+     * mapping); 0 for arithmetic layouts like left-symmetric RAID 5.
+     */
+    virtual std::int64_t mappingTableBytes() const { return 0; }
+
+    /**
+     * @{ Distributed sparing support. A sparing layout reserves one
+     * spare unit per parity stripe, placed on a disk that holds none of
+     * the stripe's G live units, so a failed disk's units can be rebuilt
+     * *into the array* instead of onto a dedicated replacement. For such
+     * layouts invert() reports spare units with pos == stripeWidth().
+     */
+    virtual bool hasSpareUnits() const { return false; }
+
+    /** Spare unit of @p stripe (panics unless hasSpareUnits()). */
+    virtual PhysicalUnit placeSpare(std::int64_t stripe) const;
+    /** @} */
+};
+
+} // namespace declust

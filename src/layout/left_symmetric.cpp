@@ -1,0 +1,50 @@
+#include "layout/left_symmetric.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+LeftSymmetricLayout::LeftSymmetricLayout(int numDisks, int unitsPerDisk)
+    : numDisks_(numDisks), unitsPerDisk_(unitsPerDisk)
+{
+    DECLUST_ASSERT(numDisks_ >= 2, "left-symmetric needs >= 2 disks");
+    DECLUST_ASSERT(unitsPerDisk_ >= 1, "empty disks");
+}
+
+int
+LeftSymmetricLayout::parityDisk(std::int64_t stripe) const
+{
+    // Parity starts on the last disk and rotates left each stripe.
+    return numDisks_ - 1 - static_cast<int>(stripe % numDisks_);
+}
+
+PhysicalUnit
+LeftSymmetricLayout::place(std::int64_t stripe, int pos) const
+{
+    DECLUST_ASSERT(stripe >= 0 && stripe < numStripes(), "stripe ", stripe,
+                   " out of range");
+    DECLUST_ASSERT(pos >= 0 && pos < numDisks_, "pos ", pos,
+                   " out of range");
+    const int p = parityDisk(stripe);
+    const int offset = static_cast<int>(stripe);
+    if (pos == numDisks_ - 1)
+        return PhysicalUnit{p, offset};
+    // Data unit j goes on the disk after parity, wrapping around.
+    return PhysicalUnit{(p + 1 + pos) % numDisks_, offset};
+}
+
+std::optional<StripeUnit>
+LeftSymmetricLayout::invert(int disk, int offset) const
+{
+    DECLUST_ASSERT(disk >= 0 && disk < numDisks_, "disk out of range");
+    DECLUST_ASSERT(offset >= 0 && offset < unitsPerDisk_,
+                   "offset out of range");
+    const auto stripe = static_cast<std::int64_t>(offset);
+    const int p = parityDisk(stripe);
+    if (disk == p)
+        return StripeUnit{stripe, numDisks_ - 1};
+    const int pos = (disk - p - 1 + numDisks_) % numDisks_;
+    return StripeUnit{stripe, pos};
+}
+
+} // namespace declust

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Left-symmetric RAID 5 layout (Lee & Katz; paper figure 2-1).
+ *
+ * G = C: every parity stripe spans the whole array, one unit per disk.
+ * Parity rotates left by one disk per stripe starting from the last disk;
+ * data units wrap around to the disk after the parity unit. This is the
+ * paper's alpha = 1.0 comparison point and meets all six layout criteria.
+ */
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace declust {
+
+/** RAID 5 left-symmetric parity/data placement. */
+class LeftSymmetricLayout : public Layout
+{
+  public:
+    /**
+     * @param numDisks Array width C (= stripe width G).
+     * @param unitsPerDisk Stripe units per disk.
+     */
+    LeftSymmetricLayout(int numDisks, int unitsPerDisk);
+
+    int numDisks() const override { return numDisks_; }
+    int stripeWidth() const override { return numDisks_; }
+    int unitsPerDisk() const override { return unitsPerDisk_; }
+    std::int64_t numStripes() const override { return unitsPerDisk_; }
+
+    PhysicalUnit place(std::int64_t stripe, int pos) const override;
+    std::optional<StripeUnit> invert(int disk, int offset) const override;
+
+  private:
+    int parityDisk(std::int64_t stripe) const;
+
+    int numDisks_;
+    int unitsPerDisk_;
+};
+
+} // namespace declust

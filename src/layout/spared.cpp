@@ -1,0 +1,44 @@
+#include "layout/spared.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+SparedDeclusteredLayout::SparedDeclusteredLayout(BlockDesign design,
+                                                 int unitsPerDisk,
+                                                 TableOrder order)
+    : inner_(std::move(design), unitsPerDisk, order, /*specialSlots=*/2)
+{
+    // The inner layout rotates its last two positions independently
+    // across tuple elements: pos k-1 is our spare, pos k-2 our parity,
+    // both visiting every element once per G+1 duplications, so spares
+    // and parity are distributed as evenly as the paper's parity alone.
+    DECLUST_ASSERT(stripeWidth() >= 2,
+                   "spared layout needs live width G >= 2 (design k = ",
+                   inner_.stripeWidth(), ")");
+}
+
+PhysicalUnit
+SparedDeclusteredLayout::place(std::int64_t stripe, int pos) const
+{
+    DECLUST_ASSERT(pos >= 0 && pos < stripeWidth(),
+                   "pos ", pos, " out of live stripe range");
+    return inner_.place(stripe, pos);
+}
+
+std::optional<StripeUnit>
+SparedDeclusteredLayout::invert(int disk, int offset) const
+{
+    // Inner pos k-1 (its parity slot) is the spare; other positions map
+    // through unchanged, so inner pos == stripeWidth() already encodes
+    // "spare" in our convention.
+    return inner_.invert(disk, offset);
+}
+
+PhysicalUnit
+SparedDeclusteredLayout::placeSpare(std::int64_t stripe) const
+{
+    return inner_.place(stripe, inner_.stripeWidth() - 1);
+}
+
+} // namespace declust

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Declustered parity layout with distributed sparing.
+ *
+ * Extends the paper's organization the way Holland & Gibson's follow-on
+ * work (and RAIDframe) did: each parity stripe carries one *spare* unit
+ * in addition to its G-1 data units and parity unit, mapped through a
+ * block design on tuples of size G+1. The spare sits on a disk holding
+ * none of the stripe's live units, so when a disk fails its units can
+ * be reconstructed *into the array* — every disk absorbs a share of the
+ * reconstruction writes, removing the dedicated replacement disk as the
+ * write bottleneck that shapes the paper's section-8 results.
+ *
+ * Costs: spare capacity is 1/(G+1) of the array on top of parity's
+ * 1/(G+1) (a spared stripe holds G-1 data units per G+1 units), and the
+ * declustering ratio seen by recovery stays (G-1)/(C-1).
+ */
+#pragma once
+
+#include "layout/declustered.hpp"
+
+namespace declust {
+
+/** Block-design declustered layout with one spare unit per stripe. */
+class SparedDeclusteredLayout : public Layout
+{
+  public:
+    /**
+     * @param design Verified design with k = G + 1 (live width + spare).
+     * @param unitsPerDisk Stripe units available per disk.
+     * @param order Table ordering (see DeclusteredLayout).
+     */
+    SparedDeclusteredLayout(BlockDesign design, int unitsPerDisk,
+                            TableOrder order = TableOrder::Auto);
+
+    int numDisks() const override { return inner_.numDisks(); }
+
+    /** Live stripe width G (data + parity, excluding the spare). */
+    int stripeWidth() const override { return inner_.stripeWidth() - 1; }
+
+    int unitsPerDisk() const override { return inner_.unitsPerDisk(); }
+    std::int64_t numStripes() const override
+    {
+        return inner_.numStripes();
+    }
+
+    PhysicalUnit place(std::int64_t stripe, int pos) const override;
+
+    /**
+     * Inverse map; spare units are reported with pos == stripeWidth()
+     * (one past the parity position).
+     */
+    std::optional<StripeUnit> invert(int disk, int offset) const override;
+
+    std::int64_t unmappedUnits() const override
+    {
+        return inner_.unmappedUnits();
+    }
+
+    std::int64_t mappingTableBytes() const override
+    {
+        return inner_.mappingTableBytes();
+    }
+
+    bool hasSpareUnits() const override { return true; }
+    PhysicalUnit placeSpare(std::int64_t stripe) const override;
+
+    /** The wrapped (G+1)-wide declustered layout. */
+    const DeclusteredLayout &inner() const { return inner_; }
+
+  private:
+    DeclusteredLayout inner_;
+};
+
+} // namespace declust

@@ -1,0 +1,146 @@
+#include "model/muntz_lui.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+double
+maxRandomAccessRate(const DiskGeometry &geometry, int unitSectors)
+{
+    geometry.validate();
+    const double transferMs = geometry.revolutionMs * unitSectors /
+                              geometry.sectorsPerTrack;
+    const double accessMs =
+        geometry.seekAvgMs + geometry.revolutionMs / 2.0 + transferMs;
+    return 1000.0 / accessMs;
+}
+
+namespace {
+
+/** Per-disk load components at reconstruction progress x. */
+struct Loads
+{
+    double survivor = 0.0;    ///< accesses/sec on each surviving disk
+    double replacement = 0.0; ///< accesses/sec of user work on replacement
+    double freeReconRate = 0.0; ///< units/sec rebuilt by user activity
+};
+
+Loads
+userLoads(const MlModelConfig &cfg, double x)
+{
+    const double C = cfg.numDisks;
+    const double G = cfg.stripeUnits;
+    const double R = cfg.readFraction;
+    const double lu = cfg.userAccessesPerSec;
+    const double survivors = C - 1;
+    const bool redirect =
+        cfg.algorithm == ReconAlgorithm::Redirect ||
+        cfg.algorithm == ReconAlgorithm::RedirectPiggyback;
+    const bool writeThrough = cfg.algorithm != ReconAlgorithm::Baseline;
+    const bool piggyback =
+        cfg.algorithm == ReconAlgorithm::RedirectPiggyback;
+
+    Loads loads;
+    auto perSurvivor = [&](double totalAccesses) {
+        loads.survivor += totalAccesses / survivors;
+    };
+
+    // --- User reads, rate lu * R.
+    const double readsToFailed = lu * R / C;
+    const double readsToSurvivors = lu * R * (C - 1) / C;
+    perSurvivor(readsToSurvivors); // one access on one surviving disk
+    // Reads of failed-disk data: redirected fraction x goes to the
+    // replacement; the rest reconstruct on the fly with G-1 reads.
+    const double redirected = redirect ? readsToFailed * x : 0.0;
+    const double onTheFly = readsToFailed - redirected;
+    loads.replacement += redirected;
+    perSurvivor(onTheFly * (G - 1));
+    if (piggyback) {
+        // On-the-fly reconstructions of not-yet-rebuilt units are also
+        // written to the replacement and rebuild those units for free.
+        const double pb = readsToFailed * (1.0 - x);
+        loads.replacement += pb;
+        loads.freeReconRate += pb;
+    }
+
+    // --- User writes, rate lu * (1 - R).
+    const double lw = lu * (1.0 - R);
+    // Target data unit on the failed disk (probability 1/C).
+    const double writesToFailed = lw / C;
+    if (writeThrough) {
+        // Not-yet-rebuilt fraction: G-2 survivor reads + 1 survivor
+        // parity write + 1 replacement data write (and the unit becomes
+        // rebuilt); rebuilt fraction: normal RMW with the data unit's
+        // read+write on the replacement.
+        const double fresh = writesToFailed * (1.0 - x);
+        const double rebuilt = writesToFailed * x;
+        perSurvivor(fresh * (G - 1));
+        loads.replacement += fresh;
+        loads.freeReconRate += fresh;
+        perSurvivor(rebuilt * 2.0);
+        loads.replacement += rebuilt * 2.0;
+    } else {
+        // Baseline folds every such write into parity: G-2 reads + 1
+        // parity write on survivors, independent of x.
+        perSurvivor(writesToFailed * (G - 1));
+    }
+    // Parity unit on the failed disk (probability 1/C): one data write.
+    perSurvivor(lw / C);
+    // Both units on surviving disks: four-access read-modify-write.
+    perSurvivor(lw * (C - 2) / C * 4.0);
+
+    return loads;
+}
+
+} // namespace
+
+MlModelResult
+muntzLuiReconstructionTime(const MlModelConfig &cfg)
+{
+    DECLUST_ASSERT(cfg.numDisks >= 3 && cfg.stripeUnits >= 3 &&
+                       cfg.stripeUnits <= cfg.numDisks,
+                   "bad model geometry");
+    DECLUST_ASSERT(cfg.unitsPerDisk > 0, "model needs unitsPerDisk");
+    DECLUST_ASSERT(cfg.maxDiskAccessRate > 0 && cfg.dtSec > 0,
+                   "bad model rates");
+
+    const double mu = cfg.maxDiskAccessRate;
+    const double alpha = static_cast<double>(cfg.stripeUnits - 1) /
+                         static_cast<double>(cfg.numDisks - 1);
+    const double units = static_cast<double>(cfg.unitsPerDisk);
+
+    MlModelResult result;
+    result.survivorUtilization = userLoads(cfg, 0.0).survivor / mu;
+
+    double rebuilt = 0.0; // units
+    double t = 0.0;
+    const double horizon = 1e7; // give up after ~115 days of model time
+    while (rebuilt < units) {
+        const double x = rebuilt / units;
+        const Loads loads = userLoads(cfg, x);
+        const double spareSurvivor = mu - loads.survivor;
+        const double spareReplacement = mu - loads.replacement;
+        if (spareSurvivor <= 0.0 || spareReplacement <= 0.0) {
+            result.saturated = true;
+            result.reconstructionTimeSec = horizon;
+            return result;
+        }
+        // Sweep rate: surviving disks supply alpha reads per unit, the
+        // replacement one write per unit; the slower side limits.
+        const double sweepRate =
+            std::min(spareSurvivor / alpha, spareReplacement);
+        const double rate = sweepRate + loads.freeReconRate;
+        rebuilt += rate * cfg.dtSec;
+        t += cfg.dtSec;
+        if (t > horizon) {
+            result.saturated = true;
+            break;
+        }
+    }
+    result.reconstructionTimeSec = t;
+    return result;
+}
+
+} // namespace declust

@@ -1,0 +1,126 @@
+#include "model/queueing.hpp"
+
+#include <algorithm>
+
+#include "model/muntz_lui.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+
+namespace {
+
+/** Harmonic number H_n (expected max of n iid exponentials, in units
+ * of the mean). */
+double
+harmonic(int n)
+{
+    double h = 0.0;
+    for (int i = 1; i <= n; ++i)
+        h += 1.0 / i;
+    return h;
+}
+
+void
+validate(const QueueModelConfig &cfg)
+{
+    DECLUST_ASSERT(cfg.numDisks >= 3 && cfg.stripeUnits >= 3 &&
+                       cfg.stripeUnits <= cfg.numDisks,
+                   "bad model geometry");
+    DECLUST_ASSERT(cfg.userAccessesPerSec > 0 && cfg.serviceMs > 0,
+                   "bad model rates");
+    DECLUST_ASSERT(cfg.readFraction >= 0 && cfg.readFraction <= 1,
+                   "bad read fraction");
+}
+
+/** M/M/1 mean response for a given per-disk access rate. */
+QueueModelResult
+respond(const QueueModelConfig &cfg, double perDiskRate)
+{
+    QueueModelResult res;
+    res.utilization = perDiskRate * cfg.serviceMs / 1000.0;
+    if (res.utilization >= 1.0) {
+        res.saturated = true;
+        res.utilization = 1.0;
+        return res;
+    }
+    res.accessMs = cfg.serviceMs / (1.0 - res.utilization);
+    return res;
+}
+
+} // namespace
+
+double
+meanServiceMs(const DiskGeometry &geometry, int unitSectors)
+{
+    return 1000.0 / maxRandomAccessRate(geometry, unitSectors);
+}
+
+QueueModelResult
+faultFreeResponse(const QueueModelConfig &cfg)
+{
+    validate(cfg);
+    const double R = cfg.readFraction;
+    const int G = cfg.stripeUnits;
+    // Accesses per user op: reads 1; writes 4 (G=3: the three-access
+    // reconstruct-write).
+    const double writeAccesses = G == 3 ? 3.0 : 4.0;
+    const double perOp = R + (1.0 - R) * writeAccesses;
+    const double perDisk =
+        cfg.userAccessesPerSec * perOp / cfg.numDisks;
+
+    QueueModelResult res = respond(cfg, perDisk);
+    if (res.saturated)
+        return res;
+    const double w = res.accessMs;
+    res.readMs = w;
+    if (G == 3) {
+        // Phase 1: max(write data, read other); phase 2: write parity.
+        res.writeMs = w * harmonic(2) + w;
+    } else {
+        // Pre-read pair then write pair, each a 2-way fork/join.
+        res.writeMs = 2.0 * w * harmonic(2);
+    }
+    res.meanMs = R * res.readMs + (1.0 - R) * res.writeMs;
+    return res;
+}
+
+QueueModelResult
+degradedResponse(const QueueModelConfig &cfg)
+{
+    validate(cfg);
+    const double R = cfg.readFraction;
+    const int G = cfg.stripeUnits;
+    const double C = cfg.numDisks;
+    const double writeAccesses = G == 3 ? 3.0 : 4.0;
+
+    // Expected accesses per user op with one dead disk (section 7):
+    //  reads:  (C-1)/C hit survivors (1 access); 1/C reconstruct
+    //          on the fly (G-1 accesses);
+    //  writes: 1/C target lost data (fold: G-2 reads + 1 parity write);
+    //          1/C have lost parity (1 access);
+    //          (C-2)/C proceed normally.
+    const double readOp = (C - 1.0) / C + (G - 1.0) / C;
+    const double writeOp = (G - 1.0) / C + 1.0 / C +
+                           writeAccesses * (C - 2.0) / C;
+    const double perOp = R * readOp + (1.0 - R) * writeOp;
+    const double perDisk = cfg.userAccessesPerSec * perOp / (C - 1.0);
+
+    QueueModelResult res = respond(cfg, perDisk);
+    if (res.saturated)
+        return res;
+    const double w = res.accessMs;
+
+    // Reads: plain, or the max of G-1 parallel survivor reads.
+    res.readMs =
+        (C - 1.0) / C * w + 1.0 / C * w * harmonic(G - 1);
+    // Writes: fold = max of G-2 reads then the parity write; lost
+    // parity = single access; normal = read-modify-write.
+    const double foldMs = w * harmonic(std::max(1, G - 2)) + w;
+    const double normalMs =
+        G == 3 ? w * harmonic(2) + w : 2.0 * w * harmonic(2);
+    res.writeMs = (foldMs + w) / C + normalMs * (C - 2.0) / C;
+    res.meanMs = R * res.readMs + (1.0 - R) * res.writeMs;
+    return res;
+}
+
+} // namespace declust

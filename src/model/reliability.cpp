@@ -1,0 +1,42 @@
+#include "model/reliability.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+double
+mttdlHours(const ReliabilityConfig &config)
+{
+    DECLUST_ASSERT(config.numDisks >= 2, "array needs >= 2 disks");
+    DECLUST_ASSERT(config.diskMtbfHours > 0 && config.mttrHours > 0,
+                   "MTBF and MTTR must be positive");
+    const double c = static_cast<double>(config.numDisks);
+    return config.diskMtbfHours * config.diskMtbfHours /
+           (c * (c - 1.0) * config.mttrHours);
+}
+
+double
+dataLossProbability(const ReliabilityConfig &config, double missionHours)
+{
+    DECLUST_ASSERT(missionHours >= 0, "mission time must be non-negative");
+    return 1.0 - std::exp(-missionHours / mttdlHours(config));
+}
+
+double
+mttdlFromReconstruction(int numDisks, double diskMtbfHours,
+                        double reconstructionSec,
+                        double replacementDelaySec)
+{
+    DECLUST_ASSERT(reconstructionSec > 0 && replacementDelaySec >= 0,
+                   "repair times must be sensible");
+    ReliabilityConfig config;
+    config.numDisks = numDisks;
+    config.diskMtbfHours = diskMtbfHours;
+    config.mttrHours =
+        (reconstructionSec + replacementDelaySec) / 3600.0;
+    return mttdlHours(config);
+}
+
+} // namespace declust

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Data-reliability model for single-failure-correcting arrays.
+ *
+ * The paper motivates short reconstruction windows with the standard
+ * MTTDL argument (Patterson, Gibson & Katz 1988; paper sections 1, 2 and
+ * 8): a single-failure-correcting array of C disks loses data when a
+ * second disk fails while the first is being repaired, so
+ *
+ *     MTTDL = MTBF^2 / (C * (C - 1) * MTTR)
+ *
+ * with per-disk MTBF and mean time to repair MTTR (replacement plus
+ * reconstruction). "Mean time until data loss is inversely proportional
+ * to mean repair time" — halving reconstruction time doubles MTTDL,
+ * which is exactly the lever parity declustering provides.
+ */
+#pragma once
+
+namespace declust {
+
+/** Inputs for the MTTDL computation. */
+struct ReliabilityConfig
+{
+    int numDisks = 21;
+    /** Per-disk mean time between failures, hours (disks of the paper's
+     * era were specified around 150,000 hours). */
+    double diskMtbfHours = 150'000.0;
+    /** Mean time to repair: replacement + reconstruction, hours. */
+    double mttrHours = 1.0;
+};
+
+/** Mean time to data loss in hours. */
+double mttdlHours(const ReliabilityConfig &config);
+
+/**
+ * Probability of at least one data-loss event within a mission of
+ * @p missionHours, treating data-loss events as Poisson with rate
+ * 1/MTTDL (valid for mission << MTTDL).
+ */
+double dataLossProbability(const ReliabilityConfig &config,
+                           double missionHours);
+
+/**
+ * Convenience: MTTDL in hours when the repair window is a measured
+ * reconstruction time in seconds plus a fixed replacement delay.
+ */
+double mttdlFromReconstruction(int numDisks, double diskMtbfHours,
+                               double reconstructionSec,
+                               double replacementDelaySec = 0.0);
+
+} // namespace declust

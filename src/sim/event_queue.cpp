@@ -1,0 +1,68 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    DECLUST_ASSERT(when >= now_, "scheduling into the past: ", when,
+                   " < ", now_);
+    DECLUST_ASSERT(cb, "null event callback");
+    queue_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback cb)
+{
+    scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    // Move the callback out before popping so the entry can safely
+    // schedule further events (which may reallocate the heap).
+    Entry top = queue_.top();
+    queue_.pop();
+    now_ = top.when;
+    ++executed_;
+    top.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!queue_.empty() && queue_.top().when <= until)
+        step();
+    // No event before the horizon: idle time just passes.
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+EventQueue::runToCompletion()
+{
+    while (step()) {
+    }
+}
+
+bool
+EventQueue::runUntilCondition(const std::function<bool()> &done)
+{
+    if (done())
+        return true;
+    while (step()) {
+        if (done())
+            return true;
+    }
+    return false;
+}
+
+} // namespace declust

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic event-driven simulation engine.
+ *
+ * Events are closures scheduled at absolute ticks; ties are broken by
+ * insertion order so a given seed always replays identically. This is the
+ * lowest layer of the simulator, standing in for raidSim's event core.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace declust {
+
+/** Priority queue of timed callbacks with a simulated clock. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb);
+
+    /** True if no events are pending. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return queue_.size(); }
+
+    /** Pop and run the single earliest event. @return false if empty. */
+    bool step();
+
+    /**
+     * Run until the queue drains or simulated time would exceed @p until.
+     * Events scheduled exactly at @p until still run. The clock is left at
+     * min(until, time of last executed event).
+     */
+    void runUntil(Tick until);
+
+    /** Run until the queue is completely empty. */
+    void runToCompletion();
+
+    /**
+     * Run until @p done returns true (checked after each event) or the
+     * queue drains. @return true if the predicate was satisfied.
+     */
+    bool runUntilCondition(const std::function<bool()> &done);
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; // tie-break: FIFO among same-tick events
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace declust

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fork/join helper for callback-structured simulation flows.
+ *
+ * Array operations fan out to several disks and continue when all
+ * complete; makeJoin(n, done) returns a callback to hand to each of the
+ * n forks, firing done() exactly once after the n-th call.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+/**
+ * Build a join callback: invoke the result @p n times and @p done runs
+ * once. @p n must be positive (a zero-wide fork is a logic error; call
+ * done directly instead).
+ */
+inline std::function<void()>
+makeJoin(int n, std::function<void()> done)
+{
+    DECLUST_ASSERT(n > 0, "join of zero forks");
+    auto remaining = std::make_shared<int>(n);
+    return [remaining, done = std::move(done)]() {
+        DECLUST_ASSERT(*remaining > 0, "join fired too many times");
+        if (--*remaining == 0)
+            done();
+    };
+}
+
+} // namespace declust

@@ -1,0 +1,91 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits into the mantissa: uniform on [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    DECLUST_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    DECLUST_ASSERT(lo <= hi, "bad range [", lo, ",", hi, "]");
+    return lo + static_cast<std::int64_t>(
+        uniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::exponential(double mean)
+{
+    DECLUST_ASSERT(mean > 0, "exponential mean must be positive");
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -mean * std::log(1.0 - uniform());
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace declust

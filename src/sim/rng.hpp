@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads and simulations.
+ *
+ * Wraps xoshiro256** (public-domain algorithm by Blackman & Vigna) with
+ * the distributions the synthetic workload needs. Self-contained so results
+ * are reproducible across standard libraries (std:: distributions are not
+ * bit-stable between implementations).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace declust {
+
+/** xoshiro256** generator plus simulation-oriented distributions. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) with rejection (unbiased). */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Exponential variate with mean @p mean (for Poisson arrivals). */
+    double exponential(double mean);
+
+    /** Bernoulli trial with success probability @p p. */
+    bool bernoulli(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace declust

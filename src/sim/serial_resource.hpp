@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A serially-shared resource (e.g. the array controller's CPU or XOR
+ * engine): one user at a time, FIFO queueing, each use holding the
+ * resource for a caller-specified duration. This is what turns
+ * per-access CPU cost into an architectural bottleneck rather than a
+ * fixed latency adder.
+ */
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "stats/utilization.hpp"
+
+namespace declust {
+
+/** FIFO single-server resource bound to an event queue. */
+class SerialResource
+{
+  public:
+    explicit SerialResource(EventQueue &eq) : eq_(eq)
+    {
+        util_.resetWindow(eq_.now());
+    }
+
+    SerialResource(const SerialResource &) = delete;
+    SerialResource &operator=(const SerialResource &) = delete;
+
+    /**
+     * Occupy the resource for @p duration ticks, then run @p then.
+     * Requests are served in arrival order.
+     */
+    void
+    use(Tick duration, std::function<void()> then)
+    {
+        queue_.push_back(Job{duration, std::move(then)});
+        if (!busy_)
+            startNext();
+    }
+
+    bool busy() const { return busy_; }
+    std::size_t queued() const { return queue_.size(); }
+
+    /** Busy fraction since the last resetWindow(). */
+    double utilization() const { return util_.utilization(eq_.now()); }
+
+    void resetWindow() { util_.resetWindow(eq_.now()); }
+
+  private:
+    struct Job
+    {
+        Tick duration;
+        std::function<void()> then;
+    };
+
+    void
+    startNext()
+    {
+        if (queue_.empty())
+            return;
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        busy_ = true;
+        util_.setBusy(eq_.now());
+        eq_.scheduleIn(job.duration, [this, then = std::move(job.then)] {
+            busy_ = false;
+            util_.setIdle(eq_.now());
+            then();
+            if (!busy_) // `then` may have re-entered use()
+                startNext();
+        });
+    }
+
+    EventQueue &eq_;
+    std::deque<Job> queue_;
+    bool busy_ = false;
+    UtilizationTracker util_;
+};
+
+} // namespace declust

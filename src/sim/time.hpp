@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulated-time representation.
+ *
+ * Ticks are integer microseconds of simulated time. Integer ticks keep the
+ * simulation deterministic and immune to floating-point drift over long
+ * (multi-hour) reconstruction runs.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace declust {
+
+/** Simulated time in microseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference. */
+using TickDelta = std::int64_t;
+
+constexpr Tick kTicksPerUs = 1;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert milliseconds (possibly fractional) to ticks, rounding. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerMs) + 0.5);
+}
+
+/** Convert seconds (possibly fractional) to ticks, rounding. */
+constexpr Tick
+secToTicks(double sec)
+{
+    return static_cast<Tick>(sec * static_cast<double>(kTicksPerSec) + 0.5);
+}
+
+/** Convert ticks to fractional milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+/** Convert ticks to fractional seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+} // namespace declust

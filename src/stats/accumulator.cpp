@@ -1,0 +1,79 @@
+#include "stats/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace declust {
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator{};
+}
+
+double
+Accumulator::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+} // namespace declust

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Streaming statistics accumulator (Welford's algorithm).
+ *
+ * Collects count/mean/variance/min/max in O(1) memory; used for response
+ * times, phase durations, and service times throughout the simulator.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace declust {
+
+/** Single-pass mean/variance/extrema accumulator. */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const;
+    /** Unbiased sample variance (0 for < 2 samples). */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace declust

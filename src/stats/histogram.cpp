@@ -1,0 +1,73 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+Histogram::Histogram(double limit, std::size_t buckets)
+    : limit_(limit),
+      bucketWidth_(limit / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    DECLUST_ASSERT(limit > 0 && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < 0)
+        x = 0;
+    if (x >= limit_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(x / bucketWidth_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    DECLUST_ASSERT(q > 0.0 && q <= 1.0, "quantile out of range: ", q);
+    if (total_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double c = static_cast<double>(counts_[i]);
+        if (cum + c >= target && c > 0) {
+            const double within = (target - cum) / c;
+            return (static_cast<double>(i) + within) * bucketWidth_;
+        }
+        cum += c;
+    }
+    return limit_;
+}
+
+double
+Histogram::fractionBelow(double x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    const auto lastFull = static_cast<std::size_t>(
+        std::min(x / bucketWidth_, static_cast<double>(counts_.size())));
+    for (std::size_t i = 0; i < lastFull; ++i)
+        below += counts_[i];
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+} // namespace declust

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-bucket histogram with percentile estimation.
+ *
+ * Used for response-time distributions (e.g. checking the OLTP "90% under
+ * two seconds" rule the paper cites). Buckets are uniform over [0, limit)
+ * with an overflow bucket; percentiles interpolate within a bucket.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace declust {
+
+/** Uniform-bucket histogram over [0, limit) plus overflow. */
+class Histogram
+{
+  public:
+    /**
+     * @param limit Upper edge of the tracked range (exclusive).
+     * @param buckets Number of uniform buckets in [0, limit).
+     */
+    Histogram(double limit, std::size_t buckets);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Total samples recorded. */
+    std::uint64_t count() const { return total_; }
+
+    /** Samples that fell at or above the limit. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Estimate the @p q quantile (0 < q <= 1) by linear interpolation
+     * within the containing bucket. Returns limit if the quantile lies in
+     * the overflow bucket.
+     */
+    double quantile(double q) const;
+
+    /** Fraction of samples strictly below @p x (bucket-resolution). */
+    double fractionBelow(double x) const;
+
+    /** Discard all samples. */
+    void reset();
+
+  private:
+    double limit_;
+    double bucketWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace declust

@@ -1,0 +1,52 @@
+#include "stats/utilization.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+void
+UtilizationTracker::setBusy(Tick now)
+{
+    DECLUST_ASSERT(!busy_, "resource already busy");
+    busy_ = true;
+    busySince_ = now;
+}
+
+void
+UtilizationTracker::setIdle(Tick now)
+{
+    DECLUST_ASSERT(busy_, "resource already idle");
+    DECLUST_ASSERT(now >= busySince_, "time went backwards");
+    accumulated_ += now - busySince_;
+    busy_ = false;
+}
+
+Tick
+UtilizationTracker::busyTicks(Tick now) const
+{
+    Tick total = accumulated_;
+    if (busy_ && now > busySince_)
+        total += now - busySince_;
+    return total;
+}
+
+double
+UtilizationTracker::utilization(Tick now) const
+{
+    if (now <= windowStart_)
+        return 0.0;
+    const Tick window = now - windowStart_;
+    return static_cast<double>(busyTicks(now)) /
+           static_cast<double>(window);
+}
+
+void
+UtilizationTracker::resetWindow(Tick now)
+{
+    windowStart_ = now;
+    accumulated_ = 0;
+    if (busy_)
+        busySince_ = now;
+}
+
+} // namespace declust

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Time-weighted busy/idle tracking for a single server (a disk).
+ *
+ * Integrates busy time against the simulated clock so per-disk utilization
+ * can be reported for any measurement window.
+ */
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace declust {
+
+/** Tracks cumulative busy ticks of a binary busy/idle resource. */
+class UtilizationTracker
+{
+  public:
+    /** Mark the resource busy at time @p now (must currently be idle). */
+    void setBusy(Tick now);
+
+    /** Mark the resource idle at time @p now (must currently be busy). */
+    void setIdle(Tick now);
+
+    /** True if currently marked busy. */
+    bool busy() const { return busy_; }
+
+    /** Cumulative busy ticks up to @p now. */
+    Tick busyTicks(Tick now) const;
+
+    /**
+     * Utilization over [windowStart, now]: busy fraction of wall time.
+     * Requires resetWindow(windowStart) to have been called at the window
+     * start.
+     */
+    double utilization(Tick now) const;
+
+    /** Start a new measurement window at @p now. */
+    void resetWindow(Tick now);
+
+  private:
+    bool busy_ = false;
+    Tick busySince_ = 0;
+    Tick accumulated_ = 0;
+    Tick windowStart_ = 0;
+};
+
+} // namespace declust

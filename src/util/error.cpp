@@ -1,0 +1,23 @@
+#include "util/error.hpp"
+
+namespace declust {
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << file << ":" << line << ": " << msg;
+    throw InternalError(os.str());
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << file << ":" << line << ": " << msg;
+    throw ConfigError(os.str());
+}
+
+} // namespace detail
+} // namespace declust

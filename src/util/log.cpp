@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace declust {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("DECLUST_LOG");
+    if (!env)
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "debug")) return LogLevel::Debug;
+    if (!std::strcmp(env, "info"))  return LogLevel::Info;
+    if (!std::strcmp(env, "warn"))  return LogLevel::Warn;
+    if (!std::strcmp(env, "error")) return LogLevel::Error;
+    if (!std::strcmp(env, "off"))   return LogLevel::Off;
+    return LogLevel::Warn;
+}
+
+LogLevel &
+levelRef()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+      default:              return "?";
+    }
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    levelRef() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return levelRef();
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::cerr << "[declust:" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace declust

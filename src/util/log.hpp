@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal leveled logging to stderr.
+ *
+ * Logging defaults to Warn so simulations stay quiet; benches and examples
+ * may raise the level for progress reporting (or via DECLUST_LOG=debug).
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace declust {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the global log threshold. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold (initialized from env DECLUST_LOG). */
+LogLevel logLevel();
+
+/** Emit one log line if @p level passes the threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+template <typename... Args>
+void
+logFmt(LogLevel level, Args &&...args)
+{
+    if (level < logLevel())
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    logMessage(level, os.str());
+}
+
+} // namespace detail
+
+template <typename... Args>
+void logDebug(Args &&...a)
+{ detail::logFmt(LogLevel::Debug, std::forward<Args>(a)...); }
+
+template <typename... Args>
+void logInfo(Args &&...a)
+{ detail::logFmt(LogLevel::Info, std::forward<Args>(a)...); }
+
+template <typename... Args>
+void logWarn(Args &&...a)
+{ detail::logFmt(LogLevel::Warn, std::forward<Args>(a)...); }
+
+template <typename... Args>
+void logError(Args &&...a)
+{ detail::logFmt(LogLevel::Error, std::forward<Args>(a)...); }
+
+} // namespace declust

@@ -1,0 +1,140 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+Options::Options(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+Options::add(const std::string &name, const std::string &defaultValue,
+             const std::string &help)
+{
+    DECLUST_ASSERT(!opts_.count(name), "duplicate option --", name);
+    opts_[name] = Opt{defaultValue, help, false};
+    order_.push_back(name);
+}
+
+void
+Options::addFlag(const std::string &name, const std::string &help)
+{
+    DECLUST_ASSERT(!opts_.count(name), "duplicate option --", name);
+    opts_[name] = Opt{"0", help, true};
+    order_.push_back(name);
+}
+
+bool
+Options::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::cerr << "unexpected argument: " << arg << "\n";
+            printUsage(argv[0]);
+            return false;
+        }
+        std::string name = arg.substr(2);
+        std::string inlineValue;
+        bool hasInline = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            inlineValue = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            hasInline = true;
+        }
+        auto it = opts_.find(name);
+        if (it == opts_.end()) {
+            std::cerr << "unknown option: --" << name << "\n";
+            printUsage(argv[0]);
+            return false;
+        }
+        if (it->second.isFlag) {
+            it->second.value = hasInline ? inlineValue : "1";
+        } else if (hasInline) {
+            it->second.value = inlineValue;
+        } else {
+            if (i + 1 >= argc) {
+                std::cerr << "option --" << name << " needs a value\n";
+                return false;
+            }
+            it->second.value = argv[++i];
+        }
+    }
+    return true;
+}
+
+std::string
+Options::getString(const std::string &name) const
+{
+    auto it = opts_.find(name);
+    DECLUST_ASSERT(it != opts_.end(), "unregistered option --", name);
+    return it->second.value;
+}
+
+long
+Options::getInt(const std::string &name) const
+{
+    return std::strtol(getString(name).c_str(), nullptr, 10);
+}
+
+double
+Options::getDouble(const std::string &name) const
+{
+    return std::strtod(getString(name).c_str(), nullptr);
+}
+
+bool
+Options::getFlag(const std::string &name) const
+{
+    std::string v = getString(name);
+    return v == "1" || v == "true" || v == "yes";
+}
+
+std::vector<double>
+Options::getDoubleList(const std::string &name) const
+{
+    std::vector<double> out;
+    std::stringstream ss(getString(name));
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(std::strtod(item.c_str(), nullptr));
+    return out;
+}
+
+std::vector<long>
+Options::getIntList(const std::string &name) const
+{
+    std::vector<long> out;
+    std::stringstream ss(getString(name));
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(std::strtol(item.c_str(), nullptr, 10));
+    return out;
+}
+
+void
+Options::printUsage(const char *prog) const
+{
+    std::cerr << description_ << "\n\nusage: " << prog << " [options]\n";
+    for (const auto &name : order_) {
+        const Opt &o = opts_.at(name);
+        std::cerr << "  --" << name;
+        if (!o.isFlag)
+            std::cerr << " <value> (default: " << o.value << ")";
+        std::cerr << "\n      " << o.help << "\n";
+    }
+}
+
+} // namespace declust

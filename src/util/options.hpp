@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tiny command-line option parser shared by benches and examples.
+ *
+ * Supports `--name value` and `--flag` styles plus `--help` generation.
+ * All experiment binaries accept the same scaling knobs through this.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace declust {
+
+/** Declarative command-line parser: register options, then parse(). */
+class Options
+{
+  public:
+    /** @param description One-line program description for --help. */
+    explicit Options(std::string description);
+
+    /** Register an option taking a value, with a default. */
+    void add(const std::string &name, const std::string &defaultValue,
+             const std::string &help);
+
+    /** Register a boolean flag (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Returns false (after printing usage) if --help was given
+     * or an unknown option was seen.
+     */
+    bool parse(int argc, char **argv);
+
+    /** @{ Typed accessors for parsed (or default) values. */
+    std::string getString(const std::string &name) const;
+    long getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+    /** @} */
+
+    /** Parse a comma-separated list of doubles from an option value. */
+    std::vector<double> getDoubleList(const std::string &name) const;
+
+    /** Parse a comma-separated list of longs from an option value. */
+    std::vector<long> getIntList(const std::string &name) const;
+
+  private:
+    struct Opt
+    {
+        std::string value;
+        std::string help;
+        bool isFlag = false;
+    };
+
+    void printUsage(const char *prog) const;
+
+    std::string description_;
+    std::map<std::string, Opt> opts_;
+    std::vector<std::string> order_;
+};
+
+} // namespace declust

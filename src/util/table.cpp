@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    DECLUST_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    DECLUST_ASSERT(cells.size() == headers_.size(),
+                   "row width ", cells.size(), " != header width ",
+                   headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            os.width(static_cast<std::streamsize>(width[c]));
+            os << row[c];
+        }
+        os << "\n";
+    };
+
+    emit(headers_);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) {
+        if (c)
+            rule += "  ";
+        rule += std::string(width[c], '-');
+    }
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmtDouble(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+} // namespace declust

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text and CSV table formatting for bench output.
+ *
+ * Benches reproduce paper tables/figures as rows of numbers; TablePrinter
+ * right-aligns columns for the console and can also emit CSV so results can
+ * be re-plotted.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace declust {
+
+/** Accumulates rows of stringified cells and renders them aligned. */
+class TablePrinter
+{
+  public:
+    /** @param headers Column headers, defining column count. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a fully-stringified row; must match header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p prec digits after the decimal point. */
+std::string fmtDouble(double v, int prec = 2);
+
+} // namespace declust

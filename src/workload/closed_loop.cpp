@@ -1,0 +1,80 @@
+#include "workload/closed_loop.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+ClosedLoopWorkload::ClosedLoopWorkload(EventQueue &eq,
+                                       ArrayController &array,
+                                       const ClosedLoopConfig &config)
+    : eq_(eq), array_(array), config_(config), rng_(config.seed)
+{
+    DECLUST_ASSERT(config_.clients >= 1, "need at least one client");
+    DECLUST_ASSERT(config_.thinkTimeSec >= 0, "negative think time");
+    DECLUST_ASSERT(config_.readFraction >= 0 && config_.readFraction <= 1,
+                   "read fraction must be in [0,1]");
+    DECLUST_ASSERT(config_.accessUnits >= 1, "empty accesses");
+}
+
+void
+ClosedLoopWorkload::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    ++epoch_;
+    startedAt_ = eq_.now();
+    completed_ = 0;
+    for (int c = 0; c < config_.clients; ++c)
+        clientLoop();
+}
+
+void
+ClosedLoopWorkload::stop()
+{
+    running_ = false;
+    ++epoch_;
+}
+
+double
+ClosedLoopWorkload::throughput() const
+{
+    const Tick elapsed = eq_.now() - startedAt_;
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(completed_) / ticksToSec(elapsed);
+}
+
+void
+ClosedLoopWorkload::clientLoop()
+{
+    if (!running_)
+        return;
+    const std::int64_t span =
+        array_.numDataUnits() - config_.accessUnits + 1;
+    const std::int64_t first = static_cast<std::int64_t>(
+        rng_.uniformInt(static_cast<std::uint64_t>(span)));
+
+    auto again = [this, epoch = epoch_] {
+        ++completed_;
+        if (epoch != epoch_ || !running_)
+            return;
+        if (config_.thinkTimeSec > 0) {
+            const Tick think =
+                secToTicks(rng_.exponential(config_.thinkTimeSec));
+            eq_.scheduleIn(think, [this, epoch] {
+                if (epoch == epoch_ && running_)
+                    clientLoop();
+            });
+        } else {
+            clientLoop();
+        }
+    };
+
+    if (rng_.bernoulli(config_.readFraction))
+        array_.readUnits(first, config_.accessUnits, again);
+    else
+        array_.writeUnits(first, config_.accessUnits, again);
+}
+
+} // namespace declust

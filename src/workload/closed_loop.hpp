@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Closed-loop workload generator.
+ *
+ * Models a fixed population of clients (multiprogramming level), each of
+ * which issues its next access a think time after its previous one
+ * completes — the standard OLTP client model, complementing the paper's
+ * open Poisson arrivals. Useful for driving the array at saturation
+ * without unbounded queue growth.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "array/controller.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace declust {
+
+/** Closed-loop workload parameters. */
+struct ClosedLoopConfig
+{
+    /** Concurrent clients. */
+    int clients = 8;
+    /** Mean exponential think time between an op's completion and the
+     * client's next issue, seconds (0 = back-to-back). */
+    double thinkTimeSec = 0.0;
+    /** Fraction of accesses that are reads. */
+    double readFraction = 0.5;
+    /** Access size in stripe units. */
+    int accessUnits = 1;
+    std::uint64_t seed = 1;
+};
+
+/** Fixed-population generator bound to one array. */
+class ClosedLoopWorkload
+{
+  public:
+    ClosedLoopWorkload(EventQueue &eq, ArrayController &array,
+                       const ClosedLoopConfig &config);
+
+    /** Launch all clients (idempotent). */
+    void start();
+
+    /** Retire clients as their in-flight ops complete. */
+    void stop();
+
+    bool running() const { return running_; }
+    std::uint64_t completed() const { return completed_; }
+
+    /** Completed accesses per second since start(). */
+    double throughput() const;
+
+  private:
+    void clientLoop();
+
+    EventQueue &eq_;
+    ArrayController &array_;
+    ClosedLoopConfig config_;
+    Rng rng_;
+    bool running_ = false;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t completed_ = 0;
+    Tick startedAt_ = 0;
+};
+
+} // namespace declust

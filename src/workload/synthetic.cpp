@@ -1,0 +1,64 @@
+#include "workload/synthetic.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+SyntheticWorkload::SyntheticWorkload(EventQueue &eq, ArrayController &array,
+                                     const WorkloadConfig &config)
+    : eq_(eq), array_(array), config_(config), rng_(config.seed)
+{
+    DECLUST_ASSERT(config_.accessesPerSec > 0, "rate must be positive");
+    DECLUST_ASSERT(config_.readFraction >= 0 && config_.readFraction <= 1,
+                   "read fraction must be in [0,1]");
+    DECLUST_ASSERT(config_.accessUnits >= 1, "empty accesses");
+    DECLUST_ASSERT(array_.numDataUnits() >= config_.accessUnits,
+                   "array smaller than one access");
+}
+
+void
+SyntheticWorkload::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    ++epoch_;
+    scheduleNext();
+}
+
+void
+SyntheticWorkload::stop()
+{
+    running_ = false;
+    ++epoch_; // invalidate any scheduled arrival
+}
+
+void
+SyntheticWorkload::scheduleNext()
+{
+    const double meanGapSec = 1.0 / config_.accessesPerSec;
+    const Tick gap = secToTicks(rng_.exponential(meanGapSec));
+    eq_.scheduleIn(gap, [this, epoch = epoch_] {
+        if (epoch != epoch_ || !running_)
+            return;
+        arrive();
+        scheduleNext();
+    });
+}
+
+void
+SyntheticWorkload::arrive()
+{
+    const std::int64_t span =
+        array_.numDataUnits() - config_.accessUnits + 1;
+    const std::int64_t first = static_cast<std::int64_t>(
+        rng_.uniformInt(static_cast<std::uint64_t>(span)));
+    ++issued_;
+    auto onDone = [this] { ++completed_; };
+    if (rng_.bernoulli(config_.readFraction))
+        array_.readUnits(first, config_.accessUnits, onDone);
+    else
+        array_.writeUnits(first, config_.accessUnits, onDone);
+}
+
+} // namespace declust

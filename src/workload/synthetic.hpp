@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic workload generator (paper table 5-1(a)).
+ *
+ * Open-arrival Poisson stream of fixed-size, aligned accesses, uniform
+ * over all user data, with a configurable read fraction. The paper's
+ * experiments use 4 KB (one stripe unit) accesses at 105/210/378 per
+ * second with read ratios of 0%, 50%, and 100%.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "array/controller.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace declust {
+
+/** Workload parameters. */
+struct WorkloadConfig
+{
+    /** User accesses per second (Poisson arrivals). */
+    double accessesPerSec = 105.0;
+    /** Fraction of accesses that are reads, in [0, 1]. */
+    double readFraction = 0.5;
+    /** Access size in stripe units (the paper uses 1 = 4 KB). */
+    int accessUnits = 1;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Poisson open-arrival generator bound to one array. */
+class SyntheticWorkload
+{
+  public:
+    SyntheticWorkload(EventQueue &eq, ArrayController &array,
+                      const WorkloadConfig &config);
+
+    /** Begin generating arrivals (idempotent). */
+    void start();
+
+    /** Stop generating arrivals; in-flight requests still complete. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t completed() const { return completed_; }
+
+  private:
+    void scheduleNext();
+    void arrive();
+
+    EventQueue &eq_;
+    ArrayController &array_;
+    WorkloadConfig config_;
+    Rng rng_;
+    bool running_ = false;
+    /** Generation counter: stale scheduled arrivals are discarded. */
+    std::uint64_t epoch_ = 0;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace declust

@@ -1,0 +1,111 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+std::vector<TraceRecord>
+parseTrace(std::istream &in)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    int lineNo = 0;
+    double lastTime = -1.0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto firstNonSpace = line.find_first_not_of(" \t\r");
+        if (firstNonSpace == std::string::npos ||
+            line[firstNonSpace] == '#')
+            continue;
+        std::istringstream ls(line);
+        TraceRecord rec;
+        std::string op;
+        ls >> rec.timeSec >> op >> rec.firstUnit;
+        if (!ls)
+            DECLUST_FATAL("trace line ", lineNo, ": malformed record");
+        if (!(ls >> rec.unitCount))
+            rec.unitCount = 1;
+        if (op == "R" || op == "r") {
+            rec.kind = RequestKind::Read;
+        } else if (op == "W" || op == "w") {
+            rec.kind = RequestKind::Write;
+        } else {
+            DECLUST_FATAL("trace line ", lineNo, ": bad op '", op,
+                          "' (want R or W)");
+        }
+        if (rec.timeSec < 0 || rec.firstUnit < 0 || rec.unitCount < 1)
+            DECLUST_FATAL("trace line ", lineNo, ": negative field");
+        if (rec.timeSec < lastTime)
+            DECLUST_FATAL("trace line ", lineNo,
+                          ": timestamps must be non-decreasing");
+        lastTime = rec.timeSec;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DECLUST_FATAL("cannot open trace file '", path, "'");
+    return parseTrace(in);
+}
+
+void
+writeTrace(std::ostream &out, const std::vector<TraceRecord> &records)
+{
+    out << "# declust trace: <time-sec> <R|W> <first-unit> <count>\n";
+    for (const TraceRecord &rec : records) {
+        out << rec.timeSec << " "
+            << (rec.kind == RequestKind::Read ? "R" : "W") << " "
+            << rec.firstUnit << " " << rec.unitCount << "\n";
+    }
+}
+
+TraceWorkload::TraceWorkload(EventQueue &eq, ArrayController &array,
+                             std::vector<TraceRecord> records)
+    : eq_(eq), array_(array), records_(std::move(records))
+{
+    for (const TraceRecord &rec : records_) {
+        DECLUST_ASSERT(rec.firstUnit + rec.unitCount <=
+                           array_.numDataUnits(),
+                       "trace touches unit ", rec.firstUnit, "+",
+                       rec.unitCount, " beyond the array's ",
+                       array_.numDataUnits(), " data units");
+    }
+}
+
+void
+TraceWorkload::start()
+{
+    DECLUST_ASSERT(!started_, "trace replay can only start once");
+    started_ = true;
+    if (!records_.empty())
+        scheduleRecord(0, eq_.now());
+}
+
+void
+TraceWorkload::scheduleRecord(std::size_t index, Tick base)
+{
+    // Records are scheduled one at a time (timestamps are sorted), so a
+    // large trace never floods the event heap.
+    const TraceRecord &rec = records_[index];
+    eq_.scheduleAt(base + secToTicks(rec.timeSec), [this, index, base] {
+        const TraceRecord &r = records_[index];
+        ++issued_;
+        auto onDone = [this] { ++completed_; };
+        if (r.kind == RequestKind::Read)
+            array_.readUnits(r.firstUnit, r.unitCount, onDone);
+        else
+            array_.writeUnits(r.firstUnit, r.unitCount, onDone);
+        if (index + 1 < records_.size())
+            scheduleRecord(index + 1, base);
+    });
+}
+
+} // namespace declust

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace-driven workload replay.
+ *
+ * Complements the synthetic generators with deterministic replay of a
+ * recorded access trace — the standard way to evaluate an array against
+ * a production workload. The text format is one access per line:
+ *
+ *     <time-seconds> <R|W> <first-data-unit> [<unit-count>]
+ *
+ * with '#' comment lines. Records must be sorted by time; unit count
+ * defaults to 1. Replay is open-loop: each record is issued at its
+ * recorded time regardless of earlier completions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "array/controller.hpp"
+#include "sim/event_queue.hpp"
+
+namespace declust {
+
+/** One parsed trace record. */
+struct TraceRecord
+{
+    double timeSec = 0.0;
+    RequestKind kind = RequestKind::Read;
+    std::int64_t firstUnit = 0;
+    int unitCount = 1;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/**
+ * Parse a trace from a stream. Throws ConfigError on malformed input
+ * (bad op code, negative values, out-of-order timestamps).
+ */
+std::vector<TraceRecord> parseTrace(std::istream &in);
+
+/** Parse a trace from a file path. */
+std::vector<TraceRecord> loadTrace(const std::string &path);
+
+/** Serialize records in the canonical text format. */
+void writeTrace(std::ostream &out, const std::vector<TraceRecord> &records);
+
+/** Open-loop replayer bound to one array. */
+class TraceWorkload
+{
+  public:
+    /**
+     * @param eq Event queue; replay times are offsets from start().
+     * @param array Target array; units must be within its data space.
+     * @param records Sorted trace (validated on construction).
+     */
+    TraceWorkload(EventQueue &eq, ArrayController &array,
+                  std::vector<TraceRecord> records);
+
+    /** Schedule every record relative to now. */
+    void start();
+
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t completed() const { return completed_; }
+    bool done() const { return completed_ == records_.size(); }
+
+  private:
+    void scheduleRecord(std::size_t index, Tick base);
+
+    EventQueue &eq_;
+    ArrayController &array_;
+    std::vector<TraceRecord> records_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    bool started_ = false;
+};
+
+} // namespace declust

@@ -1,0 +1,784 @@
+/**
+ * @file
+ * Tests for the striping driver: access counts per flow (the paper's
+ * 1/3/4-access behaviours), degraded-mode semantics, reconstruction
+ * primitives, write-through/redirect/piggyback handling, stripe locking,
+ * and end-to-end contents consistency.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/controller.hpp"
+#include "designs/generators.hpp"
+#include "layout/declustered.hpp"
+#include "layout/left_symmetric.hpp"
+#include "sim/rng.hpp"
+
+namespace declust {
+namespace {
+
+DiskGeometry
+tinyGeometry()
+{
+    DiskGeometry g = DiskGeometry::ibm0661();
+    g.cylinders = 30;
+    g.tracksPerCyl = 2;
+    return g; // 30*2*48 sectors = 360 four-KB units per disk
+}
+
+struct OpCounts
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+class ArrayTest : public ::testing::Test
+{
+  protected:
+    /** Build a C-disk array; G == C gives RAID 5, else declustered. */
+    void
+    build(int numDisks, int G)
+    {
+        ArrayParams params;
+        params.geometry = tinyGeometry();
+        const int units =
+            static_cast<int>(params.geometry.totalSectors() / 8);
+        std::unique_ptr<Layout> layout;
+        if (G == numDisks)
+            layout = std::make_unique<LeftSymmetricLayout>(numDisks, units);
+        else
+            layout = std::make_unique<DeclusteredLayout>(
+                makeCompleteDesign(numDisks, G), units);
+        array = std::make_unique<ArrayController>(eq, std::move(layout),
+                                                  params);
+    }
+
+    OpCounts
+    countOps()
+    {
+        OpCounts c;
+        for (int d = 0; d < array->numDisks(); ++d) {
+            c.reads += array->disk(d).stats().reads;
+            c.writes += array->disk(d).stats().writes;
+        }
+        return c;
+    }
+
+    /** Run one op to completion and return the disk ops it issued. */
+    template <typename F>
+    OpCounts
+    measure(F &&op)
+    {
+        array->resetStats();
+        bool done = false;
+        op([&done] { done = true; });
+        eq.runToCompletion();
+        EXPECT_TRUE(done);
+        return countOps();
+    }
+
+    void
+    drain()
+    {
+        eq.runToCompletion();
+        ASSERT_TRUE(array->quiescent());
+    }
+
+    EventQueue eq;
+    std::unique_ptr<ArrayController> array;
+};
+
+TEST_F(ArrayTest, FaultFreeReadIsOneAccess)
+{
+    build(5, 4);
+    const OpCounts c =
+        measure([&](auto done) { array->readUnit(10, done); });
+    EXPECT_EQ(c.reads, 1u);
+    EXPECT_EQ(c.writes, 0u);
+}
+
+TEST_F(ArrayTest, FaultFreeWriteIsFourAccesses)
+{
+    build(5, 4);
+    const OpCounts c =
+        measure([&](auto done) { array->writeUnit(10, done); });
+    EXPECT_EQ(c.reads, 2u);
+    EXPECT_EQ(c.writes, 2u);
+}
+
+TEST_F(ArrayTest, StripeSizeThreeWriteIsThreeAccesses)
+{
+    // The G=3 reconstruct-write optimization (paper section 6).
+    build(7, 3);
+    const OpCounts c =
+        measure([&](auto done) { array->writeUnit(4, done); });
+    EXPECT_EQ(c.reads, 1u);
+    EXPECT_EQ(c.writes, 2u);
+}
+
+TEST_F(ArrayTest, WritesAreDurableAcrossReads)
+{
+    build(5, 4);
+    for (std::int64_t u = 0; u < 20; ++u) {
+        bool done = false;
+        array->writeUnit(u, [&done] { done = true; });
+        eq.runToCompletion();
+        ASSERT_TRUE(done);
+    }
+    // Reads verify against the shadow internally; any mismatch panics.
+    for (std::int64_t u = 0; u < 20; ++u) {
+        bool done = false;
+        array->readUnit(u, [&done] { done = true; });
+        eq.runToCompletion();
+        ASSERT_TRUE(done);
+    }
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, LargeWriteUsesNoPreReads)
+{
+    build(5, 4); // 3 data units per stripe
+    const OpCounts c = measure(
+        [&](auto done) { array->writeUnits(0, 3, done); });
+    EXPECT_EQ(c.reads, 0u);
+    EXPECT_EQ(c.writes, 4u); // 3 data + 1 parity
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, UnalignedMultiUnitWriteMixesPaths)
+{
+    build(5, 4);
+    // Units 1..3: unit 3 starts stripe 1 but units 1,2 are a partial
+    // stripe -> two RMWs plus... unit 3 alone is partial too.
+    const OpCounts c = measure(
+        [&](auto done) { array->writeUnits(1, 3, done); });
+    EXPECT_EQ(c.reads + c.writes, 12u); // three 4-access RMWs
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, MultiUnitReadTouchesEachUnit)
+{
+    build(5, 4);
+    const OpCounts c = measure(
+        [&](auto done) { array->readUnits(0, 6, done); });
+    EXPECT_EQ(c.reads, 6u);
+    EXPECT_EQ(c.writes, 0u);
+}
+
+TEST_F(ArrayTest, DegradedReadReconstructsOnTheFly)
+{
+    build(5, 4);
+    drain();
+    // Find a data unit on disk 2.
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 2) {
+            victim = u;
+            break;
+        }
+    }
+    ASSERT_GE(victim, 0);
+    array->failDisk(2);
+    const OpCounts c =
+        measure([&](auto done) { array->readUnit(victim, done); });
+    EXPECT_EQ(c.reads, 3u); // G-1 surviving units
+    EXPECT_EQ(c.writes, 0u);
+}
+
+TEST_F(ArrayTest, DegradedWriteToLostDataFoldsIntoParity)
+{
+    build(5, 4);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 0) {
+            victim = u;
+            break;
+        }
+    }
+    ASSERT_GE(victim, 0);
+    array->failDisk(0);
+    const OpCounts c =
+        measure([&](auto done) { array->writeUnit(victim, done); });
+    EXPECT_EQ(c.reads, 2u);  // the other G-2 data units
+    EXPECT_EQ(c.writes, 1u); // parity only
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, DegradedWriteWithLostParityIsOneAccess)
+{
+    build(5, 4);
+    drain();
+    // Find a data unit whose parity lives on disk 4.
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().placeParity(su.stripe).disk == 4 &&
+            array->layout().place(su.stripe, su.pos).disk != 4) {
+            victim = u;
+            break;
+        }
+    }
+    ASSERT_GE(victim, 0);
+    array->failDisk(4);
+    const OpCounts c =
+        measure([&](auto done) { array->writeUnit(victim, done); });
+    EXPECT_EQ(c.reads, 0u);
+    EXPECT_EQ(c.writes, 1u);
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, DegradedConsistencySurvivesMixedTraffic)
+{
+    build(5, 4);
+    Rng rng(21);
+    drain();
+    array->failDisk(1);
+    int outstanding = 0;
+    for (int i = 0; i < 300; ++i) {
+        const auto unit = static_cast<std::int64_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(
+                array->numDataUnits())));
+        ++outstanding;
+        auto done = [&outstanding] { --outstanding; };
+        if (rng.bernoulli(0.5))
+            array->readUnit(unit, done);
+        else
+            array->writeUnit(unit, done);
+    }
+    eq.runToCompletion();
+    EXPECT_EQ(outstanding, 0);
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, FailRequiresQuiescence)
+{
+    build(5, 4);
+    array->writeUnit(0, [] {});
+    EXPECT_ANY_THROW(array->failDisk(0));
+    eq.runToCompletion();
+}
+
+TEST_F(ArrayTest, DoubleFailureRejected)
+{
+    build(5, 4);
+    drain();
+    array->failDisk(0);
+    EXPECT_ANY_THROW(array->failDisk(1));
+}
+
+TEST_F(ArrayTest, ReconstructionSweepRestoresEverything)
+{
+    build(5, 4);
+    // Scatter some writes first so contents are non-trivial.
+    for (std::int64_t u = 0; u < 50; u += 3)
+        array->writeUnit(u, [] {});
+    drain();
+    array->failDisk(3);
+    array->attachReplacement(ReconAlgorithm::Baseline);
+    EXPECT_GT(array->unitsToReconstruct(), 0);
+    int cycles = 0, skipped = 0;
+    for (int off = 0; off < array->unitsPerDisk(); ++off) {
+        array->reconstructOffset(off, [&](const CycleResult &r) {
+            r.skipped ? ++skipped : ++cycles;
+        });
+        eq.runToCompletion();
+    }
+    EXPECT_EQ(cycles, array->unitsToReconstruct());
+    array->finishReconstruction(); // verifies contents internally
+    EXPECT_EQ(array->failedDisk(), -1);
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, ReconstructCycleAccessCounts)
+{
+    build(5, 4);
+    drain();
+    array->failDisk(0);
+    array->attachReplacement(ReconAlgorithm::Baseline);
+    // First mapped offset: G-1 reads plus 1 write, phases ordered.
+    int off = 0;
+    while (!array->layout().invert(0, off))
+        ++off;
+    array->resetStats();
+    CycleResult result;
+    array->reconstructOffset(off, [&](const CycleResult &r) { result = r; });
+    eq.runToCompletion();
+    EXPECT_FALSE(result.skipped);
+    EXPECT_GT(result.readPhaseMs, 0.0);
+    EXPECT_GT(result.writePhaseMs, 0.0);
+    const OpCounts c = countOps();
+    EXPECT_EQ(c.reads, 3u);
+    EXPECT_EQ(c.writes, 1u);
+    EXPECT_TRUE(array->isReconstructed(off));
+}
+
+TEST_F(ArrayTest, UserWritesAlgorithmWritesThrough)
+{
+    build(5, 4);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 2) {
+            victim = u;
+            break;
+        }
+    }
+    ASSERT_GE(victim, 0);
+    const auto su = array->layout().dataUnitToStripe(victim);
+    const auto pu = array->layout().place(su.stripe, su.pos);
+
+    array->failDisk(2);
+    array->attachReplacement(ReconAlgorithm::UserWrites);
+    const OpCounts c =
+        measure([&](auto done) { array->writeUnit(victim, done); });
+    EXPECT_EQ(c.reads, 2u);  // other data units
+    EXPECT_EQ(c.writes, 2u); // parity + replacement data
+    EXPECT_TRUE(array->isReconstructed(pu.offset));
+    EXPECT_EQ(array->reconstructedCount(), 1);
+}
+
+TEST_F(ArrayTest, BaselineDoesNotWriteThrough)
+{
+    build(5, 4);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 2) {
+            victim = u;
+            break;
+        }
+    }
+    array->failDisk(2);
+    array->attachReplacement(ReconAlgorithm::Baseline);
+    measure([&](auto done) { array->writeUnit(victim, done); });
+    EXPECT_EQ(array->reconstructedCount(), 0);
+}
+
+TEST_F(ArrayTest, RedirectReadsGoToReplacementOnceRebuilt)
+{
+    build(5, 4);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 1) {
+            victim = u;
+            break;
+        }
+    }
+    const auto su = array->layout().dataUnitToStripe(victim);
+    const auto pu = array->layout().place(su.stripe, su.pos);
+
+    array->failDisk(1);
+    array->attachReplacement(ReconAlgorithm::Redirect);
+    array->reconstructOffset(pu.offset, [](const CycleResult &) {});
+    eq.runToCompletion();
+    ASSERT_TRUE(array->isReconstructed(pu.offset));
+
+    const OpCounts c =
+        measure([&](auto done) { array->readUnit(victim, done); });
+    EXPECT_EQ(c.reads, 1u); // redirected, not on-the-fly
+    EXPECT_EQ(array->disk(1).stats().reads, 1u);
+}
+
+TEST_F(ArrayTest, WithoutRedirectReadsStillReconstructOnTheFly)
+{
+    build(5, 4);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 1) {
+            victim = u;
+            break;
+        }
+    }
+    const auto su = array->layout().dataUnitToStripe(victim);
+    const auto pu = array->layout().place(su.stripe, su.pos);
+
+    array->failDisk(1);
+    array->attachReplacement(ReconAlgorithm::Baseline);
+    array->reconstructOffset(pu.offset, [](const CycleResult &) {});
+    eq.runToCompletion();
+    ASSERT_TRUE(array->isReconstructed(pu.offset));
+
+    const OpCounts c =
+        measure([&](auto done) { array->readUnit(victim, done); });
+    EXPECT_EQ(c.reads, 3u); // baseline never redirects
+}
+
+TEST_F(ArrayTest, PiggybackMarksUnitReconstructed)
+{
+    build(5, 4);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 1) {
+            victim = u;
+            break;
+        }
+    }
+    const auto su = array->layout().dataUnitToStripe(victim);
+    const auto pu = array->layout().place(su.stripe, su.pos);
+
+    array->failDisk(1);
+    array->attachReplacement(ReconAlgorithm::RedirectPiggyback);
+    const OpCounts c =
+        measure([&](auto done) { array->readUnit(victim, done); });
+    EXPECT_EQ(c.reads, 3u);
+    EXPECT_EQ(c.writes, 1u); // the piggybacked replacement write
+    EXPECT_TRUE(array->isReconstructed(pu.offset));
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, StripeLocksSerializeConflictingWrites)
+{
+    build(5, 4);
+    bool firstDone = false, secondDone = false;
+    array->writeUnit(0, [&] { firstDone = true; });
+    array->writeUnit(1, [&] { secondDone = true; }); // same stripe (G-1=3)
+    EXPECT_GE(array->stripeLocks().contended(), 1u);
+    eq.runToCompletion();
+    EXPECT_TRUE(firstDone && secondDone);
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, Raid5LayoutWorksThroughController)
+{
+    build(5, 5); // left-symmetric RAID 5
+    const OpCounts w =
+        measure([&](auto done) { array->writeUnit(7, done); });
+    EXPECT_EQ(w.reads, 2u);
+    EXPECT_EQ(w.writes, 2u);
+    drain();
+    array->failDisk(0);
+    array->attachReplacement(ReconAlgorithm::Baseline);
+    int off = 0;
+    while (!array->layout().invert(0, off))
+        ++off;
+    array->resetStats();
+    array->reconstructOffset(off, [](const CycleResult &) {});
+    eq.runToCompletion();
+    const OpCounts c = countOps();
+    EXPECT_EQ(c.reads, 4u); // G-1 = C-1 = 4 for RAID 5
+}
+
+TEST_F(ArrayTest, TracerSeesRmwPhaseOrdering)
+{
+    build(5, 4);
+    std::vector<AccessRecord> records;
+    array->setAccessTracer(
+        [&records](const AccessRecord &r) { records.push_back(r); });
+    bool done = false;
+    array->writeUnit(10, [&done] { done = true; });
+    eq.runToCompletion();
+    ASSERT_TRUE(done);
+    ASSERT_EQ(records.size(), 4u);
+    // Two pre-reads complete before either write is dispatched.
+    Tick lastReadCompletion = 0;
+    Tick firstWriteDispatch = UINT64_MAX;
+    int reads = 0, writes = 0;
+    for (const AccessRecord &r : records) {
+        if (r.isWrite) {
+            ++writes;
+            firstWriteDispatch = std::min(firstWriteDispatch,
+                                          r.dispatched);
+        } else {
+            ++reads;
+            lastReadCompletion = std::max(lastReadCompletion,
+                                          r.completed);
+        }
+        EXPECT_EQ(r.priority, Priority::Normal);
+    }
+    EXPECT_EQ(reads, 2);
+    EXPECT_EQ(writes, 2);
+    EXPECT_GE(firstWriteDispatch, lastReadCompletion);
+}
+
+TEST_F(ArrayTest, TracerMarksReconIoBackground)
+{
+    build(5, 4);
+    drain();
+    array->failDisk(0);
+    array->attachReplacement(ReconAlgorithm::Baseline);
+    std::vector<AccessRecord> records;
+    array->setAccessTracer(
+        [&records](const AccessRecord &r) { records.push_back(r); });
+    int off = 0;
+    while (!array->layout().invert(0, off))
+        ++off;
+    array->reconstructOffset(off, [](const CycleResult &) {});
+    eq.runToCompletion();
+    ASSERT_EQ(records.size(), 4u); // G-1 reads + 1 write
+    for (const AccessRecord &r : records)
+        EXPECT_EQ(r.priority, Priority::Background);
+    array->setAccessTracer(nullptr); // disabling must be safe
+    array->readUnit(1, [] {});
+    eq.runToCompletion();
+    EXPECT_EQ(records.size(), 4u);
+}
+
+TEST_F(ArrayTest, MirroredWriteIsTwoParallelWrites)
+{
+    build(6, 2); // interleaved-declustered mirroring
+    const OpCounts c =
+        measure([&](auto done) { array->writeUnit(5, done); });
+    EXPECT_EQ(c.reads, 0u);
+    EXPECT_EQ(c.writes, 2u);
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, MirroredDegradedReadUsesTheCopy)
+{
+    build(6, 2);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 1) {
+            victim = u;
+            break;
+        }
+    }
+    array->failDisk(1);
+    const OpCounts c =
+        measure([&](auto done) { array->readUnit(victim, done); });
+    EXPECT_EQ(c.reads, 1u); // the mirror copy
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, MirroredDegradedWriteUpdatesSurvivingCopy)
+{
+    build(6, 2);
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 0) {
+            victim = u;
+            break;
+        }
+    }
+    array->failDisk(0);
+    const OpCounts c =
+        measure([&](auto done) { array->writeUnit(victim, done); });
+    EXPECT_EQ(c.reads, 0u);
+    EXPECT_EQ(c.writes, 1u);
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, MirroredReconstructionCopies)
+{
+    build(6, 2);
+    for (int i = 0; i < 40; ++i)
+        array->writeUnit(i, [] {});
+    drain();
+    array->failDisk(2);
+    array->attachReplacement(ReconAlgorithm::Baseline);
+    array->resetStats();
+    for (int off = 0; off < array->unitsPerDisk(); ++off) {
+        array->reconstructOffset(off, [](const CycleResult &) {});
+        eq.runToCompletion();
+    }
+    array->finishReconstruction();
+    array->verifyConsistency();
+    // Each rebuilt unit cost exactly one read (the copy) + one write.
+    const OpCounts c = countOps();
+    EXPECT_EQ(c.reads, c.writes);
+}
+
+TEST_F(ArrayTest, Raid5OnTheFlyReadTouchesAllSurvivors)
+{
+    build(5, 5); // RAID 5: G = C, every disk in every stripe
+    drain();
+    std::int64_t victim = -1;
+    for (std::int64_t u = 0; u < array->numDataUnits(); ++u) {
+        const auto su = array->layout().dataUnitToStripe(u);
+        if (array->layout().place(su.stripe, su.pos).disk == 2) {
+            victim = u;
+            break;
+        }
+    }
+    array->failDisk(2);
+    const OpCounts c =
+        measure([&](auto done) { array->readUnit(victim, done); });
+    EXPECT_EQ(c.reads, 4u); // C - 1 survivors
+}
+
+TEST_F(ArrayTest, DegradedMultiUnitWriteFallsBackToPerUnit)
+{
+    build(5, 4);
+    drain();
+    array->failDisk(1);
+    // A full-stripe-sized write in degraded mode must not use the
+    // large-write path (which assumes a fault-free array); it still
+    // completes and stays consistent.
+    const OpCounts c = measure(
+        [&](auto done) { array->writeUnits(0, 3, done); });
+    EXPECT_GT(c.reads + c.writes, 4u); // strictly more than large-write
+    array->verifyConsistency();
+}
+
+TEST_F(ArrayTest, MultiUnitReadSpanningFailedDiskMixesPaths)
+{
+    build(5, 4);
+    drain();
+    array->failDisk(0);
+    // Read a span covering several stripes: units on disk 0 reconstruct
+    // on the fly (3 reads each), others are single reads.
+    const OpCounts c = measure(
+        [&](auto done) { array->readUnits(0, 9, done); });
+    EXPECT_GT(c.reads, 9u);
+    EXPECT_EQ(c.writes, 0u);
+}
+
+TEST_F(ArrayTest, HistogramTracksResponses)
+{
+    build(5, 4);
+    for (int i = 0; i < 50; ++i)
+        array->readUnit(i, [] {});
+    eq.runToCompletion();
+    const UserStats &us = array->userStats();
+    EXPECT_EQ(us.allHist.count(), 50u);
+    EXPECT_GE(us.allHist.quantile(0.9), us.allMs.mean() * 0.5);
+    EXPECT_LE(us.allHist.quantile(0.5), us.allMs.mean() * 2.0);
+}
+
+TEST_F(ArrayTest, OutstandingCountsAndQuiescence)
+{
+    build(5, 4);
+    EXPECT_TRUE(array->quiescent());
+    bool done = false;
+    array->writeUnit(0, [&done] { done = true; });
+    EXPECT_EQ(array->outstandingUserOps(), 1);
+    EXPECT_FALSE(array->quiescent());
+    eq.runToCompletion();
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(array->quiescent());
+}
+
+/**
+ * Fuzz suite: random mixes of single- and multi-unit reads and writes
+ * against different stripe widths and seeds, with periodic quiesce +
+ * full-consistency verification. Every read also self-checks against
+ * the shadow model inside the controller.
+ */
+class ArrayFuzz
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(ArrayFuzz, RandomTrafficKeepsParityConsistent)
+{
+    const auto [G, seed] = GetParam();
+    EventQueue eq;
+    ArrayParams params;
+    params.geometry = DiskGeometry::ibm0661();
+    params.geometry.cylinders = 20;
+    params.geometry.tracksPerCyl = 2;
+    const int units = static_cast<int>(params.geometry.totalSectors() / 8);
+    std::unique_ptr<Layout> layout;
+    if (G == 7) {
+        layout = std::make_unique<LeftSymmetricLayout>(7, units);
+    } else {
+        layout = std::make_unique<DeclusteredLayout>(
+            makeCompleteDesign(7, G), units);
+    }
+    ArrayController array(eq, std::move(layout), params);
+
+    Rng rng(seed);
+    int inFlight = 0;
+    for (int burst = 0; burst < 5; ++burst) {
+        for (int i = 0; i < 120; ++i) {
+            const int size =
+                1 + static_cast<int>(rng.uniformInt(2 * (G - 1)));
+            const std::int64_t first = static_cast<std::int64_t>(
+                rng.uniformInt(static_cast<std::uint64_t>(
+                    array.numDataUnits() - size)));
+            ++inFlight;
+            auto done = [&inFlight] { --inFlight; };
+            if (rng.bernoulli(0.4))
+                array.readUnits(first, size, done);
+            else
+                array.writeUnits(first, size, done);
+        }
+        eq.runToCompletion();
+        ASSERT_EQ(inFlight, 0);
+        array.verifyConsistency();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ArrayFuzz,
+    ::testing::Combine(::testing::Values(3, 4, 7),
+                       ::testing::Values(1u, 42u, 1234u)));
+
+/** Degraded fuzz: one failed disk, mixed traffic, verify implied data. */
+class DegradedFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DegradedFuzz, MixedTrafficAgainstFailedDisk)
+{
+    EventQueue eq;
+    ArrayParams params;
+    params.geometry = DiskGeometry::ibm0661();
+    params.geometry.cylinders = 20;
+    params.geometry.tracksPerCyl = 2;
+    const int units = static_cast<int>(params.geometry.totalSectors() / 8);
+    ArrayController array(
+        eq,
+        std::make_unique<DeclusteredLayout>(makeCompleteDesign(6, 4),
+                                            units),
+        params);
+
+    Rng rng(GetParam());
+    // Pre-populate, then fail a random disk.
+    for (int i = 0; i < 100; ++i) {
+        array.writeUnit(static_cast<std::int64_t>(rng.uniformInt(
+                            static_cast<std::uint64_t>(
+                                array.numDataUnits()))),
+                        [] {});
+    }
+    eq.runToCompletion();
+    array.failDisk(static_cast<int>(rng.uniformInt(6)));
+    for (int i = 0; i < 400; ++i) {
+        const std::int64_t unit = static_cast<std::int64_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(
+                array.numDataUnits())));
+        if (rng.bernoulli(0.5))
+            array.readUnit(unit, [] {});
+        else
+            array.writeUnit(unit, [] {});
+    }
+    eq.runToCompletion();
+    array.verifyConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegradedFuzz,
+                         ::testing::Values(7u, 99u, 2026u));
+
+TEST_F(ArrayTest, ResponseTimeStatsAccumulate)
+{
+    build(5, 4);
+    for (int i = 0; i < 10; ++i)
+        array->writeUnit(i * 7, [] {});
+    for (int i = 0; i < 10; ++i)
+        array->readUnit(i * 11, [] {});
+    eq.runToCompletion();
+    const UserStats &us = array->userStats();
+    EXPECT_EQ(us.readsDone, 10u);
+    EXPECT_EQ(us.writesDone, 10u);
+    EXPECT_GT(us.writeMs.mean(), us.readMs.mean());
+    EXPECT_EQ(us.allHist.count(), 20u);
+}
+
+} // namespace
+} // namespace declust

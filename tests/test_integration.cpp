@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Cross-module integration tests: full experiment phases on a 21-disk
+ * array, checking the paper's headline qualitative results on scaled
+ * geometry — declustering lowers degraded/reconstruction response time
+ * and reconstruction time versus RAID 5, fault-free performance is
+ * insensitive to alpha, and all phases preserve contents integrity.
+ */
+#include <gtest/gtest.h>
+
+#include "core/array_sim.hpp"
+#include "core/reconstructor.hpp"
+#include "workload/closed_loop.hpp"
+#include "workload/trace.hpp"
+
+namespace declust {
+namespace {
+
+SimConfig
+paperConfig(int G, double rate, double readFraction,
+            ReconAlgorithm algorithm = ReconAlgorithm::Baseline,
+            int processes = 8)
+{
+    SimConfig cfg;
+    cfg.numDisks = 21;
+    cfg.stripeUnits = G;
+    DiskGeometry g = DiskGeometry::ibm0661();
+    g.cylinders = 120; // scaled capacity, full seek span preserved below
+    g.tracksPerCyl = 1;
+    cfg.geometry = g; // 720 units per disk
+    cfg.accessesPerSec = rate;
+    cfg.readFraction = readFraction;
+    cfg.algorithm = algorithm;
+    cfg.reconProcesses = processes;
+    cfg.seed = 99;
+    return cfg;
+}
+
+TEST(Integration, FaultFreeInsensitiveToAlpha)
+{
+    // Paper section 6: fault-free response time is essentially
+    // independent of the declustering ratio (away from G=3).
+    ArraySimulation lowAlpha(paperConfig(4, 105, 1.0));
+    ArraySimulation raid5(paperConfig(21, 105, 1.0));
+    const PhaseStats a = lowAlpha.runFaultFree(2.0, 10.0);
+    const PhaseStats b = raid5.runFaultFree(2.0, 10.0);
+    ASSERT_GT(a.reads, 100u);
+    EXPECT_NEAR(a.meanReadMs, b.meanReadMs, 0.15 * b.meanReadMs);
+}
+
+TEST(Integration, DegradedReadsCheaperWithLowAlpha)
+{
+    // Paper section 7: smaller alpha -> less on-the-fly work -> lower
+    // degraded response time.
+    ArraySimulation lowAlpha(paperConfig(4, 105, 1.0));
+    ArraySimulation raid5(paperConfig(21, 105, 1.0));
+    lowAlpha.runFaultFree(1.0, 1.0);
+    raid5.runFaultFree(1.0, 1.0);
+    const PhaseStats a = lowAlpha.failAndRunDegraded(2.0, 10.0);
+    const PhaseStats b = raid5.failAndRunDegraded(2.0, 10.0);
+    EXPECT_LT(a.meanReadMs, b.meanReadMs);
+}
+
+TEST(Integration, DegradedCostsMoreThanFaultFreeForReads)
+{
+    ArraySimulation sim(paperConfig(10, 105, 1.0));
+    const PhaseStats healthy = sim.runFaultFree(2.0, 8.0);
+    const PhaseStats degraded = sim.failAndRunDegraded(2.0, 8.0);
+    EXPECT_GT(degraded.meanReadMs, healthy.meanReadMs);
+}
+
+TEST(Integration, ReconstructionFasterWithLowAlpha)
+{
+    // Paper section 8.1 headline: declustering cuts reconstruction time
+    // versus RAID 5 under the same workload.
+    auto reconTime = [](int G) {
+        ArraySimulation sim(paperConfig(G, 105, 0.5));
+        sim.failAndRunDegraded(1.0, 1.0);
+        return sim.reconstruct().report.reconstructionTimeSec;
+    };
+    const double declustered = reconTime(4);
+    const double raid5 = reconTime(21);
+    EXPECT_LT(declustered, raid5 * 0.75);
+}
+
+TEST(Integration, UserResponseDuringReconBetterWithLowAlpha)
+{
+    auto responseDuringRecon = [](int G) {
+        ArraySimulation sim(paperConfig(G, 105, 0.5));
+        sim.failAndRunDegraded(1.0, 1.0);
+        return sim.reconstruct().userDuringRecon.meanMs;
+    };
+    EXPECT_LT(responseDuringRecon(4), responseDuringRecon(21));
+}
+
+TEST(Integration, AllPhasesPreserveContents)
+{
+    for (int G : {5, 21}) {
+        ArraySimulation sim(paperConfig(G, 105, 0.5,
+                                        ReconAlgorithm::Redirect, 8));
+        sim.runFaultFree(1.0, 2.0);
+        sim.failAndRunDegraded(1.0, 2.0);
+        sim.reconstruct();
+        sim.drain();
+        sim.controller().verifyConsistency();
+        // A second failure of a different disk also recovers cleanly.
+        sim.controller().failDisk(3);
+        sim.workload().start();
+        const ReconOutcome second = sim.reconstruct();
+        EXPECT_GT(second.report.cycles, 0u);
+        sim.drain();
+        sim.controller().verifyConsistency();
+    }
+}
+
+TEST(Integration, WriteHeavyDegradedModeCanBeatFaultFree)
+{
+    // Paper end of section 7: with 100% writes and low alpha, lost
+    // parity turns four-access writes into one-access writes, so
+    // degraded response time can dip below fault-free.
+    ArraySimulation sim(paperConfig(4, 105, 0.0));
+    const PhaseStats healthy = sim.runFaultFree(2.0, 8.0);
+    const PhaseStats degraded = sim.failAndRunDegraded(2.0, 8.0);
+    EXPECT_LT(degraded.meanWriteMs, healthy.meanWriteMs * 1.05);
+}
+
+TEST(Integration, UtilizationReportedPerPhase)
+{
+    ArraySimulation sim(paperConfig(5, 210, 0.5));
+    const PhaseStats ps = sim.runFaultFree(1.0, 5.0);
+    EXPECT_GT(ps.meanDiskUtilization, 0.05);
+    EXPECT_LT(ps.meanDiskUtilization, 1.0);
+}
+
+TEST(Integration, TraceReplayAcrossReconstruction)
+{
+    // A trace replays while the array reconstructs: both finish, and
+    // contents stay exact throughout.
+    ArraySimulation sim(paperConfig(5, 105, 0.5));
+    sim.workload().stop();
+    sim.controller().failDisk(0);
+
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 400; ++i)
+        records.push_back({i * 0.02,
+                           i % 3 ? RequestKind::Read : RequestKind::Write,
+                           (i * 37) % (sim.controller().numDataUnits() - 4),
+                           1 + i % 3});
+    TraceWorkload trace(sim.eventQueue(), sim.controller(), records);
+    trace.start();
+
+    ReconConfig rc;
+    rc.processes = 8;
+    Reconstructor recon(sim.controller(), rc);
+    bool complete = false;
+    recon.start([&complete] { complete = true; });
+    sim.eventQueue().runToCompletion();
+    EXPECT_TRUE(complete);
+    EXPECT_TRUE(trace.done());
+    sim.controller().verifyConsistency();
+}
+
+TEST(Integration, ClosedLoopClientsThroughRecovery)
+{
+    ArraySimulation sim(paperConfig(5, 105, 0.5));
+    sim.workload().stop();
+    ClosedLoopConfig cl;
+    cl.clients = 6;
+    cl.readFraction = 0.5;
+    cl.seed = 9;
+    ClosedLoopWorkload clients(sim.eventQueue(), sim.controller(), cl);
+    clients.start();
+    sim.eventQueue().runUntil(secToTicks(2.0));
+    clients.stop();
+    sim.eventQueue().runUntilCondition(
+        [&] { return sim.controller().quiescent(); });
+    sim.controller().failDisk(2);
+    clients.start();
+
+    ReconConfig rc;
+    rc.processes = 8;
+    rc.algorithm = ReconAlgorithm::Redirect;
+    Reconstructor recon(sim.controller(), rc);
+    bool complete = false;
+    recon.start([&complete] { complete = true; });
+    sim.eventQueue().runUntilCondition([&complete] { return complete; });
+    EXPECT_TRUE(complete);
+    clients.stop();
+    sim.eventQueue().runUntilCondition(
+        [&] { return sim.controller().quiescent(); });
+    sim.controller().verifyConsistency();
+    EXPECT_GT(clients.completed(), 0u);
+}
+
+TEST(Integration, AccessCountsMatchDriverModelExactly)
+{
+    // The queueing model's per-op access counts (read = 1, write = 4;
+    // degraded read = (C-1)/C * 1 + 1/C * (G-1), ...) must hold exactly
+    // in aggregate: run a pure-read then pure-write workload and check
+    // total disk accesses against the formulas.
+    SimConfig cfg = paperConfig(5, 105, 1.0);
+    ArraySimulation sim(cfg);
+    sim.runFaultFree(0.0, 10.0);
+    std::uint64_t accesses = 0;
+    for (int d = 0; d < 21; ++d)
+        accesses += sim.controller().disk(d).stats().reads +
+                    sim.controller().disk(d).stats().writes;
+    const UserStats &us = sim.controller().userStats();
+    EXPECT_EQ(accesses, us.readsDone); // 1 access per read
+
+    SimConfig wcfg = paperConfig(5, 105, 0.0);
+    ArraySimulation wsim(wcfg);
+    wsim.runFaultFree(0.0, 10.0);
+    wsim.drain();
+    accesses = 0;
+    for (int d = 0; d < 21; ++d)
+        accesses += wsim.controller().disk(d).stats().reads +
+                    wsim.controller().disk(d).stats().writes;
+    EXPECT_EQ(accesses,
+              4 * wsim.controller().userStats().writesDone);
+}
+
+TEST(Integration, AllOptionsCombined)
+{
+    // Kitchen sink: sparing + priority + track buffer + CPU model +
+    // throttle + replacement delay, through the full lifecycle
+    // including copyback, with contents verified at the end.
+    SimConfig cfg = paperConfig(5, 105, 0.5, ReconAlgorithm::Redirect, 8);
+    cfg.distributedSparing = true;
+    cfg.prioritizeUserIo = true;
+    cfg.trackBuffer = true;
+    cfg.controllerOverheadMs = 0.1;
+    cfg.xorOverheadMsPerUnit = 0.02;
+    cfg.reconThrottle = msToTicks(5);
+    ArraySimulation sim(cfg);
+    sim.runFaultFree(1.0, 2.0);
+    sim.failAndRunDegraded(1.0, 2.0);
+    const ReconOutcome recon = sim.reconstruct();
+    EXPECT_GT(recon.report.cycles, 0u);
+    const CopybackOutcome cb = sim.copyback();
+    EXPECT_GT(cb.unitsCopied, 0);
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
+TEST(Integration, SimulationsAreDeterministic)
+{
+    // Two runs with identical configs must agree bit-for-bit on every
+    // statistic: the whole stack (RNG, event ordering, disk state) is
+    // deterministic by construction.
+    auto run = [] {
+        ArraySimulation sim(paperConfig(5, 210, 0.5));
+        const PhaseStats healthy = sim.runFaultFree(1.0, 5.0);
+        sim.failAndRunDegraded(1.0, 2.0);
+        const ReconOutcome outcome = sim.reconstruct();
+        return std::tuple{healthy.meanMs, healthy.reads,
+                          outcome.report.reconstructionTimeSec,
+                          outcome.userDuringRecon.meanMs,
+                          outcome.report.cycles};
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Integration, ReplacementDelayExtendsRepairWindow)
+{
+    SimConfig cfg = paperConfig(5, 105, 0.5);
+    cfg.replacementDelaySec = 30.0;
+    ArraySimulation sim(cfg);
+    sim.failAndRunDegraded(1.0, 1.0);
+    const ReconOutcome outcome = sim.reconstruct();
+    EXPECT_NEAR(outcome.totalRepairSec,
+                outcome.report.reconstructionTimeSec + 30.0, 1e-9);
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
+TEST(Integration, P90UnderTwoSecondsAtPaperLoads)
+{
+    // The OLTP rule of thumb the paper cites: 90% of transactions under
+    // two seconds, even during recovery.
+    ArraySimulation sim(paperConfig(5, 210, 0.5));
+    sim.failAndRunDegraded(1.0, 1.0);
+    const ReconOutcome outcome = sim.reconstruct();
+    EXPECT_LT(outcome.userDuringRecon.p90Ms, 2000.0);
+}
+
+} // namespace
+} // namespace declust

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the Muntz & Lui analytic model reconstruction: the
+ * user-to-disk access conversions, the fixed-rate floor the paper
+ * quotes (>1700 s for a full disk at 46 accesses/sec), saturation
+ * detection, and qualitative algorithm ordering.
+ */
+#include <gtest/gtest.h>
+
+#include "core/array_sim.hpp"
+#include "model/muntz_lui.hpp"
+#include "model/queueing.hpp"
+#include "model/reliability.hpp"
+
+namespace declust {
+namespace {
+
+MlModelConfig
+baseModel(int G, ReconAlgorithm algorithm, double rate = 105.0)
+{
+    MlModelConfig cfg;
+    cfg.numDisks = 21;
+    cfg.stripeUnits = G;
+    cfg.unitsPerDisk = 949LL * 14 * 6; // full-scale disk in 4 KB units
+    cfg.userAccessesPerSec = rate;
+    cfg.readFraction = 0.5;
+    cfg.algorithm = algorithm;
+    return cfg;
+}
+
+TEST(MlModel, MaxRandomAccessRateNear46)
+{
+    EXPECT_NEAR(maxRandomAccessRate(DiskGeometry::ibm0661()), 46.0, 1.0);
+}
+
+TEST(MlModel, FloorIsFullDiskOverMu)
+{
+    // With no user load, reconstruction cannot beat U/mu (~1733 s): the
+    // model's defining pessimism about the sequential replacement write.
+    MlModelConfig cfg = baseModel(4, ReconAlgorithm::Baseline);
+    cfg.userAccessesPerSec = 1e-6;
+    const auto res = muntzLuiReconstructionTime(cfg);
+    EXPECT_FALSE(res.saturated);
+    const double floor =
+        static_cast<double>(cfg.unitsPerDisk) / cfg.maxDiskAccessRate;
+    EXPECT_GT(res.reconstructionTimeSec, 1700.0);
+    EXPECT_NEAR(res.reconstructionTimeSec, floor, floor * 0.05);
+}
+
+TEST(MlModel, HigherLoadSlowsReconstruction)
+{
+    // At alpha = 1 the surviving disks are the bottleneck, so user load
+    // directly slows reconstruction.
+    const auto slow = muntzLuiReconstructionTime(
+        baseModel(21, ReconAlgorithm::Baseline, 210.0));
+    const auto fast = muntzLuiReconstructionTime(
+        baseModel(21, ReconAlgorithm::Baseline, 105.0));
+    EXPECT_GT(slow.reconstructionTimeSec, fast.reconstructionTimeSec);
+}
+
+TEST(MlModel, LowAlphaBaselineIsReplacementBound)
+{
+    // At low alpha with the baseline algorithm the replacement disk is
+    // the bottleneck, so the prediction sits at the U/mu floor
+    // regardless of (moderate) user load — the fixed-service-rate
+    // artifact the paper's figure 8-6 highlights.
+    const auto a = muntzLuiReconstructionTime(
+        baseModel(4, ReconAlgorithm::Baseline, 105.0));
+    const auto b = muntzLuiReconstructionTime(
+        baseModel(4, ReconAlgorithm::Baseline, 210.0));
+    EXPECT_NEAR(a.reconstructionTimeSec, b.reconstructionTimeSec, 2.0);
+}
+
+TEST(MlModel, Raid5SlowerThanDecluster)
+{
+    const auto raid5 = muntzLuiReconstructionTime(
+        baseModel(21, ReconAlgorithm::Baseline, 105.0));
+    const auto declustered = muntzLuiReconstructionTime(
+        baseModel(4, ReconAlgorithm::Baseline, 105.0));
+    EXPECT_GT(raid5.reconstructionTimeSec,
+              declustered.reconstructionTimeSec);
+}
+
+TEST(MlModel, SaturationDetected)
+{
+    // 4x500 disk accesses/sec over 21 disks exceeds mu = 46.
+    const auto res = muntzLuiReconstructionTime(
+        baseModel(21, ReconAlgorithm::Baseline, 500.0));
+    EXPECT_TRUE(res.saturated);
+}
+
+TEST(MlModel, SurvivorUtilizationIncludesFanout)
+{
+    const auto lowAlpha = muntzLuiReconstructionTime(
+        baseModel(4, ReconAlgorithm::Baseline, 210.0));
+    const auto highAlpha = muntzLuiReconstructionTime(
+        baseModel(21, ReconAlgorithm::Baseline, 210.0));
+    EXPECT_GT(highAlpha.survivorUtilization,
+              lowAlpha.survivorUtilization);
+    EXPECT_GT(lowAlpha.survivorUtilization, 0.0);
+    EXPECT_LT(lowAlpha.survivorUtilization, 1.0);
+}
+
+TEST(MlModel, RedirectHelpsLoadedRaid5)
+{
+    // In the model's world (no positioning penalty on the replacement),
+    // redirection offloads saturated survivors and speeds reconstruction
+    // of heavily loaded wide-stripe arrays — the optimism the paper
+    // rebuts with simulation.
+    const auto baseline = muntzLuiReconstructionTime(
+        baseModel(21, ReconAlgorithm::Redirect, 210.0));
+    const auto redirect = muntzLuiReconstructionTime(
+        baseModel(21, ReconAlgorithm::Baseline, 210.0));
+    EXPECT_LE(baseline.reconstructionTimeSec,
+              redirect.reconstructionTimeSec);
+}
+
+TEST(MlModel, PiggybackNoSlowerThanRedirect)
+{
+    const auto redirect = muntzLuiReconstructionTime(
+        baseModel(10, ReconAlgorithm::Redirect, 210.0));
+    const auto piggyback = muntzLuiReconstructionTime(
+        baseModel(10, ReconAlgorithm::RedirectPiggyback, 210.0));
+    EXPECT_LE(piggyback.reconstructionTimeSec,
+              redirect.reconstructionTimeSec * 1.01);
+}
+
+QueueModelConfig
+queueConfig(int G, double rate, double readFraction)
+{
+    QueueModelConfig cfg;
+    cfg.numDisks = 21;
+    cfg.stripeUnits = G;
+    cfg.userAccessesPerSec = rate;
+    cfg.readFraction = readFraction;
+    cfg.serviceMs = meanServiceMs(DiskGeometry::ibm0661());
+    return cfg;
+}
+
+TEST(QueueModel, ServiceTimeNear22Ms)
+{
+    EXPECT_NEAR(meanServiceMs(DiskGeometry::ibm0661()), 21.8, 0.5);
+}
+
+TEST(QueueModel, FaultFreeFlatInAlpha)
+{
+    // The paper's figure 6 headline: fault-free response does not
+    // depend on G (except the G=3 write special case).
+    const auto a = faultFreeResponse(queueConfig(4, 210, 1.0));
+    const auto b = faultFreeResponse(queueConfig(21, 210, 1.0));
+    EXPECT_NEAR(a.meanMs, b.meanMs, 1e-9);
+}
+
+TEST(QueueModel, DegradedGrowsWithAlpha)
+{
+    const auto low = degradedResponse(queueConfig(4, 378, 1.0));
+    const auto high = degradedResponse(queueConfig(21, 378, 1.0));
+    EXPECT_GT(high.meanMs, low.meanMs);
+    EXPECT_GT(high.utilization, low.utilization);
+}
+
+TEST(QueueModel, WritesCostMoreThanReads)
+{
+    const auto res = faultFreeResponse(queueConfig(5, 105, 0.5));
+    EXPECT_GT(res.writeMs, 2.0 * res.readMs);
+}
+
+TEST(QueueModel, G3WriteOptimizationVisible)
+{
+    const auto g3 = faultFreeResponse(queueConfig(3, 105, 0.0));
+    const auto g4 = faultFreeResponse(queueConfig(4, 105, 0.0));
+    EXPECT_LT(g3.writeMs, g4.writeMs);
+}
+
+TEST(QueueModel, SaturationDetected)
+{
+    const auto res = faultFreeResponse(queueConfig(5, 2000, 0.0));
+    EXPECT_TRUE(res.saturated);
+}
+
+TEST(QueueModel, UtilizationMatchesSimulation)
+{
+    // The model's per-disk utilization should track the simulator
+    // closely: utilization is rate x service time, independent of the
+    // queueing approximation.
+    for (double readFraction : {1.0, 0.0}) {
+        SimConfig sc;
+        sc.numDisks = 21;
+        sc.stripeUnits = 5;
+        sc.geometry = DiskGeometry::ibm0661Scaled(1);
+        sc.accessesPerSec = 105;
+        sc.readFraction = readFraction;
+        sc.seed = 3;
+        ArraySimulation sim(sc);
+        const PhaseStats sim_ff = sim.runFaultFree(3.0, 15.0);
+        const auto model =
+            faultFreeResponse(queueConfig(5, 105, readFraction));
+        EXPECT_NEAR(model.utilization, sim_ff.meanDiskUtilization,
+                    0.25 * sim_ff.meanDiskUtilization)
+            << "readFraction=" << readFraction;
+    }
+}
+
+TEST(QueueModel, ResponseWithinFactorOfSimulation)
+{
+    // M/M/1 with fork/join approximations is crude, but should land
+    // within ~40% of the simulator at moderate load.
+    SimConfig sc;
+    sc.numDisks = 21;
+    sc.stripeUnits = 5;
+    sc.geometry = DiskGeometry::ibm0661Scaled(1);
+    sc.accessesPerSec = 210;
+    sc.readFraction = 1.0;
+    sc.seed = 3;
+    ArraySimulation sim(sc);
+    const PhaseStats simulated = sim.runFaultFree(3.0, 15.0);
+    const auto model = faultFreeResponse(queueConfig(5, 210, 1.0));
+    EXPECT_NEAR(model.readMs, simulated.meanReadMs,
+                0.4 * simulated.meanReadMs);
+}
+
+TEST(QueueModel, RejectsBadInputs)
+{
+    QueueModelConfig cfg = queueConfig(5, 105, 0.5);
+    cfg.serviceMs = 0;
+    EXPECT_ANY_THROW(faultFreeResponse(cfg));
+    cfg = queueConfig(5, 105, 1.5);
+    EXPECT_ANY_THROW(degradedResponse(cfg));
+}
+
+TEST(Reliability, MttdlFormula)
+{
+    // Hand-computed: 150000^2 / (21*20*1) = 53.57M hours.
+    ReliabilityConfig cfg;
+    cfg.numDisks = 21;
+    cfg.diskMtbfHours = 150'000.0;
+    cfg.mttrHours = 1.0;
+    EXPECT_NEAR(mttdlHours(cfg), 150'000.0 * 150'000.0 / 420.0, 1.0);
+}
+
+TEST(Reliability, MttdlInverselyProportionalToRepairTime)
+{
+    // The paper: "mean time until data loss is inversely proportional
+    // to mean repair time".
+    ReliabilityConfig fast, slow;
+    fast.mttrHours = 0.5;
+    slow.mttrHours = 2.0;
+    EXPECT_NEAR(mttdlHours(fast) / mttdlHours(slow), 4.0, 1e-9);
+}
+
+TEST(Reliability, MoreDisksLowerMttdl)
+{
+    ReliabilityConfig small, big;
+    small.numDisks = 10;
+    big.numDisks = 40;
+    EXPECT_GT(mttdlHours(small), mttdlHours(big));
+}
+
+TEST(Reliability, DataLossProbabilitySmallMission)
+{
+    ReliabilityConfig cfg;
+    cfg.mttrHours = 1.0;
+    const double tenYears = 10 * 365.0 * 24.0;
+    const double p = dataLossProbability(cfg, tenYears);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 0.01);
+    EXPECT_NEAR(p, tenYears / mttdlHours(cfg), p * 0.01);
+}
+
+TEST(Reliability, FromReconstructionSeconds)
+{
+    // Halving the reconstruction time doubles MTTDL.
+    const double slow = mttdlFromReconstruction(21, 150'000.0, 3600.0);
+    const double fast = mttdlFromReconstruction(21, 150'000.0, 1800.0);
+    EXPECT_NEAR(fast / slow, 2.0, 1e-9);
+    // A fixed replacement delay damps the ratio.
+    const double withDelay =
+        mttdlFromReconstruction(21, 150'000.0, 1800.0, 1800.0);
+    EXPECT_NEAR(withDelay, slow, slow * 1e-9);
+}
+
+TEST(Reliability, RejectsBadInputs)
+{
+    ReliabilityConfig cfg;
+    cfg.numDisks = 1;
+    EXPECT_ANY_THROW(mttdlHours(cfg));
+    cfg.numDisks = 21;
+    cfg.mttrHours = 0.0;
+    EXPECT_ANY_THROW(mttdlHours(cfg));
+}
+
+TEST(MlModel, RejectsBadInputs)
+{
+    MlModelConfig cfg = baseModel(4, ReconAlgorithm::Baseline);
+    cfg.unitsPerDisk = 0;
+    EXPECT_ANY_THROW(muntzLuiReconstructionTime(cfg));
+    cfg = baseModel(2, ReconAlgorithm::Baseline);
+    EXPECT_ANY_THROW(muntzLuiReconstructionTime(cfg));
+}
+
+} // namespace
+} // namespace declust

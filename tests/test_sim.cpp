@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the simulation core: event queue ordering, clock
+ * semantics, RNG distributions, and the fork/join helper.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/join.hpp"
+#include "sim/rng.hpp"
+#include "sim/serial_resource.hpp"
+#include "sim/time.hpp"
+
+namespace declust {
+namespace {
+
+TEST(Time, Conversions)
+{
+    EXPECT_EQ(msToTicks(1.0), kTicksPerMs);
+    EXPECT_EQ(secToTicks(2.0), 2 * kTicksPerSec);
+    EXPECT_DOUBLE_EQ(ticksToMs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(kTicksPerSec / 2), 0.5);
+    EXPECT_EQ(msToTicks(0.0001), Tick{0}); // sub-tick rounds down
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), Tick{30});
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    eq.runToCompletion();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.scheduleIn(1, chain);
+    eq.runToCompletion();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(eq.now(), Tick{100});
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizonAndAdvancesClock)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.scheduleAt(10, [&] { ++ran; });
+    eq.scheduleAt(100, [&] { ++ran; });
+    eq.runUntil(50);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.now(), Tick{50});
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(100); // event exactly at the horizon runs
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(10, [] {});
+    eq.runToCompletion();
+    EXPECT_ANY_THROW(eq.scheduleAt(5, [] {}));
+}
+
+TEST(EventQueue, RunUntilCondition)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.scheduleAt(static_cast<Tick>(i), [&] { ++count; });
+    const bool hit = eq.runUntilCondition([&] { return count == 4; });
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.now(), Tick{4});
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, 9300);
+        EXPECT_LT(c, 10700);
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(3);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformRange(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        sawLo |= v == -2;
+        sawHi |= v == 2;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(5);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.bernoulli(0.3);
+    EXPECT_NEAR(heads / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(SerialResource, ServesFifoOneAtATime)
+{
+    EventQueue eq;
+    SerialResource res(eq);
+    std::vector<std::pair<int, Tick>> completions;
+    for (int i = 0; i < 3; ++i) {
+        res.use(10, [&completions, i, &eq] {
+            completions.emplace_back(i, eq.now());
+        });
+    }
+    EXPECT_TRUE(res.busy());
+    EXPECT_EQ(res.queued(), 2u);
+    eq.runToCompletion();
+    ASSERT_EQ(completions.size(), 3u);
+    // Strict serialization: completions at t=10, 20, 30 in order.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(completions[static_cast<size_t>(i)].first, i);
+        EXPECT_EQ(completions[static_cast<size_t>(i)].second,
+                  static_cast<Tick>(10 * (i + 1)));
+    }
+    EXPECT_FALSE(res.busy());
+}
+
+TEST(SerialResource, ReentrantUseFromCompletion)
+{
+    EventQueue eq;
+    SerialResource res(eq);
+    int chain = 0;
+    std::function<void()> again = [&] {
+        if (++chain < 5)
+            res.use(7, again);
+    };
+    res.use(7, again);
+    eq.runToCompletion();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(eq.now(), Tick{35});
+}
+
+TEST(SerialResource, UtilizationTracksBusyFraction)
+{
+    EventQueue eq;
+    SerialResource res(eq);
+    res.use(25, [] {});
+    eq.runToCompletion();
+    eq.scheduleAt(100, [] {});
+    eq.runToCompletion();
+    EXPECT_NEAR(res.utilization(), 0.25, 1e-9);
+}
+
+TEST(Join, FiresOnceAfterN)
+{
+    int fired = 0;
+    auto join = makeJoin(3, [&] { ++fired; });
+    join();
+    join();
+    EXPECT_EQ(fired, 0);
+    join();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Join, OverfiringPanics)
+{
+    auto join = makeJoin(1, [] {});
+    join();
+    EXPECT_ANY_THROW(join());
+}
+
+TEST(Join, ZeroForksRejected)
+{
+    EXPECT_ANY_THROW(makeJoin(0, [] {}));
+}
+
+} // namespace
+} // namespace declust

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for distributed sparing: the sparing layout's balance and
+ * mapping properties, rebuild-into-spares reconstruction, post-rebuild
+ * remapped operation, copyback, and surviving a second failure after
+ * copyback.
+ */
+#include <gtest/gtest.h>
+
+#include "core/array_sim.hpp"
+#include "designs/catalog.hpp"
+#include "designs/generators.hpp"
+#include "layout/criteria.hpp"
+#include "layout/spared.hpp"
+
+namespace declust {
+namespace {
+
+TEST(SparedLayout, ShapeAndSpareDisjointness)
+{
+    // Live width G = 4 mapped through a k = 5 design on 21 disks.
+    SparedDeclusteredLayout lay(appendixDesign(5), 500);
+    EXPECT_EQ(lay.stripeWidth(), 4);
+    EXPECT_EQ(lay.numDisks(), 21);
+    EXPECT_TRUE(lay.hasSpareUnits());
+    for (std::int64_t s = 0; s < lay.numStripes(); ++s) {
+        const PhysicalUnit spare = lay.placeSpare(s);
+        for (int pos = 0; pos < lay.stripeWidth(); ++pos)
+            EXPECT_NE(lay.place(s, pos).disk, spare.disk)
+                << "stripe " << s;
+    }
+}
+
+TEST(SparedLayout, InvertReportsSpares)
+{
+    SparedDeclusteredLayout lay(makeCompleteDesign(6, 4), 120);
+    std::int64_t spares = 0, live = 0;
+    for (int disk = 0; disk < lay.numDisks(); ++disk) {
+        for (int off = 0; off < lay.unitsPerDisk(); ++off) {
+            const auto su = lay.invert(disk, off);
+            if (!su)
+                continue;
+            if (su->pos == lay.stripeWidth()) {
+                ++spares;
+                EXPECT_EQ(lay.placeSpare(su->stripe),
+                          (PhysicalUnit{disk, off}));
+            } else {
+                ++live;
+                EXPECT_EQ(lay.place(su->stripe, su->pos),
+                          (PhysicalUnit{disk, off}));
+            }
+        }
+    }
+    EXPECT_EQ(spares, lay.numStripes());
+    EXPECT_EQ(live, lay.numStripes() * lay.stripeWidth());
+}
+
+TEST(SparedLayout, SparesAndParityBothBalanced)
+{
+    // Whole tables: spare and parity counts must be equal on all disks.
+    BlockDesign d = makeCompleteDesign(6, 4); // b=15, r=10, k=4
+    SparedDeclusteredLayout lay(d, d.r() * d.k() * 2);
+    const int C = lay.numDisks();
+    std::vector<int> spareCount(static_cast<size_t>(C), 0);
+    std::vector<int> parityCount(static_cast<size_t>(C), 0);
+    for (std::int64_t s = 0; s < lay.numStripes(); ++s) {
+        ++spareCount[static_cast<size_t>(lay.placeSpare(s).disk)];
+        ++parityCount[static_cast<size_t>(
+            lay.placeParity(s).disk)];
+    }
+    for (int disk = 1; disk < C; ++disk) {
+        EXPECT_EQ(spareCount[static_cast<size_t>(disk)], spareCount[0]);
+        EXPECT_EQ(parityCount[static_cast<size_t>(disk)],
+                  parityCount[0]);
+    }
+    // The live layout still satisfies the paper's criteria.
+    const LayoutAudit audit = auditLayout(lay, 0.0);
+    EXPECT_TRUE(audit.singleFailureCorrecting);
+    EXPECT_TRUE(audit.distributedReconstruction);
+    EXPECT_TRUE(audit.distributedParity);
+}
+
+TEST(SparedLayout, RejectsTooNarrowDesigns)
+{
+    // k = 2 leaves a live width of 1: no parity relationship at all.
+    EXPECT_ANY_THROW(
+        SparedDeclusteredLayout(makeCompleteDesign(6, 2), 120));
+}
+
+TEST(SparedLayout, MirroredSparingIsAllowed)
+{
+    // k = 3 gives mirrored pairs plus a spare: chained-declustering
+    // style organizations are expressible.
+    SparedDeclusteredLayout lay(makeCompleteDesign(6, 3), 120);
+    EXPECT_EQ(lay.stripeWidth(), 2);
+    EXPECT_TRUE(lay.hasSpareUnits());
+}
+
+/** Round-trip + balance across several appendix-based sparing shapes. */
+class SparedAppendixSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SparedAppendixSweep, RoundTripsAndBalances)
+{
+    // appendixDesign(k) provides the (G = k-1)-wide sparing layout.
+    const int k = GetParam();
+    SparedDeclusteredLayout lay(appendixDesign(k), 800);
+    EXPECT_EQ(lay.stripeWidth(), k - 1);
+    for (std::int64_t s = 0; s < lay.numStripes(); s += 11) {
+        for (int pos = 0; pos < lay.stripeWidth(); ++pos) {
+            const PhysicalUnit pu = lay.place(s, pos);
+            const auto su = lay.invert(pu.disk, pu.offset);
+            ASSERT_TRUE(su.has_value());
+            EXPECT_EQ(su->stripe, s);
+            EXPECT_EQ(su->pos, pos);
+        }
+        const PhysicalUnit spare = lay.placeSpare(s);
+        const auto ssu = lay.invert(spare.disk, spare.offset);
+        ASSERT_TRUE(ssu.has_value());
+        EXPECT_EQ(ssu->pos, lay.stripeWidth());
+    }
+    const LayoutAudit audit = auditLayout(lay, 0.25);
+    EXPECT_TRUE(audit.singleFailureCorrecting);
+    EXPECT_TRUE(audit.distributedParity)
+        << "spread " << audit.paritySpread;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SparedAppendixSweep,
+                         ::testing::Values(4, 5, 6, 10));
+
+SimConfig
+sparedConfig(int G, ReconAlgorithm algorithm, int processes,
+             double rate = 40.0)
+{
+    SimConfig cfg;
+    cfg.numDisks = 7;
+    cfg.stripeUnits = G;
+    DiskGeometry g = DiskGeometry::ibm0661();
+    g.cylinders = 20;
+    g.tracksPerCyl = 2;
+    cfg.geometry = g; // 240 units per disk
+    cfg.accessesPerSec = rate;
+    cfg.readFraction = 0.5;
+    cfg.algorithm = algorithm;
+    cfg.reconProcesses = processes;
+    cfg.distributedSparing = true;
+    cfg.seed = 11;
+    return cfg;
+}
+
+class SparingRecon
+    : public ::testing::TestWithParam<std::tuple<ReconAlgorithm, int>>
+{
+};
+
+TEST_P(SparingRecon, RebuildsIntoSparesAndVerifies)
+{
+    const auto [algorithm, processes] = GetParam();
+    ArraySimulation sim(sparedConfig(4, algorithm, processes));
+    sim.runFaultFree(0.3, 0.5);
+    sim.failAndRunDegraded(0.3, 0.5, 2);
+
+    sim.controller().resetStats();
+    const ReconOutcome outcome = sim.reconstruct();
+    EXPECT_GT(outcome.report.cycles, 0u);
+    // No replacement disk: the failed disk must have absorbed no writes
+    // during reconstruction.
+    EXPECT_EQ(sim.controller().disk(2).stats().writes, 0u);
+    EXPECT_TRUE(sim.controller().spareRemapActive());
+    EXPECT_EQ(sim.controller().remappedDisk(), 2);
+    EXPECT_GT(sim.controller().remappedCount(), 0);
+
+    // The array serves everything from spares; contents stay exact.
+    sim.drain();
+    sim.controller().verifyConsistency();
+    sim.workload().start();
+    sim.eventQueue().runUntil(sim.eventQueue().now() + secToTicks(1.0));
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SparingRecon,
+    ::testing::Combine(
+        ::testing::Values(ReconAlgorithm::Baseline,
+                          ReconAlgorithm::UserWrites,
+                          ReconAlgorithm::Redirect,
+                          ReconAlgorithm::RedirectPiggyback),
+        ::testing::Values(1, 8)));
+
+TEST(SparingCopyback, RestoresTheReplacementDisk)
+{
+    ArraySimulation sim(
+        sparedConfig(4, ReconAlgorithm::Redirect, 8, 30.0));
+    sim.failAndRunDegraded(0.2, 0.3, 1);
+    sim.reconstruct();
+    const auto remapped = sim.controller().remappedCount();
+    ASSERT_GT(remapped, 0);
+
+    const CopybackOutcome outcome = sim.copyback();
+    EXPECT_EQ(outcome.unitsCopied, remapped);
+    EXPECT_GT(outcome.copybackTimeSec, 0.0);
+    EXPECT_FALSE(sim.controller().spareRemapActive());
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
+TEST(SparingCopyback, SecondFailureAfterCopybackRecovers)
+{
+    ArraySimulation sim(
+        sparedConfig(4, ReconAlgorithm::Baseline, 8, 30.0));
+    sim.failAndRunDegraded(0.2, 0.3, 0);
+    sim.reconstruct();
+    sim.copyback();
+    // A different disk fails; the freed spares absorb it again.
+    sim.failAndRunDegraded(0.2, 0.3, 5);
+    const ReconOutcome second = sim.reconstruct();
+    EXPECT_GT(second.report.cycles, 0u);
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
+TEST(SparingCopyback, FailureBeforeCopybackIsRejected)
+{
+    ArraySimulation sim(
+        sparedConfig(4, ReconAlgorithm::Baseline, 1, 20.0));
+    sim.failAndRunDegraded(0.2, 0.2, 0);
+    sim.reconstruct();
+    sim.drain();
+    EXPECT_ANY_THROW(sim.controller().failDisk(3));
+}
+
+TEST(SparingRecon, SpreadsRebuildWritesAcrossDisks)
+{
+    ArraySimulation sim(
+        sparedConfig(4, ReconAlgorithm::Baseline, 8, 5.0));
+    sim.failAndRunDegraded(0.2, 0.2, 3);
+    sim.workload().stop();
+    sim.controller().resetStats();
+    sim.reconstruct();
+    // Every surviving disk should have received some rebuild writes.
+    int disksWithWrites = 0;
+    for (int d = 0; d < sim.controller().numDisks(); ++d)
+        disksWithWrites += sim.controller().disk(d).stats().writes > 0;
+    EXPECT_GE(disksWithWrites, sim.controller().numDisks() - 1);
+}
+
+TEST(SparingRecon, RequiresSparingLayout)
+{
+    SimConfig cfg = sparedConfig(4, ReconAlgorithm::Baseline, 1);
+    cfg.distributedSparing = false; // plain declustered layout
+    ArraySimulation sim(cfg);
+    sim.failAndRunDegraded(0.2, 0.2, 0);
+    EXPECT_ANY_THROW(sim.controller().attachDistributedSpare(
+        ReconAlgorithm::Baseline));
+}
+
+TEST(SparingRecon, DistributedNoSlowerThanDedicatedWhenWritesBound)
+{
+    // With little user traffic and 8-way parallelism the dedicated
+    // replacement disk is the write bottleneck; scattering writes over
+    // all disks must not lose.
+    auto reconTime = [](bool spared) {
+        SimConfig cfg = sparedConfig(4, ReconAlgorithm::Baseline, 8, 2.0);
+        cfg.distributedSparing = spared;
+        ArraySimulation sim(cfg);
+        sim.failAndRunDegraded(0.1, 0.1, 0);
+        return sim.reconstruct().report.reconstructionTimeSec;
+    };
+    EXPECT_LE(reconTime(true), reconTime(false) * 1.10);
+}
+
+} // namespace
+} // namespace declust

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the statistics module.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/utilization.hpp"
+
+namespace declust {
+namespace {
+
+TEST(Accumulator, Empty)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MeanAndVariance)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    // Sample variance of this classic dataset is 32/7.
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined)
+{
+    Accumulator a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Accumulator, Reset)
+{
+    Accumulator a;
+    a.add(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, QuantilesOfUniformRamp)
+{
+    Histogram h(100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, OverflowCountsAndClamps)
+{
+    Histogram h(10.0, 10);
+    h.add(5.0);
+    h.add(500.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, FractionBelow)
+{
+    Histogram h(10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.fractionBelow(5.0), 0.5, 1e-12);
+    EXPECT_NEAR(h.fractionBelow(10.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, NegativeSamplesClampToZeroBucket)
+{
+    Histogram h(10.0, 10);
+    h.add(-3.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_LT(h.quantile(1.0), 1.01);
+}
+
+TEST(Utilization, BusyFractions)
+{
+    UtilizationTracker u;
+    u.resetWindow(0);
+    u.setBusy(10);
+    u.setIdle(30);
+    EXPECT_EQ(u.busyTicks(100), Tick{20});
+    EXPECT_NEAR(u.utilization(100), 0.2, 1e-12);
+}
+
+TEST(Utilization, OngoingBusyCounted)
+{
+    UtilizationTracker u;
+    u.resetWindow(0);
+    u.setBusy(0);
+    EXPECT_NEAR(u.utilization(50), 1.0, 1e-12);
+}
+
+TEST(Utilization, WindowReset)
+{
+    UtilizationTracker u;
+    u.resetWindow(0);
+    u.setBusy(0);
+    u.setIdle(100);
+    u.resetWindow(100);
+    EXPECT_NEAR(u.utilization(200), 0.0, 1e-12);
+    u.setBusy(150);
+    u.setIdle(200);
+    EXPECT_NEAR(u.utilization(200), 0.5, 1e-12);
+}
+
+TEST(Utilization, DoubleBusyPanics)
+{
+    UtilizationTracker u;
+    u.setBusy(0);
+    EXPECT_ANY_THROW(u.setBusy(1));
+}
+
+} // namespace
+} // namespace declust

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the util module: error macros, table printer, options.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace declust {
+namespace {
+
+TEST(Error, PanicThrowsInternalError)
+{
+    EXPECT_THROW(DECLUST_PANIC("boom ", 42), InternalError);
+}
+
+TEST(Error, FatalThrowsConfigError)
+{
+    EXPECT_THROW(DECLUST_FATAL("bad config ", "x"), ConfigError);
+}
+
+TEST(Error, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(DECLUST_ASSERT(1 + 1 == 2, "fine"));
+}
+
+TEST(Error, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(DECLUST_ASSERT(false, "nope"), InternalError);
+}
+
+TEST(Error, MessagesIncludeDetail)
+{
+    try {
+        DECLUST_PANIC("value was ", 7);
+        FAIL() << "should have thrown";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Table, AlignsColumns)
+{
+    TablePrinter t({"a", "long-header"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), InternalError);
+}
+
+TEST(Table, CsvOutput)
+{
+    TablePrinter t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Options, DefaultsAndParsing)
+{
+    Options opts("test");
+    opts.add("rate", "105", "rate");
+    opts.add("alpha", "0.25", "alpha");
+    opts.addFlag("csv", "emit csv");
+    const char *argv[] = {"prog", "--rate", "210", "--csv"};
+    ASSERT_TRUE(opts.parse(4, const_cast<char **>(argv)));
+    EXPECT_EQ(opts.getInt("rate"), 210);
+    EXPECT_DOUBLE_EQ(opts.getDouble("alpha"), 0.25);
+    EXPECT_TRUE(opts.getFlag("csv"));
+}
+
+TEST(Options, EqualsSyntax)
+{
+    Options opts("test");
+    opts.add("g", "4", "stripe size");
+    const char *argv[] = {"prog", "--g=10"};
+    ASSERT_TRUE(opts.parse(2, const_cast<char **>(argv)));
+    EXPECT_EQ(opts.getInt("g"), 10);
+}
+
+TEST(Options, UnknownOptionFails)
+{
+    Options opts("test");
+    const char *argv[] = {"prog", "--mystery", "1"};
+    EXPECT_FALSE(opts.parse(3, const_cast<char **>(argv)));
+}
+
+TEST(Options, ListParsing)
+{
+    Options opts("test");
+    opts.add("rates", "105,210,378", "rates");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(opts.parse(1, const_cast<char **>(argv)));
+    const auto rates = opts.getIntList("rates");
+    ASSERT_EQ(rates.size(), 3u);
+    EXPECT_EQ(rates[0], 105);
+    EXPECT_EQ(rates[2], 378);
+}
+
+} // namespace
+} // namespace declust

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Reproduce every table and figure: build, test, then run all benches,
+# teeing outputs to test_output.txt / bench_output.txt at the repo root.
+#
+#   tools/reproduce.sh            # scaled disk (~1 minute of benches)
+#   PD_FULL=1 tools/reproduce.sh  # paper-scale disk (much longer)
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "=== $b ==="
+    "$b"
+done 2>&1 | tee bench_output.txt
