@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cpu_overhead"
+  "../bench/ablation_cpu_overhead.pdb"
+  "CMakeFiles/ablation_cpu_overhead.dir/ablation_cpu_overhead.cpp.o"
+  "CMakeFiles/ablation_cpu_overhead.dir/ablation_cpu_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_double_failure"
+  "../bench/ablation_double_failure.pdb"
+  "CMakeFiles/ablation_double_failure.dir/ablation_double_failure.cpp.o"
+  "CMakeFiles/ablation_double_failure.dir/ablation_double_failure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_double_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mirroring"
+  "../bench/ablation_mirroring.pdb"
+  "CMakeFiles/ablation_mirroring.dir/ablation_mirroring.cpp.o"
+  "CMakeFiles/ablation_mirroring.dir/ablation_mirroring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mirroring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

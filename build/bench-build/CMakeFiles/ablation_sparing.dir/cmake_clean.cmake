@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sparing"
+  "../bench/ablation_sparing.pdb"
+  "CMakeFiles/ablation_sparing.dir/ablation_sparing.cpp.o"
+  "CMakeFiles/ablation_sparing.dir/ablation_sparing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

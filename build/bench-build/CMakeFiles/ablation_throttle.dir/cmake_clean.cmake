@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_throttle"
+  "../bench/ablation_throttle.pdb"
+  "CMakeFiles/ablation_throttle.dir/ablation_throttle.cpp.o"
+  "CMakeFiles/ablation_throttle.dir/ablation_throttle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_track_buffer"
+  "../bench/ablation_track_buffer.pdb"
+  "CMakeFiles/ablation_track_buffer.dir/ablation_track_buffer.cpp.o"
+  "CMakeFiles/ablation_track_buffer.dir/ablation_track_buffer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_track_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_3_design_catalog"
+  "../bench/fig4_3_design_catalog.pdb"
+  "CMakeFiles/fig4_3_design_catalog.dir/fig4_3_design_catalog.cpp.o"
+  "CMakeFiles/fig4_3_design_catalog.dir/fig4_3_design_catalog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_3_design_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_3_design_catalog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_model_vs_sim"
+  "../bench/fig6_model_vs_sim.pdb"
+  "CMakeFiles/fig6_model_vs_sim.dir/fig6_model_vs_sim.cpp.o"
+  "CMakeFiles/fig6_model_vs_sim.dir/fig6_model_vs_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_model_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_6_model_vs_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_recon_parallel"
+  "../bench/fig8_recon_parallel.pdb"
+  "CMakeFiles/fig8_recon_parallel.dir/fig8_recon_parallel.cpp.o"
+  "CMakeFiles/fig8_recon_parallel.dir/fig8_recon_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_recon_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_recon_single"
+  "../bench/fig8_recon_single.pdb"
+  "CMakeFiles/fig8_recon_single.dir/fig8_recon_single.cpp.o"
+  "CMakeFiles/fig8_recon_single.dir/fig8_recon_single.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_recon_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_1_cycle_times"
+  "../bench/table8_1_cycle_times.pdb"
+  "CMakeFiles/table8_1_cycle_times.dir/table8_1_cycle_times.cpp.o"
+  "CMakeFiles/table8_1_cycle_times.dir/table8_1_cycle_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_1_cycle_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_recovery.dir/oltp_recovery.cpp.o"
+  "CMakeFiles/oltp_recovery.dir/oltp_recovery.cpp.o.d"
+  "oltp_recovery"
+  "oltp_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

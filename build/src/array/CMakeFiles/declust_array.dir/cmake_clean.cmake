@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_array.dir/contents.cpp.o"
+  "CMakeFiles/declust_array.dir/contents.cpp.o.d"
+  "CMakeFiles/declust_array.dir/controller.cpp.o"
+  "CMakeFiles/declust_array.dir/controller.cpp.o.d"
+  "CMakeFiles/declust_array.dir/stripe_lock.cpp.o"
+  "CMakeFiles/declust_array.dir/stripe_lock.cpp.o.d"
+  "libdeclust_array.a"
+  "libdeclust_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

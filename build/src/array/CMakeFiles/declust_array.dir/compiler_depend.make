@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for declust_array.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_core.dir/array_sim.cpp.o"
+  "CMakeFiles/declust_core.dir/array_sim.cpp.o.d"
+  "CMakeFiles/declust_core.dir/reconstructor.cpp.o"
+  "CMakeFiles/declust_core.dir/reconstructor.cpp.o.d"
+  "libdeclust_core.a"
+  "libdeclust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/catalog.cpp" "src/designs/CMakeFiles/declust_designs.dir/catalog.cpp.o" "gcc" "src/designs/CMakeFiles/declust_designs.dir/catalog.cpp.o.d"
+  "/root/repo/src/designs/design.cpp" "src/designs/CMakeFiles/declust_designs.dir/design.cpp.o" "gcc" "src/designs/CMakeFiles/declust_designs.dir/design.cpp.o.d"
+  "/root/repo/src/designs/generators.cpp" "src/designs/CMakeFiles/declust_designs.dir/generators.cpp.o" "gcc" "src/designs/CMakeFiles/declust_designs.dir/generators.cpp.o.d"
+  "/root/repo/src/designs/search.cpp" "src/designs/CMakeFiles/declust_designs.dir/search.cpp.o" "gcc" "src/designs/CMakeFiles/declust_designs.dir/search.cpp.o.d"
+  "/root/repo/src/designs/select.cpp" "src/designs/CMakeFiles/declust_designs.dir/select.cpp.o" "gcc" "src/designs/CMakeFiles/declust_designs.dir/select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/declust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/declust_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_designs.dir/catalog.cpp.o"
+  "CMakeFiles/declust_designs.dir/catalog.cpp.o.d"
+  "CMakeFiles/declust_designs.dir/design.cpp.o"
+  "CMakeFiles/declust_designs.dir/design.cpp.o.d"
+  "CMakeFiles/declust_designs.dir/generators.cpp.o"
+  "CMakeFiles/declust_designs.dir/generators.cpp.o.d"
+  "CMakeFiles/declust_designs.dir/search.cpp.o"
+  "CMakeFiles/declust_designs.dir/search.cpp.o.d"
+  "CMakeFiles/declust_designs.dir/select.cpp.o"
+  "CMakeFiles/declust_designs.dir/select.cpp.o.d"
+  "libdeclust_designs.a"
+  "libdeclust_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

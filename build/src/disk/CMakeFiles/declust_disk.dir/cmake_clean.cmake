@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_disk.dir/disk.cpp.o"
+  "CMakeFiles/declust_disk.dir/disk.cpp.o.d"
+  "CMakeFiles/declust_disk.dir/geometry.cpp.o"
+  "CMakeFiles/declust_disk.dir/geometry.cpp.o.d"
+  "CMakeFiles/declust_disk.dir/scheduler.cpp.o"
+  "CMakeFiles/declust_disk.dir/scheduler.cpp.o.d"
+  "CMakeFiles/declust_disk.dir/seek_model.cpp.o"
+  "CMakeFiles/declust_disk.dir/seek_model.cpp.o.d"
+  "libdeclust_disk.a"
+  "libdeclust_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/criteria.cpp" "src/layout/CMakeFiles/declust_layout.dir/criteria.cpp.o" "gcc" "src/layout/CMakeFiles/declust_layout.dir/criteria.cpp.o.d"
+  "/root/repo/src/layout/declustered.cpp" "src/layout/CMakeFiles/declust_layout.dir/declustered.cpp.o" "gcc" "src/layout/CMakeFiles/declust_layout.dir/declustered.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/declust_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/declust_layout.dir/layout.cpp.o.d"
+  "/root/repo/src/layout/left_symmetric.cpp" "src/layout/CMakeFiles/declust_layout.dir/left_symmetric.cpp.o" "gcc" "src/layout/CMakeFiles/declust_layout.dir/left_symmetric.cpp.o.d"
+  "/root/repo/src/layout/spared.cpp" "src/layout/CMakeFiles/declust_layout.dir/spared.cpp.o" "gcc" "src/layout/CMakeFiles/declust_layout.dir/spared.cpp.o.d"
+  "/root/repo/src/layout/vulnerability.cpp" "src/layout/CMakeFiles/declust_layout.dir/vulnerability.cpp.o" "gcc" "src/layout/CMakeFiles/declust_layout.dir/vulnerability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/designs/CMakeFiles/declust_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/declust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/declust_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_layout.dir/criteria.cpp.o"
+  "CMakeFiles/declust_layout.dir/criteria.cpp.o.d"
+  "CMakeFiles/declust_layout.dir/declustered.cpp.o"
+  "CMakeFiles/declust_layout.dir/declustered.cpp.o.d"
+  "CMakeFiles/declust_layout.dir/layout.cpp.o"
+  "CMakeFiles/declust_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/declust_layout.dir/left_symmetric.cpp.o"
+  "CMakeFiles/declust_layout.dir/left_symmetric.cpp.o.d"
+  "CMakeFiles/declust_layout.dir/spared.cpp.o"
+  "CMakeFiles/declust_layout.dir/spared.cpp.o.d"
+  "CMakeFiles/declust_layout.dir/vulnerability.cpp.o"
+  "CMakeFiles/declust_layout.dir/vulnerability.cpp.o.d"
+  "libdeclust_layout.a"
+  "libdeclust_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_model.dir/muntz_lui.cpp.o"
+  "CMakeFiles/declust_model.dir/muntz_lui.cpp.o.d"
+  "CMakeFiles/declust_model.dir/queueing.cpp.o"
+  "CMakeFiles/declust_model.dir/queueing.cpp.o.d"
+  "CMakeFiles/declust_model.dir/reliability.cpp.o"
+  "CMakeFiles/declust_model.dir/reliability.cpp.o.d"
+  "libdeclust_model.a"
+  "libdeclust_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeclust_model.a"
+)

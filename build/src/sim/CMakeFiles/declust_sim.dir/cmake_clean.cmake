@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/declust_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/declust_sim.dir/rng.cpp.o"
+  "CMakeFiles/declust_sim.dir/rng.cpp.o.d"
+  "libdeclust_sim.a"
+  "libdeclust_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

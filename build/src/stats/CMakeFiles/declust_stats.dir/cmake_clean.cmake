@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_stats.dir/accumulator.cpp.o"
+  "CMakeFiles/declust_stats.dir/accumulator.cpp.o.d"
+  "CMakeFiles/declust_stats.dir/histogram.cpp.o"
+  "CMakeFiles/declust_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/declust_stats.dir/utilization.cpp.o"
+  "CMakeFiles/declust_stats.dir/utilization.cpp.o.d"
+  "libdeclust_stats.a"
+  "libdeclust_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

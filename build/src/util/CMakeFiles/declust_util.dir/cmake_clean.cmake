@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_util.dir/error.cpp.o"
+  "CMakeFiles/declust_util.dir/error.cpp.o.d"
+  "CMakeFiles/declust_util.dir/log.cpp.o"
+  "CMakeFiles/declust_util.dir/log.cpp.o.d"
+  "CMakeFiles/declust_util.dir/options.cpp.o"
+  "CMakeFiles/declust_util.dir/options.cpp.o.d"
+  "CMakeFiles/declust_util.dir/table.cpp.o"
+  "CMakeFiles/declust_util.dir/table.cpp.o.d"
+  "libdeclust_util.a"
+  "libdeclust_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declust_workload.dir/closed_loop.cpp.o"
+  "CMakeFiles/declust_workload.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/declust_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/declust_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/declust_workload.dir/trace.cpp.o"
+  "CMakeFiles/declust_workload.dir/trace.cpp.o.d"
+  "libdeclust_workload.a"
+  "libdeclust_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declust_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

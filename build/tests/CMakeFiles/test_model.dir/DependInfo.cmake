@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/test_model.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/test_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/declust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/declust_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/declust_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/declust_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/declust_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/declust_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/declust_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/declust_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/declust_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/declust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

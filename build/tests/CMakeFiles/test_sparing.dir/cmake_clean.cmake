@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparing.dir/test_sparing.cpp.o"
+  "CMakeFiles/test_sparing.dir/test_sparing.cpp.o.d"
+  "test_sparing"
+  "test_sparing.pdb"
+  "test_sparing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
