@@ -33,32 +33,43 @@ main(int argc, char **argv)
     TablePrinter table({"access KB", "G", "alpha", "read ms",
                         "write ms"});
 
+    std::vector<Trial> trials;
     for (long units : opts.getIntList("sizes")) {
         for (int G : {5, 21}) {
-            double readMs = 0, writeMs = 0;
-            for (double readFraction : {1.0, 0.0}) {
-                SimConfig cfg;
-                cfg.numDisks = 21;
-                cfg.stripeUnits = G;
-                cfg.geometry = geometryFrom(opts);
-                cfg.accessesPerSec = opts.getDouble("rate");
-                cfg.readFraction = readFraction;
-                cfg.accessUnits = static_cast<int>(units);
-                cfg.seed =
-                    static_cast<std::uint64_t>(opts.getInt("seed"));
-                ArraySimulation sim(cfg);
-                const PhaseStats ps = sim.runFaultFree(warmup, measure);
-                (readFraction == 1.0 ? readMs : writeMs) = ps.meanMs;
-            }
-            table.addRow({std::to_string(units * 4), std::to_string(G),
-                          fmtDouble((G - 1) / 20.0, 2),
-                          fmtDouble(readMs, 1), fmtDouble(writeMs, 1)});
-            std::cerr << "done size=" << units << " G=" << G << "\n";
+            trials.push_back([&opts, warmup, measure, units, G] {
+                TrialResult result;
+                double readMs = 0, writeMs = 0;
+                for (double readFraction : {1.0, 0.0}) {
+                    SimConfig cfg;
+                    cfg.numDisks = 21;
+                    cfg.stripeUnits = G;
+                    cfg.geometry = geometryFrom(opts);
+                    cfg.accessesPerSec = opts.getDouble("rate");
+                    cfg.readFraction = readFraction;
+                    cfg.accessUnits = static_cast<int>(units);
+                    cfg.seed =
+                        static_cast<std::uint64_t>(opts.getInt("seed"));
+                    ArraySimulation sim(cfg);
+                    const PhaseStats ps =
+                        sim.runFaultFree(warmup, measure);
+                    (readFraction == 1.0 ? readMs : writeMs) = ps.meanMs;
+                    noteSim(result, sim);
+                }
+                result.rows.push_back(
+                    {std::to_string(units * 4), std::to_string(G),
+                     fmtDouble((G - 1) / 20.0, 2), fmtDouble(readMs, 1),
+                     fmtDouble(writeMs, 1)});
+                return result;
+            });
         }
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_access_size", table, trials);
 
     std::cout << "Access-size ablation, fault-free, rate = "
               << opts.getDouble("rate") << "/s\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_access_size", outcome);
     return 0;
 }

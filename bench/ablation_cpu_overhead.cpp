@@ -36,37 +36,47 @@ main(int argc, char **argv)
                         "recon time s", "user resp during recon ms",
                         "cpu util"});
 
+    std::vector<Trial> trials;
     for (double cpuMs : opts.getDoubleList("cpu-ms")) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
-        cfg.geometry = geometryFrom(opts);
-        cfg.accessesPerSec = opts.getDouble("rate");
-        cfg.readFraction = 0.5;
-        cfg.algorithm = ReconAlgorithm::Baseline;
-        cfg.reconProcesses = 8;
-        cfg.controllerOverheadMs = cpuMs;
-        cfg.xorOverheadMsPerUnit =
-            cpuMs > 0 ? opts.getDouble("xor-ms") : 0.0;
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, measure, cpuMs] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
+            cfg.geometry = geometryFrom(opts);
+            cfg.accessesPerSec = opts.getDouble("rate");
+            cfg.readFraction = 0.5;
+            cfg.algorithm = ReconAlgorithm::Baseline;
+            cfg.reconProcesses = 8;
+            cfg.controllerOverheadMs = cpuMs;
+            cfg.xorOverheadMsPerUnit =
+                cpuMs > 0 ? opts.getDouble("xor-ms") : 0.0;
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        const PhaseStats healthy = sim.runFaultFree(warmup, measure);
-        sim.failAndRunDegraded(warmup, warmup);
-        const ReconOutcome outcome = sim.reconstruct();
+            ArraySimulation sim(cfg);
+            const PhaseStats healthy = sim.runFaultFree(warmup, measure);
+            sim.failAndRunDegraded(warmup, warmup);
+            const ReconOutcome outcome = sim.reconstruct();
 
-        table.addRow({fmtDouble(cpuMs, 2),
-                      fmtDouble(cfg.xorOverheadMsPerUnit, 2),
-                      fmtDouble(healthy.meanMs, 1),
-                      fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                      fmtDouble(outcome.userDuringRecon.meanMs, 1),
-                      fmtDouble(sim.controller().cpuUtilization(), 2)});
-        std::cerr << "done cpu=" << cpuMs << "ms\n";
+            TrialResult result;
+            result.rows.push_back(
+                {fmtDouble(cpuMs, 2),
+                 fmtDouble(cfg.xorOverheadMsPerUnit, 2),
+                 fmtDouble(healthy.meanMs, 1),
+                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                 fmtDouble(outcome.userDuringRecon.meanMs, 1),
+                 fmtDouble(sim.controller().cpuUtilization(), 2)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_cpu_overhead", table, trials);
 
     std::cout << "CPU/XOR-overhead ablation (G=" << opts.getInt("g")
               << ", rate=" << opts.getInt("rate")
               << "/s, 8-way baseline reconstruction)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_cpu_overhead", outcome);
     return 0;
 }

@@ -41,40 +41,50 @@ main(int argc, char **argv)
     TablePrinter table({"alpha", "G", "parity %", "loss frac on 2nd fail",
                         "recon time s", "MTTDL years"});
 
+    std::vector<Trial> trials;
     for (int G : paperStripeSizes()) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = G;
-        cfg.geometry = geometryFrom(opts);
-        cfg.accessesPerSec = opts.getDouble("rate");
-        cfg.readFraction = 0.5;
-        cfg.algorithm = ReconAlgorithm::Baseline;
-        cfg.reconProcesses = 8;
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, mtbfHours, G] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = G;
+            cfg.geometry = geometryFrom(opts);
+            cfg.accessesPerSec = opts.getDouble("rate");
+            cfg.readFraction = 0.5;
+            cfg.algorithm = ReconAlgorithm::Baseline;
+            cfg.reconProcesses = 8;
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        const VulnerabilityReport vuln =
-            analyzeDoubleFailure(sim.controller().layout());
-        sim.failAndRunDegraded(warmup, warmup);
-        const ReconOutcome outcome = sim.reconstruct();
+            ArraySimulation sim(cfg);
+            const VulnerabilityReport vuln =
+                analyzeDoubleFailure(sim.controller().layout());
+            sim.failAndRunDegraded(warmup, warmup);
+            const ReconOutcome outcome = sim.reconstruct();
 
-        const double mttdlYears =
-            mttdlFromReconstruction(
-                cfg.numDisks, mtbfHours,
-                outcome.report.reconstructionTimeSec) /
-            (24 * 365.0);
+            const double mttdlYears =
+                mttdlFromReconstruction(
+                    cfg.numDisks, mtbfHours,
+                    outcome.report.reconstructionTimeSec) /
+                (24 * 365.0);
 
-        table.addRow({fmtDouble(cfg.alpha(), 2), std::to_string(G),
-                      fmtDouble(100.0 / G, 1),
-                      fmtDouble(vuln.meanLossFraction, 3),
-                      fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                      fmtDouble(mttdlYears, 0)});
-        std::cerr << "done G=" << G << "\n";
+            TrialResult result;
+            result.rows.push_back(
+                {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                 fmtDouble(100.0 / G, 1),
+                 fmtDouble(vuln.meanLossFraction, 3),
+                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                 fmtDouble(mttdlYears, 0)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_double_failure", table, trials);
 
     std::cout << "Double-failure exposure vs alpha (rate = "
               << opts.getInt("rate") << "/s, 8-way baseline rebuild, "
               << "MTBF = " << mtbfHours << " h)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_double_failure", outcome);
     return 0;
 }

@@ -39,37 +39,46 @@ main(int argc, char **argv)
         const char *name;
         int G;
     };
+    std::vector<Trial> trials;
     for (const Org &org : {Org{"mirroring (G=2)", 2},
                            Org{"declustered (G=5)", 5},
                            Org{"RAID 5 (G=21)", 21}}) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = org.G;
-        cfg.geometry = geometryFrom(opts);
-        cfg.accessesPerSec = opts.getDouble("rate");
-        cfg.readFraction = 0.5;
-        cfg.algorithm = ReconAlgorithm::Baseline;
-        cfg.reconProcesses = 8;
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, measure, org] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = org.G;
+            cfg.geometry = geometryFrom(opts);
+            cfg.accessesPerSec = opts.getDouble("rate");
+            cfg.readFraction = 0.5;
+            cfg.algorithm = ReconAlgorithm::Baseline;
+            cfg.reconProcesses = 8;
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        const PhaseStats healthy = sim.runFaultFree(warmup, measure);
-        const PhaseStats degraded =
-            sim.failAndRunDegraded(warmup, measure);
-        const ReconOutcome outcome = sim.reconstruct();
+            ArraySimulation sim(cfg);
+            const PhaseStats healthy = sim.runFaultFree(warmup, measure);
+            const PhaseStats degraded =
+                sim.failAndRunDegraded(warmup, measure);
+            const ReconOutcome outcome = sim.reconstruct();
 
-        table.addRow(
-            {org.name, fmtDouble(100.0 / org.G, 1),
-             fmtDouble(healthy.meanReadMs, 1),
-             fmtDouble(healthy.meanWriteMs, 1),
-             fmtDouble(degraded.meanMs, 1),
-             fmtDouble(outcome.report.reconstructionTimeSec, 1),
-             fmtDouble(outcome.userDuringRecon.meanMs, 1)});
-        std::cerr << "done " << org.name << "\n";
+            TrialResult result;
+            result.rows.push_back(
+                {org.name, fmtDouble(100.0 / org.G, 1),
+                 fmtDouble(healthy.meanReadMs, 1),
+                 fmtDouble(healthy.meanWriteMs, 1),
+                 fmtDouble(degraded.meanMs, 1),
+                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                 fmtDouble(outcome.userDuringRecon.meanMs, 1)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_mirroring", table, trials);
 
     std::cout << "Organization comparison (rate = " << opts.getInt("rate")
               << "/s, 50% reads, 8-way baseline reconstruction)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_mirroring", outcome);
     return 0;
 }

@@ -44,34 +44,44 @@ main(int argc, char **argv)
     TablePrinter table({"policy", "recon time s",
                         "user resp during recon ms", "p90 ms"});
 
+    std::vector<Trial> trials;
     for (const Policy &policy : policies) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
-        cfg.geometry = geometryFrom(opts);
-        cfg.accessesPerSec = opts.getDouble("rate");
-        cfg.readFraction = 0.5;
-        cfg.algorithm = ReconAlgorithm::Baseline;
-        cfg.reconProcesses = 8;
-        cfg.prioritizeUserIo = policy.priority;
-        cfg.reconThrottle =
-            msToTicks(static_cast<double>(policy.throttleMs));
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, policy] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
+            cfg.geometry = geometryFrom(opts);
+            cfg.accessesPerSec = opts.getDouble("rate");
+            cfg.readFraction = 0.5;
+            cfg.algorithm = ReconAlgorithm::Baseline;
+            cfg.reconProcesses = 8;
+            cfg.prioritizeUserIo = policy.priority;
+            cfg.reconThrottle =
+                msToTicks(static_cast<double>(policy.throttleMs));
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        sim.failAndRunDegraded(warmup, warmup);
-        const ReconOutcome outcome = sim.reconstruct();
+            ArraySimulation sim(cfg);
+            sim.failAndRunDegraded(warmup, warmup);
+            const ReconOutcome outcome = sim.reconstruct();
 
-        table.addRow({policy.name,
-                      fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                      fmtDouble(outcome.userDuringRecon.meanMs, 1),
-                      fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
-        std::cerr << "done " << policy.name << "\n";
+            TrialResult result;
+            result.rows.push_back(
+                {policy.name,
+                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                 fmtDouble(outcome.userDuringRecon.meanMs, 1),
+                 fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_priority", table, trials);
 
     std::cout << "Priority/throttle ablation (G=" << opts.getInt("g")
               << ", rate=" << opts.getInt("rate")
               << "/s, 8-way baseline reconstruction)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_priority", outcome);
     return 0;
 }

@@ -30,34 +30,44 @@ main(int argc, char **argv)
     TablePrinter table({"scheduler", "fault-free ms", "degraded ms",
                         "recon time s", "user resp during recon ms"});
 
+    std::vector<Trial> trials;
     for (const char *sched : {"fcfs", "sstf", "scan", "cvscan"}) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
-        cfg.geometry = geometryFrom(opts);
-        cfg.scheduler = sched;
-        cfg.accessesPerSec = opts.getDouble("rate");
-        cfg.readFraction = 0.5;
-        cfg.algorithm = ReconAlgorithm::Baseline;
-        cfg.reconProcesses = 8;
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, measure, sched] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
+            cfg.geometry = geometryFrom(opts);
+            cfg.scheduler = sched;
+            cfg.accessesPerSec = opts.getDouble("rate");
+            cfg.readFraction = 0.5;
+            cfg.algorithm = ReconAlgorithm::Baseline;
+            cfg.reconProcesses = 8;
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        const PhaseStats healthy = sim.runFaultFree(warmup, measure);
-        const PhaseStats degraded = sim.failAndRunDegraded(warmup,
-                                                           measure);
-        const ReconOutcome outcome = sim.reconstruct();
+            ArraySimulation sim(cfg);
+            const PhaseStats healthy = sim.runFaultFree(warmup, measure);
+            const PhaseStats degraded =
+                sim.failAndRunDegraded(warmup, measure);
+            const ReconOutcome outcome = sim.reconstruct();
 
-        table.addRow({sched, fmtDouble(healthy.meanMs, 1),
-                      fmtDouble(degraded.meanMs, 1),
-                      fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                      fmtDouble(outcome.userDuringRecon.meanMs, 1)});
-        std::cerr << "done " << sched << "\n";
+            TrialResult result;
+            result.rows.push_back(
+                {sched, fmtDouble(healthy.meanMs, 1),
+                 fmtDouble(degraded.meanMs, 1),
+                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                 fmtDouble(outcome.userDuringRecon.meanMs, 1)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_scheduler", table, trials);
 
     std::cout << "Scheduler ablation (G=" << opts.getInt("g")
               << ", rate=" << opts.getInt("rate") << "/s, 50% reads, "
               << "8-way baseline reconstruction)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_scheduler", outcome);
     return 0;
 }

@@ -34,42 +34,53 @@ main(int argc, char **argv)
     TablePrinter table({"alpha", "G", "mode", "recon time s",
                         "user resp ms", "copyback s"});
 
+    std::vector<Trial> trials;
     for (int G : {3, 4, 5, 6, 10}) {
         for (bool spared : {false, true}) {
-            SimConfig cfg;
-            cfg.numDisks = 21;
-            cfg.stripeUnits = G;
-            cfg.geometry = geometryFrom(opts);
-            cfg.accessesPerSec = opts.getDouble("rate");
-            cfg.readFraction = 0.5;
-            cfg.algorithm = ReconAlgorithm::Baseline;
-            cfg.reconProcesses =
-                static_cast<int>(opts.getInt("processes"));
-            cfg.distributedSparing = spared;
-            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+            trials.push_back([&opts, warmup, G, spared] {
+                SimConfig cfg;
+                cfg.numDisks = 21;
+                cfg.stripeUnits = G;
+                cfg.geometry = geometryFrom(opts);
+                cfg.accessesPerSec = opts.getDouble("rate");
+                cfg.readFraction = 0.5;
+                cfg.algorithm = ReconAlgorithm::Baseline;
+                cfg.reconProcesses =
+                    static_cast<int>(opts.getInt("processes"));
+                cfg.distributedSparing = spared;
+                cfg.seed =
+                    static_cast<std::uint64_t>(opts.getInt("seed"));
 
-            ArraySimulation sim(cfg);
-            sim.failAndRunDegraded(warmup, warmup);
-            const ReconOutcome outcome = sim.reconstruct();
-            std::string copyback = "-";
-            if (spared) {
-                const CopybackOutcome cb = sim.copyback();
-                copyback = fmtDouble(cb.copybackTimeSec, 1);
-            }
-            table.addRow(
-                {fmtDouble(cfg.alpha(), 2), std::to_string(G),
-                 spared ? "distributed" : "dedicated",
-                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                 fmtDouble(outcome.userDuringRecon.meanMs, 1), copyback});
-            std::cerr << "done G=" << G
-                      << (spared ? " distributed" : " dedicated") << "\n";
+                ArraySimulation sim(cfg);
+                sim.failAndRunDegraded(warmup, warmup);
+                const ReconOutcome outcome = sim.reconstruct();
+                std::string copyback = "-";
+                if (spared) {
+                    const CopybackOutcome cb = sim.copyback();
+                    copyback = fmtDouble(cb.copybackTimeSec, 1);
+                }
+
+                TrialResult result;
+                result.rows.push_back(
+                    {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                     spared ? "distributed" : "dedicated",
+                     fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                     fmtDouble(outcome.userDuringRecon.meanMs, 1),
+                     copyback});
+                noteSim(result, sim);
+                return result;
+            });
         }
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_sparing", table, trials);
 
     std::cout << "Sparing ablation (rate = " << opts.getInt("rate")
               << "/s, " << opts.getInt("processes")
               << "-way baseline reconstruction; distributed mode spends "
                  "1/(G+1) capacity on spares)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_sparing", outcome);
     return 0;
 }

@@ -30,32 +30,42 @@ main(int argc, char **argv)
     TablePrinter table({"throttle ms", "recon time s",
                         "user resp during recon ms", "p90 ms"});
 
+    std::vector<Trial> trials;
     for (long delayMs : opts.getIntList("delays")) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
-        cfg.geometry = geometryFrom(opts);
-        cfg.accessesPerSec = opts.getDouble("rate");
-        cfg.readFraction = 0.5;
-        cfg.algorithm = ReconAlgorithm::Baseline;
-        cfg.reconProcesses = 8;
-        cfg.reconThrottle = msToTicks(static_cast<double>(delayMs));
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, delayMs] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
+            cfg.geometry = geometryFrom(opts);
+            cfg.accessesPerSec = opts.getDouble("rate");
+            cfg.readFraction = 0.5;
+            cfg.algorithm = ReconAlgorithm::Baseline;
+            cfg.reconProcesses = 8;
+            cfg.reconThrottle = msToTicks(static_cast<double>(delayMs));
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        sim.failAndRunDegraded(warmup, warmup);
-        const ReconOutcome outcome = sim.reconstruct();
+            ArraySimulation sim(cfg);
+            sim.failAndRunDegraded(warmup, warmup);
+            const ReconOutcome outcome = sim.reconstruct();
 
-        table.addRow({std::to_string(delayMs),
-                      fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                      fmtDouble(outcome.userDuringRecon.meanMs, 1),
-                      fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
-        std::cerr << "done throttle=" << delayMs << "ms\n";
+            TrialResult result;
+            result.rows.push_back(
+                {std::to_string(delayMs),
+                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                 fmtDouble(outcome.userDuringRecon.meanMs, 1),
+                 fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_throttle", table, trials);
 
     std::cout << "Throttle ablation (G=" << opts.getInt("g")
               << ", rate=" << opts.getInt("rate")
               << "/s, 8-way baseline reconstruction)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_throttle", outcome);
     return 0;
 }

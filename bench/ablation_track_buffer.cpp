@@ -32,36 +32,44 @@ main(int argc, char **argv)
     TablePrinter table({"alpha", "G", "buffer", "fault-free ms",
                         "recon time s", "user resp during recon ms"});
 
+    std::vector<Trial> trials;
     for (int G : {4, 10, 21}) {
         for (bool buffered : {false, true}) {
-            SimConfig cfg;
-            cfg.numDisks = 21;
-            cfg.stripeUnits = G;
-            cfg.geometry = geometryFrom(opts);
-            cfg.accessesPerSec = opts.getDouble("rate");
-            cfg.readFraction = 0.5;
-            cfg.algorithm = ReconAlgorithm::Baseline;
-            cfg.reconProcesses = 8;
-            cfg.trackBuffer = buffered;
-            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+            trials.push_back([&opts, warmup, measure, G, buffered] {
+                SimConfig cfg;
+                cfg.numDisks = 21;
+                cfg.stripeUnits = G;
+                cfg.geometry = geometryFrom(opts);
+                cfg.accessesPerSec = opts.getDouble("rate");
+                cfg.readFraction = 0.5;
+                cfg.algorithm = ReconAlgorithm::Baseline;
+                cfg.reconProcesses = 8;
+                cfg.trackBuffer = buffered;
+                cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-            ArraySimulation sim(cfg);
-            const PhaseStats healthy = sim.runFaultFree(warmup, measure);
-            sim.failAndRunDegraded(warmup, warmup);
-            const ReconOutcome outcome = sim.reconstruct();
+                ArraySimulation sim(cfg);
+                const PhaseStats healthy = sim.runFaultFree(warmup, measure);
+                sim.failAndRunDegraded(warmup, warmup);
+                const ReconOutcome outcome = sim.reconstruct();
 
-            table.addRow(
-                {fmtDouble(cfg.alpha(), 2), std::to_string(G),
-                 buffered ? "on" : "off", fmtDouble(healthy.meanMs, 1),
-                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                 fmtDouble(outcome.userDuringRecon.meanMs, 1)});
-            std::cerr << "done G=" << G << " buffer="
-                      << (buffered ? "on" : "off") << "\n";
+                TrialResult result;
+                result.rows.push_back(
+                    {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                     buffered ? "on" : "off", fmtDouble(healthy.meanMs, 1),
+                     fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                     fmtDouble(outcome.userDuringRecon.meanMs, 1)});
+                noteSim(result, sim);
+                return result;
+            });
         }
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_track_buffer", table, trials);
 
     std::cout << "Track-buffer ablation (rate = " << opts.getInt("rate")
               << "/s, 8-way baseline reconstruction)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_track_buffer", outcome);
     return 0;
 }

@@ -33,34 +33,43 @@ main(int argc, char **argv)
     TablePrinter table({"unit KB", "units/disk", "fault-free ms",
                         "recon time s", "user resp during recon ms"});
 
+    std::vector<Trial> trials;
     for (long sectors : opts.getIntList("unit-sectors")) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
-        cfg.geometry = geometryFrom(opts);
-        cfg.accessesPerSec = opts.getDouble("rate");
-        cfg.readFraction = 0.5;
-        cfg.unitSectors = static_cast<int>(sectors);
-        cfg.algorithm = ReconAlgorithm::Baseline;
-        cfg.reconProcesses = 8;
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, measure, sectors] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = static_cast<int>(opts.getInt("g"));
+            cfg.geometry = geometryFrom(opts);
+            cfg.accessesPerSec = opts.getDouble("rate");
+            cfg.readFraction = 0.5;
+            cfg.unitSectors = static_cast<int>(sectors);
+            cfg.algorithm = ReconAlgorithm::Baseline;
+            cfg.reconProcesses = 8;
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        const PhaseStats healthy = sim.runFaultFree(warmup, measure);
-        sim.failAndRunDegraded(warmup, warmup);
-        const ReconOutcome outcome = sim.reconstruct();
+            ArraySimulation sim(cfg);
+            const PhaseStats healthy = sim.runFaultFree(warmup, measure);
+            sim.failAndRunDegraded(warmup, warmup);
+            const ReconOutcome outcome = sim.reconstruct();
 
-        table.addRow(
-            {fmtDouble(sectors * 0.5, 1),
-             std::to_string(sim.controller().unitsPerDisk()),
-             fmtDouble(healthy.meanMs, 1),
-             fmtDouble(outcome.report.reconstructionTimeSec, 1),
-             fmtDouble(outcome.userDuringRecon.meanMs, 1)});
-        std::cerr << "done unit=" << sectors << " sectors\n";
+            TrialResult result;
+            result.rows.push_back(
+                {fmtDouble(sectors * 0.5, 1),
+                 std::to_string(sim.controller().unitsPerDisk()),
+                 fmtDouble(healthy.meanMs, 1),
+                 fmtDouble(outcome.report.reconstructionTimeSec, 1),
+                 fmtDouble(outcome.userDuringRecon.meanMs, 1)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "ablation_unit_size", table, trials);
 
     std::cout << "Stripe-unit-size ablation (G=" << opts.getInt("g")
               << ", rate=" << opts.getInt("rate") << "/s, 50% reads)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "ablation_unit_size", outcome);
     return 0;
 }

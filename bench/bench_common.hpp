@@ -8,20 +8,40 @@
  *                  and thus reconstruction sweep length scale with N)
  *   --cylinders N  cylinders (default 949, the full IBM 0661)
  *   --warmup S / --measure S  measurement window lengths
- *   --seed N       RNG seed
+ *   --seed N       rng seed
  *   --csv          emit CSV instead of an aligned table
+ *   --jobs N       run independent sweep points on N worker threads
+ *                  (0 = all hardware threads; per-point results are
+ *                  bit-identical whatever N — see TrialRunner)
+ *   --json FILE    append a machine-readable run record (events/sec,
+ *                  wall clock, simulated-to-wall time ratio)
  *
  * PD_FULL=1 in the environment selects the paper's full-scale disk
  * (equivalent to --tracks 14), trading minutes of wall-clock for
  * paper-scale absolute reconstruction times.
+ *
+ * Drivers describe their sweep as a vector of Trial closures — one per
+ * grid point, each standing up its own ArraySimulation — and hand it to
+ * runTrials(), which fans them across the worker pool and splices the
+ * returned rows back in trial order, so the emitted table is identical
+ * to a serial run.
  */
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/array_sim.hpp"
+#include "harness/json_writer.hpp"
+#include "harness/progress.hpp"
+#include "harness/trial_runner.hpp"
+#include "sim/time.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +64,10 @@ addCommonOptions(Options &opts)
     opts.add("measure", "30", "measured seconds per phase");
     opts.add("seed", "1", "rng seed");
     opts.addFlag("csv", "emit csv");
+    opts.add("jobs", "1",
+             "worker threads for the sweep (0 = hardware threads)");
+    opts.add("json", "",
+             "write a machine-readable run record to this file");
 }
 
 /** Build the experiment geometry from parsed options / environment. */
@@ -69,6 +93,96 @@ emit(const Options &opts, const TablePrinter &table)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+}
+
+/**
+ * What one sweep point produces: its table rows (spliced back in trial
+ * order) plus the event/simulated-time totals of the simulations it ran.
+ */
+struct TrialResult
+{
+    std::vector<std::vector<std::string>> rows;
+    std::uint64_t events = 0;
+    double simSec = 0.0;
+};
+
+/** One independent sweep point. Must not share mutable state. */
+using Trial = std::function<TrialResult()>;
+
+/** Fold a finished simulation's engine counters into a trial result. */
+inline void
+noteSim(TrialResult &result, ArraySimulation &sim)
+{
+    result.events += sim.eventQueue().executed();
+    result.simSec += ticksToSec(sim.eventQueue().now());
+}
+
+/** Aggregate counters for one bench invocation. */
+struct SweepOutcome
+{
+    int trials = 0;
+    int jobs = 1;
+    double wallSec = 0.0;
+    std::uint64_t events = 0;
+    double simSec = 0.0;
+};
+
+/**
+ * Run @p trials under --jobs workers with a progress/ETA line, splice
+ * their rows into @p table in trial order, and return the aggregate
+ * wall-clock / event counters.
+ */
+inline SweepOutcome
+runTrials(const Options &opts, const std::string &benchName,
+          TablePrinter &table, const std::vector<Trial> &trials)
+{
+    TrialRunner runner(static_cast<int>(opts.getInt("jobs")));
+    ProgressMeter meter(benchName);
+    auto results = runTrialsOrdered<TrialResult>(
+        runner, trials,
+        [&meter](int done, int total) { meter.update(done, total); });
+    meter.finish(static_cast<int>(trials.size()));
+
+    SweepOutcome out;
+    out.trials = static_cast<int>(trials.size());
+    out.jobs = runner.jobs();
+    out.wallSec = meter.elapsedSec();
+    for (auto &result : results) {
+        for (auto &row : result.rows)
+            table.addRow(std::move(row));
+        out.events += result.events;
+        out.simSec += result.simSec;
+    }
+    return out;
+}
+
+/** Write the --json run record, if requested. */
+inline void
+writeJsonRecord(const Options &opts, const std::string &benchName,
+                const SweepOutcome &out)
+{
+    const std::string path = opts.getString("json");
+    if (path.empty())
+        return;
+    JsonObject record;
+    record.set("bench", benchName)
+        .set("jobs", out.jobs)
+        .set("trials", out.trials)
+        .set("wall_sec", out.wallSec)
+        .set("events", out.events)
+        .set("events_per_sec",
+             out.wallSec > 0.0
+                 ? static_cast<double>(out.events) / out.wallSec
+                 : 0.0)
+        .set("sim_sec", out.simSec)
+        .set("sim_time_ratio",
+             out.wallSec > 0.0 ? out.simSec / out.wallSec : 0.0);
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << benchName << ": cannot write " << path << "\n";
+        return;
+    }
+    record.write(file);
 }
 
 } // namespace declust::bench

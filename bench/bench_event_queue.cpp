@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Microbenchmark for the event core: the schedule/dispatch churn that
+ * dominates the simulator's wall clock. Uses google-benchmark.
+ *
+ * The classic "hold" model: keep a fixed number of events pending and
+ * repeatedly pop the earliest while scheduling a replacement at a
+ * pseudo-random future tick. Swept over queue depth (heap behaviour) and
+ * callback capture size (inline small-buffer storage vs pooled spill —
+ * EventCallback keeps 48 bytes inline).
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace declust;
+
+/** Deterministic delay stream; xorshift64, cheap next to the queue ops. */
+struct DelayStream
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+
+    Tick
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return static_cast<Tick>(state % 10000) + 1;
+    }
+};
+
+/** Hold model with a callback whose capture fits the 48-byte SBO. */
+void
+BM_HoldSmallCallback(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    EventQueue queue;
+    DelayStream delays;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < depth; ++i)
+        queue.scheduleIn(delays.next(), [&sink] { ++sink; });
+    for (auto _ : state) {
+        queue.step();
+        queue.scheduleIn(delays.next(), [&sink] { ++sink; });
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HoldSmallCallback)->Arg(64)->Arg(1024)->Arg(16384);
+
+/** Same churn with a capture too large for the SBO: pooled spill path. */
+void
+BM_HoldSpillCallback(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    EventQueue queue;
+    DelayStream delays;
+    std::uint64_t sink = 0;
+    struct Fat
+    {
+        std::uint64_t *sink;
+        std::uint64_t pad[15]; // 128-byte capture: always spills
+    };
+    const auto schedule = [&] {
+        Fat fat{&sink, {}};
+        queue.scheduleIn(delays.next(), [fat] { ++*fat.sink; });
+    };
+    for (int i = 0; i < depth; ++i)
+        schedule();
+    for (auto _ : state) {
+        queue.step();
+        schedule();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HoldSpillCallback)->Arg(64)->Arg(1024)->Arg(16384);
+
+/** Fill-then-drain: pure heap push/pop throughput without steady state. */
+void
+BM_FillDrain(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue queue;
+        DelayStream delays;
+        for (int i = 0; i < n; ++i)
+            queue.scheduleIn(delays.next(), [&sink] { ++sink; });
+        queue.runToCompletion();
+        benchmark::DoNotOptimize(queue.executed());
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FillDrain)->Arg(1024)->Arg(65536);
+
+/** Same-tick FIFO burst: stresses the seq tie-break path. */
+void
+BM_SameTickBurst(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue queue;
+        for (int i = 0; i < n; ++i)
+            queue.scheduleAt(1000, [&sink] { ++sink; });
+        queue.runToCompletion();
+        benchmark::DoNotOptimize(queue.executed());
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SameTickBurst)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -53,6 +53,19 @@ BM_DeclusteredInvert(benchmark::State &state)
 BENCHMARK(BM_DeclusteredInvert)->Arg(4)->Arg(10);
 
 void
+BM_DeclusteredDataUnitToStripe(benchmark::State &state)
+{
+    const Layout &lay = declusteredLayout(static_cast<int>(state.range(0)));
+    std::int64_t unit = 0;
+    const std::int64_t n = lay.numDataUnits();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lay.dataUnitToStripe(unit));
+        unit = (unit + 7919) % n;
+    }
+}
+BENCHMARK(BM_DeclusteredDataUnitToStripe)->Arg(4)->Arg(10);
+
+void
 BM_LeftSymmetricPlace(benchmark::State &state)
 {
     const LeftSymmetricLayout lay(21, kUnitsPerDisk);
@@ -66,6 +79,19 @@ BM_LeftSymmetricPlace(benchmark::State &state)
     }
 }
 BENCHMARK(BM_LeftSymmetricPlace);
+
+void
+BM_LeftSymmetricInvert(benchmark::State &state)
+{
+    const LeftSymmetricLayout lay(21, kUnitsPerDisk);
+    int disk = 0, offset = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lay.invert(disk, offset));
+        disk = (disk + 1) % lay.numDisks();
+        offset = (offset + 373) % lay.unitsPerDisk();
+    }
+}
+BENCHMARK(BM_LeftSymmetricInvert);
 
 void
 BM_LayoutConstruction(benchmark::State &state)

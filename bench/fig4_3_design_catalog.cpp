@@ -6,9 +6,12 @@
  * as points in (array size C, parity stripe size G) space. We emit the
  * analogous scatter from the families this library can construct or
  * certify, plus the paper's six appendix designs, and verify every
- * constructible catalog entry on the way out.
+ * constructible catalog entry on the way out. Each catalog point is one
+ * trial, so --jobs spreads the verification work across workers.
  */
+#include <atomic>
 #include <iostream>
+#include <stdexcept>
 
 #include "bench_common.hpp"
 #include "designs/catalog.hpp"
@@ -19,9 +22,15 @@ int
 main(int argc, char **argv)
 {
     using namespace declust;
+    using namespace declust::bench;
+
     Options opts("Figure 4-3: known block designs scatter");
     opts.add("max-disks", "45", "largest array size to enumerate");
     opts.addFlag("csv", "emit csv");
+    opts.add("jobs", "1",
+             "worker threads for the sweep (0 = hardware threads)");
+    opts.add("json", "",
+             "write a machine-readable run record to this file");
     if (!opts.parse(argc, argv))
         return 1;
 
@@ -29,37 +38,45 @@ main(int argc, char **argv)
     const auto points = knownDesignPoints(maxV);
 
     TablePrinter table({"C", "G", "b", "r", "lambda", "alpha", "family"});
+
+    std::atomic<int> built{0};
+    std::vector<Trial> trials;
     for (const auto &p : points) {
-        table.addRow({std::to_string(p.v), std::to_string(p.k),
-                      std::to_string(p.b), std::to_string(p.r),
-                      std::to_string(p.lambda),
-                      fmtDouble(static_cast<double>(p.k - 1) /
-                                    static_cast<double>(p.v - 1),
-                                3),
-                      p.family});
+        trials.push_back([p, &built] {
+            TrialResult result;
+            result.rows.push_back(
+                {std::to_string(p.v), std::to_string(p.k),
+                 std::to_string(p.b), std::to_string(p.r),
+                 std::to_string(p.lambda),
+                 fmtDouble(static_cast<double>(p.k - 1) /
+                               static_cast<double>(p.v - 1),
+                           3),
+                 p.family});
+            // Verify everything the catalog can actually construct.
+            if (auto d = catalogDesign(p.v, p.k)) {
+                const auto res = d->verify();
+                if (!res.ok)
+                    throw std::runtime_error("FAILED verification: " +
+                                             d->name() + ": " + res.detail);
+                built.fetch_add(1, std::memory_order_relaxed);
+            }
+            return result;
+        });
+    }
+
+    SweepOutcome outcome;
+    try {
+        outcome = runTrials(opts, "fig4_3_design_catalog", table, trials);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
     }
 
     std::cout << "Figure 4-3 reproduction: " << points.size()
               << " known design parameter points (C <= " << maxV << ")\n";
-    if (opts.getFlag("csv"))
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-
-    // Verify everything the catalog can actually construct.
-    int built = 0;
-    for (const auto &p : points) {
-        if (auto d = catalogDesign(p.v, p.k)) {
-            const auto res = d->verify();
-            if (!res.ok) {
-                std::cerr << "FAILED verification: " << d->name() << ": "
-                          << res.detail << "\n";
-                return 1;
-            }
-            ++built;
-        }
-    }
-    std::cout << "verified " << built
+    emit(opts, table);
+    std::cout << "verified " << built.load()
               << " directly constructible catalog designs\n";
+    writeJsonRecord(opts, "fig4_3_design_catalog", outcome);
     return 0;
 }

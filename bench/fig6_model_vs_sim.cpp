@@ -39,40 +39,52 @@ main(int argc, char **argv)
                         "sim deg ms", "model deg ms", "sim util",
                         "model util"});
 
+    std::vector<Trial> trials;
     for (int G : paperStripeSizes()) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = G;
-        cfg.geometry = geometry;
-        cfg.accessesPerSec = rate;
-        cfg.readFraction = readFraction;
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, measure, rate, readFraction,
+                          geometry, G] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = G;
+            cfg.geometry = geometry;
+            cfg.accessesPerSec = rate;
+            cfg.readFraction = readFraction;
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        ArraySimulation sim(cfg);
-        const PhaseStats simFf = sim.runFaultFree(warmup, measure);
-        const PhaseStats simDeg = sim.failAndRunDegraded(warmup, measure);
+            ArraySimulation sim(cfg);
+            const PhaseStats simFf = sim.runFaultFree(warmup, measure);
+            const PhaseStats simDeg =
+                sim.failAndRunDegraded(warmup, measure);
 
-        QueueModelConfig mc;
-        mc.numDisks = cfg.numDisks;
-        mc.stripeUnits = G;
-        mc.userAccessesPerSec = rate;
-        mc.readFraction = readFraction;
-        mc.serviceMs = meanServiceMs(geometry);
-        const QueueModelResult mFf = faultFreeResponse(mc);
-        const QueueModelResult mDeg = degradedResponse(mc);
+            QueueModelConfig mc;
+            mc.numDisks = cfg.numDisks;
+            mc.stripeUnits = G;
+            mc.userAccessesPerSec = rate;
+            mc.readFraction = readFraction;
+            mc.serviceMs = meanServiceMs(geometry);
+            const QueueModelResult mFf = faultFreeResponse(mc);
+            const QueueModelResult mDeg = degradedResponse(mc);
 
-        table.addRow({fmtDouble(cfg.alpha(), 2), std::to_string(G),
-                      fmtDouble(simFf.meanMs, 1),
-                      mFf.saturated ? "sat" : fmtDouble(mFf.meanMs, 1),
-                      fmtDouble(simDeg.meanMs, 1),
-                      mDeg.saturated ? "sat" : fmtDouble(mDeg.meanMs, 1),
-                      fmtDouble(simFf.meanDiskUtilization, 3),
-                      fmtDouble(mFf.utilization, 3)});
-        std::cerr << "done G=" << G << "\n";
+            TrialResult result;
+            result.rows.push_back(
+                {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                 fmtDouble(simFf.meanMs, 1),
+                 mFf.saturated ? "sat" : fmtDouble(mFf.meanMs, 1),
+                 fmtDouble(simDeg.meanMs, 1),
+                 mDeg.saturated ? "sat" : fmtDouble(mDeg.meanMs, 1),
+                 fmtDouble(simFf.meanDiskUtilization, 3),
+                 fmtDouble(mFf.utilization, 3)});
+            noteSim(result, sim);
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "fig6_model_vs_sim", table, trials);
 
     std::cout << "Queueing model vs simulation (rate = " << rate
               << "/s, reads = " << readFraction << ")\n";
     emit(opts, table);
+    writeJsonRecord(opts, "fig6_model_vs_sim", outcome);
     return 0;
 }

@@ -40,46 +40,56 @@ main(int argc, char **argv)
         {"write", 0.0, {105, 210}},
     };
 
+    std::vector<Trial> trials;
     for (int G : paperStripeSizes()) {
         for (const Mode &mode : modes) {
             for (long rate : mode.rates) {
-                SimConfig cfg;
-                cfg.numDisks = 21;
-                cfg.stripeUnits = G;
-                cfg.geometry = geometryFrom(opts);
-                cfg.accessesPerSec = static_cast<double>(rate);
-                cfg.readFraction = mode.readFraction;
-                cfg.seed =
-                    static_cast<std::uint64_t>(opts.getInt("seed"));
+                const char *modeName = mode.name;
+                const double readFraction = mode.readFraction;
+                trials.push_back([&opts, warmup, measure, G, modeName,
+                                  readFraction, rate] {
+                    SimConfig cfg;
+                    cfg.numDisks = 21;
+                    cfg.stripeUnits = G;
+                    cfg.geometry = geometryFrom(opts);
+                    cfg.accessesPerSec = static_cast<double>(rate);
+                    cfg.readFraction = readFraction;
+                    cfg.seed =
+                        static_cast<std::uint64_t>(opts.getInt("seed"));
 
-                ArraySimulation sim(cfg);
-                const PhaseStats healthy =
-                    sim.runFaultFree(warmup, measure);
-                const PhaseStats degraded =
-                    sim.failAndRunDegraded(warmup, measure);
+                    ArraySimulation sim(cfg);
+                    const PhaseStats healthy =
+                        sim.runFaultFree(warmup, measure);
+                    const PhaseStats degraded =
+                        sim.failAndRunDegraded(warmup, measure);
 
-                table.addRow({fmtDouble(cfg.alpha(), 2),
-                              std::to_string(G), mode.name,
-                              std::to_string(rate),
-                              fmtDouble(mode.readFraction == 1.0
-                                            ? healthy.meanReadMs
-                                            : healthy.meanWriteMs,
-                                        2),
-                              fmtDouble(mode.readFraction == 1.0
-                                            ? degraded.meanReadMs
-                                            : degraded.meanWriteMs,
-                                        2),
-                              fmtDouble(healthy.meanDiskUtilization, 3),
-                              fmtDouble(degraded.meanDiskUtilization,
-                                        3)});
-                std::cerr << "done G=" << G << " " << mode.name
-                          << " rate=" << rate << "\n";
+                    TrialResult result;
+                    result.rows.push_back(
+                        {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                         modeName, std::to_string(rate),
+                         fmtDouble(readFraction == 1.0
+                                       ? healthy.meanReadMs
+                                       : healthy.meanWriteMs,
+                                   2),
+                         fmtDouble(readFraction == 1.0
+                                       ? degraded.meanReadMs
+                                       : degraded.meanWriteMs,
+                                   2),
+                         fmtDouble(healthy.meanDiskUtilization, 3),
+                         fmtDouble(degraded.meanDiskUtilization, 3)});
+                    noteSim(result, sim);
+                    return result;
+                });
             }
         }
     }
 
+    const SweepOutcome outcome =
+        runTrials(opts, "fig6_response_time", table, trials);
+
     std::cout << "Figures 6-1 (reads) and 6-2 (writes): response time vs "
                  "alpha, fault-free and degraded\n";
     emit(opts, table);
+    writeJsonRecord(opts, "fig6_response_time", outcome);
     return 0;
 }

@@ -41,52 +41,63 @@ main(int argc, char **argv)
                         "model baseline s", "model user-writes s",
                         "model redirect s"});
 
+    std::vector<Trial> trials;
     for (int G : paperStripeSizes()) {
-        SimConfig cfg;
-        cfg.numDisks = 21;
-        cfg.stripeUnits = G;
-        cfg.geometry = geometry;
-        cfg.accessesPerSec = rate;
-        cfg.readFraction = 0.5;
-        cfg.reconProcesses =
-            static_cast<int>(opts.getInt("processes"));
-        cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        trials.push_back([&opts, warmup, rate, geometry, mu, G] {
+            SimConfig cfg;
+            cfg.numDisks = 21;
+            cfg.stripeUnits = G;
+            cfg.geometry = geometry;
+            cfg.accessesPerSec = rate;
+            cfg.readFraction = 0.5;
+            cfg.reconProcesses =
+                static_cast<int>(opts.getInt("processes"));
+            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 
-        auto simulate = [&](ReconAlgorithm algorithm) {
-            SimConfig c = cfg;
-            c.algorithm = algorithm;
-            ArraySimulation sim(c);
-            sim.failAndRunDegraded(warmup, warmup);
-            return sim.reconstruct().report.reconstructionTimeSec;
-        };
-        const double simBaseline = simulate(ReconAlgorithm::Baseline);
-        const double simRedirect = simulate(ReconAlgorithm::Redirect);
+            TrialResult result;
+            auto simulate = [&](ReconAlgorithm algorithm) {
+                SimConfig c = cfg;
+                c.algorithm = algorithm;
+                ArraySimulation sim(c);
+                sim.failAndRunDegraded(warmup, warmup);
+                const double sec =
+                    sim.reconstruct().report.reconstructionTimeSec;
+                noteSim(result, sim);
+                return sec;
+            };
+            const double simBaseline = simulate(ReconAlgorithm::Baseline);
+            const double simRedirect = simulate(ReconAlgorithm::Redirect);
 
-        auto model = [&](ReconAlgorithm algorithm) {
-            MlModelConfig mc;
-            mc.numDisks = cfg.numDisks;
-            mc.stripeUnits = G;
-            mc.unitsPerDisk = geometry.totalSectors() / 8;
-            mc.userAccessesPerSec = rate;
-            mc.readFraction = 0.5;
-            mc.maxDiskAccessRate = mu;
-            mc.algorithm = algorithm;
-            const auto res = muntzLuiReconstructionTime(mc);
-            return res.saturated ? -1.0 : res.reconstructionTimeSec;
-        };
+            auto model = [&](ReconAlgorithm algorithm) {
+                MlModelConfig mc;
+                mc.numDisks = cfg.numDisks;
+                mc.stripeUnits = G;
+                mc.unitsPerDisk = geometry.totalSectors() / 8;
+                mc.userAccessesPerSec = rate;
+                mc.readFraction = 0.5;
+                mc.maxDiskAccessRate = mu;
+                mc.algorithm = algorithm;
+                const auto res = muntzLuiReconstructionTime(mc);
+                return res.saturated ? -1.0 : res.reconstructionTimeSec;
+            };
 
-        table.addRow({fmtDouble(cfg.alpha(), 2), std::to_string(G),
-                      fmtDouble(simBaseline, 1),
-                      fmtDouble(simRedirect, 1),
-                      fmtDouble(model(ReconAlgorithm::Baseline), 1),
-                      fmtDouble(model(ReconAlgorithm::UserWrites), 1),
-                      fmtDouble(model(ReconAlgorithm::Redirect), 1)});
-        std::cerr << "done G=" << G << "\n";
+            result.rows.push_back(
+                {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                 fmtDouble(simBaseline, 1), fmtDouble(simRedirect, 1),
+                 fmtDouble(model(ReconAlgorithm::Baseline), 1),
+                 fmtDouble(model(ReconAlgorithm::UserWrites), 1),
+                 fmtDouble(model(ReconAlgorithm::Redirect), 1)});
+            return result;
+        });
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "fig8_6_model_vs_sim", table, trials);
 
     std::cout << "Figure 8-6: analytic model (mu = " << fmtDouble(mu, 1)
               << "/s) vs simulation, rate = " << rate
               << "/s, 50% reads (-1 = model saturated)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "fig8_6_model_vs_sim", outcome);
     return 0;
 }

@@ -31,40 +31,49 @@ main(int argc, char **argv)
     TablePrinter table({"alpha", "G", "rate/s", "algorithm",
                         "recon time s", "user resp ms", "p90 ms"});
 
+    std::vector<Trial> trials;
     for (int G : paperStripeSizes()) {
         for (long rate : opts.getIntList("rates")) {
             for (ReconAlgorithm algorithm : algorithms) {
-                SimConfig cfg;
-                cfg.numDisks = 21;
-                cfg.stripeUnits = G;
-                cfg.geometry = geometryFrom(opts);
-                cfg.accessesPerSec = static_cast<double>(rate);
-                cfg.readFraction = 0.5;
-                cfg.algorithm = algorithm;
-                cfg.reconProcesses =
-                    static_cast<int>(opts.getInt("processes"));
-                cfg.seed =
-                    static_cast<std::uint64_t>(opts.getInt("seed"));
+                trials.push_back([&opts, warmup, G, rate, algorithm] {
+                    SimConfig cfg;
+                    cfg.numDisks = 21;
+                    cfg.stripeUnits = G;
+                    cfg.geometry = geometryFrom(opts);
+                    cfg.accessesPerSec = static_cast<double>(rate);
+                    cfg.readFraction = 0.5;
+                    cfg.algorithm = algorithm;
+                    cfg.reconProcesses =
+                        static_cast<int>(opts.getInt("processes"));
+                    cfg.seed =
+                        static_cast<std::uint64_t>(opts.getInt("seed"));
 
-                ArraySimulation sim(cfg);
-                sim.failAndRunDegraded(warmup, warmup);
-                const ReconOutcome outcome = sim.reconstruct();
+                    ArraySimulation sim(cfg);
+                    sim.failAndRunDegraded(warmup, warmup);
+                    const ReconOutcome outcome = sim.reconstruct();
 
-                table.addRow(
-                    {fmtDouble(cfg.alpha(), 2), std::to_string(G),
-                     std::to_string(rate), toString(algorithm),
-                     fmtDouble(outcome.report.reconstructionTimeSec, 1),
-                     fmtDouble(outcome.userDuringRecon.meanMs, 1),
-                     fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
-                std::cerr << "done G=" << G << " rate=" << rate << " "
-                          << toString(algorithm) << "\n";
+                    TrialResult result;
+                    result.rows.push_back(
+                        {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                         std::to_string(rate), toString(algorithm),
+                         fmtDouble(outcome.report.reconstructionTimeSec,
+                                   1),
+                         fmtDouble(outcome.userDuringRecon.meanMs, 1),
+                         fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
+                    noteSim(result, sim);
+                    return result;
+                });
             }
         }
     }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "fig8_recon_single", table, trials);
 
     std::cout << "Figures 8-1 (reconstruction time) and 8-2 (user "
                  "response during reconstruction), "
               << opts.getInt("processes") << " process(es)\n";
     emit(opts, table);
+    writeJsonRecord(opts, "fig8_recon_single", outcome);
     return 0;
 }

@@ -39,42 +39,63 @@ main(int argc, char **argv)
         ReconAlgorithm::Redirect, ReconAlgorithm::RedirectPiggyback};
     const std::vector<int> stripeSizes = {4, 10, 21}; // alpha .15/.45/1.0
 
+    // One sweep (and one table) per process count; the JSON record
+    // aggregates both.
+    SweepOutcome combined;
     for (int processes : {1, 8}) {
         TablePrinter table({"algorithm", "alpha", "read ms(sd)",
                             "write ms(sd)", "cycle ms"});
+        std::vector<Trial> trials;
         for (ReconAlgorithm algorithm : algorithms) {
             for (int G : stripeSizes) {
-                SimConfig cfg;
-                cfg.numDisks = 21;
-                cfg.stripeUnits = G;
-                cfg.geometry = geometryFrom(opts);
-                cfg.accessesPerSec = opts.getDouble("rate");
-                cfg.readFraction = 0.5;
-                cfg.algorithm = algorithm;
-                cfg.reconProcesses = processes;
-                cfg.seed =
-                    static_cast<std::uint64_t>(opts.getInt("seed"));
+                trials.push_back([&opts, warmup, algorithm, G,
+                                  processes] {
+                    SimConfig cfg;
+                    cfg.numDisks = 21;
+                    cfg.stripeUnits = G;
+                    cfg.geometry = geometryFrom(opts);
+                    cfg.accessesPerSec = opts.getDouble("rate");
+                    cfg.readFraction = 0.5;
+                    cfg.algorithm = algorithm;
+                    cfg.reconProcesses = processes;
+                    cfg.seed =
+                        static_cast<std::uint64_t>(opts.getInt("seed"));
 
-                ArraySimulation sim(cfg);
-                sim.failAndRunDegraded(warmup, warmup);
-                const ReconReport rep = sim.reconstruct().report;
+                    ArraySimulation sim(cfg);
+                    sim.failAndRunDegraded(warmup, warmup);
+                    const ReconReport rep = sim.reconstruct().report;
 
-                table.addRow(
-                    {toString(algorithm), fmtDouble(cfg.alpha(), 2),
-                     phaseCell(rep.tailReadPhaseMs),
-                     phaseCell(rep.tailWritePhaseMs),
-                     fmtDouble(rep.tailReadPhaseMs.mean() +
-                                   rep.tailWritePhaseMs.mean(),
-                               0)});
-                std::cerr << "done " << processes << "-way "
-                          << toString(algorithm) << " G=" << G << "\n";
+                    TrialResult result;
+                    result.rows.push_back(
+                        {toString(algorithm), fmtDouble(cfg.alpha(), 2),
+                         phaseCell(rep.tailReadPhaseMs),
+                         phaseCell(rep.tailWritePhaseMs),
+                         fmtDouble(rep.tailReadPhaseMs.mean() +
+                                       rep.tailWritePhaseMs.mean(),
+                                   0)});
+                    noteSim(result, sim);
+                    return result;
+                });
             }
         }
+
+        const SweepOutcome outcome =
+            runTrials(opts,
+                      "table8_1_cycle_times/" +
+                          std::to_string(processes) + "way",
+                      table, trials);
+        combined.trials += outcome.trials;
+        combined.jobs = outcome.jobs;
+        combined.wallSec += outcome.wallSec;
+        combined.events += outcome.events;
+        combined.simSec += outcome.simSec;
+
         std::cout << "\nTable 8-1 (" << processes
                   << "-way reconstruction), rate = "
                   << opts.getInt("rate")
                   << "/s, last-300-unit window:\n";
         emit(opts, table);
     }
+    writeJsonRecord(opts, "table8_1_cycle_times", combined);
     return 0;
 }

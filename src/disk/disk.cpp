@@ -18,6 +18,9 @@ Disk::Disk(EventQueue &eq, const DiskGeometry &geometry,
 {
     geometry_.validate();
     DECLUST_ASSERT(scheduler_, "disk needs a scheduler");
+    revTicks_ = geometry_.revolutionTicks();
+    secTicks_ = geometry_.sectorTicks();
+    revDiv_ = FastDiv(static_cast<std::uint32_t>(revTicks_));
     util_.resetWindow(eq_.now());
 }
 
@@ -32,14 +35,25 @@ Disk::submit(DiskRequest request)
                    request.sectorCount, ") out of range");
     DECLUST_ASSERT(request.onComplete, "request needs a callback");
 
-    const std::int64_t reqId = nextReqId_++;
-    const Chs chs = geometry_.lbaToChs(request.startSector);
+    int slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<int>(pending_.size());
+        pending_.emplace_back();
+    }
+    Pending &p = pending_[static_cast<std::size_t>(slot)];
+    p.request = std::move(request);
+    p.enqueued = eq_.now();
+    p.live = true;
+
+    const Chs chs = geometry_.lbaToChs(p.request.startSector);
     Scheduler &queue =
-        (backgroundScheduler_ && request.priority == Priority::Background)
+        (backgroundScheduler_ && p.request.priority == Priority::Background)
             ? *backgroundScheduler_
             : *scheduler_;
-    queue.push(SchedEntry{reqId, chs.cylinder, eq_.now()});
-    pending_.emplace(reqId, Pending{std::move(request), eq_.now()});
+    queue.push(SchedEntry{slot, chs.cylinder, p.enqueued});
     dispatch();
 }
 
@@ -65,26 +79,33 @@ Disk::dispatch()
         return;
 
     const SchedEntry entry = queue->pop(headCylinder_, direction_);
-    auto it = pending_.find(entry.id);
-    DECLUST_ASSERT(it != pending_.end(), "scheduler returned unknown id");
+    const auto slot = static_cast<int>(entry.id);
+    DECLUST_ASSERT(slot >= 0 &&
+                       slot < static_cast<int>(pending_.size()) &&
+                       pending_[static_cast<std::size_t>(slot)].live,
+                   "scheduler returned unknown id");
 
     busy_ = true;
     util_.setBusy(eq_.now());
 
     const Tick dispatched = eq_.now();
-    const Tick end = computeServiceEnd(it->second.request, dispatched);
-    eq_.scheduleAt(end, [this, reqId = entry.id, dispatched] {
-        complete(reqId, dispatched);
+    const Tick end = computeServiceEnd(
+        pending_[static_cast<std::size_t>(slot)].request, dispatched);
+    eq_.scheduleAt(end, [this, slot, dispatched] {
+        complete(slot, dispatched);
     });
 }
 
 void
-Disk::complete(std::int64_t reqId, Tick dispatched)
+Disk::complete(int slot, Tick dispatched)
 {
-    auto it = pending_.find(reqId);
-    DECLUST_ASSERT(it != pending_.end(), "completion for unknown request");
-    Pending done = std::move(it->second);
-    pending_.erase(it);
+    DECLUST_ASSERT(slot >= 0 &&
+                       slot < static_cast<int>(pending_.size()) &&
+                       pending_[static_cast<std::size_t>(slot)].live,
+                   "completion for unknown request");
+    Pending done = std::move(pending_[static_cast<std::size_t>(slot)]);
+    pending_[static_cast<std::size_t>(slot)].live = false;
+    freeSlots_.push_back(slot);
 
     const Tick now = eq_.now();
     stats_.serviceMs.add(ticksToMs(now - dispatched));
@@ -121,11 +142,11 @@ Disk::complete(std::int64_t reqId, Tick dispatched)
 Tick
 Disk::rotationalWait(int slot, Tick t) const
 {
-    const Tick rev = geometry_.revolutionTicks();
-    const Tick slotStart = static_cast<Tick>(slot) *
-                           geometry_.sectorTicks();
-    const Tick phase = t % rev;
-    return (slotStart + rev - phase) % rev;
+    const Tick slotStart = static_cast<Tick>(slot) * secTicks_;
+    const Tick phase = revDiv_.rem64(static_cast<std::int64_t>(t));
+    // slotStart < rev and rev - phase <= rev, so one subtraction wraps.
+    const Tick wait = slotStart + revTicks_ - phase;
+    return wait >= revTicks_ ? wait - revTicks_ : wait;
 }
 
 void
@@ -179,7 +200,7 @@ Disk::computeServiceEnd(const DiskRequest &request, Tick start)
         t += rotationalWait(geometry_.physicalSlot(chs), t);
         const int onTrack = std::min(
             remaining, geometry_.sectorsPerTrack - chs.sector);
-        t += static_cast<Tick>(onTrack) * geometry_.sectorTicks();
+        t += static_cast<Tick>(onTrack) * secTicks_;
         remaining -= onTrack;
         if (remaining == 0)
             break;

@@ -16,10 +16,11 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "disk/geometry.hpp"
 #include "disk/scheduler.hpp"
+#include "util/fastdiv.hpp"
 #include "disk/seek_model.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/accumulator.hpp"
@@ -137,7 +138,7 @@ class Disk
 
   private:
     void dispatch();
-    void complete(std::int64_t reqId, Tick dispatched);
+    void complete(int slot, Tick dispatched);
 
     /**
      * Compute the completion time of @p request starting service at
@@ -161,14 +162,27 @@ class Disk
     SeekDirection direction_ = SeekDirection::None;
 
     bool busy_ = false;
-    std::int64_t nextReqId_ = 0;
 
+    /**
+     * In-flight requests live in slots; the slot index doubles as the
+     * id circulated through the scheduler and the completion event.
+     * A slot is recycled only after its completion runs, so an id can
+     * never resolve to the wrong request.
+     */
     struct Pending
     {
         DiskRequest request;
-        Tick enqueued;
+        Tick enqueued = 0;
+        bool live = false;
     };
-    std::unordered_map<std::int64_t, Pending> pending_;
+    std::vector<Pending> pending_;
+    std::vector<std::int32_t> freeSlots_;
+
+    // Geometry timing constants, cached to keep double->Tick conversion
+    // out of the per-sector service loop.
+    Tick revTicks_ = 0;
+    Tick secTicks_ = 0;
+    FastDiv revDiv_; // reciprocal for the rotational phase computation
 
     DiskStats stats_;
     UtilizationTracker util_;

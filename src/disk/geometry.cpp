@@ -49,13 +49,22 @@ DiskGeometry::absoluteTrack(const Chs &chs) const
 Chs
 DiskGeometry::lbaToChs(std::int64_t lba) const
 {
-    DECLUST_ASSERT(lba >= 0 && lba < totalSectors(), "lba ", lba,
-                   " out of range");
+    // Hot path (every disk submit and service computation): range is the
+    // caller's contract, and the divisions go through memoized
+    // reciprocals instead of hardware division.
+    DECLUST_DEBUG_ASSERT(lba >= 0 && lba < totalSectors(), "lba ", lba,
+                         " out of range");
+    const auto spc = static_cast<std::uint32_t>(sectorsPerCylinder());
+    if (cylDiv_.divisor() != spc)
+        cylDiv_ = FastDiv(spc);
+    const auto spt = static_cast<std::uint32_t>(sectorsPerTrack);
+    if (trackDiv_.divisor() != spt)
+        trackDiv_ = FastDiv(spt);
     Chs chs;
-    chs.cylinder = static_cast<int>(lba / sectorsPerCylinder());
-    const std::int64_t inCyl = lba % sectorsPerCylinder();
-    chs.track = static_cast<int>(inCyl / sectorsPerTrack);
-    chs.sector = static_cast<int>(inCyl % sectorsPerTrack);
+    chs.cylinder = static_cast<int>(cylDiv_.quot64(lba));
+    const auto inCyl = static_cast<std::uint32_t>(cylDiv_.rem64(lba));
+    chs.track = static_cast<int>(trackDiv_.quot(inCyl));
+    chs.sector = static_cast<int>(trackDiv_.rem(inCyl));
     return chs;
 }
 
@@ -82,10 +91,13 @@ DiskGeometry::sectorTicks() const
 int
 DiskGeometry::physicalSlot(const Chs &chs) const
 {
+    const auto spt = static_cast<std::uint32_t>(sectorsPerTrack);
+    if (trackDiv_.divisor() != spt)
+        trackDiv_ = FastDiv(spt);
     const std::int64_t skewed =
         chs.sector +
         static_cast<std::int64_t>(trackSkewSectors) * absoluteTrack(chs);
-    return static_cast<int>(skewed % sectorsPerTrack);
+    return static_cast<int>(trackDiv_.rem64(skewed));
 }
 
 void

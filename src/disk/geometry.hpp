@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "sim/time.hpp"
+#include "util/fastdiv.hpp"
 
 namespace declust {
 
@@ -78,6 +79,17 @@ struct DiskGeometry
 
     /** Validate parameter sanity; throws ConfigError on nonsense. */
     void validate() const;
+
+  private:
+    /**
+     * Memoized reciprocals for the per-access address translation,
+     * re-installed whenever the public fields they were derived from
+     * change (callers mutate the fields freely after construction).
+     * Geometries are used from one thread at a time, like the disks
+     * and simulations that hold them.
+     */
+    mutable FastDiv cylDiv_{};   // by sectorsPerCylinder()
+    mutable FastDiv trackDiv_{}; // by sectorsPerTrack
 };
 
 } // namespace declust

@@ -81,6 +81,10 @@ SeekModel::SeekModel(const DiskGeometry &geometry)
     for (int d = 1; d <= maxDistance_; ++d)
         avg += 2.0 * (N - d) * seekMs(d);
     averageMs_ = avg / norm;
+
+    ticks_.resize(static_cast<std::size_t>(maxDistance_) + 1);
+    for (int d = 0; d <= maxDistance_; ++d)
+        ticks_[static_cast<std::size_t>(d)] = msToTicks(seekMs(d));
 }
 
 double
@@ -92,12 +96,6 @@ SeekModel::seekMs(int distance) const
         return 0.0;
     return a_ * std::sqrt(static_cast<double>(distance)) + b_ * distance +
            c_;
-}
-
-Tick
-SeekModel::seekTicks(int distance) const
-{
-    return msToTicks(seekMs(distance));
 }
 
 double

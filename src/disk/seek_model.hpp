@@ -14,8 +14,11 @@
  */
 #pragma once
 
+#include <vector>
+
 #include "disk/geometry.hpp"
 #include "sim/time.hpp"
+#include "util/error.hpp"
 
 namespace declust {
 
@@ -25,8 +28,18 @@ class SeekModel
   public:
     explicit SeekModel(const DiskGeometry &geometry);
 
-    /** Seek time for a @p distance-cylinder move (0 for distance 0). */
-    Tick seekTicks(int distance) const;
+    /**
+     * Seek time for a @p distance-cylinder move (0 for distance 0).
+     * Served from a table precomputed at construction — the curve is
+     * evaluated on every dispatch and cylinder crossing, and the sqrt
+     * would dominate the simulator's disk-model cost.
+     */
+    Tick seekTicks(int distance) const
+    {
+        DECLUST_DEBUG_ASSERT(distance >= 0 && distance <= maxDistance_,
+                             "seek distance ", distance, " out of range");
+        return ticks_[static_cast<std::size_t>(distance)];
+    }
 
     /** Seek time in fractional milliseconds. */
     double seekMs(int distance) const;
@@ -49,6 +62,7 @@ class SeekModel
     double b_ = 0.0;
     double c_ = 0.0;
     double averageMs_ = 0.0;
+    std::vector<Tick> ticks_; // seekTicks by distance, 0..maxDistance_
 };
 
 } // namespace declust

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal JSON object writer for machine-readable bench output.
+ *
+ * The perf-tracking workflow diffs per-bench throughput records
+ * (BENCH_*.json) across commits; this writer covers exactly the flat
+ * string/number objects those records need without pulling in a JSON
+ * dependency. Numbers are emitted with enough digits to round-trip.
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace declust {
+
+/** Flat ordered JSON object: string, integer, or double fields. */
+class JsonObject
+{
+  public:
+    JsonObject &
+    set(std::string key, std::string value)
+    {
+        fields_.emplace_back(std::move(key), Value{std::move(value)});
+        return *this;
+    }
+
+    JsonObject &
+    set(std::string key, const char *value)
+    {
+        return set(std::move(key), std::string(value));
+    }
+
+    JsonObject &
+    set(std::string key, std::int64_t value)
+    {
+        fields_.emplace_back(std::move(key), Value{value});
+        return *this;
+    }
+
+    JsonObject &
+    set(std::string key, std::uint64_t value)
+    {
+        return set(std::move(key), static_cast<std::int64_t>(value));
+    }
+
+    JsonObject &
+    set(std::string key, int value)
+    {
+        return set(std::move(key), static_cast<std::int64_t>(value));
+    }
+
+    JsonObject &
+    set(std::string key, double value)
+    {
+        fields_.emplace_back(std::move(key), Value{value});
+        return *this;
+    }
+
+    /** Serialize as a single pretty-printed object. */
+    void
+    write(std::ostream &os) const
+    {
+        os << "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            os << "  \"" << escaped(fields_[i].first) << "\": ";
+            writeValue(os, fields_[i].second);
+            if (i + 1 < fields_.size())
+                os << ',';
+            os << '\n';
+        }
+        os << "}\n";
+    }
+
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        write(os);
+        return os.str();
+    }
+
+  private:
+    using Value = std::variant<std::string, std::int64_t, double>;
+
+    static std::string
+    escaped(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c; break;
+            }
+        }
+        return out;
+    }
+
+    static void
+    writeValue(std::ostream &os, const Value &v)
+    {
+        if (const auto *s = std::get_if<std::string>(&v)) {
+            os << '"' << escaped(*s) << '"';
+        } else if (const auto *i = std::get_if<std::int64_t>(&v)) {
+            os << *i;
+        } else {
+            std::ostringstream num;
+            num.precision(17);
+            num << std::get<double>(v);
+            os << num.str();
+        }
+    }
+
+    std::vector<std::pair<std::string, Value>> fields_;
+};
+
+} // namespace declust

@@ -1,0 +1,54 @@
+#include "harness/progress.hpp"
+
+#include <cstdio>
+
+#if defined(_WIN32)
+#include <io.h>
+#define DECLUST_ISATTY(fd) _isatty(fd)
+#else
+#include <unistd.h>
+#define DECLUST_ISATTY(fd) isatty(fd)
+#endif
+
+namespace declust {
+
+ProgressMeter::ProgressMeter(std::string label)
+    : label_(std::move(label)),
+      start_(std::chrono::steady_clock::now()),
+      isTty_(DECLUST_ISATTY(fileno(stderr)) != 0)
+{
+}
+
+double
+ProgressMeter::elapsedSec() const
+{
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(dt).count();
+}
+
+void
+ProgressMeter::update(int done, int total)
+{
+    if (!isTty_ || total <= 0)
+        return;
+    const double elapsed = elapsedSec();
+    const double eta =
+        done > 0 ? elapsed * (total - done) / done : 0.0;
+    std::fprintf(stderr, "\r%s: %d/%d trials  elapsed %.1fs  eta %.1fs ",
+                 label_.c_str(), done, total, elapsed, eta);
+    std::fflush(stderr);
+    lineActive_ = true;
+}
+
+void
+ProgressMeter::finish(int total)
+{
+    if (lineActive_) {
+        std::fprintf(stderr, "\r\033[K");
+        lineActive_ = false;
+    }
+    std::fprintf(stderr, "%s: %d trials in %.1fs\n", label_.c_str(),
+                 total, elapsedSec());
+}
+
+} // namespace declust

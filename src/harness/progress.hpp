@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Progress/ETA line for long trial sweeps.
+ *
+ * Writes a single self-overwriting line to stderr ("fig8_recon_single:
+ * 7/14 trials  elapsed 12.3s  eta 12.1s") when stderr is a terminal;
+ * when redirected it stays silent until the final "done" summary, so
+ * batch logs and CI output stay clean. Progress is cosmetic: it reads
+ * wall-clock time and never touches simulated time, so it cannot
+ * perturb results.
+ */
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace declust {
+
+/** Terminal progress line; construct once per sweep. */
+class ProgressMeter
+{
+  public:
+    /** @param label Prefix for the line, typically the bench name. */
+    explicit ProgressMeter(std::string label);
+
+    /** Update the line (no-op unless stderr is a tty). Thread-safe only
+     * if externally serialized — TrialRunner serializes its progress
+     * callback. */
+    void update(int done, int total);
+
+    /** Erase the live line and print the final one-shot summary. */
+    void finish(int total);
+
+    /** Seconds since construction. */
+    double elapsedSec() const;
+
+  private:
+    std::string label_;
+    std::chrono::steady_clock::time_point start_;
+    bool isTty_;
+    bool lineActive_ = false;
+};
+
+} // namespace declust

@@ -1,0 +1,82 @@
+#include "harness/trial_runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+TrialRunner::TrialRunner(int jobs)
+{
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    jobs_ = jobs;
+}
+
+void
+TrialRunner::run(int numTasks, const std::function<void(int)> &task,
+                 const std::function<void(int, int)> &onTrialDone)
+{
+    DECLUST_ASSERT(numTasks >= 0, "negative trial count");
+    DECLUST_ASSERT(task, "runner needs a task");
+    if (numTasks == 0)
+        return;
+
+    if (jobs_ == 1) {
+        // Inline serial path: no threads, identical to the pre-harness
+        // drivers down to the order progress callbacks fire in.
+        for (int i = 0; i < numTasks; ++i) {
+            task(i);
+            if (onTrialDone)
+                onTrialDone(i + 1, numTasks);
+        }
+        return;
+    }
+
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu; // serializes onTrialDone and first-error capture
+    std::exception_ptr firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= numTasks)
+                return;
+            try {
+                task(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!firstError)
+                    firstError = std::current_exception();
+                // Park the claim counter past the end so idle workers
+                // stop picking up new trials.
+                next.store(numTasks, std::memory_order_relaxed);
+                return;
+            }
+            const int finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (onTrialDone) {
+                std::lock_guard<std::mutex> lock(mu);
+                onTrialDone(finished, numTasks);
+            }
+        }
+    };
+
+    const int threads = jobs_ < numTasks ? jobs_ : numTasks;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace declust

@@ -20,8 +20,11 @@ DeclusteredLayout::DeclusteredLayout(BlockDesign design, int unitsPerDisk,
     DECLUST_ASSERT(specialSlots >= 1 && specialSlots < G,
                    "specialSlots out of range");
 
+    width_ = G;
     stripesPerTable_ = b * G;
     unitsPerTable_ = r * G;
+    stripeDiv_ = FastDiv(static_cast<std::uint32_t>(stripesPerTable_));
+    offsetDiv_ = FastDiv(static_cast<std::uint32_t>(unitsPerTable_));
     // DupMajor (the paper's figure 4-2 order) is perfectly balanced only
     // in whole tables; whenever a trailing partial table exists the
     // staggered order keeps the truncated prefix balanced too.
@@ -138,13 +141,15 @@ DeclusteredLayout::DeclusteredLayout(BlockDesign design, int unitsPerDisk,
 PhysicalUnit
 DeclusteredLayout::place(std::int64_t stripe, int pos) const
 {
-    DECLUST_ASSERT(stripe >= 0 && stripe < numStripes_, "stripe ", stripe,
-                   " out of range [0,", numStripes_, ")");
-    DECLUST_ASSERT(pos >= 0 && pos < design_.k(), "pos out of range");
-    const std::int64_t table = stripe / stripesPerTable_;
-    const int idx = static_cast<int>(stripe % stripesPerTable_);
-    PhysicalUnit unit = tableUnits_[static_cast<size_t>(idx) *
-                                        design_.k() + pos];
+    // Per-access path: one table lookup plus two multiply-shift
+    // divisions; bounds are the caller's contract (checked in debug).
+    DECLUST_DEBUG_ASSERT(stripe >= 0 && stripe < numStripes_, "stripe ",
+                         stripe, " out of range [0,", numStripes_, ")");
+    DECLUST_DEBUG_ASSERT(pos >= 0 && pos < width_, "pos out of range");
+    const std::int64_t table = stripeDiv_.quot64(stripe);
+    const auto idx = static_cast<size_t>(stripeDiv_.rem64(stripe));
+    PhysicalUnit unit = tableUnits_[idx * static_cast<size_t>(width_) +
+                                    static_cast<size_t>(pos)];
     unit.offset += static_cast<int>(table * unitsPerTable_);
     return unit;
 }
@@ -152,11 +157,13 @@ DeclusteredLayout::place(std::int64_t stripe, int pos) const
 std::optional<StripeUnit>
 DeclusteredLayout::invert(int disk, int offset) const
 {
-    DECLUST_ASSERT(disk >= 0 && disk < design_.v(), "disk out of range");
-    DECLUST_ASSERT(offset >= 0 && offset < unitsPerDisk_,
-                   "offset out of range");
-    const std::int64_t table = offset / unitsPerTable_;
-    const int tOff = offset % unitsPerTable_;
+    DECLUST_DEBUG_ASSERT(disk >= 0 && disk < design_.v(),
+                         "disk out of range");
+    DECLUST_DEBUG_ASSERT(offset >= 0 && offset < unitsPerDisk_,
+                         "offset out of range");
+    const auto off = static_cast<std::uint32_t>(offset);
+    const std::int64_t table = offsetDiv_.quot(off);
+    const std::uint32_t tOff = offsetDiv_.rem(off);
     const InvEntry &e =
         inverse_[static_cast<size_t>(disk) * unitsPerTable_ + tOff];
     if (table == fullTables_ && e.stripeIdx >= partialStripes_)

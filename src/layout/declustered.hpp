@@ -19,6 +19,7 @@
 
 #include "designs/design.hpp"
 #include "layout/layout.hpp"
+#include "util/fastdiv.hpp"
 
 namespace declust {
 
@@ -84,8 +85,11 @@ class DeclusteredLayout : public Layout
     int unitsPerDisk_;
     TableOrder order_;
 
+    int width_;            // G, denormalized out of design_ for the hot path
     int stripesPerTable_;  // b * G
     int unitsPerTable_;    // r * G (per disk)
+    FastDiv stripeDiv_;    // divide stripe index by stripesPerTable_
+    FastDiv offsetDiv_;    // divide disk offset by unitsPerTable_
     std::int64_t fullTables_;
     int partialStripes_;   // usable stripes in the trailing partial table
     std::int64_t numStripes_;

@@ -32,17 +32,21 @@ Layout::placeParity(std::int64_t stripe) const
 StripeUnit
 Layout::dataUnitToStripe(std::int64_t dataUnit) const
 {
-    DECLUST_ASSERT(dataUnit >= 0 && dataUnit < numDataUnits(),
-                   "data unit ", dataUnit, " out of range");
-    const int dus = dataUnitsPerStripe();
-    return StripeUnit{dataUnit / dus, static_cast<int>(dataUnit % dus)};
+    DECLUST_DEBUG_ASSERT(dataUnit >= 0 && dataUnit < numDataUnits(),
+                         "data unit ", dataUnit, " out of range");
+    const auto dus =
+        static_cast<std::uint32_t>(dataUnitsPerStripe());
+    if (dataDiv_.divisor() != dus)
+        dataDiv_ = FastDiv(dus);
+    return StripeUnit{dataDiv_.quot64(dataUnit),
+                      static_cast<int>(dataDiv_.rem64(dataUnit))};
 }
 
 std::int64_t
 Layout::stripeToDataUnit(const StripeUnit &su) const
 {
-    DECLUST_ASSERT(su.pos >= 0 && su.pos < dataUnitsPerStripe(),
-                   "position ", su.pos, " is not a data position");
+    DECLUST_DEBUG_ASSERT(su.pos >= 0 && su.pos < dataUnitsPerStripe(),
+                         "position ", su.pos, " is not a data position");
     return su.stripe * dataUnitsPerStripe() + su.pos;
 }
 

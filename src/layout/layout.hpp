@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <optional>
 
+#include "util/fastdiv.hpp"
+
 namespace declust {
 
 /** Physical location of one stripe unit. */
@@ -105,6 +107,15 @@ class Layout
     /** Spare unit of @p stripe (panics unless hasSpareUnits()). */
     virtual PhysicalUnit placeSpare(std::int64_t stripe) const;
     /** @} */
+
+  private:
+    /**
+     * Memoized reciprocal for the data-unit map's division by G-1,
+     * installed on first use (the base class cannot read stripeWidth()
+     * during construction). Layouts are thread-confined like the
+     * simulations that own them, so the lazy write is unsynchronized.
+     */
+    mutable FastDiv dataDiv_{};
 };
 
 } // namespace declust

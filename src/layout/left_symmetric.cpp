@@ -5,7 +5,8 @@
 namespace declust {
 
 LeftSymmetricLayout::LeftSymmetricLayout(int numDisks, int unitsPerDisk)
-    : numDisks_(numDisks), unitsPerDisk_(unitsPerDisk)
+    : numDisks_(numDisks), unitsPerDisk_(unitsPerDisk),
+      diskDiv_(static_cast<std::uint32_t>(numDisks))
 {
     DECLUST_ASSERT(numDisks_ >= 2, "left-symmetric needs >= 2 disks");
     DECLUST_ASSERT(unitsPerDisk_ >= 1, "empty disks");
@@ -15,36 +16,39 @@ int
 LeftSymmetricLayout::parityDisk(std::int64_t stripe) const
 {
     // Parity starts on the last disk and rotates left each stripe.
-    return numDisks_ - 1 - static_cast<int>(stripe % numDisks_);
+    return numDisks_ - 1 - static_cast<int>(diskDiv_.rem64(stripe));
 }
 
 PhysicalUnit
 LeftSymmetricLayout::place(std::int64_t stripe, int pos) const
 {
-    DECLUST_ASSERT(stripe >= 0 && stripe < numStripes(), "stripe ", stripe,
-                   " out of range");
-    DECLUST_ASSERT(pos >= 0 && pos < numDisks_, "pos ", pos,
-                   " out of range");
+    DECLUST_DEBUG_ASSERT(stripe >= 0 && stripe < numStripes(), "stripe ",
+                         stripe, " out of range");
+    DECLUST_DEBUG_ASSERT(pos >= 0 && pos < numDisks_, "pos ", pos,
+                         " out of range");
     const int p = parityDisk(stripe);
     const int offset = static_cast<int>(stripe);
     if (pos == numDisks_ - 1)
         return PhysicalUnit{p, offset};
     // Data unit j goes on the disk after parity, wrapping around.
-    return PhysicalUnit{(p + 1 + pos) % numDisks_, offset};
+    const int disk = p + 1 + pos;
+    return PhysicalUnit{disk < numDisks_ ? disk : disk - numDisks_,
+                        offset};
 }
 
 std::optional<StripeUnit>
 LeftSymmetricLayout::invert(int disk, int offset) const
 {
-    DECLUST_ASSERT(disk >= 0 && disk < numDisks_, "disk out of range");
-    DECLUST_ASSERT(offset >= 0 && offset < unitsPerDisk_,
-                   "offset out of range");
+    DECLUST_DEBUG_ASSERT(disk >= 0 && disk < numDisks_,
+                         "disk out of range");
+    DECLUST_DEBUG_ASSERT(offset >= 0 && offset < unitsPerDisk_,
+                         "offset out of range");
     const auto stripe = static_cast<std::int64_t>(offset);
     const int p = parityDisk(stripe);
     if (disk == p)
         return StripeUnit{stripe, numDisks_ - 1};
-    const int pos = (disk - p - 1 + numDisks_) % numDisks_;
-    return StripeUnit{stripe, pos};
+    const int pos = disk - p - 1;
+    return StripeUnit{stripe, pos < 0 ? pos + numDisks_ : pos};
 }
 
 } // namespace declust

@@ -36,6 +36,7 @@ class LeftSymmetricLayout : public Layout
 
     int numDisks_;
     int unitsPerDisk_;
+    FastDiv diskDiv_; // reciprocal for the per-access mod-C rotation
 };
 
 } // namespace declust

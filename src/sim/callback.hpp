@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Small-buffer event callback for the simulation core.
+ *
+ * std::function's inline buffer (16 bytes in common libraries) is too
+ * small for the simulator's closures — nearly every scheduled event
+ * captures an object pointer plus a continuation, so the old event queue
+ * paid one malloc/free per event. EventCallback stores up to
+ * kInlineCapacity bytes in place, covering every callback the simulator
+ * schedules today; larger closures spill into a per-thread SlabPool
+ * instead of malloc.
+ *
+ * Move-only (events run once, continuations own their captures) and
+ * thread-confined like the EventQueue that stores it: a callback must be
+ * created, run, and destroyed on one thread. The TrialRunner harness
+ * guarantees this by running each simulation wholly on one worker.
+ */
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/slab_pool.hpp"
+
+namespace declust {
+
+namespace detail {
+
+/** This thread's spill pool for size class @p size (64/128/256). */
+inline SlabPool &
+callbackSpillPool(std::size_t size)
+{
+    thread_local SlabPool pool64(64), pool128(128), pool256(256);
+    return size <= 64 ? pool64 : size <= 128 ? pool128 : pool256;
+}
+
+/** Allocate spill storage for an oversized callback. */
+inline void *
+callbackSpillAlloc(std::size_t size)
+{
+    if (size <= 256)
+        return callbackSpillPool(size).allocate();
+    return ::operator new(size);
+}
+
+/** Release spill storage obtained from callbackSpillAlloc. */
+inline void
+callbackSpillFree(void *p, std::size_t size)
+{
+    if (size <= 256)
+        callbackSpillPool(size).deallocate(p);
+    else
+        ::operator delete(p);
+}
+
+} // namespace detail
+
+/** Move-only callable with a large inline buffer and pooled spill. */
+class EventCallback
+{
+  public:
+    /** Inline capture capacity in bytes. */
+    static constexpr std::size_t kInlineCapacity = 48;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(store_.inline_)) Fn(std::forward<F>(f));
+            ops_ = inlineOps<Fn>();
+        } else {
+            void *mem = detail::callbackSpillAlloc(sizeof(Fn));
+            ::new (mem) Fn(std::forward<F>(f));
+            store_.heap_ = mem;
+            ops_ = heapOps<Fn>();
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the held callable. */
+    void
+    operator()()
+    {
+        ops_->invoke(*this);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(EventCallback &);
+        void (*move)(EventCallback &dst, EventCallback &src) noexcept;
+        void (*destroy)(EventCallback &) noexcept;
+    };
+
+    template <typename Fn>
+    static Fn *
+    inlinePtr(EventCallback &cb)
+    {
+        return std::launder(reinterpret_cast<Fn *>(cb.store_.inline_));
+    }
+
+    template <typename Fn>
+    static const Ops *
+    inlineOps()
+    {
+        static constexpr Ops ops = {
+            [](EventCallback &cb) { (*inlinePtr<Fn>(cb))(); },
+            [](EventCallback &dst, EventCallback &src) noexcept {
+                ::new (static_cast<void *>(dst.store_.inline_))
+                    Fn(std::move(*inlinePtr<Fn>(src)));
+                inlinePtr<Fn>(src)->~Fn();
+            },
+            [](EventCallback &cb) noexcept { inlinePtr<Fn>(cb)->~Fn(); },
+        };
+        return &ops;
+    }
+
+    template <typename Fn>
+    static const Ops *
+    heapOps()
+    {
+        static constexpr Ops ops = {
+            [](EventCallback &cb) {
+                (*static_cast<Fn *>(cb.store_.heap_))();
+            },
+            [](EventCallback &dst, EventCallback &src) noexcept {
+                dst.store_.heap_ = src.store_.heap_;
+                src.store_.heap_ = nullptr;
+            },
+            [](EventCallback &cb) noexcept {
+                auto *fn = static_cast<Fn *>(cb.store_.heap_);
+                fn->~Fn();
+                detail::callbackSpillFree(cb.store_.heap_, sizeof(Fn));
+            },
+        };
+        return &ops;
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->move(*this, other);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(*this);
+            ops_ = nullptr;
+        }
+    }
+
+    union Storage
+    {
+        std::byte inline_[kInlineCapacity];
+        void *heap_;
+    };
+
+    alignas(std::max_align_t) Storage store_;
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace declust

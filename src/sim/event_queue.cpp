@@ -7,12 +7,70 @@
 namespace declust {
 
 void
+EventQueue::push(Entry entry)
+{
+    // Hole-based sift-up: shift ancestors down until the insertion point
+    // is found, then place the entry once (no pairwise swaps).
+    std::size_t hole = heap_.size();
+    heap_.emplace_back(); // default entry; overwritten below
+    while (hole > 0) {
+        const std::size_t parent = (hole - 1) / kArity;
+        if (!before(entry, heap_[parent]))
+            break;
+        heap_[hole] = std::move(heap_[parent]);
+        hole = parent;
+    }
+    heap_[hole] = std::move(entry);
+}
+
+void
+EventQueue::siftDown(std::size_t hole, Entry entry)
+{
+    const std::size_t size = heap_.size();
+    for (;;) {
+        const std::size_t first = hole * kArity + 1;
+        if (first >= size)
+            break;
+        std::size_t best = first;
+        const std::size_t last =
+            first + kArity < size ? first + kArity : size;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], entry))
+            break;
+        heap_[hole] = std::move(heap_[best]);
+        hole = best;
+    }
+    heap_[hole] = std::move(entry);
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    Entry top = std::move(heap_.front());
+    Entry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0, std::move(last));
+    return top;
+}
+
+void
 EventQueue::scheduleAt(Tick when, Callback cb)
 {
-    DECLUST_ASSERT(when >= now_, "scheduling into the past: ", when,
-                   " < ", now_);
     DECLUST_ASSERT(cb, "null event callback");
-    queue_.push(Entry{when, nextSeq_++, std::move(cb)});
+    if (when < now_) [[unlikely]] {
+        // Causality violation: an event may never run before the event
+        // that scheduled it. Surface the bug in debug builds; in release
+        // builds clamp to now so the clock cannot run backwards and
+        // per-seed determinism survives.
+        DECLUST_DEBUG_ASSERT(when >= now_, "scheduling into the past: ",
+                             when, " < ", now_);
+        when = now_;
+    }
+    push(Entry{when, nextSeq_++, std::move(cb)});
 }
 
 void
@@ -24,12 +82,11 @@ EventQueue::scheduleIn(Tick delay, Callback cb)
 bool
 EventQueue::step()
 {
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
-    // Move the callback out before popping so the entry can safely
+    // The entry is moved out before execution so the callback can safely
     // schedule further events (which may reallocate the heap).
-    Entry top = queue_.top();
-    queue_.pop();
+    Entry top = popTop();
     now_ = top.when;
     ++executed_;
     top.cb();
@@ -39,7 +96,7 @@ EventQueue::step()
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!queue_.empty() && queue_.top().when <= until)
+    while (!heap_.empty() && heap_.front().when <= until)
         step();
     // No event before the horizon: idle time just passes.
     if (now_ < until)

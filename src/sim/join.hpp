@@ -10,25 +10,82 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "util/error.hpp"
 
 namespace declust {
 
+namespace detail {
+
+struct JoinState
+{
+    int remaining = 0;
+    std::function<void()> done;
+};
+
+/**
+ * Thread-local arena for join states (sims are thread-confined). The
+ * arena owns every state it ever hands out; completed joins go on the
+ * free list for reuse. States of *abandoned* joins — forks still in
+ * flight when a simulation stops early — stay owned by the arena too,
+ * so they are reclaimed at thread exit rather than leaking.
+ */
+struct JoinArena
+{
+    std::vector<std::unique_ptr<JoinState>> all;
+    std::vector<JoinState *> free;
+
+    JoinState *
+    acquire()
+    {
+        if (free.empty()) {
+            all.push_back(std::make_unique<JoinState>());
+            return all.back().get();
+        }
+        JoinState *state = free.back();
+        free.pop_back();
+        return state;
+    }
+};
+
+inline JoinArena &
+joinArena()
+{
+    thread_local JoinArena arena;
+    return arena;
+}
+
+} // namespace detail
+
 /**
  * Build a join callback: invoke the result @p n times and @p done runs
  * once. @p n must be positive (a zero-wide fork is a logic error; call
  * done directly instead).
+ *
+ * The result captures a single raw pointer, which std::function stores
+ * inline — handing the join to each fork never allocates. The shared
+ * state returns to a thread-local arena when the n-th call fires
+ * (every join in a running simulation is invoked exactly n times; disk
+ * completions never get dropped), so steady-state operation performs no
+ * heap traffic at all, and an erroneous extra call still reads valid
+ * memory and trips the count assert below.
  */
 inline std::function<void()>
 makeJoin(int n, std::function<void()> done)
 {
     DECLUST_ASSERT(n > 0, "join of zero forks");
-    auto remaining = std::make_shared<int>(n);
-    return [remaining, done = std::move(done)]() {
-        DECLUST_ASSERT(*remaining > 0, "join fired too many times");
-        if (--*remaining == 0)
+    detail::JoinState *state = detail::joinArena().acquire();
+    state->remaining = n;
+    state->done = std::move(done);
+    return [state]() {
+        DECLUST_ASSERT(state->remaining > 0, "join fired too many times");
+        if (--state->remaining == 0) {
+            // done() may recursively build more joins; recycle first.
+            auto done = std::move(state->done);
+            detail::joinArena().free.push_back(state);
             done();
+        }
     };
 }
 

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fixed-chunk slab allocator for event-engine spill storage.
+ *
+ * The event queue stores most callbacks inline (see callback.hpp); the
+ * few that overflow the inline buffer land here instead of in malloc.
+ * Chunks are carved out of large slabs and recycled through a free list,
+ * so a simulation that churns millions of events performs a handful of
+ * slab allocations total and every chunk reuse is two pointer writes.
+ *
+ * A pool is intentionally NOT thread-safe: the simulator confines each
+ * EventQueue (and everything scheduled on it) to one thread, and the
+ * callback spill storage uses one set of thread_local pools per worker.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+/** Free-list pool of fixed-size chunks backed by growable slabs. */
+class SlabPool
+{
+  public:
+    /**
+     * @param chunkSize Bytes per chunk; at least sizeof(void*) and kept
+     *        max_align_t-aligned by the slab layout.
+     * @param chunksPerSlab Chunks carved from each backing allocation.
+     */
+    explicit SlabPool(std::size_t chunkSize,
+                      std::size_t chunksPerSlab = 256)
+        : chunkSize_(roundUp(chunkSize)), chunksPerSlab_(chunksPerSlab)
+    {
+        DECLUST_ASSERT(chunksPerSlab_ > 0, "empty slab");
+    }
+
+    SlabPool(const SlabPool &) = delete;
+    SlabPool &operator=(const SlabPool &) = delete;
+
+    /** Pop a chunk from the free list, growing by one slab if dry. */
+    void *
+    allocate()
+    {
+        if (!free_)
+            grow();
+        FreeNode *node = free_;
+        free_ = node->next;
+        ++live_;
+        return node;
+    }
+
+    /** Return @p p (obtained from allocate()) to the free list. */
+    void
+    deallocate(void *p)
+    {
+        DECLUST_DEBUG_ASSERT(p != nullptr, "freeing null chunk");
+        auto *node = static_cast<FreeNode *>(p);
+        node->next = free_;
+        free_ = node;
+        --live_;
+    }
+
+    /** Usable bytes per chunk (the rounded-up size). */
+    std::size_t chunkSize() const { return chunkSize_; }
+
+    /** Chunks currently handed out. */
+    std::size_t liveChunks() const { return live_; }
+
+    /** Backing slab allocations made so far. */
+    std::size_t slabCount() const { return slabs_.size(); }
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    static std::size_t
+    roundUp(std::size_t n)
+    {
+        const std::size_t a = alignof(std::max_align_t);
+        const std::size_t floor = n < sizeof(FreeNode) ? sizeof(FreeNode)
+                                                       : n;
+        return (floor + a - 1) / a * a;
+    }
+
+    void
+    grow()
+    {
+        slabs_.push_back(std::make_unique<std::byte[]>(chunkSize_ *
+                                                       chunksPerSlab_));
+        std::byte *base = slabs_.back().get();
+        // Thread the new slab onto the free list back-to-front so
+        // chunks are handed out in address order.
+        for (std::size_t i = chunksPerSlab_; i-- > 0;) {
+            auto *node =
+                reinterpret_cast<FreeNode *>(base + i * chunkSize_);
+            node->next = free_;
+            free_ = node;
+        }
+    }
+
+    std::size_t chunkSize_;
+    std::size_t chunksPerSlab_;
+    std::vector<std::unique_ptr<std::byte[]>> slabs_;
+    FreeNode *free_ = nullptr;
+    std::size_t live_ = 0;
+};
+
+} // namespace declust

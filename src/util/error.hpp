@@ -69,3 +69,17 @@ concat(Args &&...args)
             DECLUST_PANIC("assertion failed: " #cond " ", __VA_ARGS__);     \
         }                                                                   \
     } while (0)
+
+/**
+ * Assert on hot paths: active in debug builds, compiled out (condition
+ * unevaluated) under NDEBUG so per-access mapping and event dispatch pay
+ * nothing in release.
+ */
+#ifdef NDEBUG
+#define DECLUST_DEBUG_ASSERT(cond, ...)                                     \
+    do {                                                                    \
+        (void)sizeof(cond);                                                 \
+    } while (0)
+#else
+#define DECLUST_DEBUG_ASSERT(cond, ...) DECLUST_ASSERT(cond, __VA_ARGS__)
+#endif

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Strength-reduced division by a runtime-fixed divisor.
+ *
+ * The layout hot path divides every access's stripe index by the block
+ * design table size — a divisor fixed at layout construction but unknown
+ * at compile time, so the compiler emits a hardware divide (20-40
+ * cycles). FastDiv precomputes the Lemire round-up reciprocal
+ * ("Faster remainder by direct computation", Lemire et al., 2019):
+ * quotient and remainder each become one widening multiply.
+ *
+ * Exact for 32-bit dividends; the 64-bit helpers fall back to hardware
+ * division for dividends >= 2^32 (never hit by realistic geometries but
+ * keeps the class total).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+/** Divide/modulo by a fixed 32-bit divisor via multiply-shift. */
+class FastDiv
+{
+  public:
+    FastDiv() = default;
+
+    explicit FastDiv(std::uint32_t divisor) : divisor_(divisor)
+    {
+        DECLUST_ASSERT(divisor > 0, "FastDiv by zero");
+        // ceil(2^64 / d); d == 1 would overflow and is special-cased.
+        if (divisor > 1)
+            magic_ = ~std::uint64_t{0} / divisor + 1;
+    }
+
+    std::uint32_t divisor() const { return divisor_; }
+
+    /** n / divisor, exact for any 32-bit n. */
+    std::uint32_t
+    quot(std::uint32_t n) const
+    {
+        if (divisor_ == 1)
+            return n;
+        return static_cast<std::uint32_t>(
+            (static_cast<unsigned __int128>(magic_) * n) >> 64);
+    }
+
+    /** n % divisor, exact for any 32-bit n. */
+    std::uint32_t
+    rem(std::uint32_t n) const
+    {
+        if (divisor_ == 1)
+            return 0;
+        const std::uint64_t frac = magic_ * n;
+        return static_cast<std::uint32_t>(
+            (static_cast<unsigned __int128>(frac) * divisor_) >> 64);
+    }
+
+    /** n / divisor for non-negative 64-bit n (fast path below 2^32). */
+    std::int64_t
+    quot64(std::int64_t n) const
+    {
+        if (static_cast<std::uint64_t>(n) <= 0xffffffffull) [[likely]]
+            return quot(static_cast<std::uint32_t>(n));
+        return n / divisor_;
+    }
+
+    /** n % divisor for non-negative 64-bit n (fast path below 2^32). */
+    std::int64_t
+    rem64(std::int64_t n) const
+    {
+        if (static_cast<std::uint64_t>(n) <= 0xffffffffull) [[likely]]
+            return rem(static_cast<std::uint32_t>(n));
+        return n % divisor_;
+    }
+
+  private:
+    std::uint64_t magic_ = 0;
+    std::uint32_t divisor_ = 1;
+};
+
+} // namespace declust

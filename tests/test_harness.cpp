@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the experiment harness: TrialRunner's determinism contract
+ * (results identical whatever the worker count, collected in trial
+ * order), its exception propagation, and the JSON run-record writer.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/json_writer.hpp"
+#include "harness/progress.hpp"
+#include "harness/trial_runner.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace declust {
+namespace {
+
+/**
+ * A miniature trial: its own EventQueue and RNG, like every bench sweep
+ * point. Returns a digest of the event schedule it executed, which must
+ * not depend on which thread ran it.
+ */
+std::uint64_t
+miniSimTrial(int index)
+{
+    EventQueue queue;
+    Rng rng(static_cast<std::uint64_t>(index) + 1);
+    std::uint64_t digest = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Tick when = static_cast<Tick>(rng.uniformRange(1, 10000));
+        queue.scheduleAt(when, [&digest, &queue] {
+            digest = digest * 1099511628211ull ^
+                     static_cast<std::uint64_t>(queue.now());
+        });
+    }
+    queue.runToCompletion();
+    return digest ^ queue.executed();
+}
+
+TEST(TrialRunner, ResolvesWorkerCount)
+{
+    EXPECT_EQ(TrialRunner(1).jobs(), 1);
+    EXPECT_EQ(TrialRunner(7).jobs(), 7);
+    EXPECT_GE(TrialRunner(0).jobs(), 1);  // hardware thread count
+    EXPECT_GE(TrialRunner(-3).jobs(), 1);
+}
+
+TEST(TrialRunner, RunsEveryTaskExactlyOnce)
+{
+    for (int jobs : {1, 4}) {
+        TrialRunner runner(jobs);
+        constexpr int kTasks = 57;
+        std::vector<std::atomic<int>> hits(kTasks);
+        runner.run(kTasks, [&hits](int i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(TrialRunner, SerialAndParallelResultsAreIdentical)
+{
+    constexpr int kTrials = 24;
+    std::vector<std::function<std::uint64_t()>> trials;
+    for (int i = 0; i < kTrials; ++i)
+        trials.push_back([i] { return miniSimTrial(i); });
+
+    TrialRunner serial(1);
+    TrialRunner parallel(8);
+    const auto a = runTrialsOrdered<std::uint64_t>(serial, trials);
+    const auto b = runTrialsOrdered<std::uint64_t>(parallel, trials);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a, b); // bit-identical per trial, whatever the jobs count
+}
+
+TEST(TrialRunner, ResultsCollectedInTrialOrder)
+{
+    constexpr int kTrials = 40;
+    std::vector<std::function<int()>> trials;
+    for (int i = 0; i < kTrials; ++i)
+        trials.push_back([i] {
+            // Make early-indexed trials slower so naive completion-order
+            // collection would reverse them.
+            volatile int spin = (kTrials - i) * 2000;
+            while (spin > 0)
+                spin = spin - 1;
+            return i * 3;
+        });
+    TrialRunner runner(8);
+    const auto results = runTrialsOrdered<int>(runner, trials);
+    for (int i = 0; i < kTrials; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 3);
+}
+
+TEST(TrialRunner, ProgressCallbackSeesEveryCompletion)
+{
+    for (int jobs : {1, 4}) {
+        TrialRunner runner(jobs);
+        static constexpr int kTasks = 31;
+        std::vector<int> seen; // callback is serialized by contract
+        runner.run(
+            kTasks, [](int) {},
+            [&seen](int done, int total) {
+                EXPECT_EQ(total, kTasks);
+                seen.push_back(done);
+            });
+        ASSERT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+        // Monotone 1..kTasks: each completion reported exactly once.
+        std::vector<int> expect(kTasks);
+        std::iota(expect.begin(), expect.end(), 1);
+        EXPECT_EQ(seen, expect);
+    }
+}
+
+TEST(TrialRunner, FirstExceptionPropagatesToCaller)
+{
+    for (int jobs : {1, 4}) {
+        TrialRunner runner(jobs);
+        std::atomic<int> ran{0};
+        EXPECT_THROW(runner.run(64,
+                                [&ran](int i) {
+                                    ran.fetch_add(1);
+                                    if (i == 5)
+                                        throw std::runtime_error("trial 5");
+                                }),
+                     std::runtime_error);
+        // Workers drain and unclaimed work is abandoned, not lost track
+        // of: at least the throwing task ran, and never more than all.
+        EXPECT_GE(ran.load(), 1);
+        EXPECT_LE(ran.load(), 64);
+    }
+}
+
+TEST(TrialRunner, ZeroTasksIsANoOp)
+{
+    TrialRunner runner(4);
+    bool called = false;
+    runner.run(0, [&called](int) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ProgressMeter, SilentWhenNotATtyAndClockAdvances)
+{
+    // Under ctest stderr is redirected, so update() must emit nothing;
+    // this mostly asserts the calls are safe and the clock is sane.
+    ProgressMeter meter("test_sweep");
+    meter.update(1, 2);
+    meter.update(2, 2);
+    EXPECT_GE(meter.elapsedSec(), 0.0);
+    testing::internal::CaptureStderr();
+    meter.update(2, 2);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    meter.finish(2); // prints the one-line summary
+}
+
+TEST(JsonWriter, EmitsOrderedFieldsWithEscapes)
+{
+    JsonObject obj;
+    obj.set("bench", "fig8\"quoted\"")
+        .set("trials", 14)
+        .set("events", std::uint64_t{16244217})
+        .set("wall_sec", 3.5);
+    const std::string s = obj.str();
+    EXPECT_EQ(s, "{\n"
+                 "  \"bench\": \"fig8\\\"quoted\\\"\",\n"
+                 "  \"trials\": 14,\n"
+                 "  \"events\": 16244217,\n"
+                 "  \"wall_sec\": 3.5\n"
+                 "}\n");
+}
+
+TEST(JsonWriter, DoublesRoundTrip)
+{
+    JsonObject obj;
+    obj.set("ratio", 5436.1234567890123);
+    const std::string s = obj.str();
+    const double parsed = std::stod(s.substr(s.find(':') + 1));
+    EXPECT_DOUBLE_EQ(parsed, 5436.1234567890123);
+}
+
+} // namespace
+} // namespace declust

@@ -263,6 +263,115 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{21, 10}, std::pair{23, 11},
                       std::pair{24, 5}));
 
+/**
+ * The place/invert hot path is memoized: one block-design table of
+ * placements plus multiply-shift (FastDiv) division by the table size.
+ * These tests pin the memoized mapping to the on-the-fly computation —
+ * plain / and % arithmetic lifting the first table down the disk — for
+ * every stripe size in the paper's sweep.
+ */
+class MemoizedMapping : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MemoizedMapping, PlaceAgreesWithOnTheFlyTiling)
+{
+    const int G = GetParam();
+    BlockDesign d = appendixDesign(G);
+    DeclusteredLayout lay(d, /*unitsPerDisk=*/1344);
+    const int tableStripes = lay.stripesPerFullTable();
+    const int tableUnits = lay.unitsPerDiskPerFullTable();
+
+    for (std::int64_t s = 0; s < lay.numStripes(); ++s) {
+        // On the fly: plain 64-bit division down to the first table,
+        // whose own placements only exercise the trivial quotient 0.
+        const std::int64_t table = s / tableStripes;
+        const std::int64_t idx = s % tableStripes;
+        for (int pos = 0; pos < G; ++pos) {
+            const PhysicalUnit first = lay.place(idx, pos);
+            const PhysicalUnit expect{
+                first.disk,
+                first.offset + static_cast<int>(table * tableUnits)};
+            ASSERT_EQ(lay.place(s, pos), expect)
+                << "G=" << G << " stripe=" << s << " pos=" << pos;
+        }
+    }
+}
+
+TEST_P(MemoizedMapping, InvertAgreesWithOnTheFlyTiling)
+{
+    const int G = GetParam();
+    BlockDesign d = appendixDesign(G);
+    // An awkward size: two full tables plus a ragged partial table.
+    const int tableUnits = d.r() * d.k();
+    const int unitsPerDisk = 2 * tableUnits + tableUnits / 3 + 1;
+    DeclusteredLayout lay(d, unitsPerDisk);
+    const int tableStripes = lay.stripesPerFullTable();
+
+    for (int disk = 0; disk < lay.numDisks(); ++disk) {
+        for (int off = 0; off < unitsPerDisk; ++off) {
+            const auto su = lay.invert(disk, off);
+            // On the fly: first-table inverse lifted by whole tables.
+            const int table = off / tableUnits;
+            const auto base = lay.invert(disk, off % tableUnits);
+            ASSERT_TRUE(base.has_value()); // first table is fully mapped
+            if (su) {
+                EXPECT_EQ(su->stripe,
+                          static_cast<std::int64_t>(table) * tableStripes +
+                              base->stripe);
+                EXPECT_EQ(su->pos, base->pos);
+                // And the memoized round trip closes.
+                EXPECT_EQ(lay.place(su->stripe, su->pos),
+                          (PhysicalUnit{disk, off}));
+            } else {
+                // Unmapped only past the truncated partial table.
+                EXPECT_EQ(table, lay.unitsPerDisk() / tableUnits);
+            }
+        }
+    }
+}
+
+TEST_P(MemoizedMapping, DataUnitMappingAgreesWithPlainArithmetic)
+{
+    const int G = GetParam();
+    DeclusteredLayout lay(appendixDesign(G), 1344);
+    const int dataPerStripe = lay.dataUnitsPerStripe();
+    for (std::int64_t u = 0; u < lay.numDataUnits();
+         u += (u < 64 ? 1 : 97)) {
+        const StripeUnit su = lay.dataUnitToStripe(u);
+        EXPECT_EQ(su.stripe, u / dataPerStripe);
+        EXPECT_EQ(su.pos, static_cast<int>(u % dataPerStripe));
+        EXPECT_EQ(lay.stripeToDataUnit(su), u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, MemoizedMapping,
+                         ::testing::Values(3, 4, 5, 6, 10, 18));
+
+TEST(MemoizedMappingRaid5, LeftSymmetricAgreesWithPlainArithmetic)
+{
+    // G = C = 21, the paper sweep's RAID 5 endpoint.
+    LeftSymmetricLayout lay(21, 210);
+    for (std::int64_t s = 0; s < lay.numStripes(); ++s) {
+        // Parity rotation via plain %, against the FastDiv-based place.
+        EXPECT_EQ(lay.place(s, lay.stripeWidth() - 1).disk,
+                  20 - static_cast<int>(s % 21));
+        for (int pos = 0; pos < lay.stripeWidth(); ++pos) {
+            const PhysicalUnit pu = lay.place(s, pos);
+            EXPECT_EQ(pu.offset, static_cast<int>(s));
+            const auto su = lay.invert(pu.disk, pu.offset);
+            ASSERT_TRUE(su.has_value());
+            EXPECT_EQ(su->stripe, s);
+            EXPECT_EQ(su->pos, pos);
+        }
+    }
+    for (std::int64_t u = 0; u < lay.numDataUnits(); u += 53) {
+        const StripeUnit su = lay.dataUnitToStripe(u);
+        EXPECT_EQ(su.stripe, u / lay.dataUnitsPerStripe());
+        EXPECT_EQ(su.pos, static_cast<int>(u % lay.dataUnitsPerStripe()));
+    }
+}
+
 TEST(LayoutOrdering, DupMajorMatchesPaperStaggeredBalancesPrefix)
 {
     BlockDesign d = makeCompleteDesign(5, 4);

@@ -5,7 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -78,12 +82,145 @@ TEST(EventQueue, RunUntilStopsAtHorizonAndAdvancesClock)
     EXPECT_EQ(ran, 2);
 }
 
-TEST(EventQueue, SchedulingIntoThePastPanics)
+TEST(EventQueue, SchedulingIntoThePastClampsOrPanics)
 {
     EventQueue eq;
     eq.scheduleAt(10, [] {});
     eq.runToCompletion();
+#ifdef NDEBUG
+    // Release builds clamp the causality violation to now() so the
+    // clock never runs backwards.
+    Tick ranAt = 0;
+    eq.scheduleAt(5, [&] { ranAt = eq.now(); });
+    eq.runToCompletion();
+    EXPECT_EQ(ranAt, Tick{10});
+    EXPECT_EQ(eq.now(), Tick{10});
+#else
+    // Debug builds surface the bug immediately.
     EXPECT_ANY_THROW(eq.scheduleAt(5, [] {}));
+#endif
+}
+
+TEST(EventQueue, HeapOrderMatchesReferenceUnderStress)
+{
+    // The 4-ary heap must preserve the engine's ordering contract —
+    // strict (when, seq): time order with FIFO among same-tick events —
+    // including events scheduled from inside running events. Compare a
+    // randomized schedule against a stable-sorted reference.
+    Rng rng(0xdecl);
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> scheduled; // (when, id) in seq order
+    std::vector<int> executedIds;
+    int nextId = 0;
+
+    auto scheduleRandom = [&](int count) {
+        for (int i = 0; i < count; ++i) {
+            // Small tick range forces many same-tick ties.
+            const Tick when = eq.now() + rng.uniformInt(8);
+            const int id = nextId++;
+            scheduled.emplace_back(when, id);
+            eq.scheduleAt(when, [&executedIds, id] {
+                executedIds.push_back(id);
+            });
+        }
+    };
+
+    scheduleRandom(500);
+    // Events that themselves schedule more events while running.
+    for (int i = 0; i < 200; ++i) {
+        const Tick when = eq.now() + rng.uniformInt(16);
+        const int id = nextId++;
+        scheduled.emplace_back(when, id);
+        eq.scheduleAt(when, [&, id] {
+            executedIds.push_back(id);
+            if (rng.bernoulli(0.5)) {
+                const Tick later = eq.now() + rng.uniformInt(8);
+                const int child = nextId++;
+                scheduled.emplace_back(later, child);
+                eq.scheduleAt(later, [&executedIds, child] {
+                    executedIds.push_back(child);
+                });
+            }
+        });
+    }
+    eq.runToCompletion();
+
+    // Reference order: stable sort by time keeps the FIFO tie-break
+    // (scheduled[] is already in seq order).
+    std::vector<std::pair<Tick, int>> ref = scheduled;
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(executedIds.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(executedIds[i], ref[i].second) << "at event " << i;
+}
+
+TEST(EventCallback, InlineAndSpilledCapturesBothRun)
+{
+    // Small capture: stays in the inline buffer.
+    int small = 0;
+    EventCallback tiny([&small] { small = 1; });
+    EXPECT_TRUE(static_cast<bool>(tiny));
+    tiny();
+    EXPECT_EQ(small, 1);
+
+    // Capture far beyond kInlineCapacity: spills to the slab pool.
+    struct Big
+    {
+        std::array<std::uint64_t, 32> payload;
+    };
+    Big big{};
+    big.payload[0] = 7;
+    big.payload[31] = 9;
+    int sum = 0;
+    EventCallback spilled([big, &sum] {
+        sum = static_cast<int>(big.payload[0] + big.payload[31]);
+    });
+    static_assert(sizeof(Big) > EventCallback::kInlineCapacity);
+    spilled();
+    EXPECT_EQ(sum, 16);
+}
+
+TEST(EventCallback, MoveTransfersOwnership)
+{
+    auto counter = std::make_shared<int>(0);
+    EventCallback a([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    EventCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT: test moved-from state
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(counter.use_count(), 2); // capture moved, not copied
+    b();
+    EXPECT_EQ(*counter, 1);
+
+    EventCallback c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(*counter, 2);
+    { EventCallback drop = std::move(c); }
+    EXPECT_EQ(counter.use_count(), 1); // destructor released the capture
+}
+
+TEST(SlabPool, RecyclesChunksWithoutNewSlabs)
+{
+    SlabPool pool(64, 8);
+    std::vector<void *> chunks;
+    for (int i = 0; i < 8; ++i)
+        chunks.push_back(pool.allocate());
+    EXPECT_EQ(pool.slabCount(), 1u);
+    EXPECT_EQ(pool.liveChunks(), 8u);
+    for (void *p : chunks)
+        pool.deallocate(p);
+    EXPECT_EQ(pool.liveChunks(), 0u);
+    // Reuse must not grow the pool.
+    for (int i = 0; i < 8; ++i)
+        pool.allocate();
+    EXPECT_EQ(pool.slabCount(), 1u);
+    // The ninth concurrent chunk needs a second slab.
+    pool.allocate();
+    EXPECT_EQ(pool.slabCount(), 2u);
 }
 
 TEST(EventQueue, RunUntilCondition)

@@ -4,14 +4,61 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fastdiv.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
 namespace declust {
 namespace {
+
+TEST(FastDiv, MatchesPlainDivisionForU32Dividends)
+{
+    // Every divisor the layouts actually install is a product of small
+    // design parameters; sweep a wider set plus edge divisors.
+    for (std::uint32_t d :
+         {1u, 2u, 3u, 7u, 12u, 25u, 84u, 105u, 399u, 1344u, 11388u,
+          65535u, 1u << 16, (1u << 31) - 1, 0xffffffffu}) {
+        const FastDiv div(d);
+        EXPECT_EQ(div.divisor(), d);
+        for (std::uint32_t n :
+             {0u, 1u, d - 1, d, d + 1, 2 * d + 3, 123456789u,
+              0xfffffffeu, 0xffffffffu}) {
+            EXPECT_EQ(div.quot(n), n / d) << n << " / " << d;
+            EXPECT_EQ(div.rem(n), n % d) << n << " % " << d;
+        }
+    }
+}
+
+TEST(FastDiv, Quot64MatchesPlainDivisionPastU32Range)
+{
+    for (std::uint32_t d : {1u, 3u, 84u, 11388u, 0xffffffffu}) {
+        const FastDiv div(d);
+        for (std::int64_t n :
+             {std::int64_t{0}, std::int64_t{0xffffffff},
+              std::int64_t{0x100000000}, std::int64_t{1} << 40,
+              (std::int64_t{1} << 62) + 12345}) {
+            EXPECT_EQ(div.quot64(n), n / d) << n << " / " << d;
+            EXPECT_EQ(div.rem64(n), n % d) << n << " % " << d;
+        }
+    }
+}
+
+TEST(FastDiv, ExhaustiveSmallDivisorSweep)
+{
+    // Dense check where the layouts live: all divisors up to 2 * 21 * 21
+    // against a stride of dividends.
+    for (std::uint32_t d = 1; d <= 882; ++d) {
+        const FastDiv div(d);
+        for (std::uint32_t n = 0; n < 40 * d; n += 7) {
+            ASSERT_EQ(div.quot(n), n / d) << n << " / " << d;
+            ASSERT_EQ(div.rem(n), n % d) << n << " % " << d;
+        }
+    }
+}
 
 TEST(Error, PanicThrowsInternalError)
 {
