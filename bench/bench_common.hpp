@@ -42,6 +42,7 @@
 #include "harness/progress.hpp"
 #include "harness/trial_runner.hpp"
 #include "sim/time.hpp"
+#include "stats/perf_counters.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -136,6 +137,9 @@ inline SweepOutcome
 runTrials(const Options &opts, const std::string &benchName,
           TablePrinter &table, const std::vector<Trial> &trials)
 {
+    // Scope the perf-counter window to this sweep so the --json record
+    // reflects exactly the work the table reports.
+    perfReset();
     TrialRunner runner(static_cast<int>(opts.getInt("jobs")));
     ProgressMeter meter(benchName);
     auto results = runTrialsOrdered<TrialResult>(
@@ -154,6 +158,59 @@ runTrials(const Options &opts, const std::string &benchName,
         out.simSec += result.simSec;
     }
     return out;
+}
+
+/**
+ * Approximate percentile of a Log2Hist: the upper bound (2^i - 1) of
+ * the bucket where the running count first reaches @p frac of total.
+ */
+inline std::uint64_t
+histPercentileBound(const Log2Hist &hist, double frac)
+{
+    const std::uint64_t total = hist.total();
+    if (total == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        frac * static_cast<double>(total));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+        running += hist.buckets[i];
+        if (running > target)
+            return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+    return ~std::uint64_t{0};
+}
+
+/**
+ * The sweep's perf-counter block as a nested JSON object: every event
+ * counter, plus count and approximate tick percentiles per histogram.
+ * Only meaningful when the counting sites are compiled in
+ * (DECLUST_PERF_COUNTERS=1, the default).
+ */
+inline JsonObject
+perfJson()
+{
+    const PerfCounterBlock perf = perfAggregate();
+    JsonObject counters;
+    for (std::size_t i = 0; i < kPerfCounterCount; ++i)
+        counters.set(perfCounterName(static_cast<PerfCounter>(i)),
+                     perf.counters[i]);
+    JsonObject hists;
+    for (std::size_t i = 0; i < kPerfHistCount; ++i) {
+        const Log2Hist &h = perf.hists[i];
+        JsonObject summary;
+        summary.set("count", h.total())
+            .set("p50_ticks_le", histPercentileBound(h, 0.50))
+            .set("p90_ticks_le", histPercentileBound(h, 0.90))
+            .set("p99_ticks_le", histPercentileBound(h, 0.99));
+        hists.set(perfHistName(static_cast<PerfHist>(i)),
+                  std::move(summary));
+    }
+    JsonObject block;
+    block.set("enabled", std::int64_t{perfCountersEnabled() ? 1 : 0})
+        .set("counters", std::move(counters))
+        .set("histograms", std::move(hists));
+    return block;
 }
 
 /** Write the --json run record, if requested. */
@@ -176,7 +233,8 @@ writeJsonRecord(const Options &opts, const std::string &benchName,
                  : 0.0)
         .set("sim_sec", out.simSec)
         .set("sim_time_ratio",
-             out.wallSec > 0.0 ? out.simSec / out.wallSec : 0.0);
+             out.wallSec > 0.0 ? out.simSec / out.wallSec : 0.0)
+        .set("perf", perfJson());
     std::ofstream file(path);
     if (!file) {
         std::cerr << benchName << ": cannot write " << path << "\n";

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Fail if a bench --json record regressed events/sec vs the baseline.
+
+Usage: check_perf.py RECORD.json BASELINE.json [max_regression_frac]
+
+The committed baseline was measured on specific reference hardware, so
+the default tolerance (15%) absorbs normal runner-to-runner variance;
+anything past it is treated as a real regression. Set the
+PERF_BASELINE_OVERRIDE environment variable to a number to compare
+against a different reference (e.g. a same-runner measurement from a
+previous step) without touching the committed file.
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    record = json.load(open(sys.argv[1]))
+    baseline = json.load(open(sys.argv[2]))
+    max_regression = float(sys.argv[3]) if len(sys.argv) > 3 else 0.15
+
+    measured = float(record["events_per_sec"])
+    reference = float(
+        os.environ.get("PERF_BASELINE_OVERRIDE",
+                       baseline["events_per_sec"]))
+    floor = reference * (1.0 - max_regression)
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(f"{verdict}: measured {measured:,.0f} events/sec, "
+          f"reference {reference:,.0f}, floor {floor:,.0f} "
+          f"(-{max_regression:.0%} allowed)")
+    return 0 if measured >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,29 +15,6 @@ ArrayContents::ArrayContents(int numDisks, int unitsPerDisk)
                    "degenerate contents model");
 }
 
-std::size_t
-ArrayContents::index(int disk, int offset) const
-{
-    DECLUST_ASSERT(disk >= 0 && disk < numDisks_, "disk ", disk,
-                   " out of range");
-    DECLUST_ASSERT(offset >= 0 && offset < unitsPerDisk_, "offset ",
-                   offset, " out of range");
-    return static_cast<std::size_t>(disk) * unitsPerDisk_ +
-           static_cast<std::size_t>(offset);
-}
-
-UnitValue
-ArrayContents::get(int disk, int offset) const
-{
-    return values_[index(disk, offset)];
-}
-
-void
-ArrayContents::set(int disk, int offset, UnitValue value)
-{
-    values_[index(disk, offset)] = value;
-}
-
 void
 ArrayContents::poisonDisk(int disk)
 {
@@ -59,39 +36,8 @@ ShadowModel::ShadowModel(std::int64_t numDataUnits)
 {
 }
 
-UnitValue
-ShadowModel::get(std::int64_t dataUnit) const
-{
-    DECLUST_ASSERT(dataUnit >= 0 && dataUnit < size(), "data unit ",
-                   dataUnit, " out of range");
-    return values_[static_cast<std::size_t>(dataUnit)];
-}
-
-void
-ShadowModel::set(std::int64_t dataUnit, UnitValue value)
-{
-    DECLUST_ASSERT(dataUnit >= 0 && dataUnit < size(), "data unit ",
-                   dataUnit, " out of range");
-    values_[static_cast<std::size_t>(dataUnit)] = value;
-}
-
 ValueSource::ValueSource(std::uint64_t seed) : state_(seed)
 {
-}
-
-UnitValue
-ValueSource::fresh()
-{
-    // splitmix64 step; skip the (vanishingly unlikely) zero output so a
-    // written unit is always distinguishable from a blank one.
-    for (;;) {
-        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-        z ^= z >> 31;
-        if (z != 0)
-            return z;
-    }
 }
 
 } // namespace declust

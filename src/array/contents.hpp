@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "array/types.hpp"
+#include "util/error.hpp"
 
 namespace declust {
 
@@ -26,8 +27,18 @@ class ArrayContents
   public:
     ArrayContents(int numDisks, int unitsPerDisk);
 
-    UnitValue get(int disk, int offset) const;
-    void set(int disk, int offset, UnitValue value);
+    /* get/set/index are inline: the controller touches them on every
+     * simulated access, and the range checks only need to fire in debug
+     * builds. */
+    UnitValue get(int disk, int offset) const
+    {
+        return values_[index(disk, offset)];
+    }
+
+    void set(int disk, int offset, UnitValue value)
+    {
+        values_[index(disk, offset)] = value;
+    }
 
     /**
      * Poison every unit of @p disk (simulating loss of its contents on
@@ -42,7 +53,15 @@ class ArrayContents
     int unitsPerDisk() const { return unitsPerDisk_; }
 
   private:
-    std::size_t index(int disk, int offset) const;
+    std::size_t index(int disk, int offset) const
+    {
+        DECLUST_DEBUG_ASSERT(disk >= 0 && disk < numDisks_, "disk ", disk,
+                             " out of range");
+        DECLUST_DEBUG_ASSERT(offset >= 0 && offset < unitsPerDisk_,
+                             "offset ", offset, " out of range");
+        return static_cast<std::size_t>(disk) * unitsPerDisk_ +
+               static_cast<std::size_t>(offset);
+    }
 
     int numDisks_;
     int unitsPerDisk_;
@@ -55,8 +74,19 @@ class ShadowModel
   public:
     explicit ShadowModel(std::int64_t numDataUnits);
 
-    UnitValue get(std::int64_t dataUnit) const;
-    void set(std::int64_t dataUnit, UnitValue value);
+    UnitValue get(std::int64_t dataUnit) const
+    {
+        DECLUST_DEBUG_ASSERT(dataUnit >= 0 && dataUnit < size(),
+                             "data unit ", dataUnit, " out of range");
+        return values_[static_cast<std::size_t>(dataUnit)];
+    }
+
+    void set(std::int64_t dataUnit, UnitValue value)
+    {
+        DECLUST_DEBUG_ASSERT(dataUnit >= 0 && dataUnit < size(),
+                             "data unit ", dataUnit, " out of range");
+        values_[static_cast<std::size_t>(dataUnit)] = value;
+    }
 
     std::int64_t size() const
     {
@@ -74,7 +104,19 @@ class ValueSource
     explicit ValueSource(std::uint64_t seed = 0xc0ffee);
 
     /** Next fresh value (never returns 0). */
-    UnitValue fresh();
+    UnitValue fresh()
+    {
+        // splitmix64 step; skip the (vanishingly unlikely) zero output
+        // so a written unit is always distinguishable from a blank one.
+        for (;;) {
+            std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            z ^= z >> 31;
+            if (z != 0)
+                return z;
+        }
+    }
 
   private:
     std::uint64_t state_;

@@ -1,9 +1,8 @@
 #include "array/controller.hpp"
 
-#include <algorithm>
 #include <utility>
 
-#include "sim/join.hpp"
+#include "stats/perf_counters.hpp"
 #include "util/error.hpp"
 
 namespace declust {
@@ -19,6 +18,715 @@ toString(ReconAlgorithm algorithm)
     }
     return "?";
 }
+
+// ----------------------------------------------------------------------
+// The continuation spine.
+//
+// Every flow below is a hand-rolled state machine over a pooled IoOp:
+// each step is a plain function whose context is the op itself, so
+// stepping a request never allocates. Fork/join is the op's `pending`
+// counter; the stripe lock resumes the op through its intrusive Waiter
+// base. The step order, issueUnit order, and values_.fresh() call
+// points replicate the original lambda-based flows exactly — the event
+// schedule (and therefore every published bench table) is unchanged.
+// ----------------------------------------------------------------------
+
+struct IoSteps
+{
+    static IoOp *
+    fromWaiter(StripeLockTable::Waiter *w)
+    {
+        return static_cast<IoOp *>(w);
+    }
+
+    /** Record user response-time statistics for a finished op. */
+    static void
+    userStats(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        const Tick elapsed = c.eq_.now() - op->start;
+        const double ms = ticksToMs(elapsed);
+        if (op->kind == RequestKind::Read) {
+            DECLUST_PERF_HIST(UserReadTicks, elapsed);
+            c.stats_.readMs.add(ms);
+            ++c.stats_.readsDone;
+        } else {
+            DECLUST_PERF_HIST(UserWriteTicks, elapsed);
+            c.stats_.writeMs.add(ms);
+            ++c.stats_.writesDone;
+        }
+        c.stats_.allMs.add(ms);
+        c.stats_.allHist.add(ms);
+        --c.outstanding_;
+    }
+
+    /** Complete a user-visible op: stats, recycle, then notify. */
+    static void
+    finishUserOp(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        userStats(op);
+        std::function<void()> done = std::move(op->done);
+        c.ops_.release(op);
+        if (done)
+            done();
+    }
+
+    /** A leaf part's flow ended: stand-alone ops complete the user op;
+     * parts of a multi-unit request signal their parent. */
+    static void
+    finishPart(IoOp *op)
+    {
+        IoOp *parent = op->parent;
+        if (!parent) {
+            finishUserOp(op);
+            return;
+        }
+        op->ctl->ops_.release(op);
+        if (--parent->pending == 0)
+            finishUserOp(parent);
+    }
+
+    /** The user-visible side of a part is done but the op itself lives
+     * on (piggyback background write). Detaches the part. */
+    static void
+    userPartDone(IoOp *op)
+    {
+        IoOp *parent = op->parent;
+        if (parent) {
+            op->parent = nullptr;
+            if (--parent->pending == 0)
+                finishUserOp(parent);
+            return;
+        }
+        userStats(op);
+        std::function<void()> done = std::move(op->done);
+        if (done)
+            done();
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    static void
+    startRead(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        const bool onFailed = op->data.disk == c.failedDisk_;
+        const bool redirectable =
+            c.reconActive_ &&
+            c.reconstructed_[static_cast<std::size_t>(op->data.offset)] &&
+            (c.algorithm_ == ReconAlgorithm::Redirect ||
+             c.algorithm_ == ReconAlgorithm::RedirectPiggyback);
+
+        if (!onFailed || redirectable) {
+            // Plain read of valid contents: a healthy disk, a redirected
+            // read of the rebuilt replacement/spare unit, or a remapped
+            // spare location after a distributed-sparing rebuild.
+            op->dst0 = c.effectiveUnit(op->su.stripe, op->su.pos);
+            c.issueUnit(op->dst0, false, &readVerifyDone, op);
+            return;
+        }
+
+        // On-the-fly reconstruction: read the G-1 surviving units of
+        // the stripe under the stripe lock and XOR them.
+        op->resume = &readDegradedResume;
+        op->mid = c.eq_.now();
+        if (c.locks_.acquire(op->su.stripe, op))
+            readDegradedLocked(op);
+    }
+
+    static void
+    readVerifyDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        const UnitValue got = c.contents_.get(op->dst0.disk,
+                                              op->dst0.offset);
+        DECLUST_ASSERT(got == c.shadow_.get(op->dataUnit), "read of unit ",
+                       op->dataUnit, " returned wrong data");
+        finishPart(op);
+    }
+
+    static void
+    readDegradedResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        readDegradedLocked(op);
+    }
+
+    static void
+    readDegradedLocked(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        const int G = c.layout_->stripeWidth();
+        DECLUST_PERF_INC(DegradedReads);
+        op->pending = G - 1;
+        for (int pos = 0; pos < G; ++pos) {
+            if (pos == op->su.pos)
+                continue;
+            const PhysicalUnit pu = c.effectiveUnit(op->su.stripe, pos);
+            DECLUST_ASSERT(pu.disk != c.failedDisk_,
+                           "two stripe units on one disk");
+            c.issueUnit(pu, false, &readDegradedRead, op);
+        }
+    }
+
+    static void
+    readDegradedRead(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        c.afterXor(c.layout_->stripeWidth() - 1, &readDegradedCombined, op);
+    }
+
+    static void
+    readDegradedCombined(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        const UnitValue value = c.xorStripeExcept(op->su.stripe,
+                                                  op->su.pos);
+        DECLUST_ASSERT(value == c.shadow_.get(op->dataUnit),
+                       "on-the-fly reconstruction of unit ", op->dataUnit,
+                       " produced wrong data");
+        const bool piggyback =
+            c.reconActive_ &&
+            c.algorithm_ == ReconAlgorithm::RedirectPiggyback &&
+            !c.reconstructed_[static_cast<std::size_t>(op->data.offset)];
+        if (!piggyback) {
+            c.locks_.release(op->su.stripe);
+            finishPart(op);
+            return;
+        }
+        // Piggyback: the user response is complete, but the freshly
+        // reconstructed unit is also written to its rebuild home (the
+        // replacement disk or the stripe's spare unit).
+        DECLUST_PERF_INC(PiggybackWrites);
+        op->v = value;
+        userPartDone(op);
+        op->dst0 = c.rebuildTarget(op->su.stripe, op->data.offset);
+        c.issueUnit(op->dst0, true, &piggybackWritten, op,
+                    Priority::Background);
+    }
+
+    static void
+    piggybackWritten(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
+        c.markReconstructed(op->data.offset);
+        c.locks_.release(op->su.stripe);
+        c.ops_.release(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    static void
+    startWrite(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        op->resume = &writeCriticalResume;
+        op->mid = c.eq_.now();
+        if (c.locks_.acquire(op->su.stripe, op))
+            writeCriticalStep(op);
+    }
+
+    static void
+    writeCriticalResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        writeCriticalStep(op);
+    }
+
+    static void
+    writeCriticalStep(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        op->v = c.values_.fresh();
+        const int G = c.layout_->stripeWidth();
+        const std::int64_t stripe = op->su.stripe;
+
+        const bool dataLost = c.unitLost(op->data);
+        const bool parityLost = c.unitLost(op->parity);
+        DECLUST_ASSERT(!(dataLost && parityLost),
+                       "data and parity units of one stripe both lost");
+
+        // Where the (valid) data and parity currently live: the layout
+        // location, or the stripe's spare after a distributed rebuild.
+        op->dst0 = c.effectiveUnit(stripe, op->su.pos); // data home
+        op->dst1 = c.effectiveUnit(stripe, G - 1);      // parity home
+
+        if (parityLost) {
+            // The parity unit is gone: there is no value in updating it,
+            // so the write is a single data access (the paper's
+            // degraded-mode "one, rather than four, disk accesses" case).
+            DECLUST_PERF_INC(ParityLostWrites);
+            c.issueUnit(op->dst0, true, &writeParityLostDone, op);
+            return;
+        }
+
+        if (dataLost) {
+            DECLUST_PERF_INC(DegradedWrites);
+            const bool writeThrough =
+                c.reconActive_ && c.algorithm_ != ReconAlgorithm::Baseline;
+            if (G == 2) {
+                // Mirrored pair with a lost primary: just write the copy
+                // (new "parity" = the new value itself).
+                op->aux = op->v;
+                if (writeThrough)
+                    startDegradedWriteThrough(op);
+                else
+                    c.issueUnit(op->dst1, true, &writeFoldedDone, op);
+                return;
+            }
+            // The target data unit is lost. Read the other G-2 data
+            // units; the new parity is their XOR with the new data.
+            if (G == 3) {
+                // Only one other data unit to read.
+                const int otherPos = op->su.pos == 0 ? 1 : 0;
+                op->pending = 1;
+                c.issueUnit(c.effectiveUnit(stripe, otherPos), false,
+                            &degradedWriteRead, op);
+            } else {
+                op->pending = G - 2;
+                for (int pos = 0; pos < G - 1; ++pos) {
+                    if (pos == op->su.pos)
+                        continue;
+                    c.issueUnit(c.effectiveUnit(stripe, pos), false,
+                                &degradedWriteRead, op);
+                }
+            }
+            return;
+        }
+
+        // Both the data and parity units are readable.
+        if (G == 2) {
+            // Mirrored write: update both copies in parallel.
+            DECLUST_PERF_INC(MirroredWrites);
+            op->pending = 2;
+            c.issueUnit(op->dst0, true, &writePairDone, op);
+            c.issueUnit(op->dst1, true, &writePairDone, op);
+            return;
+        }
+        if (G == 3) {
+            const int otherPos = op->su.pos == 0 ? 1 : 0;
+            const PhysicalUnit otherRaw = c.layout_->place(stripe,
+                                                           otherPos);
+            if (!c.unitLost(otherRaw)) {
+                // Three-access reconstruct-write (section 6): write the
+                // new data and read the other data unit in parallel,
+                // then write parity computed from the two.
+                DECLUST_PERF_INC(ReconstructWrites);
+                op->dst2 = c.effectiveUnit(stripe, otherPos);
+                op->pending = 2;
+                c.issueUnit(op->dst0, true, &reconWriteForked, op);
+                c.issueUnit(op->dst2, false, &reconWriteForked, op);
+                return;
+            }
+        }
+
+        // Standard four-access read-modify-write: pre-read old data and
+        // old parity, then overwrite both.
+        DECLUST_PERF_INC(RmwWrites);
+        op->pending = 2;
+        c.issueUnit(op->dst0, false, &rmwPreRead, op);
+        c.issueUnit(op->dst1, false, &rmwPreRead, op);
+    }
+
+    static void
+    writeParityLostDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
+        c.shadow_.set(op->dataUnit, op->v);
+        c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    /** Folded degraded write: only the parity unit is rewritten (with
+     * op->aux, the new parity). */
+    static void
+    writeFoldedDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
+        c.shadow_.set(op->dataUnit, op->v);
+        c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    static void
+    degradedWriteRead(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        // New parity = XOR of G-2 survivors and the new data.
+        c.afterXor(c.layout_->stripeWidth() - 1, &degradedWriteCombine,
+                   op);
+    }
+
+    static void
+    degradedWriteCombine(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        const int G = c.layout_->stripeWidth();
+        UnitValue othersXor = 0;
+        for (int pos = 0; pos < G - 1; ++pos) {
+            if (pos == op->su.pos)
+                continue;
+            const PhysicalUnit pu = c.effectiveUnit(op->su.stripe, pos);
+            othersXor ^= c.contents_.get(pu.disk, pu.offset);
+        }
+        op->aux = othersXor ^ op->v;
+        const bool writeThrough =
+            c.reconActive_ && c.algorithm_ != ReconAlgorithm::Baseline;
+        if (writeThrough)
+            startDegradedWriteThrough(op);
+        else
+            c.issueUnit(op->dst1, true, &writeFoldedDone, op);
+    }
+
+    /** Send the data to its rebuild home as well as folding the new
+     * parity (user-writes and both redirect algorithms). */
+    static void
+    startDegradedWriteThrough(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        op->dst2 = c.rebuildTarget(op->su.stripe, op->data.offset);
+        op->pending = 2;
+        c.issueUnit(op->dst1, true, &degradedWriteThroughDone, op);
+        c.issueUnit(op->dst2, true, &degradedWriteThroughDone, op);
+    }
+
+    static void
+    degradedWriteThroughDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
+        c.contents_.set(op->dst2.disk, op->dst2.offset, op->v);
+        c.shadow_.set(op->dataUnit, op->v);
+        c.markReconstructed(op->data.offset);
+        c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    static void
+    writePairDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
+        c.contents_.set(op->dst1.disk, op->dst1.offset, op->v);
+        c.shadow_.set(op->dataUnit, op->v);
+        c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    static void
+    reconWriteForked(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        op->ctl->afterXor(2, &reconWriteCombine, op);
+    }
+
+    static void
+    reconWriteCombine(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        op->aux = c.contents_.get(op->dst2.disk, op->dst2.offset) ^ op->v;
+        c.issueUnit(op->dst1, true, &reconWriteParityDone, op);
+    }
+
+    static void
+    reconWriteParityDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
+        c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
+        c.shadow_.set(op->dataUnit, op->v);
+        c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    static void
+    rmwPreRead(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        // New parity combines old data, old parity, and the new data.
+        op->ctl->afterXor(3, &rmwCombine, op);
+    }
+
+    static void
+    rmwCombine(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        const UnitValue oldData = c.contents_.get(op->dst0.disk,
+                                                  op->dst0.offset);
+        const UnitValue oldParity = c.contents_.get(op->dst1.disk,
+                                                    op->dst1.offset);
+        op->aux = oldParity ^ oldData ^ op->v;
+        op->pending = 2;
+        c.issueUnit(op->dst0, true, &rmwWriteDone, op);
+        c.issueUnit(op->dst1, true, &rmwWriteDone, op);
+    }
+
+    static void
+    rmwWriteDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
+        c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
+        c.shadow_.set(op->dataUnit, op->v);
+        c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Large writes
+    // ------------------------------------------------------------------
+
+    static void
+    largeWriteResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        largeWriteStep(op);
+    }
+
+    static void
+    largeWriteStep(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        DECLUST_ASSERT(c.failedDisk_ < 0,
+                       "large-write path requires a fault-free array");
+        DECLUST_PERF_INC(LargeWrites);
+        const int G = c.layout_->stripeWidth();
+        const std::int64_t stripe = op->su.stripe;
+        // Generate and record the fresh contents up front, under the
+        // stripe lock. Contents and shadow always change together within
+        // this one event, so a concurrent healthy read (which compares
+        // the two) sees either the old pair or the new pair — never a
+        // mix — and the fault-free requirement rules out every flow that
+        // reads this stripe's parity before we release.
+        UnitValue parity = 0;
+        for (int pos = 0; pos < G - 1; ++pos) {
+            const UnitValue value = c.values_.fresh();
+            parity ^= value;
+            const PhysicalUnit pu = c.effectiveUnit(stripe, pos);
+            c.contents_.set(pu.disk, pu.offset, value);
+            c.shadow_.set(
+                c.layout_->stripeToDataUnit(StripeUnit{stripe, pos}),
+                value);
+        }
+        const PhysicalUnit ppu = c.effectiveUnit(stripe, G - 1);
+        c.contents_.set(ppu.disk, ppu.offset, parity);
+        // The new parity XORs the G-1 fresh data units before anything
+        // hits the disks.
+        c.afterXor(G - 1, &largeWriteIssue, op);
+    }
+
+    static void
+    largeWriteIssue(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        const int G = c.layout_->stripeWidth();
+        op->pending = G;
+        for (int pos = 0; pos < G; ++pos)
+            c.issueUnit(c.effectiveUnit(op->su.stripe, pos), true,
+                        &largeWriteDone, op);
+    }
+
+    static void
+    largeWriteDone(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Reconstruction cycles
+    // ------------------------------------------------------------------
+
+    static void
+    finishCycle(IoOp *op, CycleResult res)
+    {
+        ArrayController &c = *op->ctl;
+        std::function<void(CycleResult)> done = std::move(op->cycleDone);
+        c.ops_.release(op);
+        done(res);
+    }
+
+    static void
+    reconResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        reconLocked(op);
+    }
+
+    static void
+    reconLocked(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        // A user write-through may have reconstructed it while we waited.
+        if (c.reconstructed_[static_cast<std::size_t>(op->offset)]) {
+            c.locks_.release(op->su.stripe);
+            finishCycle(op, CycleResult{});
+            return;
+        }
+        DECLUST_PERF_INC(ReconCycles);
+        op->start = c.eq_.now(); // read-phase start
+        const int G = c.layout_->stripeWidth();
+        op->pending = G - 1;
+        for (int p = 0; p < G; ++p) {
+            if (p == op->su.pos)
+                continue;
+            const PhysicalUnit pu = c.effectiveUnit(op->su.stripe, p);
+            DECLUST_ASSERT(pu.disk != c.failedDisk_,
+                           "two stripe units on one disk");
+            c.issueUnit(pu, false, &reconRead, op, Priority::Background);
+        }
+    }
+
+    static void
+    reconRead(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        c.afterXor(c.layout_->stripeWidth() - 1, &reconCombined, op);
+    }
+
+    static void
+    reconCombined(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        op->mid = c.eq_.now(); // write-phase start
+        op->v = c.xorStripeExcept(op->su.stripe, op->su.pos);
+        op->dst0 = c.rebuildTarget(op->su.stripe, op->offset);
+        c.issueUnit(op->dst0, true, &reconWritten, op,
+                    Priority::Background);
+    }
+
+    static void
+    reconWritten(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
+        c.markReconstructed(op->offset);
+        c.locks_.release(op->su.stripe);
+        CycleResult res;
+        res.skipped = false;
+        res.readPhaseMs = ticksToMs(op->mid - op->start);
+        res.writePhaseMs = ticksToMs(c.eq_.now() - op->mid);
+        DECLUST_PERF_HIST(ReconReadPhaseTicks, op->mid - op->start);
+        DECLUST_PERF_HIST(ReconWritePhaseTicks, c.eq_.now() - op->mid);
+        finishCycle(op, res);
+    }
+
+    // ------------------------------------------------------------------
+    // Copyback cycles
+    // ------------------------------------------------------------------
+
+    static void
+    copybackResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        copybackLocked(op);
+    }
+
+    static void
+    copybackLocked(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        DECLUST_PERF_INC(CopybackCycles);
+        op->dst0 = c.layout_->placeSpare(op->su.stripe);
+        c.issueUnit(op->dst0, false, &copybackRead, op,
+                    Priority::Background);
+    }
+
+    static void
+    copybackRead(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        op->v = c.contents_.get(op->dst0.disk, op->dst0.offset);
+        op->dst1 = PhysicalUnit{c.remapDisk_, op->offset};
+        c.issueUnit(op->dst1, true, &copybackWritten, op,
+                    Priority::Background);
+    }
+
+    static void
+    copybackWritten(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+        ArrayController &c = *op->ctl;
+        c.contents_.set(c.remapDisk_, op->offset, op->v);
+        // Unit lives on the replacement again; the spare slot is free.
+        c.reconstructed_[static_cast<std::size_t>(op->offset)] = 0;
+        --c.remappedCount_;
+        c.locks_.release(op->su.stripe);
+        std::function<void(bool)> done = std::move(op->copyDone);
+        c.ops_.release(op);
+        done(true);
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred disk issue (controller-CPU overhead path)
+    // ------------------------------------------------------------------
+
+    static void
+    issueDeferred(void *ctx)
+    {
+        auto *d = static_cast<ArrayController::DeferredIssue *>(ctx);
+        ArrayController *c = d->ctl;
+        const int disk = d->disk;
+        const DiskRequest req = d->req;
+        d->~DeferredIssue();
+        c->deferredPool_.deallocate(d);
+        c->disks_[static_cast<std::size_t>(disk)]->submit(req);
+    }
+};
+
+// ----------------------------------------------------------------------
 
 ArrayController::ArrayController(EventQueue &eq,
                                  std::unique_ptr<Layout> layout,
@@ -76,37 +784,51 @@ ArrayController::locate(std::int64_t dataUnit) const
 
 void
 ArrayController::issueUnit(const PhysicalUnit &pu, bool isWrite,
-                           std::function<void()> cb, Priority priority)
+                           void (*cb)(void *), void *ctx,
+                           Priority priority)
 {
+    if (isWrite) {
+        if (priority == Priority::Background)
+            DECLUST_PERF_INC(DiskWriteBackground);
+        else
+            DECLUST_PERF_INC(DiskWriteUser);
+    } else {
+        if (priority == Priority::Background)
+            DECLUST_PERF_INC(DiskReadBackground);
+        else
+            DECLUST_PERF_INC(DiskReadUser);
+    }
     DiskRequest req;
     req.startSector =
         static_cast<std::int64_t>(pu.offset) * params_.unitSectors;
     req.sectorCount = params_.unitSectors;
     req.isWrite = isWrite;
     req.priority = priority;
-    req.onComplete = std::move(cb);
+    req.onComplete = cb;
+    req.ctx = ctx;
     if (cpu_ && params_.controllerOverheadMs > 0) {
         // The access occupies the (serial) controller CPU before it can
-        // reach the disk.
+        // reach the disk; the request rides in a pooled carrier rather
+        // than a lambda capture.
+        DECLUST_PERF_INC(DeferredIssues);
+        void *mem = deferredPool_.allocate();
+        auto *d = new (mem) DeferredIssue{this, pu.disk, req};
         cpu_->use(msToTicks(params_.controllerOverheadMs),
-                  [this, disk = pu.disk, req = std::move(req)]() mutable {
-                      disks_[static_cast<std::size_t>(disk)]->submit(
-                          std::move(req));
-                  });
+                  &IoSteps::issueDeferred, d);
         return;
     }
-    disks_[static_cast<std::size_t>(pu.disk)]->submit(std::move(req));
+    disks_[static_cast<std::size_t>(pu.disk)]->submit(req);
 }
 
 void
-ArrayController::afterXor(int units, std::function<void()> fn)
+ArrayController::afterXor(int units, void (*fn)(void *), void *ctx)
 {
     const double ms = params_.xorOverheadMsPerUnit * units;
     if (cpu_ && ms > 0) {
-        cpu_->use(msToTicks(ms), std::move(fn));
+        cpu_->use(msToTicks(ms), fn, ctx);
         return;
     }
-    fn();
+    fn(ctx);
 }
 
 bool
@@ -151,25 +873,6 @@ ArrayController::xorStripeExcept(std::int64_t stripe, int excludePos) const
     return acc;
 }
 
-void
-ArrayController::finishUserOp(RequestKind kind, Tick start,
-                              const std::function<void()> &done)
-{
-    const double ms = ticksToMs(eq_.now() - start);
-    if (kind == RequestKind::Read) {
-        stats_.readMs.add(ms);
-        ++stats_.readsDone;
-    } else {
-        stats_.writeMs.add(ms);
-        ++stats_.writesDone;
-    }
-    stats_.allMs.add(ms);
-    stats_.allHist.add(ms);
-    --outstanding_;
-    if (done)
-        done();
-}
-
 // ----------------------------------------------------------------------
 // Reads
 // ----------------------------------------------------------------------
@@ -177,92 +880,19 @@ ArrayController::finishUserOp(RequestKind kind, Tick start,
 void
 ArrayController::readUnit(std::int64_t dataUnit, std::function<void()> done)
 {
+    DECLUST_PERF_INC(UserReads);
     ++outstanding_;
-    const Tick start = eq_.now();
+    IoOp *op = ops_.acquire();
+    op->ctl = this;
+    op->kind = RequestKind::Read;
+    op->start = eq_.now();
+    op->done = std::move(done);
     const UnitLoc loc = locate(dataUnit);
-    readCritical(loc, start, [this, start, done = std::move(done)] {
-        finishUserOp(RequestKind::Read, start, done);
-    });
-}
-
-void
-ArrayController::readCritical(const UnitLoc &loc, Tick,
-                              std::function<void()> done)
-{
-    const std::int64_t dataUnit = layout_->stripeToDataUnit(loc.su);
-
-    const bool onFailed = loc.data.disk == failedDisk_;
-    const bool redirectable =
-        reconActive_ &&
-        reconstructed_[static_cast<std::size_t>(loc.data.offset)] &&
-        (algorithm_ == ReconAlgorithm::Redirect ||
-         algorithm_ == ReconAlgorithm::RedirectPiggyback);
-
-    if (!onFailed || redirectable) {
-        // Plain read of valid contents: a healthy disk, a redirected
-        // read of the rebuilt replacement/spare unit, or a remapped
-        // spare location after a distributed-sparing rebuild.
-        const PhysicalUnit src = effectiveUnit(loc.su.stripe, loc.su.pos);
-        issueUnit(src, false,
-                  [this, src, dataUnit, done = std::move(done)] {
-                      const UnitValue got =
-                          contents_.get(src.disk, src.offset);
-                      DECLUST_ASSERT(got == shadow_.get(dataUnit),
-                                     "read of unit ", dataUnit,
-                                     " returned wrong data");
-                      done();
-                  });
-        return;
-    }
-
-    // On-the-fly reconstruction: read the G-1 surviving units of the
-    // stripe under the stripe lock and XOR them.
-    locks_.acquire(loc.su.stripe, [this, loc, dataUnit,
-                                   done = std::move(done)] {
-        const int G = layout_->stripeWidth();
-        auto combined = [this, loc, dataUnit, done = std::move(done)] {
-            const UnitValue value =
-                xorStripeExcept(loc.su.stripe, loc.su.pos);
-            DECLUST_ASSERT(value == shadow_.get(dataUnit),
-                           "on-the-fly reconstruction of unit ", dataUnit,
-                           " produced wrong data");
-            const bool piggyback =
-                reconActive_ &&
-                algorithm_ == ReconAlgorithm::RedirectPiggyback &&
-                !reconstructed_[static_cast<std::size_t>(loc.data.offset)];
-            if (!piggyback) {
-                locks_.release(loc.su.stripe);
-                done();
-                return;
-            }
-            // Piggyback: the user response is complete, but the freshly
-            // reconstructed unit is also written to its rebuild home
-            // (the replacement disk or the stripe's spare unit).
-            done();
-            const PhysicalUnit dst =
-                rebuildTarget(loc.su.stripe, loc.data.offset);
-            issueUnit(
-                dst, true,
-                [this, loc, dst, value] {
-                    contents_.set(dst.disk, dst.offset, value);
-                    markReconstructed(loc.data.offset);
-                    locks_.release(loc.su.stripe);
-                },
-                Priority::Background);
-        };
-        auto join = makeJoin(G - 1, [this, G, combined = std::move(
-                                                  combined)]() mutable {
-            afterXor(G - 1, std::move(combined));
-        });
-        for (int pos = 0; pos < G; ++pos) {
-            if (pos == loc.su.pos)
-                continue;
-            const PhysicalUnit pu = effectiveUnit(loc.su.stripe, pos);
-            DECLUST_ASSERT(pu.disk != failedDisk_,
-                           "two stripe units on one disk");
-            issueUnit(pu, false, join);
-        }
-    });
+    op->su = loc.su;
+    op->data = loc.data;
+    op->parity = loc.parity;
+    op->dataUnit = dataUnit;
+    IoSteps::startRead(op);
 }
 
 void
@@ -274,13 +904,26 @@ ArrayController::readUnits(std::int64_t firstDataUnit, int count,
         readUnit(firstDataUnit, std::move(done));
         return;
     }
+    DECLUST_PERF_INC(UserReads);
     ++outstanding_;
-    const Tick start = eq_.now();
-    auto join = makeJoin(count, [this, start, done = std::move(done)] {
-        finishUserOp(RequestKind::Read, start, done);
-    });
-    for (int i = 0; i < count; ++i)
-        readCritical(locate(firstDataUnit + i), start, join);
+    IoOp *parent = ops_.acquire();
+    parent->ctl = this;
+    parent->kind = RequestKind::Read;
+    parent->start = eq_.now();
+    parent->pending = count;
+    parent->done = std::move(done);
+    for (int i = 0; i < count; ++i) {
+        IoOp *part = ops_.acquire();
+        part->ctl = this;
+        part->parent = parent;
+        part->kind = RequestKind::Read;
+        const UnitLoc loc = locate(firstDataUnit + i);
+        part->su = loc.su;
+        part->data = loc.data;
+        part->parity = loc.parity;
+        part->dataUnit = firstDataUnit + i;
+        IoSteps::startRead(part);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -290,268 +933,19 @@ ArrayController::readUnits(std::int64_t firstDataUnit, int count,
 void
 ArrayController::writeUnit(std::int64_t dataUnit, std::function<void()> done)
 {
+    DECLUST_PERF_INC(UserWrites);
     ++outstanding_;
-    const Tick start = eq_.now();
+    IoOp *op = ops_.acquire();
+    op->ctl = this;
+    op->kind = RequestKind::Write;
+    op->start = eq_.now();
+    op->done = std::move(done);
     const UnitLoc loc = locate(dataUnit);
-    locks_.acquire(loc.su.stripe,
-                   [this, loc, start, done = std::move(done)] {
-                       writeCritical(loc, start,
-                                     [this, start, done = std::move(done)] {
-                                         finishUserOp(RequestKind::Write,
-                                                      start, done);
-                                     });
-                   });
-}
-
-void
-ArrayController::writeCritical(const UnitLoc &loc, Tick,
-                               std::function<void()> done)
-{
-    const std::int64_t dataUnit = layout_->stripeToDataUnit(loc.su);
-    const UnitValue v = values_.fresh();
-    const int G = layout_->stripeWidth();
-    const std::int64_t stripe = loc.su.stripe;
-
-    const bool dataLost = unitLost(loc.data);
-    const bool parityLost = unitLost(loc.parity);
-    DECLUST_ASSERT(!(dataLost && parityLost),
-                   "data and parity units of one stripe both lost");
-
-    // Where the (valid) data and parity currently live: the layout
-    // location, or the stripe's spare after a distributed rebuild.
-    const PhysicalUnit dataDst = effectiveUnit(stripe, loc.su.pos);
-    const PhysicalUnit parityDst = effectiveUnit(stripe, G - 1);
-
-    if (parityLost) {
-        // The parity unit is gone: there is no value in updating it, so
-        // the write is a single data access (the paper's degraded-mode
-        // "one, rather than four, disk accesses" case).
-        issueUnit(dataDst, true,
-                  [this, dataDst, stripe, dataUnit, v,
-                   done = std::move(done)] {
-                      contents_.set(dataDst.disk, dataDst.offset, v);
-                      shadow_.set(dataUnit, v);
-                      locks_.release(stripe);
-                      done();
-                  });
-        return;
-    }
-
-    if (dataLost) {
-        if (G == 2) {
-            // Mirrored pair with a lost primary: just write the copy
-            // (new "parity" = the new value itself).
-            const bool writeThrough =
-                reconActive_ && algorithm_ != ReconAlgorithm::Baseline;
-            if (writeThrough) {
-                const PhysicalUnit home =
-                    rebuildTarget(stripe, loc.data.offset);
-                auto join = makeJoin(
-                    2, [this, loc, parityDst, home, stripe, dataUnit, v,
-                        done = std::move(done)] {
-                        contents_.set(parityDst.disk, parityDst.offset,
-                                      v);
-                        contents_.set(home.disk, home.offset, v);
-                        shadow_.set(dataUnit, v);
-                        markReconstructed(loc.data.offset);
-                        locks_.release(stripe);
-                        done();
-                    });
-                issueUnit(parityDst, true, join);
-                issueUnit(home, true, join);
-            } else {
-                issueUnit(parityDst, true,
-                          [this, parityDst, stripe, dataUnit, v,
-                           done = std::move(done)] {
-                              contents_.set(parityDst.disk,
-                                            parityDst.offset, v);
-                              shadow_.set(dataUnit, v);
-                              locks_.release(stripe);
-                              done();
-                          });
-            }
-            return;
-        }
-        // The target data unit is lost. Read the other G-2 data units;
-        // the new parity is their XOR with the new data.
-        auto afterReads = [this, loc, parityDst, stripe, dataUnit, v, G,
-                           done = std::move(done)]() mutable {
-            UnitValue othersXor = 0;
-            for (int pos = 0; pos < G - 1; ++pos) {
-                if (pos == loc.su.pos)
-                    continue;
-                const PhysicalUnit pu = effectiveUnit(stripe, pos);
-                othersXor ^= contents_.get(pu.disk, pu.offset);
-            }
-            const UnitValue newParity = othersXor ^ v;
-            const bool writeThrough =
-                reconActive_ && algorithm_ != ReconAlgorithm::Baseline;
-            if (writeThrough) {
-                // Send the data to its rebuild home as well (user-writes
-                // and both redirect algorithms).
-                const PhysicalUnit home =
-                    rebuildTarget(stripe, loc.data.offset);
-                auto join = makeJoin(
-                    2, [this, loc, parityDst, home, stripe, dataUnit, v,
-                        newParity, done = std::move(done)] {
-                        contents_.set(parityDst.disk, parityDst.offset,
-                                      newParity);
-                        contents_.set(home.disk, home.offset, v);
-                        shadow_.set(dataUnit, v);
-                        markReconstructed(loc.data.offset);
-                        locks_.release(stripe);
-                        done();
-                    });
-                issueUnit(parityDst, true, join);
-                issueUnit(home, true, join);
-            } else {
-                // Fold the write into the parity unit alone.
-                issueUnit(parityDst, true,
-                          [this, parityDst, stripe, dataUnit, v,
-                           newParity, done = std::move(done)] {
-                              contents_.set(parityDst.disk,
-                                            parityDst.offset, newParity);
-                              shadow_.set(dataUnit, v);
-                              locks_.release(stripe);
-                              done();
-                          });
-            }
-        };
-        // New parity = XOR of G-2 survivors and the new data.
-        auto xorThen = [this, G, afterReads =
-                                     std::move(afterReads)]() mutable {
-            afterXor(G - 1, std::move(afterReads));
-        };
-        if (G == 3) {
-            // Only one other data unit to read.
-            int otherPos = loc.su.pos == 0 ? 1 : 0;
-            issueUnit(effectiveUnit(stripe, otherPos), false,
-                      std::move(xorThen));
-        } else {
-            auto join = makeJoin(G - 2, std::move(xorThen));
-            for (int pos = 0; pos < G - 1; ++pos) {
-                if (pos == loc.su.pos)
-                    continue;
-                issueUnit(effectiveUnit(stripe, pos), false, join);
-            }
-        }
-        return;
-    }
-
-    // Both the data and parity units are readable.
-    if (G == 2) {
-        // Mirrored write: update both copies in parallel, no pre-reads.
-        auto join = makeJoin(2, [this, dataDst, parityDst, stripe,
-                                 dataUnit, v, done = std::move(done)] {
-            contents_.set(dataDst.disk, dataDst.offset, v);
-            contents_.set(parityDst.disk, parityDst.offset, v);
-            shadow_.set(dataUnit, v);
-            locks_.release(stripe);
-            done();
-        });
-        issueUnit(dataDst, true, join);
-        issueUnit(parityDst, true, join);
-        return;
-    }
-    if (G == 3) {
-        const int otherPos = loc.su.pos == 0 ? 1 : 0;
-        const PhysicalUnit otherRaw = layout_->place(stripe, otherPos);
-        if (!unitLost(otherRaw)) {
-            // Three-access reconstruct-write (section 6): write the new
-            // data and read the other data unit in parallel, then write
-            // parity computed from the two.
-            const PhysicalUnit otherPU = effectiveUnit(stripe, otherPos);
-            auto join = makeJoin(
-                2, [this, dataDst, parityDst, stripe, dataUnit, v,
-                    otherPU, done = std::move(done)]() mutable {
-                    afterXor(2, [this, dataDst, parityDst, stripe,
-                                 dataUnit, v, otherPU,
-                                 done = std::move(done)] {
-                    const UnitValue newParity =
-                        contents_.get(otherPU.disk, otherPU.offset) ^ v;
-                    issueUnit(parityDst, true,
-                              [this, dataDst, parityDst, stripe, dataUnit,
-                               v, newParity, done = std::move(done)] {
-                                  contents_.set(dataDst.disk,
-                                                dataDst.offset, v);
-                                  contents_.set(parityDst.disk,
-                                                parityDst.offset,
-                                                newParity);
-                                  shadow_.set(dataUnit, v);
-                                  locks_.release(stripe);
-                                  done();
-                              });
-                    });
-                });
-            issueUnit(dataDst, true, join);
-            issueUnit(otherPU, false, join);
-            return;
-        }
-    }
-
-    // Standard four-access read-modify-write: pre-read old data and old
-    // parity, then overwrite both.
-    auto preRead = makeJoin(2, [this, dataDst, parityDst, stripe,
-                                dataUnit, v,
-                                done = std::move(done)]() mutable {
-        // New parity combines old data, old parity, and the new data.
-        afterXor(3, [this, dataDst, parityDst, stripe, dataUnit, v,
-                     done = std::move(done)] {
-        const UnitValue oldData =
-            contents_.get(dataDst.disk, dataDst.offset);
-        const UnitValue oldParity =
-            contents_.get(parityDst.disk, parityDst.offset);
-        const UnitValue newParity = oldParity ^ oldData ^ v;
-        auto join = makeJoin(2, [this, dataDst, parityDst, stripe,
-                                 dataUnit, v, newParity,
-                                 done = std::move(done)] {
-            contents_.set(dataDst.disk, dataDst.offset, v);
-            contents_.set(parityDst.disk, parityDst.offset, newParity);
-            shadow_.set(dataUnit, v);
-            locks_.release(stripe);
-            done();
-        });
-        issueUnit(dataDst, true, join);
-        issueUnit(parityDst, true, join);
-        });
-    });
-    issueUnit(dataDst, false, preRead);
-    issueUnit(parityDst, false, preRead);
-}
-
-void
-ArrayController::largeWriteCritical(std::int64_t stripe, Tick,
-                                    std::function<void()> done)
-{
-    DECLUST_ASSERT(failedDisk_ < 0,
-                   "large-write path requires a fault-free array");
-    const int G = layout_->stripeWidth();
-    std::vector<UnitValue> newValues(static_cast<std::size_t>(G - 1));
-    UnitValue parity = 0;
-    for (auto &value : newValues) {
-        value = values_.fresh();
-        parity ^= value;
-    }
-    auto issueAll = makeJoin(G, [this, stripe, newValues, parity, G,
-                                 done = std::move(done)] {
-        for (int pos = 0; pos < G - 1; ++pos) {
-            const PhysicalUnit pu = effectiveUnit(stripe, pos);
-            contents_.set(pu.disk, pu.offset,
-                          newValues[static_cast<std::size_t>(pos)]);
-            shadow_.set(layout_->stripeToDataUnit(StripeUnit{stripe, pos}),
-                        newValues[static_cast<std::size_t>(pos)]);
-        }
-        const PhysicalUnit ppu = effectiveUnit(stripe, G - 1);
-        contents_.set(ppu.disk, ppu.offset, parity);
-        locks_.release(stripe);
-        done();
-    });
-    // The new parity XORs the G-1 fresh data units before anything hits
-    // the disks.
-    afterXor(G - 1, [this, stripe, G, issueAll = std::move(issueAll)] {
-        for (int pos = 0; pos < G; ++pos)
-            issueUnit(effectiveUnit(stripe, pos), true, issueAll);
-    });
+    op->su = loc.su;
+    op->data = loc.data;
+    op->parity = loc.parity;
+    op->dataUnit = dataUnit;
+    IoSteps::startWrite(op);
 }
 
 void
@@ -563,44 +957,53 @@ ArrayController::writeUnits(std::int64_t firstDataUnit, int count,
         writeUnit(firstDataUnit, std::move(done));
         return;
     }
+    DECLUST_PERF_INC(UserWrites);
     ++outstanding_;
-    const Tick start = eq_.now();
 
     // Partition into whole-stripe spans (large-write optimized when
-    // fault-free) and leftover single units.
+    // fault-free) and leftover single units. First pass counts the
+    // parts so the parent's fan-in is set before any part can finish.
     const int dus = layout_->dataUnitsPerStripe();
-    struct Part
-    {
-        bool wholeStripe;
-        std::int64_t id; // stripe index or data unit index
-    };
-    std::vector<Part> parts;
-    std::int64_t unit = firstDataUnit;
     const std::int64_t end = firstDataUnit + count;
+    const auto wholeStripeAt = [&](std::int64_t unit) {
+        return failedDisk_ < 0 && unit % dus == 0 && unit + dus <= end;
+    };
+    int nParts = 0;
+    for (std::int64_t unit = firstDataUnit; unit < end;
+         unit += wholeStripeAt(unit) ? dus : 1)
+        ++nParts;
+
+    IoOp *parent = ops_.acquire();
+    parent->ctl = this;
+    parent->kind = RequestKind::Write;
+    parent->start = eq_.now();
+    parent->pending = nParts;
+    parent->done = std::move(done);
+
+    std::int64_t unit = firstDataUnit;
     while (unit < end) {
-        if (failedDisk_ < 0 && unit % dus == 0 && unit + dus <= end) {
-            parts.push_back(Part{true, unit / dus});
+        IoOp *part = ops_.acquire();
+        part->ctl = this;
+        part->parent = parent;
+        part->kind = RequestKind::Write;
+        if (wholeStripeAt(unit)) {
+            part->su = StripeUnit{unit / dus, 0};
+            part->resume = &IoSteps::largeWriteResume;
+            part->mid = eq_.now();
+            if (locks_.acquire(part->su.stripe, part))
+                IoSteps::largeWriteStep(part);
             unit += dus;
         } else {
-            parts.push_back(Part{false, unit});
+            const UnitLoc loc = locate(unit);
+            part->su = loc.su;
+            part->data = loc.data;
+            part->parity = loc.parity;
+            part->dataUnit = unit;
+            part->resume = &IoSteps::writeCriticalResume;
+            part->mid = eq_.now();
+            if (locks_.acquire(part->su.stripe, part))
+                IoSteps::writeCriticalStep(part);
             ++unit;
-        }
-    }
-
-    auto join = makeJoin(static_cast<int>(parts.size()),
-                         [this, start, done = std::move(done)] {
-                             finishUserOp(RequestKind::Write, start, done);
-                         });
-    for (const Part &part : parts) {
-        if (part.wholeStripe) {
-            locks_.acquire(part.id, [this, stripe = part.id, start, join] {
-                largeWriteCritical(stripe, start, join);
-            });
-        } else {
-            const UnitLoc loc = locate(part.id);
-            locks_.acquire(loc.su.stripe, [this, loc, start, join] {
-                writeCritical(loc, start, join);
-            });
         }
     }
 }
@@ -737,51 +1140,15 @@ ArrayController::reconstructOffset(int offset,
         return;
     }
 
-    const std::int64_t stripe = su->stripe;
-    const int pos = su->pos;
-    locks_.acquire(stripe, [this, stripe, pos, offset,
-                            done = std::move(done)] {
-        // A user write-through may have reconstructed it while we waited.
-        if (reconstructed_[static_cast<std::size_t>(offset)]) {
-            locks_.release(stripe);
-            done(CycleResult{});
-            return;
-        }
-        const Tick readStart = eq_.now();
-        const int G = layout_->stripeWidth();
-        auto combined = [this, stripe, pos, offset, readStart,
-                         done = std::move(done)] {
-            const Tick writeStart = eq_.now();
-            const UnitValue value = xorStripeExcept(stripe, pos);
-            const PhysicalUnit home = rebuildTarget(stripe, offset);
-            issueUnit(
-                home, true,
-                [this, stripe, home, offset, value, readStart, writeStart,
-                 done = std::move(done)] {
-                    contents_.set(home.disk, home.offset, value);
-                    markReconstructed(offset);
-                    locks_.release(stripe);
-                    CycleResult res;
-                    res.skipped = false;
-                    res.readPhaseMs = ticksToMs(writeStart - readStart);
-                    res.writePhaseMs = ticksToMs(eq_.now() - writeStart);
-                    done(res);
-                },
-                Priority::Background);
-        };
-        auto join = makeJoin(G - 1, [this, G, combined = std::move(
-                                                  combined)]() mutable {
-            afterXor(G - 1, std::move(combined));
-        });
-        for (int p = 0; p < G; ++p) {
-            if (p == pos)
-                continue;
-            const PhysicalUnit pu = effectiveUnit(stripe, p);
-            DECLUST_ASSERT(pu.disk != failedDisk_,
-                           "two stripe units on one disk");
-            issueUnit(pu, false, join, Priority::Background);
-        }
-    });
+    IoOp *op = ops_.acquire();
+    op->ctl = this;
+    op->su = *su;
+    op->offset = offset;
+    op->cycleDone = std::move(done);
+    op->resume = &IoSteps::reconResume;
+    op->mid = eq_.now();
+    if (locks_.acquire(op->su.stripe, op))
+        IoSteps::reconLocked(op);
 }
 
 void
@@ -847,32 +1214,15 @@ ArrayController::copybackOffset(int offset, std::function<void(bool)> done)
         done(false);
         return;
     }
-    const std::int64_t stripe = su->stripe;
-    locks_.acquire(stripe, [this, stripe, offset,
-                            done = std::move(done)] {
-        const PhysicalUnit spare = layout_->placeSpare(stripe);
-        issueUnit(
-            spare, false,
-            [this, stripe, spare, offset, done = std::move(done)] {
-                const UnitValue value =
-                    contents_.get(spare.disk, spare.offset);
-                issueUnit(
-                    PhysicalUnit{remapDisk_, offset}, true,
-                    [this, stripe, offset, value,
-                     done = std::move(done)] {
-                        contents_.set(remapDisk_, offset, value);
-                        // Unit lives on the replacement again; the spare
-                        // slot is free.
-                        reconstructed_[static_cast<std::size_t>(offset)] =
-                            0;
-                        --remappedCount_;
-                        locks_.release(stripe);
-                        done(true);
-                    },
-                    Priority::Background);
-            },
-            Priority::Background);
-    });
+    IoOp *op = ops_.acquire();
+    op->ctl = this;
+    op->su = *su;
+    op->offset = offset;
+    op->copyDone = std::move(done);
+    op->resume = &IoSteps::copybackResume;
+    op->mid = eq_.now();
+    if (locks_.acquire(op->su.stripe, op))
+        IoSteps::copybackLocked(op);
 }
 
 void

@@ -17,6 +17,11 @@
  * Every parity-mutating flow runs under a per-stripe lock, and the
  * simulated contents (64-bit value per unit, parity = XOR of data) are
  * checked against a shadow model on every user read.
+ *
+ * Internally each operation is a pooled IoOp continuation record (see
+ * array/io_op.hpp) stepped through static continuation functions, so
+ * steady-state user I/O performs no heap allocation: no lambda-capture
+ * std::functions, no waiter queues, no per-request callback boxing.
  */
 #pragma once
 
@@ -27,12 +32,14 @@
 #include <vector>
 
 #include "array/contents.hpp"
+#include "array/io_op.hpp"
 #include "array/stripe_lock.hpp"
 #include "array/types.hpp"
 #include "disk/disk.hpp"
 #include "layout/layout.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/serial_resource.hpp"
+#include "sim/slab_pool.hpp"
 #include "stats/accumulator.hpp"
 #include "stats/histogram.hpp"
 
@@ -77,15 +84,6 @@ struct ArrayParams
     /** Response-time histogram range (ms) and bucket count. */
     double histogramLimitMs = 4000.0;
     std::size_t histogramBuckets = 4000;
-};
-
-/** Outcome of one reconstruction cycle. */
-struct CycleResult
-{
-    /** True if the unit was unmapped or already reconstructed. */
-    bool skipped = true;
-    double readPhaseMs = 0.0;
-    double writePhaseMs = 0.0;
 };
 
 /** User-visible response-time statistics. */
@@ -273,6 +271,9 @@ class ArrayController
     void verifyConsistency() const;
 
   private:
+    /** The continuation steps live in controller.cpp. */
+    friend struct IoSteps;
+
     struct UnitLoc
     {
         StripeUnit su;
@@ -280,15 +281,25 @@ class ArrayController
         PhysicalUnit parity;
     };
 
+    /** Pooled carrier for a disk request issued through the serial
+     * controller CPU (the CPU-overhead path must not copy the request
+     * through a lambda capture). */
+    struct DeferredIssue
+    {
+        ArrayController *ctl;
+        int disk;
+        DiskRequest req;
+    };
+
     UnitLoc locate(std::int64_t dataUnit) const;
 
-    /** Issue a one-unit disk access. */
+    /** Issue a one-unit disk access; @p cb(@p ctx) runs on completion. */
     void issueUnit(const PhysicalUnit &pu, bool isWrite,
-                   std::function<void()> cb,
+                   void (*cb)(void *), void *ctx,
                    Priority priority = Priority::Normal);
 
-    /** Run @p fn after the XOR engine combines @p units units. */
-    void afterXor(int units, std::function<void()> fn);
+    /** Run @p fn(@p ctx) after the XOR engine combines @p units units. */
+    void afterXor(int units, void (*fn)(void *), void *ctx);
 
     /** True if this unit's contents are lost (failed and not rebuilt). */
     bool unitLost(const PhysicalUnit &pu) const;
@@ -307,16 +318,6 @@ class ArrayController
     /** Shared tail of attachReplacement/attachDistributedSpare. */
     void attachCommon(ReconAlgorithm algorithm);
 
-    void readCritical(const UnitLoc &loc, Tick start,
-                      std::function<void()> done);
-    void writeCritical(const UnitLoc &loc, Tick start,
-                       std::function<void()> done);
-    void largeWriteCritical(std::int64_t stripe, Tick start,
-                            std::function<void()> done);
-
-    void finishUserOp(RequestKind kind, Tick start,
-                      const std::function<void()> &done);
-
     /** XOR of the stored values of stripe @p stripe except position
      * @p excludePos (pass -1 to include all positions). */
     UnitValue xorStripeExcept(std::int64_t stripe, int excludePos) const;
@@ -334,6 +335,8 @@ class ArrayController
     ShadowModel shadow_;
     ValueSource values_;
     StripeLockTable locks_;
+    IoOpPool ops_;
+    SlabPool deferredPool_{sizeof(DeferredIssue), 64};
 
     int failedDisk_ = -1;
     bool reconActive_ = false;

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Pooled continuation object for the array controller's I/O spine.
+ *
+ * Every user request, reconstruction cycle, and copyback cycle is one
+ * IoOp: a slab-pooled state-machine record that carries the flow —
+ * locate → stripe-lock → fork reads → XOR → writes → release — through
+ * plain function-pointer continuations instead of nested lambda
+ * captures. The op doubles as the stripe lock's intrusive waiter (it
+ * derives StripeLockTable::Waiter), so a contended acquire links the op
+ * itself into the wait list. Once the per-controller pool is warm, a
+ * steady-state user I/O performs no heap allocation at all (the
+ * allocation-guard test in tests/test_alloc_guard.cpp enforces this).
+ *
+ * Lifecycle: acquired from IoOpPool at the operation's entry point,
+ * released exactly once when its flow ends. A multi-unit request uses
+ * one parent op (holding the user's `done` and the part fan-in count)
+ * plus one part op per stripe-level sub-operation; parts signal the
+ * parent and are released independently. Ops are thread-confined, like
+ * the SlabPool underneath.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <new>
+
+#include "array/stripe_lock.hpp"
+#include "array/types.hpp"
+#include "layout/layout.hpp"
+#include "sim/slab_pool.hpp"
+#include "sim/time.hpp"
+#include "stats/perf_counters.hpp"
+
+namespace declust {
+
+class ArrayController;
+
+/** One in-flight controller operation (user part, recon/copyback cycle). */
+struct IoOp : StripeLockTable::Waiter
+{
+    ArrayController *ctl = nullptr;
+    /** Owning multi-unit op, or null when this op stands alone. */
+    IoOp *parent = nullptr;
+    /** Fan-in counter: outstanding forks (parts for a parent op, disk
+     * completions for a leaf op's current phase). */
+    int pending = 0;
+    RequestKind kind = RequestKind::Read;
+    /** Failed-disk offset (reconstruction / copyback cycles). */
+    int offset = 0;
+    /** Op start (user ops) or read-phase start (recon cycles). */
+    Tick start = 0;
+    /** Scratch timestamp: lock-wait start, then write-phase start. */
+    Tick mid = 0;
+    /** Logical target unit and its layout placements. */
+    StripeUnit su;
+    PhysicalUnit data;
+    PhysicalUnit parity;
+    /** Flow-specific physical destinations (see controller.cpp). */
+    PhysicalUnit dst0;
+    PhysicalUnit dst1;
+    PhysicalUnit dst2;
+    std::int64_t dataUnit = 0;
+    /** New/reconstructed data value. */
+    UnitValue v = 0;
+    /** Secondary value (new parity). */
+    UnitValue aux = 0;
+    /** User completion (small captures stay inline in std::function). */
+    std::function<void()> done;
+    std::function<void(CycleResult)> cycleDone;
+    std::function<void(bool)> copyDone;
+};
+
+/** Slab-backed pool of IoOps; steady state never touches the heap. */
+class IoOpPool
+{
+  public:
+    IoOp *
+    acquire()
+    {
+        DECLUST_PERF_INC(IoOpAcquired);
+        const std::size_t slabs = pool_.slabCount();
+        void *mem = pool_.allocate();
+        if (pool_.slabCount() != slabs)
+            DECLUST_PERF_INC(IoOpSlabs);
+        return new (mem) IoOp;
+    }
+
+    void
+    release(IoOp *op)
+    {
+        DECLUST_PERF_INC(IoOpReleased);
+        op->~IoOp();
+        pool_.deallocate(op);
+    }
+
+    /** Ops currently live (diagnostics). */
+    std::size_t live() const { return pool_.liveChunks(); }
+
+  private:
+    SlabPool pool_{sizeof(IoOp), 128};
+};
+
+} // namespace declust

@@ -1,42 +1,151 @@
 #include "array/stripe_lock.hpp"
 
-#include <utility>
-
+#include "stats/perf_counters.hpp"
 #include "util/error.hpp"
 
 namespace declust {
 
-void
-StripeLockTable::acquire(std::int64_t stripe, std::function<void()> critical)
+namespace {
+
+/** Initial capacity; must be a power of two. */
+constexpr std::size_t kInitialSlots = 64;
+
+} // namespace
+
+StripeLockTable::StripeLockTable()
+    : slots_(kInitialSlots, Slot{kEmpty, nullptr, nullptr}),
+      mask_(kInitialSlots - 1)
 {
-    DECLUST_ASSERT(critical, "null critical section");
-    auto [it, inserted] = held_.try_emplace(stripe);
-    if (inserted) {
-        critical();
-    } else {
-        ++contended_;
-        it->second.push_back(std::move(critical));
+}
+
+std::size_t
+StripeLockTable::homeIndex(std::int64_t stripe) const
+{
+    // Fibonacci hashing spreads consecutive stripe indices (the common
+    // access pattern: sequential sweeps) across the table.
+    const auto h =
+        static_cast<std::uint64_t>(stripe) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 32) & mask_;
+}
+
+std::size_t
+StripeLockTable::findIndex(std::int64_t stripe) const
+{
+    std::size_t i = homeIndex(stripe);
+    while (slots_[i].stripe != kEmpty) {
+        if (slots_[i].stripe == stripe)
+            return i;
+        i = (i + 1) & mask_;
     }
+    return static_cast<std::size_t>(-1);
+}
+
+void
+StripeLockTable::insert(std::int64_t stripe, Waiter *head, Waiter *tail)
+{
+    std::size_t i = homeIndex(stripe);
+    while (slots_[i].stripe != kEmpty)
+        i = (i + 1) & mask_;
+    slots_[i] = Slot{stripe, head, tail};
+}
+
+void
+StripeLockTable::eraseIndex(std::size_t index)
+{
+    // Backward-shift deletion keeps probe chains contiguous without
+    // tombstones: pull every displaced follower back over the hole.
+    std::size_t hole = index;
+    slots_[hole].stripe = kEmpty;
+    std::size_t i = hole;
+    while (true) {
+        i = (i + 1) & mask_;
+        if (slots_[i].stripe == kEmpty)
+            return;
+        const std::size_t home = homeIndex(slots_[i].stripe);
+        // Move slot i into the hole unless its home lies in (hole, i]
+        // cyclically (in which case it is already as close as allowed).
+        const bool movable = (i > hole)
+                                 ? (home <= hole || home > i)
+                                 : (home <= hole && home > i);
+        if (movable) {
+            slots_[hole] = slots_[i];
+            slots_[i].stripe = kEmpty;
+            hole = i;
+        }
+    }
+}
+
+void
+StripeLockTable::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{kEmpty, nullptr, nullptr});
+    mask_ = slots_.size() - 1;
+    for (const Slot &slot : old) {
+        if (slot.stripe != kEmpty)
+            insert(slot.stripe, slot.head, slot.tail);
+    }
+}
+
+bool
+StripeLockTable::acquire(std::int64_t stripe, Waiter *waiter)
+{
+    DECLUST_ASSERT(stripe >= 0, "bad stripe index ", stripe);
+    const std::size_t found = findIndex(stripe);
+    if (found != static_cast<std::size_t>(-1)) {
+        DECLUST_ASSERT(waiter && waiter->resume,
+                       "contended acquire needs a resumable waiter");
+        ++contended_;
+        DECLUST_PERF_INC(LockContended);
+        waiter->nextWaiter = nullptr;
+        Slot &slot = slots_[found];
+        if (slot.tail)
+            slot.tail->nextWaiter = waiter;
+        else
+            slot.head = waiter;
+        slot.tail = waiter;
+        return false;
+    }
+    // Grow before the table gets dense enough to degrade probing
+    // (3/4 load); steady state re-uses the same backing vector forever.
+    if ((heldCount_ + 1) * 4 > slots_.size() * 3)
+        grow();
+    insert(stripe, nullptr, nullptr);
+    ++heldCount_;
+    ++uncontended_;
+    DECLUST_PERF_INC(LockUncontended);
+    return true;
 }
 
 void
 StripeLockTable::release(std::int64_t stripe)
 {
-    auto it = held_.find(stripe);
-    DECLUST_ASSERT(it != held_.end(), "release of unheld stripe ", stripe);
-    if (it->second.empty()) {
-        held_.erase(it);
+    const std::size_t found = findIndex(stripe);
+    DECLUST_ASSERT(found != static_cast<std::size_t>(-1),
+                   "release of unheld stripe ", stripe);
+    Slot &slot = slots_[found];
+    if (!slot.head) {
+        eraseIndex(found);
+        --heldCount_;
         return;
     }
-    auto next = std::move(it->second.front());
-    it->second.pop_front();
-    next(); // lock stays held on behalf of the next waiter
+    Waiter *next = slot.head;
+    slot.head = next->nextWaiter;
+    if (!slot.head)
+        slot.tail = nullptr;
+    next->nextWaiter = nullptr;
+    ++handoffs_;
+    DECLUST_PERF_INC(LockHandoffs);
+    // The lock stays held on the waiter's behalf. resume may re-enter
+    // acquire/release (and thus grow the table), so no slot reference
+    // survives past this call.
+    next->resume(next);
 }
 
 bool
 StripeLockTable::locked(std::int64_t stripe) const
 {
-    return held_.count(stripe) != 0;
+    return findIndex(stripe) != static_cast<std::size_t>(-1);
 }
 
 } // namespace declust

@@ -7,44 +7,93 @@
  * stripe's critical section so concurrent flows cannot interleave their
  * read and write phases and corrupt parity — the same serialization a
  * real striping driver enforces.
+ *
+ * The table is allocation-free on the steady-state path: held stripes
+ * live in an open-addressing hash table (linear probing, backward-shift
+ * deletion), and waiters are intrusive — the caller's own operation
+ * object (see array/io_op.hpp) is linked into the stripe's FIFO wait
+ * list through its Waiter base, so contention never touches the heap.
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_map>
+#include <vector>
 
 namespace declust {
 
-/** Non-blocking (callback-queueing) lock table keyed by stripe index. */
+/** Non-blocking (waiter-queueing) lock table keyed by stripe index. */
 class StripeLockTable
 {
   public:
     /**
-     * Acquire @p stripe's lock: run @p critical immediately if free,
-     * otherwise queue it to run when the holder releases. The critical
-     * section ends only when release(stripe) is called (possibly from a
-     * later event).
+     * Intrusive wait-list node. Embed (derive) this in the operation
+     * object that wants the lock; it must stay alive until resume fires
+     * or the lock is acquired immediately. The table never allocates or
+     * frees waiters.
      */
-    void acquire(std::int64_t stripe, std::function<void()> critical);
+    struct Waiter
+    {
+        /** Called (synchronously, from release) when the lock is handed
+         * to this waiter. Receives the waiter itself. */
+        void (*resume)(Waiter *) = nullptr;
+        Waiter *nextWaiter = nullptr;
+    };
 
-    /** Release @p stripe's lock and start the next waiter, if any. */
+    StripeLockTable();
+
+    /**
+     * Try to acquire @p stripe's lock. Returns true if the lock was
+     * free: the caller holds it and runs its critical section now.
+     * Returns false if the stripe is already locked: @p waiter is
+     * queued FIFO and its resume fires — with the lock held on its
+     * behalf — when the holder releases. Either way the critical
+     * section ends only when release(stripe) is called.
+     */
+    bool acquire(std::int64_t stripe, Waiter *waiter);
+
+    /** Release @p stripe's lock and hand it to the next waiter, if any. */
     void release(std::int64_t stripe);
 
     /** True if the stripe's lock is currently held. */
     bool locked(std::int64_t stripe) const;
 
     /** Number of stripes currently locked. */
-    std::size_t heldCount() const { return held_.size(); }
+    std::size_t heldCount() const { return heldCount_; }
 
     /** Total acquisitions that had to wait (contention metric). */
     std::uint64_t contended() const { return contended_; }
 
+    /** Total acquisitions that got the lock immediately. */
+    std::uint64_t uncontended() const { return uncontended_; }
+
+    /** Total lock handoffs from a releaser to a queued waiter. */
+    std::uint64_t handoffs() const { return handoffs_; }
+
   private:
-    std::unordered_map<std::int64_t, std::deque<std::function<void()>>>
-        held_;
+    /** One held stripe: its key plus the FIFO wait list. */
+    struct Slot
+    {
+        std::int64_t stripe;
+        Waiter *head;
+        Waiter *tail;
+    };
+
+    /** Key marking an empty slot (stripe indices are non-negative). */
+    static constexpr std::int64_t kEmpty = -1;
+
+    std::size_t homeIndex(std::int64_t stripe) const;
+    std::size_t findIndex(std::int64_t stripe) const;
+    void insert(std::int64_t stripe, Waiter *head, Waiter *tail);
+    void eraseIndex(std::size_t index);
+    void grow();
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t heldCount_ = 0;
     std::uint64_t contended_ = 0;
+    std::uint64_t uncontended_ = 0;
+    std::uint64_t handoffs_ = 0;
 };
 
 } // namespace declust

@@ -34,4 +34,13 @@ enum class ReconAlgorithm
 /** Display name for a reconstruction algorithm. */
 const char *toString(ReconAlgorithm algorithm);
 
+/** Outcome of one reconstruction cycle. */
+struct CycleResult
+{
+    /** True if the unit was unmapped or already reconstructed. */
+    bool skipped = true;
+    double readPhaseMs = 0.0;
+    double writePhaseMs = 0.0;
+};
+
 } // namespace declust

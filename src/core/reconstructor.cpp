@@ -9,6 +9,8 @@ Reconstructor::Reconstructor(ArrayController &array,
     : array_(array), config_(config)
 {
     DECLUST_ASSERT(config_.processes >= 1, "need at least one process");
+    if (config_.tailWindow > 0)
+        tail_.resize(static_cast<std::size_t>(config_.tailWindow));
 }
 
 void
@@ -54,8 +56,11 @@ Reconstructor::pump()
         array_.finishReconstruction();
         report_.reconstructionTimeSec =
             ticksToSec(array_.eventQueue().now() - startTick_);
-        // Fold the sliding tail into the tail accumulators.
-        for (const auto &[readMs, writeMs] : tail_) {
+        // Fold the sliding tail into the tail accumulators, oldest
+        // first so the streaming statistics match insertion order.
+        for (std::size_t i = 0; i < tailCount_; ++i) {
+            const auto &[readMs, writeMs] =
+                tail_[(tailHead_ + i) % tail_.size()];
             report_.tailReadPhaseMs.add(readMs);
             report_.tailWritePhaseMs.add(writeMs);
         }
@@ -75,9 +80,18 @@ Reconstructor::cycleDone(const CycleResult &result)
         report_.readPhaseMs.add(result.readPhaseMs);
         report_.writePhaseMs.add(result.writePhaseMs);
         report_.cycleMs.add(result.readPhaseMs + result.writePhaseMs);
-        tail_.emplace_back(result.readPhaseMs, result.writePhaseMs);
-        if (tail_.size() > static_cast<std::size_t>(config_.tailWindow))
-            tail_.pop_front();
+        if (!tail_.empty()) {
+            if (tailCount_ < tail_.size()) {
+                tail_[(tailHead_ + tailCount_) % tail_.size()] = {
+                    result.readPhaseMs, result.writePhaseMs};
+                ++tailCount_;
+            } else {
+                // Full: overwrite the oldest entry and advance the head.
+                tail_[tailHead_] = {result.readPhaseMs,
+                                    result.writePhaseMs};
+                tailHead_ = (tailHead_ + 1) % tail_.size();
+            }
+        }
     }
     if (config_.throttleDelay > 0) {
         array_.eventQueue().scheduleIn(config_.throttleDelay,

@@ -13,8 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "array/controller.hpp"
 #include "stats/accumulator.hpp"
@@ -84,8 +85,13 @@ class Reconstructor
     bool started_ = false;
     bool finished_ = false;
     ReconReport report_;
-    /** Sliding tail of recent (read, write) phase pairs. */
-    std::deque<std::pair<double, double>> tail_;
+    /**
+     * Sliding tail of the most recent tailWindow (read, write) phase
+     * pairs, kept in a fixed ring so the per-cycle push never allocates.
+     */
+    std::vector<std::pair<double, double>> tail_;
+    std::size_t tailHead_ = 0;  ///< index of the oldest entry
+    std::size_t tailCount_ = 0; ///< entries currently held
 };
 
 } // namespace declust

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "stats/perf_counters.hpp"
 #include "util/error.hpp"
 
 namespace declust {
@@ -44,11 +45,12 @@ Disk::submit(DiskRequest request)
         pending_.emplace_back();
     }
     Pending &p = pending_[static_cast<std::size_t>(slot)];
-    p.request = std::move(request);
+    p.request = request;
+    p.chs = geometry_.lbaToChs(request.startSector);
     p.enqueued = eq_.now();
     p.live = true;
 
-    const Chs chs = geometry_.lbaToChs(p.request.startSector);
+    const Chs chs = p.chs;
     Scheduler &queue =
         (backgroundScheduler_ && p.request.priority == Priority::Background)
             ? *backgroundScheduler_
@@ -89,8 +91,8 @@ Disk::dispatch()
     util_.setBusy(eq_.now());
 
     const Tick dispatched = eq_.now();
-    const Tick end = computeServiceEnd(
-        pending_[static_cast<std::size_t>(slot)].request, dispatched);
+    const Pending &p = pending_[static_cast<std::size_t>(slot)];
+    const Tick end = computeServiceEnd(p.request, dispatched, p.chs);
     eq_.scheduleAt(end, [this, slot, dispatched] {
         complete(slot, dispatched);
     });
@@ -103,11 +105,14 @@ Disk::complete(int slot, Tick dispatched)
                        slot < static_cast<int>(pending_.size()) &&
                        pending_[static_cast<std::size_t>(slot)].live,
                    "completion for unknown request");
-    Pending done = std::move(pending_[static_cast<std::size_t>(slot)]);
+    Pending done = pending_[static_cast<std::size_t>(slot)];
     pending_[static_cast<std::size_t>(slot)].live = false;
     freeSlots_.push_back(slot);
 
     const Tick now = eq_.now();
+    DECLUST_PERF_INC(DiskCompletions);
+    DECLUST_PERF_HIST(DiskQueueTicks, dispatched - done.enqueued);
+    DECLUST_PERF_HIST(DiskServiceTicks, now - dispatched);
     stats_.serviceMs.add(ticksToMs(now - dispatched));
     stats_.queueMs.add(ticksToMs(dispatched - done.enqueued));
     stats_.responseMs.add(ticksToMs(now - done.enqueued));
@@ -135,7 +140,7 @@ Disk::complete(int slot, Tick dispatched)
     // The callback may submit more work to this disk; submit() will start
     // it immediately since we are idle, and the trailing dispatch() below
     // then finds the disk busy and backs off harmlessly.
-    done.request.onComplete();
+    done.request.onComplete(done.request.ctx);
     dispatch();
 }
 
@@ -158,10 +163,8 @@ Disk::enableTrackBuffer(double hitServiceMs)
 }
 
 Tick
-Disk::computeServiceEnd(const DiskRequest &request, Tick start)
+Disk::computeServiceEnd(const DiskRequest &request, Tick start, Chs chs)
 {
-    Chs chs = geometry_.lbaToChs(request.startSector);
-
     if (trackBufferEnabled_) {
         const Chs last = geometry_.lbaToChs(request.startSector +
                                             request.sectorCount - 1);
@@ -170,6 +173,7 @@ Disk::computeServiceEnd(const DiskRequest &request, Tick start)
         if (!request.isWrite && firstTrack == lastTrack &&
             firstTrack == bufferedTrack_) {
             // Whole read served from the buffer: no head movement.
+            DECLUST_PERF_INC(TrackBufferHits);
             return start + trackBufferHitTicks_;
         }
         if (request.isWrite) {

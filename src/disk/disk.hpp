@@ -16,6 +16,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "disk/geometry.hpp"
@@ -28,17 +30,26 @@
 
 namespace declust {
 
-/** One I/O request against a disk. */
+/**
+ * One I/O request against a disk.
+ *
+ * Completion is a raw continuation slot — onComplete(ctx) fires once
+ * when the transfer finishes — so submitting a request never allocates
+ * and requests copy as plain data through the in-flight slot table.
+ * Callers with a callable instead of a function pointer can use the
+ * boxing submit() overload below.
+ */
 struct DiskRequest
 {
     std::int64_t startSector = 0;
     int sectorCount = 0;
     bool isWrite = false;
-    /** Invoked (once) when the transfer completes. */
-    std::function<void()> onComplete;
     /** Scheduling class; Background yields to Normal when the disk has
      * priority separation enabled. */
     Priority priority = Priority::Normal;
+    /** Invoked (once) as onComplete(ctx) when the transfer completes. */
+    void (*onComplete)(void *) = nullptr;
+    void *ctx = nullptr;
 };
 
 /** One completed access, as seen by an access tracer. */
@@ -89,6 +100,31 @@ class Disk
 
     /** Enqueue a request; completion is signalled via its callback. */
     void submit(DiskRequest request);
+
+    /**
+     * Convenience overload boxing an arbitrary callable into the raw
+     * continuation slot (one heap allocation per call — tests and
+     * one-off flows only; the controller's hot path uses the slot
+     * directly).
+     */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_r_v<
+                  void, std::decay_t<F> &>>>
+    void
+    submit(DiskRequest request, F &&onComplete)
+    {
+        using Fn = std::decay_t<F>;
+        auto boxed = std::make_unique<Fn>(std::forward<F>(onComplete));
+        request.onComplete = [](void *ctx) {
+            std::unique_ptr<Fn> owned(static_cast<Fn *>(ctx));
+            (*owned)();
+        };
+        request.ctx = boxed.get();
+        submit(request);
+        // The completion path owns the callable once submit accepts it
+        // (validation failures throw before this line).
+        boxed.release(); // NOLINT(bugprone-unused-return-value)
+    }
 
     int id() const { return id_; }
     const DiskGeometry &geometry() const { return geometry_; }
@@ -143,9 +179,11 @@ class Disk
     /**
      * Compute the completion time of @p request starting service at
      * @p start, updating the head position. Pure function of the head
-     * and rotation state.
+     * and rotation state. @p chs is the decoded start address, cached
+     * at submit time so the LBA decode runs once per request.
      */
-    Tick computeServiceEnd(const DiskRequest &request, Tick start);
+    Tick computeServiceEnd(const DiskRequest &request, Tick start,
+                           Chs chs);
 
     /** Ticks until the rotational slot @p slot next starts, at time t. */
     Tick rotationalWait(int slot, Tick t) const;
@@ -172,6 +210,7 @@ class Disk
     struct Pending
     {
         DiskRequest request;
+        Chs chs; ///< decoded start address, computed once at submit
         Tick enqueued = 0;
         bool live = false;
     };

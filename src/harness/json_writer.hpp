@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -19,7 +20,10 @@
 
 namespace declust {
 
-/** Flat ordered JSON object: string, integer, or double fields. */
+/**
+ * Ordered JSON object: string, integer, double, or nested-object
+ * fields.
+ */
 class JsonObject
 {
   public:
@@ -62,19 +66,22 @@ class JsonObject
         return *this;
     }
 
+    /** Nest another object under @p key. */
+    JsonObject &
+    set(std::string key, JsonObject value)
+    {
+        fields_.emplace_back(
+            std::move(key),
+            Value{std::make_shared<JsonObject>(std::move(value))});
+        return *this;
+    }
+
     /** Serialize as a single pretty-printed object. */
     void
     write(std::ostream &os) const
     {
-        os << "{\n";
-        for (std::size_t i = 0; i < fields_.size(); ++i) {
-            os << "  \"" << escaped(fields_[i].first) << "\": ";
-            writeValue(os, fields_[i].second);
-            if (i + 1 < fields_.size())
-                os << ',';
-            os << '\n';
-        }
-        os << "}\n";
+        writeIndented(os, 0);
+        os << '\n';
     }
 
     std::string
@@ -86,7 +93,23 @@ class JsonObject
     }
 
   private:
-    using Value = std::variant<std::string, std::int64_t, double>;
+    using Value = std::variant<std::string, std::int64_t, double,
+                               std::shared_ptr<JsonObject>>;
+
+    void
+    writeIndented(std::ostream &os, int depth) const
+    {
+        const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+        os << "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            os << pad << "  \"" << escaped(fields_[i].first) << "\": ";
+            writeValue(os, fields_[i].second, depth + 1);
+            if (i + 1 < fields_.size())
+                os << ',';
+            os << '\n';
+        }
+        os << pad << "}";
+    }
 
     static std::string
     escaped(const std::string &s)
@@ -106,12 +129,15 @@ class JsonObject
     }
 
     static void
-    writeValue(std::ostream &os, const Value &v)
+    writeValue(std::ostream &os, const Value &v, int depth)
     {
         if (const auto *s = std::get_if<std::string>(&v)) {
             os << '"' << escaped(*s) << '"';
         } else if (const auto *i = std::get_if<std::int64_t>(&v)) {
             os << *i;
+        } else if (const auto *obj =
+                       std::get_if<std::shared_ptr<JsonObject>>(&v)) {
+            (*obj)->writeIndented(os, depth);
         } else {
             std::ostringstream num;
             num.precision(17);

@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "sim/slab_pool.hpp"
+#include "stats/perf_counters.hpp"
 
 namespace declust {
 
@@ -40,8 +41,11 @@ callbackSpillPool(std::size_t size)
 inline void *
 callbackSpillAlloc(std::size_t size)
 {
-    if (size <= 256)
+    if (size <= 256) {
+        DECLUST_PERF_INC(CallbackSpillPooled);
         return callbackSpillPool(size).allocate();
+    }
+    DECLUST_PERF_INC(CallbackSpillHeap);
     return ::operator new(size);
 }
 
@@ -76,6 +80,7 @@ class EventCallback
         if constexpr (sizeof(Fn) <= kInlineCapacity &&
                       alignof(Fn) <= alignof(std::max_align_t) &&
                       std::is_nothrow_move_constructible_v<Fn>) {
+            DECLUST_PERF_INC(CallbackInline);
             ::new (static_cast<void *>(store_.inline_)) Fn(std::forward<F>(f));
             ops_ = inlineOps<Fn>();
         } else {

@@ -5,13 +5,22 @@
  * resource for a caller-specified duration. This is what turns
  * per-access CPU cost into an architectural bottleneck rather than a
  * fixed latency adder.
+ *
+ * Jobs are plain {duration, fn, ctx} records in a power-of-two ring
+ * buffer, so queueing work here never allocates once the ring has grown
+ * to the simulation's peak depth. Callers with a capturing callable can
+ * use the boxing overload (one allocation per call — tests only).
  */
 #pragma once
 
-#include <deque>
-#include <functional>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "sim/event_queue.hpp"
+#include "stats/perf_counters.hpp"
 #include "stats/utilization.hpp"
 
 namespace declust {
@@ -20,7 +29,8 @@ namespace declust {
 class SerialResource
 {
   public:
-    explicit SerialResource(EventQueue &eq) : eq_(eq)
+    explicit SerialResource(EventQueue &eq)
+        : eq_(eq), jobs_(kInitialJobs)
     {
         util_.resetWindow(eq_.now());
     }
@@ -29,19 +39,43 @@ class SerialResource
     SerialResource &operator=(const SerialResource &) = delete;
 
     /**
-     * Occupy the resource for @p duration ticks, then run @p then.
-     * Requests are served in arrival order.
+     * Occupy the resource for @p duration ticks, then run
+     * @p then(@p ctx). Requests are served in arrival order.
      */
     void
-    use(Tick duration, std::function<void()> then)
+    use(Tick duration, void (*then)(void *), void *ctx)
     {
-        queue_.push_back(Job{duration, std::move(then)});
+        DECLUST_PERF_INC(CpuJobs);
+        if (count_ == jobs_.size())
+            grow();
+        jobs_[(head_ + count_) & (jobs_.size() - 1)] =
+            Job{duration, then, ctx};
+        ++count_;
         if (!busy_)
             startNext();
     }
 
+    /** Boxing overload for arbitrary callables (allocates per call). */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_r_v<
+                  void, std::decay_t<F> &>>>
+    void
+    use(Tick duration, F &&then)
+    {
+        using Fn = std::decay_t<F>;
+        auto boxed = std::make_unique<Fn>(std::forward<F>(then));
+        use(
+            duration,
+            [](void *ctx) {
+                std::unique_ptr<Fn> owned(static_cast<Fn *>(ctx));
+                (*owned)();
+            },
+            boxed.get());
+        boxed.release(); // NOLINT(bugprone-unused-return-value)
+    }
+
     bool busy() const { return busy_; }
-    std::size_t queued() const { return queue_.size(); }
+    std::size_t queued() const { return count_; }
 
     /** Busy fraction since the last resetWindow(). */
     double utilization() const { return util_.utilization(eq_.now()); }
@@ -52,29 +86,46 @@ class SerialResource
     struct Job
     {
         Tick duration;
-        std::function<void()> then;
+        void (*then)(void *);
+        void *ctx;
     };
+
+    static constexpr std::size_t kInitialJobs = 16;
+
+    void
+    grow()
+    {
+        std::vector<Job> bigger(jobs_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = jobs_[(head_ + i) & (jobs_.size() - 1)];
+        jobs_ = std::move(bigger);
+        head_ = 0;
+    }
 
     void
     startNext()
     {
-        if (queue_.empty())
+        if (count_ == 0)
             return;
-        Job job = std::move(queue_.front());
-        queue_.pop_front();
+        const Job job = jobs_[head_];
+        head_ = (head_ + 1) & (jobs_.size() - 1);
+        --count_;
         busy_ = true;
         util_.setBusy(eq_.now());
-        eq_.scheduleIn(job.duration, [this, then = std::move(job.then)] {
+        eq_.scheduleIn(job.duration, [this, then = job.then,
+                                      ctx = job.ctx] {
             busy_ = false;
             util_.setIdle(eq_.now());
-            then();
+            then(ctx);
             if (!busy_) // `then` may have re-entered use()
                 startNext();
         });
     }
 
     EventQueue &eq_;
-    std::deque<Job> queue_;
+    std::vector<Job> jobs_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     bool busy_ = false;
     UtilizationTracker util_;
 };

@@ -6,21 +6,6 @@
 namespace declust {
 
 void
-Accumulator::add(double x)
-{
-    if (n_ == 0) {
-        min_ = max_ = x;
-    } else {
-        min_ = std::min(min_, x);
-        max_ = std::max(max_, x);
-    }
-    ++n_;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(n_);
-    m2_ += delta * (x - mean_);
-}
-
-void
 Accumulator::merge(const Accumulator &other)
 {
     if (other.n_ == 0)

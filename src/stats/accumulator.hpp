@@ -15,8 +15,22 @@ namespace declust {
 class Accumulator
 {
   public:
-    /** Add one sample. */
-    void add(double x);
+    /** Add one sample. Inline: this runs several times per simulated
+     * disk access, so a call per sample is measurable. */
+    void
+    add(double x)
+    {
+        if (n_ == 0) {
+            min_ = max_ = x;
+        } else {
+            min_ = x < min_ ? x : min_;
+            max_ = x > max_ ? x : max_;
+        }
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+    }
 
     /** Merge another accumulator into this one. */
     void merge(const Accumulator &other);

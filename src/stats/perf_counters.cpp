@@ -1,0 +1,39 @@
+#include "stats/perf_counters.hpp"
+
+namespace declust {
+
+const char *
+perfCounterName(PerfCounter counter)
+{
+    static const char *const names[] = {
+#define DECLUST_PERF_NAME(name, str) str,
+        DECLUST_PERF_COUNTER_LIST(DECLUST_PERF_NAME)
+#undef DECLUST_PERF_NAME
+    };
+    return names[static_cast<std::size_t>(counter)];
+}
+
+const char *
+perfHistName(PerfHist hist)
+{
+    static const char *const names[] = {
+#define DECLUST_PERF_NAME(name, str) str,
+        DECLUST_PERF_HIST_LIST(DECLUST_PERF_NAME)
+#undef DECLUST_PERF_NAME
+    };
+    return names[static_cast<std::size_t>(hist)];
+}
+
+PerfCounterBlock
+perfAggregate()
+{
+    return perfRegistry().aggregate();
+}
+
+void
+perfReset()
+{
+    perfRegistry().reset();
+}
+
+} // namespace declust

@@ -1,25 +1,6 @@
 #include "stats/utilization.hpp"
 
-#include "util/error.hpp"
-
 namespace declust {
-
-void
-UtilizationTracker::setBusy(Tick now)
-{
-    DECLUST_ASSERT(!busy_, "resource already busy");
-    busy_ = true;
-    busySince_ = now;
-}
-
-void
-UtilizationTracker::setIdle(Tick now)
-{
-    DECLUST_ASSERT(busy_, "resource already idle");
-    DECLUST_ASSERT(now >= busySince_, "time went backwards");
-    accumulated_ += now - busySince_;
-    busy_ = false;
-}
 
 Tick
 UtilizationTracker::busyTicks(Tick now) const

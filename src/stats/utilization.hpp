@@ -8,6 +8,7 @@
 #pragma once
 
 #include "sim/time.hpp"
+#include "util/error.hpp"
 
 namespace declust {
 
@@ -15,11 +16,25 @@ namespace declust {
 class UtilizationTracker
 {
   public:
-    /** Mark the resource busy at time @p now (must currently be idle). */
-    void setBusy(Tick now);
+    /** Mark the resource busy at time @p now (must currently be idle).
+     * Inline: toggled on every disk dispatch/completion. */
+    void
+    setBusy(Tick now)
+    {
+        DECLUST_ASSERT(!busy_, "resource already busy");
+        busy_ = true;
+        busySince_ = now;
+    }
 
     /** Mark the resource idle at time @p now (must currently be busy). */
-    void setIdle(Tick now);
+    void
+    setIdle(Tick now)
+    {
+        DECLUST_ASSERT(busy_, "resource already idle");
+        DECLUST_ASSERT(now >= busySince_, "time went backwards");
+        accumulated_ += now - busySince_;
+        busy_ = false;
+    }
 
     /** True if currently marked busy. */
     bool busy() const { return busy_; }

@@ -180,7 +180,7 @@ TEST_F(DiskSim, SingleAccessWithinPhysicalBounds)
 {
     makeDisk(DiskGeometry::ibm0661());
     int done = 0;
-    disk->submit({631000, 8, false, [&] { ++done; }});
+    disk->submit({631000, 8, false}, [&] { ++done; });
     eq.runToCompletion();
     EXPECT_EQ(done, 1);
     const double ms = disk->stats().serviceMs.mean();
@@ -193,7 +193,7 @@ TEST_F(DiskSim, ZeroDistanceAccessIsRotationBound)
 {
     makeDisk(DiskGeometry::ibm0661());
     int done = 0;
-    disk->submit({0, 8, false, [&] { ++done; }});
+    disk->submit({0, 8, false}, [&] { ++done; });
     eq.runToCompletion();
     // Head starts at cylinder 0, sector 0, time 0: no seek, no wait.
     EXPECT_EQ(done, 1);
@@ -215,9 +215,10 @@ TEST_F(DiskSim, RandomAccessRateNear46PerSecond)
         disk->submit(
             {static_cast<std::int64_t>(rng.uniformInt(
                  static_cast<std::uint64_t>(units))) * 8,
-             8, false, next});
+             8, false},
+            next);
     };
-    disk->submit({0, 8, false, next});
+    disk->submit({0, 8, false}, next);
     eq.runToCompletion();
     const double rate =
         completed / ticksToSec(eq.now());
@@ -229,7 +230,7 @@ TEST_F(DiskSim, FullDiskSequentialReadTakesAboutThreeMinutes)
     makeDisk(DiskGeometry::ibm0661());
     const auto total = DiskGeometry::ibm0661().totalSectors();
     int done = 0;
-    disk->submit({0, static_cast<int>(total), false, [&] { ++done; }});
+    disk->submit({0, static_cast<int>(total), false}, [&] { ++done; });
     eq.runToCompletion();
     EXPECT_EQ(done, 1);
     const double sec = ticksToSec(eq.now());
@@ -246,9 +247,9 @@ TEST_F(DiskSim, SequentialUnitReadsFasterThanRandom)
         if (++completed >= 500)
             return;
         sector += 8;
-        disk->submit({sector, 8, false, next});
+        disk->submit({sector, 8, false}, next);
     };
-    disk->submit({sector, 8, false, next});
+    disk->submit({sector, 8, false}, next);
     eq.runToCompletion();
     const double seqMs = disk->stats().serviceMs.mean();
     // Sequential chains complete in far less than a random access.
@@ -258,7 +259,7 @@ TEST_F(DiskSim, SequentialUnitReadsFasterThanRandom)
 TEST_F(DiskSim, UtilizationTracksBusyTime)
 {
     makeDisk(DiskGeometry::ibm0661());
-    disk->submit({1000, 8, false, [] {}});
+    disk->submit({1000, 8, false}, [] {});
     eq.runToCompletion();
     const Tick busyEnd = eq.now();
     eq.scheduleAt(busyEnd * 2, [] {});
@@ -270,7 +271,7 @@ TEST_F(DiskSim, QueueDepthAccounting)
 {
     makeDisk(DiskGeometry::ibm0661());
     for (int i = 0; i < 5; ++i)
-        disk->submit({i * 8000, 8, false, [] {}});
+        disk->submit({i * 8000, 8, false}, [] {});
     EXPECT_EQ(disk->outstanding(), 5u);
     EXPECT_EQ(disk->queueDepth(), 4u); // one in service
     eq.runToCompletion();
@@ -292,7 +293,7 @@ TEST_F(DiskSim, CvscanBeatsFcfsOnBacklog)
         Disk d(q, DiskGeometry::ibm0661(),
                makeScheduler(sched, 949), 0);
         for (auto s : sectors)
-            d.submit({s, 8, false, [] {}});
+            d.submit({s, 8, false}, [] {});
         q.runToCompletion();
         return ticksToSec(q.now());
     };
@@ -303,16 +304,16 @@ TEST_F(DiskSim, RejectsOutOfRangeTransfer)
 {
     makeDisk(DiskGeometry::ibm0661());
     EXPECT_ANY_THROW(
-        disk->submit({DiskGeometry::ibm0661().totalSectors(), 8, false,
-                      [] {}}));
-    EXPECT_ANY_THROW(disk->submit({0, 0, false, [] {}}));
+        disk->submit({DiskGeometry::ibm0661().totalSectors(), 8, false},
+                     [] {}));
+    EXPECT_ANY_THROW(disk->submit({0, 0, false}, [] {}));
 }
 
 TEST_F(DiskSim, WriteCountsSeparately)
 {
     makeDisk(DiskGeometry::ibm0661());
-    disk->submit({0, 8, true, [] {}});
-    disk->submit({80, 8, false, [] {}});
+    disk->submit({0, 8, true}, [] {});
+    disk->submit({80, 8, false}, [] {});
     eq.runToCompletion();
     EXPECT_EQ(disk->stats().writes, 1u);
     EXPECT_EQ(disk->stats().reads, 1u);
@@ -321,7 +322,7 @@ TEST_F(DiskSim, WriteCountsSeparately)
 TEST_F(DiskSim, StatsReset)
 {
     makeDisk(DiskGeometry::ibm0661());
-    disk->submit({0, 8, false, [] {}});
+    disk->submit({0, 8, false}, [] {});
     eq.runToCompletion();
     disk->resetStats();
     EXPECT_EQ(disk->stats().reads, 0u);
@@ -340,9 +341,9 @@ TEST_F(DiskSim, BackToBackSequentialUnitsCostOnlyTransfer)
         if (++done >= 5)
             return;
         sector += 8;
-        disk->submit({sector, 8, false, next});
+        disk->submit({sector, 8, false}, next);
     };
-    disk->submit({sector, 8, false, next});
+    disk->submit({sector, 8, false}, next);
     eq.runToCompletion();
     const double transferMs = 13.9 * 8 / 48;
     EXPECT_NEAR(ticksToMs(eq.now()), 5 * transferMs, 0.02);
@@ -354,10 +355,10 @@ TEST_F(DiskSim, MissedRotationCostsAFullRevolution)
     // second access waits almost a whole revolution.
     makeDisk(DiskGeometry::ibm0661());
     int done = 0;
-    disk->submit({0, 8, false, [&] { ++done; }});
+    disk->submit({0, 8, false}, [&] { ++done; });
     eq.runToCompletion();
     const Tick afterFirst = eq.now();
-    disk->submit({0, 8, false, [&] { ++done; }});
+    disk->submit({0, 8, false}, [&] { ++done; });
     eq.runToCompletion();
     EXPECT_EQ(done, 2);
     const double secondMs = ticksToMs(eq.now() - afterFirst);
@@ -385,9 +386,10 @@ TEST_F(DiskSim, ScaledGeometryKeepsServiceTimes)
                           rng.uniformInt(static_cast<std::uint64_t>(
                               units))) *
                           8,
-                      8, false, next});
+                      8, false},
+                     next);
         };
-        d.submit({0, 8, false, next});
+        d.submit({0, 8, false}, next);
         q.runToCompletion();
         return d.stats().serviceMs.mean();
     };
@@ -410,7 +412,7 @@ class TrackBufferDisk : public ::testing::Test
     timeOne(std::int64_t sector, bool isWrite = false)
     {
         const Tick before = eq.now();
-        disk->submit({sector, 8, isWrite, [] {}});
+        disk->submit({sector, 8, isWrite}, [] {});
         eq.runToCompletion();
         return ticksToMs(eq.now() - before);
     }
@@ -445,7 +447,7 @@ TEST_F(TrackBufferDisk, CrossTrackReadNotServedFromBuffer)
     timeOne(0);
     // A transfer spanning tracks 0..1 cannot be a pure buffer hit.
     const Tick before = eq.now();
-    disk->submit({40, 16, false, [] {}});
+    disk->submit({40, 16, false}, [] {});
     eq.runToCompletion();
     EXPECT_GT(ticksToMs(eq.now() - before), 1.0);
 }
@@ -464,16 +466,15 @@ class PriorityDisk : public ::testing::Test
                                                     g.cylinders));
     }
 
-    DiskRequest
-    request(std::int64_t sector, Priority priority, int tag,
-            std::vector<int> &order)
+    void
+    submitTagged(std::int64_t sector, Priority priority, int tag,
+                 std::vector<int> &order)
     {
         DiskRequest r;
         r.startSector = sector;
         r.sectorCount = 8;
-        r.onComplete = [tag, &order] { order.push_back(tag); };
         r.priority = priority;
-        return r;
+        disk->submit(r, [tag, &order] { order.push_back(tag); });
     }
 
     EventQueue eq;
@@ -484,11 +485,11 @@ TEST_F(PriorityDisk, NormalRequestsJumpBackgroundBacklog)
 {
     std::vector<int> order;
     // Fill the background queue while the disk is busy with request 0.
-    disk->submit(request(0, Priority::Normal, 0, order));
+    submitTagged(0, Priority::Normal, 0, order);
     for (int i = 1; i <= 3; ++i)
-        disk->submit(request(i * 8000, Priority::Background, i, order));
+        submitTagged(i * 8000, Priority::Background, i, order);
     // A late normal request must be serviced before all backgrounds.
-    disk->submit(request(32000, Priority::Normal, 4, order));
+    submitTagged(32000, Priority::Normal, 4, order);
     eq.runToCompletion();
     ASSERT_EQ(order.size(), 5u);
     EXPECT_EQ(order[0], 0);
@@ -498,7 +499,7 @@ TEST_F(PriorityDisk, NormalRequestsJumpBackgroundBacklog)
 TEST_F(PriorityDisk, BackgroundRunsWhenIdle)
 {
     std::vector<int> order;
-    disk->submit(request(0, Priority::Background, 1, order));
+    submitTagged(0, Priority::Background, 1, order);
     eq.runToCompletion();
     EXPECT_EQ(order, std::vector<int>{1});
 }
@@ -506,9 +507,9 @@ TEST_F(PriorityDisk, BackgroundRunsWhenIdle)
 TEST_F(PriorityDisk, QueueDepthCountsBothClasses)
 {
     std::vector<int> order;
-    disk->submit(request(0, Priority::Normal, 0, order));
-    disk->submit(request(8000, Priority::Normal, 1, order));
-    disk->submit(request(16000, Priority::Background, 2, order));
+    submitTagged(0, Priority::Normal, 0, order);
+    submitTagged(8000, Priority::Normal, 1, order);
+    submitTagged(16000, Priority::Background, 2, order);
     EXPECT_EQ(disk->queueDepth(), 2u);
     EXPECT_EQ(disk->outstanding(), 3u);
     EXPECT_TRUE(disk->hasPrioritySeparation());
@@ -523,19 +524,16 @@ TEST_F(DiskSim, WithoutSeparationBackgroundIsNormal)
     DiskRequest a;
     a.startSector = 0;
     a.sectorCount = 8;
-    a.onComplete = [&order] { order.push_back(0); };
-    disk->submit(std::move(a));
+    disk->submit(a, [&order] { order.push_back(0); });
     DiskRequest b;
     b.startSector = 8000;
     b.sectorCount = 8;
     b.priority = Priority::Background;
-    b.onComplete = [&order] { order.push_back(1); };
-    disk->submit(std::move(b));
+    disk->submit(b, [&order] { order.push_back(1); });
     DiskRequest c;
     c.startSector = 8008; // nearest to b: FCFS would pick it second
     c.sectorCount = 8;
-    c.onComplete = [&order] { order.push_back(2); };
-    disk->submit(std::move(c));
+    disk->submit(c, [&order] { order.push_back(2); });
     eq.runToCompletion();
     // Background shared the single queue: scheduled by position, not
     // demoted, so it runs before the farther normal request c only if

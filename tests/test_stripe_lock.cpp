@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the intrusive stripe-lock table: FIFO handoff order,
+ * contended/uncontended accounting, re-acquisition while waiters are
+ * queued, and table growth under many held stripes.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "array/stripe_lock.hpp"
+
+namespace declust {
+namespace {
+
+/** Waiter that records the order it was resumed in, then releases. */
+struct OrderedWaiter : StripeLockTable::Waiter
+{
+    StripeLockTable *table = nullptr;
+    std::int64_t stripe = 0;
+    int tag = 0;
+    std::vector<int> *order = nullptr;
+    bool lockedAtResume = false;
+
+    static void
+    onResume(StripeLockTable::Waiter *w)
+    {
+        auto *self = static_cast<OrderedWaiter *>(w);
+        self->lockedAtResume = self->table->locked(self->stripe);
+        self->order->push_back(self->tag);
+        self->table->release(self->stripe);
+    }
+};
+
+OrderedWaiter
+makeWaiter(StripeLockTable &table, std::int64_t stripe, int tag,
+           std::vector<int> &order)
+{
+    OrderedWaiter w;
+    w.resume = &OrderedWaiter::onResume;
+    w.table = &table;
+    w.stripe = stripe;
+    w.tag = tag;
+    w.order = &order;
+    return w;
+}
+
+TEST(StripeLockTable, UncontendedAcquireRunsImmediately)
+{
+    StripeLockTable table;
+    StripeLockTable::Waiter w;
+    EXPECT_TRUE(table.acquire(7, &w));
+    EXPECT_TRUE(table.locked(7));
+    EXPECT_FALSE(table.locked(8));
+    EXPECT_EQ(table.heldCount(), 1u);
+    EXPECT_EQ(table.uncontended(), 1u);
+    EXPECT_EQ(table.contended(), 0u);
+
+    table.release(7);
+    EXPECT_FALSE(table.locked(7));
+    EXPECT_EQ(table.heldCount(), 0u);
+    EXPECT_EQ(table.handoffs(), 0u);
+}
+
+TEST(StripeLockTable, WaitersResumeInFifoOrder)
+{
+    StripeLockTable table;
+    std::vector<int> order;
+    StripeLockTable::Waiter holder;
+    ASSERT_TRUE(table.acquire(3, &holder));
+
+    OrderedWaiter a = makeWaiter(table, 3, 1, order);
+    OrderedWaiter b = makeWaiter(table, 3, 2, order);
+    OrderedWaiter c = makeWaiter(table, 3, 3, order);
+    EXPECT_FALSE(table.acquire(3, &a));
+    EXPECT_FALSE(table.acquire(3, &b));
+    EXPECT_FALSE(table.acquire(3, &c));
+    EXPECT_TRUE(order.empty());
+
+    // Each resumed waiter releases in turn, so one release drains the
+    // whole chain synchronously, in arrival order.
+    table.release(3);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(table.locked(3));
+    EXPECT_EQ(table.heldCount(), 0u);
+}
+
+TEST(StripeLockTable, ResumedWaiterHoldsTheLock)
+{
+    StripeLockTable table;
+    std::vector<int> order;
+    StripeLockTable::Waiter holder;
+    ASSERT_TRUE(table.acquire(11, &holder));
+    OrderedWaiter a = makeWaiter(table, 11, 1, order);
+    ASSERT_FALSE(table.acquire(11, &a));
+    table.release(11);
+    // The handoff keeps the lock held for the waiter's critical section.
+    EXPECT_TRUE(a.lockedAtResume);
+}
+
+TEST(StripeLockTable, CountersSeparateContendedFromUncontended)
+{
+    StripeLockTable table;
+    std::vector<int> order;
+    StripeLockTable::Waiter holder;
+    ASSERT_TRUE(table.acquire(5, &holder));
+    OrderedWaiter a = makeWaiter(table, 5, 1, order);
+    OrderedWaiter b = makeWaiter(table, 5, 2, order);
+    ASSERT_FALSE(table.acquire(5, &a));
+    ASSERT_FALSE(table.acquire(5, &b));
+
+    StripeLockTable::Waiter other;
+    ASSERT_TRUE(table.acquire(6, &other));
+    table.release(6);
+
+    table.release(5);
+    EXPECT_EQ(table.uncontended(), 2u); // holder + stripe 6
+    EXPECT_EQ(table.contended(), 2u);   // a + b
+    EXPECT_EQ(table.handoffs(), 2u);    // release->a, a->b
+}
+
+TEST(StripeLockTable, ReacquireWhileWaitersQueuedGoesToTheBack)
+{
+    StripeLockTable table;
+    std::vector<int> order;
+    StripeLockTable::Waiter holder;
+    ASSERT_TRUE(table.acquire(9, &holder));
+
+    // First waiter re-acquires from inside its critical section; the
+    // re-acquisition must queue behind the already-waiting second one.
+    struct RequeueWaiter : StripeLockTable::Waiter
+    {
+        StripeLockTable *table = nullptr;
+        std::vector<int> *order = nullptr;
+        OrderedWaiter *second = nullptr;
+        bool requeued = false;
+
+        static void
+        onResume(StripeLockTable::Waiter *w)
+        {
+            auto *self = static_cast<RequeueWaiter *>(w);
+            if (!self->requeued) {
+                self->requeued = true;
+                self->order->push_back(1);
+                // Still inside the critical section: queue again, then
+                // leave. The second waiter must run before our redo.
+                EXPECT_FALSE(self->table->acquire(9, self));
+                self->table->release(9);
+                return;
+            }
+            self->order->push_back(3);
+            self->table->release(9);
+        }
+    };
+
+    RequeueWaiter first;
+    first.resume = &RequeueWaiter::onResume;
+    first.table = &table;
+    first.order = &order;
+    OrderedWaiter second = makeWaiter(table, 9, 2, order);
+    ASSERT_FALSE(table.acquire(9, &first));
+    ASSERT_FALSE(table.acquire(9, &second));
+
+    table.release(9);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(table.locked(9));
+}
+
+TEST(StripeLockTable, GrowsPastInitialCapacityWithoutLosingLocks)
+{
+    StripeLockTable table;
+    constexpr int kStripes = 1000;
+    std::vector<StripeLockTable::Waiter> holders(kStripes);
+    for (int s = 0; s < kStripes; ++s)
+        ASSERT_TRUE(table.acquire(s, &holders[static_cast<size_t>(s)]));
+    EXPECT_EQ(table.heldCount(), static_cast<std::size_t>(kStripes));
+    for (int s = 0; s < kStripes; ++s)
+        EXPECT_TRUE(table.locked(s));
+
+    // Release odd stripes; even ones must survive the backward-shift
+    // deletions around them.
+    for (int s = 1; s < kStripes; s += 2)
+        table.release(s);
+    for (int s = 0; s < kStripes; ++s)
+        EXPECT_EQ(table.locked(s), s % 2 == 0);
+    for (int s = 0; s < kStripes; s += 2)
+        table.release(s);
+    EXPECT_EQ(table.heldCount(), 0u);
+    EXPECT_EQ(table.uncontended(), static_cast<std::uint64_t>(kStripes));
+    EXPECT_EQ(table.contended(), 0u);
+}
+
+} // namespace
+} // namespace declust
