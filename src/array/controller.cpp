@@ -39,6 +39,31 @@ struct IoSteps
         return static_cast<IoOp *>(w);
     }
 
+    /**
+     * Recover the op from a continuation context. Validation builds
+     * trip on two lifetime bugs here: a continuation firing on an op
+     * that was released (its ctl field reads back as pool poison), and
+     * one whose memory is no longer a live chunk of its controller's
+     * pool. With validation off this is exactly the old static_cast.
+     */
+    static IoOp *
+    fromCtx(void *ctx)
+    {
+        IoOp *op = static_cast<IoOp *>(ctx);
+#if DECLUST_VALIDATE
+        DECLUST_VALIDATE_CHECK(op != nullptr,
+                               "continuation fired with a null op");
+        DECLUST_VALIDATE_CHECK(!looksPoisoned(op->ctl),
+                               "continuation fired on a released IoOp at ",
+                               ctx, " (pool poison in op->ctl)");
+        DECLUST_VALIDATE_CHECK(op->ctl && op->ctl->ops_.isLive(op),
+                               "continuation fired on an IoOp that is "
+                               "not live in its controller's pool (", ctx,
+                               ")");
+#endif
+        return op;
+    }
+
     /** Record user response-time statistics for a finished op. */
     static void
     userStats(IoOp *op)
@@ -140,7 +165,7 @@ struct IoSteps
     static void
     readVerifyDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         const UnitValue got = c.contents_.get(op->dst0.disk,
                                               op->dst0.offset);
@@ -177,7 +202,7 @@ struct IoSteps
     static void
     readDegradedRead(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -187,7 +212,7 @@ struct IoSteps
     static void
     readDegradedCombined(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         const UnitValue value = c.xorStripeExcept(op->su.stripe,
                                                   op->su.pos);
@@ -217,7 +242,7 @@ struct IoSteps
     static void
     piggybackWritten(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
         c.markReconstructed(op->data.offset);
@@ -345,7 +370,7 @@ struct IoSteps
     static void
     writeParityLostDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
         c.shadow_.set(op->dataUnit, op->v);
@@ -358,7 +383,7 @@ struct IoSteps
     static void
     writeFoldedDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
         c.shadow_.set(op->dataUnit, op->v);
@@ -369,7 +394,7 @@ struct IoSteps
     static void
     degradedWriteRead(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -381,7 +406,7 @@ struct IoSteps
     static void
     degradedWriteCombine(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         const int G = c.layout_->stripeWidth();
         UnitValue othersXor = 0;
@@ -415,7 +440,7 @@ struct IoSteps
     static void
     degradedWriteThroughDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -430,7 +455,7 @@ struct IoSteps
     static void
     writePairDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -444,7 +469,7 @@ struct IoSteps
     static void
     reconWriteForked(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         op->ctl->afterXor(2, &reconWriteCombine, op);
@@ -453,7 +478,7 @@ struct IoSteps
     static void
     reconWriteCombine(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         op->aux = c.contents_.get(op->dst2.disk, op->dst2.offset) ^ op->v;
         c.issueUnit(op->dst1, true, &reconWriteParityDone, op);
@@ -462,7 +487,7 @@ struct IoSteps
     static void
     reconWriteParityDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
         c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
@@ -474,7 +499,7 @@ struct IoSteps
     static void
     rmwPreRead(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         // New parity combines old data, old parity, and the new data.
@@ -484,7 +509,7 @@ struct IoSteps
     static void
     rmwCombine(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         const UnitValue oldData = c.contents_.get(op->dst0.disk,
                                                   op->dst0.offset);
@@ -499,7 +524,7 @@ struct IoSteps
     static void
     rmwWriteDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -557,7 +582,7 @@ struct IoSteps
     static void
     largeWriteIssue(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         const int G = c.layout_->stripeWidth();
         op->pending = G;
@@ -569,7 +594,7 @@ struct IoSteps
     static void
     largeWriteDone(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -625,7 +650,7 @@ struct IoSteps
     static void
     reconRead(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -635,7 +660,7 @@ struct IoSteps
     static void
     reconCombined(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         op->mid = c.eq_.now(); // write-phase start
         op->v = c.xorStripeExcept(op->su.stripe, op->su.pos);
@@ -647,7 +672,7 @@ struct IoSteps
     static void
     reconWritten(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
         c.markReconstructed(op->offset);
@@ -686,7 +711,7 @@ struct IoSteps
     static void
     copybackRead(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         op->v = c.contents_.get(op->dst0.disk, op->dst0.offset);
         op->dst1 = PhysicalUnit{c.remapDisk_, op->offset};
@@ -697,7 +722,7 @@ struct IoSteps
     static void
     copybackWritten(void *ctx)
     {
-        IoOp *op = static_cast<IoOp *>(ctx);
+        IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
         c.contents_.set(c.remapDisk_, op->offset, op->v);
         // Unit lives on the replacement again; the spare slot is free.
@@ -717,6 +742,12 @@ struct IoSteps
     issueDeferred(void *ctx)
     {
         auto *d = static_cast<ArrayController::DeferredIssue *>(ctx);
+#if DECLUST_VALIDATE
+        DECLUST_VALIDATE_CHECK(!looksPoisoned(d->ctl),
+                               "deferred issue fired on a released "
+                               "carrier at ", ctx);
+        d->ctl->deferredPool_.checkHandle(d, d->gen, "DeferredIssue");
+#endif
         ArrayController *c = d->ctl;
         const int disk = d->disk;
         const DiskRequest req = d->req;
@@ -813,6 +844,9 @@ ArrayController::issueUnit(const PhysicalUnit &pu, bool isWrite,
         DECLUST_PERF_INC(DeferredIssues);
         void *mem = deferredPool_.allocate();
         auto *d = new (mem) DeferredIssue{this, pu.disk, req};
+#if DECLUST_VALIDATE
+        d->gen = deferredPool_.generation(d);
+#endif
         cpu_->use(msToTicks(params_.controllerOverheadMs),
                   &IoSteps::issueDeferred, d);
         return;

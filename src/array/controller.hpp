@@ -289,6 +289,11 @@ class ArrayController
         ArrayController *ctl;
         int disk;
         DiskRequest req;
+#if DECLUST_VALIDATE
+        /** Pool generation at allocation, checked before the deferred
+         * submit runs (catches a carrier freed or reused in flight). */
+        std::uint32_t gen;
+#endif
     };
 
     UnitLoc locate(std::int64_t dataUnit) const;

@@ -89,6 +89,11 @@ class IoOpPool
     void
     release(IoOp *op)
     {
+        // The liveness check must precede the destructor: destroying an
+        // already-released op would run ~IoOp over poisoned memory.
+        DECLUST_VALIDATE_CHECK(pool_.ownsLive(op),
+                               "IoOp released twice (or foreign pointer) "
+                               "at ", static_cast<void *>(op));
         DECLUST_PERF_INC(IoOpReleased);
         op->~IoOp();
         pool_.deallocate(op);
@@ -96,6 +101,11 @@ class IoOpPool
 
     /** Ops currently live (diagnostics). */
     std::size_t live() const { return pool_.liveChunks(); }
+
+#if DECLUST_VALIDATE
+    /** True if @p op is a currently-live op of this pool. */
+    bool isLive(const IoOp *op) const { return pool_.ownsLive(op); }
+#endif
 
   private:
     SlabPool pool_{sizeof(IoOp), 128};

@@ -1,3 +1,4 @@
+// LINT: hot-path
 #include "array/stripe_lock.hpp"
 
 #include "stats/perf_counters.hpp"
@@ -41,12 +42,12 @@ StripeLockTable::findIndex(std::int64_t stripe) const
 }
 
 void
-StripeLockTable::insert(std::int64_t stripe, Waiter *head, Waiter *tail)
+StripeLockTable::insert(const Slot &slot)
 {
-    std::size_t i = homeIndex(stripe);
+    std::size_t i = homeIndex(slot.stripe);
     while (slots_[i].stripe != kEmpty)
         i = (i + 1) & mask_;
-    slots_[i] = Slot{stripe, head, tail};
+    slots_[i] = slot;
 }
 
 void
@@ -79,11 +80,13 @@ void
 StripeLockTable::grow()
 {
     std::vector<Slot> old = std::move(slots_);
+    // LINT: allow-next(hot-path-growth): table doubling fires only at a
+    // new held-lock high-water mark, never in steady state.
     slots_.assign(old.size() * 2, Slot{kEmpty, nullptr, nullptr});
     mask_ = slots_.size() - 1;
     for (const Slot &slot : old) {
         if (slot.stripe != kEmpty)
-            insert(slot.stripe, slot.head, slot.tail);
+            insert(slot);
     }
 }
 
@@ -97,8 +100,19 @@ StripeLockTable::acquire(std::int64_t stripe, Waiter *waiter)
                        "contended acquire needs a resumable waiter");
         ++contended_;
         DECLUST_PERF_INC(LockContended);
-        waiter->nextWaiter = nullptr;
         Slot &slot = slots_[found];
+#if DECLUST_VALIDATE
+        // Note: a *holder* re-acquiring its own stripe is legal — it
+        // queues behind existing waiters and proceeds at its own
+        // release (the requeue-to-back pattern). Only a waiter already
+        // linked into a wait list must never be enqueued again.
+        DECLUST_VALIDATE_CHECK(!waiter->vQueued,
+                               "waiter ", static_cast<void *>(waiter),
+                               " enqueued twice (stripe ", stripe, ")");
+        validateWaitList(slot);
+        waiter->vQueued = true;
+#endif
+        waiter->nextWaiter = nullptr;
         if (slot.tail)
             slot.tail->nextWaiter = waiter;
         else
@@ -110,7 +124,7 @@ StripeLockTable::acquire(std::int64_t stripe, Waiter *waiter)
     // (3/4 load); steady state re-uses the same backing vector forever.
     if ((heldCount_ + 1) * 4 > slots_.size() * 3)
         grow();
-    insert(stripe, nullptr, nullptr);
+    insert(Slot{stripe, nullptr, nullptr});
     ++heldCount_;
     ++uncontended_;
     DECLUST_PERF_INC(LockUncontended);
@@ -124,6 +138,9 @@ StripeLockTable::release(std::int64_t stripe)
     DECLUST_ASSERT(found != static_cast<std::size_t>(-1),
                    "release of unheld stripe ", stripe);
     Slot &slot = slots_[found];
+#if DECLUST_VALIDATE
+    validateWaitList(slot);
+#endif
     if (!slot.head) {
         eraseIndex(found);
         --heldCount_;
@@ -134,6 +151,12 @@ StripeLockTable::release(std::int64_t stripe)
     if (!slot.head)
         slot.tail = nullptr;
     next->nextWaiter = nullptr;
+#if DECLUST_VALIDATE
+    DECLUST_VALIDATE_CHECK(next->vQueued,
+                           "handoff to a waiter that was never enqueued "
+                           "(stripe ", stripe, ")");
+    next->vQueued = false;
+#endif
     ++handoffs_;
     DECLUST_PERF_INC(LockHandoffs);
     // The lock stays held on the waiter's behalf. resume may re-enter
@@ -147,5 +170,38 @@ StripeLockTable::locked(std::int64_t stripe) const
 {
     return findIndex(stripe) != static_cast<std::size_t>(-1);
 }
+
+#if DECLUST_VALIDATE
+
+void
+StripeLockTable::validateWaitList(const Slot &slot) const
+{
+    if (!slot.head) {
+        DECLUST_VALIDATE_CHECK(!slot.tail, "stripe ", slot.stripe,
+                               ": wait list has a tail but no head");
+        return;
+    }
+    DECLUST_VALIDATE_CHECK(slot.tail, "stripe ", slot.stripe,
+                           ": wait list has a head but no tail");
+    // Walk with a generous cycle bound: a simulation can never queue
+    // more distinct waiters than it has live ops, and any real list is
+    // tiny; blowing the bound means a cycle.
+    constexpr std::size_t kCycleBound = 1u << 22;
+    std::size_t length = 0;
+    const Waiter *last = nullptr;
+    for (const Waiter *w = slot.head; w; w = w->nextWaiter) {
+        DECLUST_VALIDATE_CHECK(++length <= kCycleBound, "stripe ",
+                               slot.stripe, ": wait list cycles");
+        DECLUST_VALIDATE_CHECK(w->vQueued, "stripe ", slot.stripe,
+                               ": wait list contains a waiter not "
+                               "flagged as queued (stale link)");
+        last = w;
+    }
+    DECLUST_VALIDATE_CHECK(last == slot.tail, "stripe ", slot.stripe,
+                           ": wait-list tail pointer does not reach the "
+                           "last linked waiter");
+}
+
+#endif
 
 } // namespace declust

@@ -13,12 +13,23 @@
  * deletion), and waiters are intrusive — the caller's own operation
  * object (see array/io_op.hpp) is linked into the stripe's FIFO wait
  * list through its Waiter base, so contention never touches the heap.
+ *
+ * Validation builds (-DDECLUST_VALIDATE=ON) track a queued flag per
+ * waiter and audit the wait list on every acquire/release, so a waiter
+ * enqueued twice, a release of an unheld stripe, and wait-list
+ * corruption (cycle, broken tail, lost link) all panic with the stripe
+ * and waiter context instead of hanging or corrupting parity. (A
+ * holder re-acquiring its own stripe is deliberately NOT flagged: the
+ * requeue-to-back pattern — re-acquire from inside the critical
+ * section, then release — is part of the table's contract.)
  */
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "util/validate.hpp"
 
 namespace declust {
 
@@ -38,6 +49,10 @@ class StripeLockTable
          * to this waiter. Receives the waiter itself. */
         void (*resume)(Waiter *) = nullptr;
         Waiter *nextWaiter = nullptr;
+#if DECLUST_VALIDATE
+        /** True while linked into some stripe's wait list. */
+        bool vQueued = false;
+#endif
     };
 
     StripeLockTable();
@@ -84,9 +99,15 @@ class StripeLockTable
 
     std::size_t homeIndex(std::int64_t stripe) const;
     std::size_t findIndex(std::int64_t stripe) const;
-    void insert(std::int64_t stripe, Waiter *head, Waiter *tail);
+    void insert(const Slot &slot);
     void eraseIndex(std::size_t index);
     void grow();
+
+#if DECLUST_VALIDATE
+    /** Audit one slot's wait list: acyclic, tail-terminated, every
+     * node flagged queued. Panics with stripe context on violation. */
+    void validateWaitList(const Slot &slot) const;
+#endif
 
     std::vector<Slot> slots_;
     std::size_t mask_ = 0;

@@ -1,9 +1,11 @@
+// LINT: hot-path
 #include "disk/disk.hpp"
 
 #include <utility>
 
 #include "stats/perf_counters.hpp"
 #include "util/error.hpp"
+#include "util/validate.hpp"
 
 namespace declust {
 
@@ -42,6 +44,8 @@ Disk::submit(DiskRequest request)
         freeSlots_.pop_back();
     } else {
         slot = static_cast<int>(pending_.size());
+        // LINT: allow-next(hot-path-growth): slot-vector warm-up; the
+        // free list recycles slots once the queue depth plateaus.
         pending_.emplace_back();
     }
     Pending &p = pending_[static_cast<std::size_t>(slot)];
@@ -49,6 +53,17 @@ Disk::submit(DiskRequest request)
     p.chs = geometry_.lbaToChs(request.startSector);
     p.enqueued = eq_.now();
     p.live = true;
+#if DECLUST_VALIDATE
+    // The decode must land strictly inside the geometry; a bad decode
+    // here would silently skew every downstream seek/rotate time.
+    DECLUST_VALIDATE_CHECK(
+        p.chs.cylinder >= 0 && p.chs.cylinder < geometry_.cylinders &&
+            p.chs.track >= 0 && p.chs.track < geometry_.tracksPerCyl &&
+            p.chs.sector >= 0 && p.chs.sector < geometry_.sectorsPerTrack,
+        "disk ", id_, ": LBA ", request.startSector,
+        " decoded outside the geometry (cyl ", p.chs.cylinder, ", track ",
+        p.chs.track, ", sector ", p.chs.sector, ")");
+#endif
 
     const Chs chs = p.chs;
     Scheduler &queue =
@@ -93,6 +108,22 @@ Disk::dispatch()
     const Tick dispatched = eq_.now();
     const Pending &p = pending_[static_cast<std::size_t>(slot)];
     const Tick end = computeServiceEnd(p.request, dispatched, p.chs);
+#if DECLUST_VALIDATE
+    // Service must take non-negative time and leave the head parked on
+    // a real cylinder; either failing means the timing model (seek
+    // curve, rotational phase, skew) produced garbage for this access.
+    DECLUST_VALIDATE_CHECK(end >= dispatched, "disk ", id_,
+                           ": negative service time for sector ",
+                           p.request.startSector, " (+",
+                           p.request.sectorCount, "): end ", end,
+                           " < dispatch ", dispatched);
+    DECLUST_VALIDATE_CHECK(headCylinder_ >= 0 &&
+                               headCylinder_ < geometry_.cylinders,
+                           "disk ", id_, ": head parked on cylinder ",
+                           headCylinder_, " of ", geometry_.cylinders,
+                           " after servicing sector ",
+                           p.request.startSector);
+#endif
     eq_.scheduleAt(end, [this, slot, dispatched] {
         complete(slot, dispatched);
     });
@@ -107,9 +138,14 @@ Disk::complete(int slot, Tick dispatched)
                    "completion for unknown request");
     Pending done = pending_[static_cast<std::size_t>(slot)];
     pending_[static_cast<std::size_t>(slot)].live = false;
+    // LINT: allow-next(hot-path-growth): bounded by pending_.size();
+    // capacity is retained, so steady state never allocates.
     freeSlots_.push_back(slot);
 
     const Tick now = eq_.now();
+    DECLUST_VALIDATE_CHECK(now >= dispatched, "disk ", id_,
+                           ": completion at tick ", now,
+                           " precedes its dispatch at ", dispatched);
     DECLUST_PERF_INC(DiskCompletions);
     DECLUST_PERF_HIST(DiskQueueTicks, dispatched - done.enqueued);
     DECLUST_PERF_HIST(DiskServiceTicks, now - dispatched);
@@ -151,7 +187,12 @@ Disk::rotationalWait(int slot, Tick t) const
     const Tick phase = revDiv_.rem64(static_cast<std::int64_t>(t));
     // slotStart < rev and rev - phase <= rev, so one subtraction wraps.
     const Tick wait = slotStart + revTicks_ - phase;
-    return wait >= revTicks_ ? wait - revTicks_ : wait;
+    const Tick result = wait >= revTicks_ ? wait - revTicks_ : wait;
+    DECLUST_VALIDATE_CHECK(result >= 0 && result < revTicks_, "disk ",
+                           id_, ": rotational wait ", result,
+                           " outside [0, ", revTicks_,
+                           ") for sector slot ", slot);
+    return result;
 }
 
 void

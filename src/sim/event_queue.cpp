@@ -1,3 +1,4 @@
+// LINT: hot-path
 #include "sim/event_queue.hpp"
 
 #include <utility>
@@ -12,6 +13,8 @@ EventQueue::push(Entry entry)
     // Hole-based sift-up: shift ancestors down until the insertion point
     // is found, then place the entry once (no pairwise swaps).
     std::size_t hole = heap_.size();
+    // LINT: allow-next(hot-path-growth): heap capacity is retained across
+    // pops; steady state never reallocates.
     heap_.emplace_back(); // default entry; overwritten below
     while (hole > 0) {
         const std::size_t parent = (hole - 1) / kArity;
@@ -63,9 +66,13 @@ EventQueue::scheduleAt(Tick when, Callback cb)
     DECLUST_ASSERT(cb, "null event callback");
     if (when < now_) [[unlikely]] {
         // Causality violation: an event may never run before the event
-        // that scheduled it. Surface the bug in debug builds; in release
-        // builds clamp to now so the clock cannot run backwards and
-        // per-seed determinism survives.
+        // that scheduled it. Validation builds treat this as fatal (a
+        // clamped event still perturbs the schedule); debug builds
+        // assert; release builds clamp to now so the clock cannot run
+        // backwards and per-seed determinism survives.
+        DECLUST_VALIDATE_CHECK(when >= now_,
+                               "scheduling into the past: tick ", when,
+                               " < now ", now_, " (seq ", nextSeq_, ")");
         DECLUST_DEBUG_ASSERT(when >= now_, "scheduling into the past: ",
                              when, " < ", now_);
         when = now_;
@@ -87,6 +94,24 @@ EventQueue::step()
     // The entry is moved out before execution so the callback can safely
     // schedule further events (which may reallocate the heap).
     Entry top = popTop();
+#if DECLUST_VALIDATE
+    // The dispatch stream must be strictly (when, seq)-increasing: any
+    // violation means the heap lost an ordering (ties no longer FIFO)
+    // or time ran backwards — either breaks byte-identical replay.
+    DECLUST_VALIDATE_CHECK(top.when >= now_,
+                           "dispatching event (tick ", top.when, ", seq ",
+                           top.seq, ") into the past: now is ", now_);
+    if (dispatchedAny_) {
+        DECLUST_VALIDATE_CHECK(
+            top.when > lastWhen_ ||
+                (top.when == lastWhen_ && top.seq > lastSeq_),
+            "(when, seq) dispatch order violated: (", top.when, ", ",
+            top.seq, ") after (", lastWhen_, ", ", lastSeq_, ")");
+    }
+    lastWhen_ = top.when;
+    lastSeq_ = top.seq;
+    dispatchedAny_ = true;
+#endif
     now_ = top.when;
     ++executed_;
     top.cb();
@@ -111,6 +136,8 @@ EventQueue::runToCompletion()
 }
 
 bool
+// LINT: allow-next(hot-path-function): harness-facing API, called once
+// per simulation run, not per event.
 EventQueue::runUntilCondition(const std::function<bool()> &done)
 {
     if (done())

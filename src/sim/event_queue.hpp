@@ -16,6 +16,13 @@
  * std::priority_queue engine: strict (when, seq) order — earliest tick
  * first, FIFO among events scheduled for the same tick — which the
  * determinism tests pin down.
+ *
+ * Validation builds (-DDECLUST_VALIDATE=ON) audit that contract at run
+ * time: scheduling into the past is a fatal diagnostic rather than a
+ * release-mode clamp, and every dispatch is checked against the
+ * previously dispatched (when, seq) pair — a heap bug that reordered
+ * same-tick events or ran an event before its scheduler panics at the
+ * first out-of-order pop instead of silently skewing a published table.
  */
 #pragma once
 
@@ -25,6 +32,7 @@
 
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
+#include "util/validate.hpp"
 
 namespace declust {
 
@@ -107,6 +115,13 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+
+#if DECLUST_VALIDATE
+    /** Last dispatched (when, seq), for strict monotonicity audits. */
+    Tick lastWhen_ = 0;
+    std::uint64_t lastSeq_ = 0;
+    bool dispatchedAny_ = false;
+#endif
 };
 
 } // namespace declust

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/validate.hpp"
 
 namespace declust {
 
@@ -45,6 +46,12 @@ struct JoinArena
         }
         JoinState *state = free.back();
         free.pop_back();
+        // A recycled state must be fully drained; leftover forks mean a
+        // join was recycled while still armed (double-free of the state).
+        DECLUST_VALIDATE_CHECK(state->remaining == 0 && !state->done,
+                               "join arena handed out a state with ",
+                               state->remaining,
+                               " forks still outstanding");
         return state;
     }
 };
@@ -83,6 +90,9 @@ makeJoin(int n, std::function<void()> done)
         if (--state->remaining == 0) {
             // done() may recursively build more joins; recycle first.
             auto done = std::move(state->done);
+#if DECLUST_VALIDATE
+            state->done = nullptr; // moved-from state is unspecified
+#endif
             detail::joinArena().free.push_back(state);
             done();
         }

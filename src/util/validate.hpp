@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Compile-time-gated validation layer for the simulator's invariants.
+ *
+ * The zero-allocation I/O spine (slab-pooled IoOps, raw {fn,ctx}
+ * completion slots, intrusive stripe-lock waiters) is opaque to ASan:
+ * a use-after-release inside a pool reuses perfectly valid memory, and
+ * the (when, seq) determinism contract of the event queue is a pure
+ * ordering property no sanitizer can see. Building with
+ * -DDECLUST_VALIDATE=ON compiles structural checks into exactly those
+ * blind spots:
+ *
+ *  - slab pools poison freed chunks, tag them with generations, and
+ *    panic on double-free, foreign-pointer free, and poison damage
+ *    (a write into freed pool memory);
+ *  - the event queue enforces strict (when, seq) dispatch monotonicity
+ *    and refuses to schedule into the past (no release-mode clamping);
+ *  - the stripe-lock table tracks holders and audits wait-list
+ *    structure on every acquire/release;
+ *  - the disk model range-checks CHS decode, service times, and head
+ *    position on every access.
+ *
+ * Every violation is a fatal diagnostic (DECLUST_PANIC -> InternalError)
+ * carrying the op/stripe/disk context of the failing site. With the
+ * option OFF (the default) every macro below compiles to ((void)0) and
+ * every #if-gated member disappears: the Release hot path is unchanged,
+ * which ci/check_perf.py and the golden-table comparison enforce.
+ *
+ * The mode mirrors DECLUST_PERF_COUNTERS: a whole-build switch, not a
+ * runtime flag, so the checks cost nothing to a production build and
+ * cannot be accidentally left enabled in a timed run (EXPERIMENTS.md
+ * records the measured overhead).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+#ifndef DECLUST_VALIDATE
+#define DECLUST_VALIDATE 0
+#endif
+
+namespace declust {
+
+/** True when the validation checks are compiled in. */
+constexpr bool
+validateEnabled()
+{
+    return DECLUST_VALIDATE != 0;
+}
+
+/** Byte written over every freed pool chunk (beyond the free-list link). */
+inline constexpr std::uint8_t kPoisonByte = 0xA5;
+
+/** The poison pattern as a pointer-sized word, for cheap "does this
+ * field look like freed pool memory?" tripwires on continuation entry. */
+inline constexpr std::uintptr_t kPoisonWord =
+    static_cast<std::uintptr_t>(0xA5A5A5A5A5A5A5A5ull);
+
+/** True if @p p bit-matches the pool poison pattern — i.e. it was read
+ * out of a chunk that has been released (and not since reallocated). */
+template <typename T>
+constexpr bool
+looksPoisoned(T *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) == kPoisonWord;
+}
+
+} // namespace declust
+
+#if DECLUST_VALIDATE
+
+/** Assert a validation invariant; fatal (InternalError) on violation. */
+#define DECLUST_VALIDATE_CHECK(cond, ...)                                   \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            DECLUST_PANIC("validation failed: " #cond " ", __VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+#else
+
+#define DECLUST_VALIDATE_CHECK(cond, ...) ((void)0)
+
+#endif

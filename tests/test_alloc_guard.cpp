@@ -88,10 +88,11 @@ class AllocGuardTest : public ::testing::Test
 {
   protected:
     void
-    build(int numDisks, int G)
+    build(int numDisks, int G, const char *scheduler = "cvscan")
     {
         ArrayParams params;
         params.geometry = tinyGeometry();
+        params.scheduler = scheduler;
         const int units =
             static_cast<int>(params.geometry.totalSectors() / 8);
         auto layout = std::make_unique<DeclusteredLayout>(
@@ -159,6 +160,38 @@ TEST_F(AllocGuardTest, DegradedModeSteadyStateIsAllocationFree)
     EXPECT_EQ(steady, 0u)
         << "degraded-mode traffic allocated on a warm array";
 }
+
+/**
+ * The zero-allocation contract must hold under every head scheduler,
+ * not just the default CVSCAN: FCFS runs on a ring buffer and the V(R)
+ * family on a capacity-retaining vector, all of which stop allocating
+ * once the queue-depth high-water mark is reached.
+ */
+class AllocGuardSchedulerTest
+    : public AllocGuardTest,
+      public ::testing::WithParamInterface<const char *>
+{
+};
+
+TEST_P(AllocGuardSchedulerTest, SteadyStateIsAllocationFree)
+{
+    build(5, 4, GetParam());
+    const std::uint64_t warm =
+        allocsDuring([&] { writeRange(0, 64); readRange(0, 64); });
+    EXPECT_GT(warm, 0u) << "warm-up should have grown the pools";
+
+    const std::uint64_t steady =
+        allocsDuring([&] { writeRange(0, 64); readRange(0, 64); });
+    EXPECT_EQ(steady, 0u) << "scheduler '" << GetParam()
+                          << "' allocated on a warm array";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, AllocGuardSchedulerTest,
+    ::testing::Values("fcfs", "sstf", "scan", "cvscan"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
 
 class AllocGuardReconTest
     : public AllocGuardTest,

@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Repo-specific static lint for the declustering simulator.
+
+Enforces the invariants the generic toolchain cannot see:
+
+  hot-path rules (files carrying a ``// LINT: hot-path`` marker)
+    hot-path-function    no std::function (type-erased callables allocate
+                         and indirect; use EventCallback / raw {fn,ctx})
+    hot-path-new         no non-placement `new` / make_unique /
+                         make_shared (steady state must not allocate)
+    hot-path-growth      no container growth calls (.push_back,
+                         .emplace_back, .resize, .reserve, .assign)
+
+  determinism rules (all of src/ except src/harness/, which is
+  operator-facing and may read the wall clock for ETAs)
+    determinism-wall-clock   no std::chrono clocks, time(), clock(),
+                             gettimeofday (results must replay bit-exact)
+    determinism-rand         no rand()/srand()/std::random_device (all
+                             randomness flows from seeded engines)
+    determinism-unordered    no std::unordered_map/set (iteration order
+                             is address-dependent and would feed
+                             nondeterminism into event scheduling)
+
+  header hygiene (all files)
+    header-pragma-once       every header starts its code with #pragma once
+    header-using-namespace   no file-scope `using namespace` in headers
+    include-relative         no `#include "../..."` (use root-relative
+                             paths, matching the include dirs in CMake)
+
+Suppressions (rule lists are comma-separated):
+    ... offending code ...   // LINT: allow(rule-id)
+    // LINT: allow-next(rule-id, other-rule): short reason
+    ... offending code on the next non-comment line ...
+
+Fixture mode: ``--self-test`` scans tools/lint_fixtures/ instead of
+src/. Fixture files declare the findings they must produce with
+``// EXPECT-LINT: rule-id`` lines; the run fails unless the set of
+(file, rule) findings matches the expectations exactly and every rule
+above fires in at least one fixture.
+
+Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+HOT_PATH_RULES = ("hot-path-function", "hot-path-new", "hot-path-growth")
+DETERMINISM_RULES = (
+    "determinism-wall-clock",
+    "determinism-rand",
+    "determinism-unordered",
+)
+HEADER_RULES = (
+    "header-pragma-once",
+    "header-using-namespace",
+    "include-relative",
+)
+ALL_RULES = HOT_PATH_RULES + DETERMINISM_RULES + HEADER_RULES
+
+# Line-level patterns, applied to code with comments and string/char
+# literal bodies stripped.  Each entry: (rule, compiled regex, message).
+LINE_PATTERNS = {
+    "hot-path-function": (
+        re.compile(r"\bstd\s*::\s*function\b"),
+        "std::function in a hot-path file (use EventCallback or a raw "
+        "{fn, ctx} pair)",
+    ),
+    # `new` immediately followed by `(` is placement new or an
+    # `::operator new(size)` call, both of which the pools rely on.
+    "hot-path-new": (
+        re.compile(r"(?:\bnew\b(?!\s*\()|\bmake_unique\b|\bmake_shared\b)"),
+        "allocation in a hot-path file (pool it or hoist it to set-up)",
+    ),
+    "hot-path-growth": (
+        re.compile(
+            r"\.\s*(?:push_back|emplace_back|resize|reserve|assign)\s*\("
+        ),
+        "container growth in a hot-path file (pre-size it, or justify "
+        "the warm-up with an allow)",
+    ),
+    "determinism-wall-clock": (
+        re.compile(
+            r"(?:\bstd\s*::\s*chrono\b|\bgettimeofday\b|\bclock\s*\(|"
+            r"(?<![\w.])time\s*\(\s*(?:NULL|nullptr|0|\))|"
+            r"\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b)"
+        ),
+        "wall-clock read in deterministic simulation code",
+    ),
+    "determinism-rand": (
+        re.compile(r"(?:(?<![\w.])s?rand\s*\(|\brandom_device\b)"),
+        "unseeded randomness in deterministic simulation code",
+    ),
+    "determinism-unordered": (
+        re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container in simulation code (iteration order is "
+        "address-dependent; use a sorted or indexed container)",
+    ),
+    "header-using-namespace": (
+        re.compile(r"^\s*using\s+namespace\b"),
+        "file-scope `using namespace` in a header leaks into every "
+        "includer",
+    ),
+    "include-relative": (
+        re.compile(r'#\s*include\s+"\.\.'),
+        'parent-relative #include (use a root-relative path, e.g. '
+        '"sim/time.hpp")',
+    ),
+}
+
+MARKER_RE = re.compile(r"//\s*LINT:\s*hot-path\b")
+ALLOW_RE = re.compile(r"//\s*LINT:\s*allow\(([^)]*)\)")
+ALLOW_NEXT_RE = re.compile(r"//\s*LINT:\s*allow-next\(([^)]*)\)")
+EXPECT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([A-Za-z0-9-]+)")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def strip_code(lines):
+    """Return lines with comments removed and literal bodies blanked.
+
+    Keeps line structure (one output line per input line) so findings
+    report real line numbers.  Tracks block comments across lines; raw
+    strings are not used in this codebase and are treated as plain
+    strings.
+    """
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                buf.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        buf.append(quote)
+                        i += 1
+                        break
+                    i += 1
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def parse_rule_list(text):
+    return {r.strip() for r in text.split(",") if r.strip()}
+
+
+def is_comment_only(code_line):
+    return code_line.strip() == ""
+
+
+def check_file(path, rel, findings):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+    code_lines = strip_code(raw_lines)
+
+    hot_path = any(MARKER_RE.search(line) for line in raw_lines)
+    in_sim_core = not rel.startswith(os.path.join("src", "harness"))
+    is_header = rel.endswith((".hpp", ".h"))
+
+    active = []
+    if hot_path:
+        active += list(HOT_PATH_RULES)
+    if in_sim_core:
+        active += list(DETERMINISM_RULES)
+    active += ["include-relative"]
+    if is_header:
+        active += ["header-using-namespace"]
+
+    pending_allows = set()
+    for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        m = ALLOW_NEXT_RE.search(raw)
+        if m:
+            pending_allows |= parse_rule_list(m.group(1))
+            continue
+        if is_comment_only(code):
+            # Comment/blank lines (including the reason text of an
+            # allow-next) do not consume a pending suppression.
+            continue
+        allows = set(pending_allows)
+        pending_allows.clear()
+        m = ALLOW_RE.search(raw)
+        if m:
+            allows |= parse_rule_list(m.group(1))
+        # An #include line can only violate the include rule (e.g.
+        # `#include <new>` is not an allocation).
+        is_include = re.match(r"\s*#\s*include\b", code) is not None
+        for rule in active:
+            if is_include and rule != "include-relative":
+                continue
+            pattern, message = LINE_PATTERNS[rule]
+            if rule in allows:
+                continue
+            # Include paths live inside string literals, which the
+            # stripper blanks; match that rule against the raw line.
+            target = raw if rule == "include-relative" else code
+            if pattern.search(target):
+                findings.append(Finding(rel, idx, rule, message))
+
+    if is_header and not any(PRAGMA_ONCE_RE.match(l) for l in code_lines):
+        findings.append(
+            Finding(rel, 1, "header-pragma-once",
+                    "header without #pragma once"))
+
+
+def collect_files(root, subdir):
+    base = os.path.join(root, subdir)
+    hits = []
+    for dirpath, _dirnames, filenames in os.walk(base):
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                full = os.path.join(dirpath, name)
+                hits.append((full, os.path.relpath(full, root)))
+    return sorted(hits, key=lambda pair: pair[1])
+
+
+def collect_expectations(files):
+    expected = set()
+    for full, rel in files:
+        with open(full, encoding="utf-8") as f:
+            for m in EXPECT_RE.finditer(f.read()):
+                expected.add((rel, m.group(1)))
+    return expected
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="scan tools/lint_fixtures/ and compare "
+                             "findings against EXPECT-LINT annotations")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    subdir = os.path.join("tools", "lint_fixtures") if args.self_test \
+        else "src"
+    files = collect_files(root, subdir)
+    if not files:
+        print("lint: no files found under %s" % subdir, file=sys.stderr)
+        return 2
+
+    findings = []
+    for full, rel in files:
+        check_file(full, rel, findings)
+
+    if not args.self_test:
+        for finding in findings:
+            print(finding)
+        if findings:
+            print("lint: %d finding(s) in %d file(s) scanned"
+                  % (len(findings), len(files)), file=sys.stderr)
+            return 1
+        print("lint: clean (%d files scanned)" % len(files))
+        return 0
+
+    # Self-test: findings must match the fixtures' EXPECT-LINT
+    # annotations exactly, and every rule must fire at least once.
+    expected = collect_expectations(files)
+    found = {(f.path, f.rule) for f in findings}
+    ok = True
+    for pair in sorted(expected - found):
+        print("self-test: expected %s in %s but it did not fire"
+              % (pair[1], pair[0]), file=sys.stderr)
+        ok = False
+    for pair in sorted(found - expected):
+        print("self-test: unexpected %s at %s" % (pair[1], pair[0]),
+              file=sys.stderr)
+        ok = False
+    fired = {rule for _path, rule in found}
+    for rule in ALL_RULES:
+        if rule not in fired:
+            print("self-test: rule %s has no firing fixture" % rule,
+                  file=sys.stderr)
+            ok = False
+    if ok:
+        print("lint self-test: all %d rules fire and match (%d fixtures)"
+              % (len(ALL_RULES), len(files)))
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,24 @@
+// Fixture: determinism rules must fire in simulation code.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace declust {
+
+long
+wallClockSeed()
+{
+    auto t = std::chrono::steady_clock::now(); // EXPECT-LINT: determinism-wall-clock
+    std::random_device rd; // EXPECT-LINT: determinism-rand
+    int noise = rand(); // EXPECT-LINT: determinism-rand
+    std::unordered_map<int, int> order; // EXPECT-LINT: determinism-unordered
+    order[noise] = static_cast<int>(rd());
+    return t.time_since_epoch().count() + noise;
+}
+
+// Mentioning rand() or std::chrono in a comment must NOT fire, nor may
+// the word "time" inside a diagnostic string literal:
+inline const char *kMessage = "rotational time (not a wall-clock read)";
+
+} // namespace declust

@@ -1,0 +1,17 @@
+// Fixture: header-hygiene rules. No #pragma once anywhere in this
+// file, so the file-level rule fires too.
+// EXPECT-LINT: header-pragma-once
+
+#include "../sim/time.hpp" // EXPECT-LINT: include-relative
+
+using namespace std; // EXPECT-LINT: header-using-namespace
+
+namespace declust {
+
+inline int
+fixtureValue()
+{
+    return 42;
+}
+
+} // namespace declust

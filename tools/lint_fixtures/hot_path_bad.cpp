@@ -1,0 +1,34 @@
+// Fixture: every hot-path rule must fire in a marked file.
+// LINT: hot-path
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace declust {
+
+struct HotPathOffender
+{
+    std::function<void()> cb; // EXPECT-LINT: hot-path-function
+
+    void
+    spill()
+    {
+        auto *leak = new int(7); // EXPECT-LINT: hot-path-new
+        owned_ = std::make_unique<int>(*leak); // EXPECT-LINT: hot-path-new
+        queue_.push_back(*leak); // EXPECT-LINT: hot-path-growth
+        queue_.reserve(64); // EXPECT-LINT: hot-path-growth
+        delete leak;
+    }
+
+    // Placement new must NOT fire: the pools are built on it.
+    void
+    place(void *mem)
+    {
+        new (mem) int(0);
+    }
+
+    std::unique_ptr<int> owned_;
+    std::vector<int> queue_;
+};
+
+} // namespace declust

@@ -1,0 +1,23 @@
+// Fixture: both suppression forms silence their rules — this file must
+// produce zero findings (no EXPECT-LINT lines).
+// LINT: hot-path
+#include <vector>
+
+namespace declust {
+
+struct WarmupPool
+{
+    void
+    grow()
+    {
+        // LINT: allow-next(hot-path-growth, hot-path-new): warm-up
+        // growth path, runs O(1) times per simulation.
+        slabs_.push_back(new int(0));
+        free_.reserve(8); // LINT: allow(hot-path-growth)
+    }
+
+    std::vector<int *> slabs_;
+    std::vector<int *> free_;
+};
+
+} // namespace declust
