@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Monte Carlo MTTDL campaign: simulate thousands of failure→repair
+ * windows per declustering ratio and compare the measured data-loss
+ * rate against the closed-form MTTDL model (paper section 2).
+ *
+ * Each window fails one disk under load, arms an exponential
+ * second-failure hazard over the C-1 survivors (per-disk MTBF
+ * accelerated into sim-seconds so losses are observable at N ≈ 10^3),
+ * and reconstructs to completion. A window "loses data" when the
+ * controller records at least one data-loss event — a second whole-disk
+ * failure dooming stripes, or an unrecoverable medium error on a
+ * survivor. The table prints the measured loss rate with its 95%
+ * binomial interval next to the analytic 1 - exp(-(C-1)·T/MTBF), the
+ * repair-window length the measurement implies, and both MTTDLs —
+ * plus the paper-scale mttdlFromReconstruction() anchor at a real
+ * 150k-hour disk MTBF.
+ *
+ * Windows are dealt to TrialRunner in fixed-size chunks whose seeds
+ * depend only on (seed, G, window index), so the aggregate — and the
+ * --campaign-json record — is bit-identical for any --jobs value.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/failure_window.hpp"
+#include "model/mttdl_campaign.hpp"
+#include "model/reliability.hpp"
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates (seed, G, window) tuples. */
+std::uint64_t
+mixSeed(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+struct ChunkResult
+{
+    declust::CampaignAggregate agg;
+    std::uint64_t events = 0;
+    double simSec = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace declust;
+    using namespace declust::bench;
+
+    Options opts("Monte Carlo MTTDL campaign vs the closed-form model");
+    addCommonOptions(opts);
+    opts.add("windows", "1000", "failure windows per stripe size");
+    opts.add("chunk", "25",
+             "windows per worker task (fixed, so results are identical "
+             "for any --jobs)");
+    opts.add("mtbf", "20000",
+             "accelerated per-disk MTBF in simulated seconds");
+    opts.add("rate", "105", "user accesses per second during repair");
+    opts.add("stripes", "3,6,10,21", "stripe sizes G to sweep");
+    opts.add("latent", "0",
+             "latent sector-error probability per sector");
+    opts.add("transient", "0",
+             "transient read-error probability per access");
+    opts.add("retries", "3", "re-reads before a medium error");
+    opts.add("campaign",
+             "", "write a deterministic campaign record (no wall-clock "
+                 "fields; golden-comparable) to this file");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    const int windows = static_cast<int>(opts.getInt("windows"));
+    const int chunk = static_cast<int>(opts.getInt("chunk"));
+    const double mtbfSec = opts.getDouble("mtbf");
+    const auto baseSeed =
+        static_cast<std::uint64_t>(opts.getInt("seed"));
+    const int disks = 21;
+
+    if (windows <= 0 || chunk <= 0) {
+        std::cerr << "bench_mttdl: --windows and --chunk must be "
+                     "positive\n";
+        return 1;
+    }
+
+    // One chunk of consecutive windows for one stripe size. The seed of
+    // window w depends only on (baseSeed, G, w).
+    struct ChunkSpec
+    {
+        int gIndex;
+        int firstWindow;
+        int count;
+    };
+    std::vector<long> stripes = opts.getIntList("stripes");
+    std::vector<ChunkSpec> specs;
+    for (std::size_t gi = 0; gi < stripes.size(); ++gi)
+        for (int w = 0; w < windows; w += chunk)
+            specs.push_back({static_cast<int>(gi), w,
+                             std::min(chunk, windows - w)});
+
+    std::vector<std::function<ChunkResult()>> trials;
+    trials.reserve(specs.size());
+    for (const ChunkSpec &spec : specs) {
+        trials.push_back([&opts, &stripes, spec, mtbfSec, baseSeed,
+                          disks] {
+            FailureWindowConfig fw;
+            fw.sim.numDisks = disks;
+            fw.sim.stripeUnits = static_cast<int>(
+                stripes[static_cast<std::size_t>(spec.gIndex)]);
+            fw.sim.geometry = geometryFrom(opts);
+            fw.sim.accessesPerSec = opts.getDouble("rate");
+            fw.sim.readFraction = 0.5;
+            fw.sim.algorithm = ReconAlgorithm::Baseline;
+            fw.sim.latentErrorProb = opts.getDouble("latent");
+            fw.sim.transientReadProb = opts.getDouble("transient");
+            fw.sim.faultMaxRetries =
+                static_cast<int>(opts.getInt("retries"));
+            fw.mtbfSimSec = mtbfSec;
+            fw.warmupSec = opts.getDouble("warmup");
+
+            ChunkResult result;
+            for (int i = 0; i < spec.count; ++i) {
+                const auto g = static_cast<std::uint64_t>(
+                    stripes[static_cast<std::size_t>(spec.gIndex)]);
+                fw.windowSeed = mixSeed(
+                    mixSeed(baseSeed ^ (g << 32)) ^
+                    static_cast<std::uint64_t>(spec.firstWindow + i));
+                const WindowResult wr = runFailureWindow(fw);
+                ++result.agg.windows;
+                result.agg.secondFailures += wr.secondFailure;
+                result.agg.losses += wr.dataLoss;
+                result.agg.totalReconSec += wr.reconSec;
+                result.agg.unrecoverableStripes +=
+                    wr.unrecoverableStripes;
+                result.agg.mediumErrors +=
+                    static_cast<long long>(wr.mediumErrors);
+                result.agg.sectorRepairs +=
+                    static_cast<long long>(wr.sectorRepairs);
+                result.events += wr.events;
+                result.simSec += wr.simSec;
+            }
+            return result;
+        });
+    }
+
+    perfReset();
+    TrialRunner runner(static_cast<int>(opts.getInt("jobs")));
+    ProgressMeter meter("bench_mttdl");
+    auto results = runTrialsOrdered<ChunkResult>(
+        runner, trials,
+        [&meter](int done, int total) { meter.update(done, total); });
+    meter.finish(static_cast<int>(trials.size()));
+
+    // Fold chunks (ordered, so double sums are jobs-independent).
+    std::vector<CampaignAggregate> byStripe(stripes.size());
+    SweepOutcome out;
+    out.trials = static_cast<int>(trials.size());
+    out.jobs = runner.jobs();
+    out.wallSec = meter.elapsedSec();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        byStripe[static_cast<std::size_t>(specs[i].gIndex)].merge(
+            results[i].agg);
+        out.events += results[i].events;
+        out.simSec += results[i].simSec;
+    }
+
+    TablePrinter table({"alpha", "G", "windows", "2nd fail", "losses",
+                        "recon s", "p_meas", "ci95", "p_model",
+                        "T_hat s", "mttdl_meas h", "mttdl_model h",
+                        "mttdl@150kh", "agree"});
+    JsonObject campaign;
+    campaign.set("bench", "bench_mttdl")
+        .set("seed", static_cast<std::int64_t>(baseSeed))
+        .set("windows", windows)
+        .set("mtbf_sim_sec", mtbfSec)
+        .set("latent", opts.getDouble("latent"))
+        .set("transient", opts.getDouble("transient"));
+
+    for (std::size_t gi = 0; gi < stripes.size(); ++gi) {
+        const int G = static_cast<int>(stripes[gi]);
+        const CampaignAggregate &agg = byStripe[gi];
+        const double alpha =
+            static_cast<double>(G - 1) / (disks - 1);
+        const double pMeas = agg.lossRate();
+        const double ci = binomialCiHalfWidth(pMeas, agg.windows);
+        const double pModel = windowLossProbability(
+            mtbfSec, disks - 1, agg.meanReconSec());
+        const double tHat =
+            pMeas < 1.0 ? impliedWindowSec(pMeas, mtbfSec, disks - 1)
+                        : 0.0;
+        const double mttdlMeas =
+            mttdlFromLossProbability(mtbfSec, disks, pMeas) / 3600.0;
+        const double mttdlModel =
+            mttdlFromLossProbability(mtbfSec, disks, pModel) / 3600.0;
+        const double paperMttdl = mttdlFromReconstruction(
+            disks, 150'000.0, agg.meanReconSec());
+        const bool agree = lossRateAgrees(pMeas, pModel, agg.windows);
+
+        table.addRow({fmtDouble(alpha, 2), std::to_string(G),
+                      std::to_string(agg.windows),
+                      std::to_string(agg.secondFailures),
+                      std::to_string(agg.losses),
+                      fmtDouble(agg.meanReconSec(), 1),
+                      fmtDouble(pMeas, 4), fmtDouble(ci, 4),
+                      fmtDouble(pModel, 4), fmtDouble(tHat, 1),
+                      fmtDouble(mttdlMeas, 1), fmtDouble(mttdlModel, 1),
+                      fmtDouble(paperMttdl, 0),
+                      agree ? "yes" : "NO"});
+
+        JsonObject entry;
+        entry.set("G", G)
+            .set("windows", agg.windows)
+            .set("second_failures", agg.secondFailures)
+            .set("losses", agg.losses)
+            .set("mean_recon_sec", agg.meanReconSec())
+            .set("unrecoverable_stripes",
+                 static_cast<std::int64_t>(agg.unrecoverableStripes))
+            .set("medium_errors",
+                 static_cast<std::int64_t>(agg.mediumErrors))
+            .set("sector_repairs",
+                 static_cast<std::int64_t>(agg.sectorRepairs))
+            .set("p_meas", pMeas)
+            .set("p_model", pModel)
+            .set("agrees", agree ? 1 : 0);
+        campaign.set("g" + std::to_string(G), std::move(entry));
+    }
+
+    std::cout << "Monte Carlo MTTDL campaign: " << windows
+              << " failure windows per G, accelerated disk MTBF "
+              << fmtDouble(mtbfSec, 0) << " sim-seconds\n";
+    emit(opts, table);
+    writeJsonRecord(opts, "bench_mttdl", out);
+
+    const std::string campaignPath = opts.getString("campaign");
+    if (!campaignPath.empty()) {
+        std::ofstream file(campaignPath);
+        if (!file) {
+            std::cerr << "bench_mttdl: cannot write " << campaignPath
+                      << "\n";
+            return 1;
+        }
+        campaign.write(file);
+    }
+    return 0;
+}

@@ -7,6 +7,17 @@
 
 namespace declust {
 
+namespace {
+
+/** Rebuild state of one failed-disk offset (values of reconstructed_). */
+constexpr std::uint8_t kNotRebuilt = 0;
+constexpr std::uint8_t kRebuilt = 1;
+/** Abandoned: a surviving unit of its stripe was lost, so the unit can
+ * never be regenerated. Counts as "handled" for sweep accounting. */
+constexpr std::uint8_t kLostForever = 2;
+
+} // namespace
+
 const char *
 toString(ReconAlgorithm algorithm)
 {
@@ -131,6 +142,59 @@ struct IoSteps
     }
 
     // ------------------------------------------------------------------
+    // Fault accounting
+    // ------------------------------------------------------------------
+
+    /** Fold one disk completion status into the op's phase accumulator
+     * and the controller's fault counters. */
+    static void
+    noteStatus(IoOp *op, IoStatus status)
+    {
+        if (status == IoStatus::Ok)
+            return;
+        ArrayController &c = *op->ctl;
+        if (status == IoStatus::MediumError)
+            ++c.faultStats_.mediumErrors;
+        else
+            ++c.faultStats_.diskFailedIos;
+        op->status = worseStatus(op->status, status);
+    }
+
+    /** Record @p stripe as unrecoverable, bumping the data-loss event
+     * count if this stripe is a fresh loss. */
+    static void
+    loseStripe(ArrayController &c, std::int64_t stripe)
+    {
+        if (c.markStripeUnrecoverable(stripe))
+            ++c.faultStats_.dataLossEvents;
+    }
+
+    /** A user read hit an unrecoverable stripe: complete it as lost
+     * (no data transfer is modeled; the caller sees the completion and
+     * the controller counts the failed read). */
+    static void
+    finishLostRead(IoOp *op, bool locked)
+    {
+        ArrayController &c = *op->ctl;
+        ++c.faultStats_.userReadsLost;
+        if (locked)
+            c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    /** A user write could not be applied consistently (its stripe is or
+     * became unrecoverable). Contents and shadow stay untouched. */
+    static void
+    finishLostWrite(IoOp *op, bool locked)
+    {
+        ArrayController &c = *op->ctl;
+        ++c.faultStats_.userWritesLost;
+        if (locked)
+            c.locks_.release(op->su.stripe);
+        finishPart(op);
+    }
+
+    // ------------------------------------------------------------------
     // Reads
     // ------------------------------------------------------------------
 
@@ -138,10 +202,15 @@ struct IoSteps
     startRead(IoOp *op)
     {
         ArrayController &c = *op->ctl;
+        if (c.stripeUnrecoverable(op->su.stripe)) {
+            finishLostRead(op, /*locked=*/false);
+            return;
+        }
         const bool onFailed = op->data.disk == c.failedDisk_;
         const bool redirectable =
             c.reconActive_ &&
-            c.reconstructed_[static_cast<std::size_t>(op->data.offset)] &&
+            c.reconstructed_[static_cast<std::size_t>(op->data.offset)] ==
+                kRebuilt &&
             (c.algorithm_ == ReconAlgorithm::Redirect ||
              c.algorithm_ == ReconAlgorithm::RedirectPiggyback);
 
@@ -163,14 +232,131 @@ struct IoSteps
     }
 
     static void
-    readVerifyDone(void *ctx)
+    readVerifyDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
+        if (status != IoStatus::Ok) {
+            noteStatus(op, status);
+            startReadRepair(op, status);
+            return;
+        }
         const UnitValue got = c.contents_.get(op->dst0.disk,
                                               op->dst0.offset);
         DECLUST_ASSERT(got == c.shadow_.get(op->dataUnit), "read of unit ",
                        op->dataUnit, " returned wrong data");
+        finishPart(op);
+    }
+
+    /** The home read failed (medium error, or the home sat on a disk
+     * that died mid-flight): regenerate the value from the stripe's
+     * survivors under the stripe lock. A medium error additionally
+     * rewrites the recovered value to the (remapped) home sector. */
+    static void
+    startReadRepair(IoOp *op, IoStatus status)
+    {
+        ArrayController &c = *op->ctl;
+        if (c.stripeUnrecoverable(op->su.stripe) ||
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            loseStripe(c, op->su.stripe);
+            finishLostRead(op, /*locked=*/false);
+            return;
+        }
+        DECLUST_PERF_INC(ReadRepairs);
+        op->repairRewrite = status == IoStatus::MediumError;
+        op->status = IoStatus::Ok;
+        op->resume = &readRepairResume;
+        op->mid = c.eq_.now();
+        if (c.locks_.acquire(op->su.stripe, op))
+            readRepairLocked(op);
+    }
+
+    static void
+    readRepairResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        readRepairLocked(op);
+    }
+
+    static void
+    readRepairLocked(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        // Re-check under the lock: a second failure may have landed
+        // while this op waited.
+        if (c.stripeUnrecoverable(op->su.stripe) ||
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            loseStripe(c, op->su.stripe);
+            finishLostRead(op, /*locked=*/true);
+            return;
+        }
+        const int G = c.layout_->stripeWidth();
+        op->pending = G - 1;
+        for (int pos = 0; pos < G; ++pos) {
+            if (pos == op->su.pos)
+                continue;
+            c.issueUnit(c.effectiveUnit(op->su.stripe, pos), false,
+                        &readRepairRead, op);
+        }
+    }
+
+    static void
+    readRepairRead(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        if (op->status != IoStatus::Ok) {
+            // A survivor failed too: the unit cannot be regenerated.
+            loseStripe(c, op->su.stripe);
+            finishLostRead(op, /*locked=*/true);
+            return;
+        }
+        c.afterXor(c.layout_->stripeWidth() - 1, &readRepairCombined, op);
+    }
+
+    static void
+    readRepairCombined(void *ctx)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        // Re-check recoverability: a second disk may have died after the
+        // survivor reads completed, poisoning a unit this XOR would use.
+        if (c.secondFailedDisk_ >= 0 &&
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            loseStripe(c, op->su.stripe);
+            finishLostRead(op, /*locked=*/true);
+            return;
+        }
+        op->v = c.xorStripeExcept(op->su.stripe, op->su.pos);
+        DECLUST_ASSERT(op->v == c.shadow_.get(op->dataUnit),
+                       "parity repair of unit ", op->dataUnit,
+                       " produced wrong data");
+        if (!op->repairRewrite) {
+            // The home disk is gone; there is nowhere to rewrite. The
+            // read itself was served from parity (not a sector repair —
+            // the medium was never at fault).
+            c.locks_.release(op->su.stripe);
+            finishPart(op);
+            return;
+        }
+        ++c.faultStats_.sectorRepairs;
+        // Rewrite the recovered value to the remapped home sector.
+        c.issueUnit(op->dst0, true, &readRepairWritten, op);
+    }
+
+    static void
+    readRepairWritten(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        noteStatus(op, status);
+        // The in-memory model never corrupted the value, so contents
+        // already match; only the media state changed.
+        c.locks_.release(op->su.stripe);
         finishPart(op);
     }
 
@@ -186,6 +372,14 @@ struct IoSteps
     readDegradedLocked(IoOp *op)
     {
         ArrayController &c = *op->ctl;
+        // A second failure (or a survivor loss) may make the target
+        // unrecoverable before or while this op waited for the lock.
+        if (c.stripeUnrecoverable(op->su.stripe) ||
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            loseStripe(c, op->su.stripe);
+            finishLostRead(op, /*locked=*/true);
+            return;
+        }
         const int G = c.layout_->stripeWidth();
         DECLUST_PERF_INC(DegradedReads);
         op->pending = G - 1;
@@ -200,12 +394,21 @@ struct IoSteps
     }
 
     static void
-    readDegradedRead(void *ctx)
+    readDegradedRead(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
+        if (op->status != IoStatus::Ok) {
+            // A survivor failed: the lost unit cannot be regenerated.
+            loseStripe(c, op->su.stripe);
+            if (c.reconActive_ && op->data.disk == c.failedDisk_)
+                c.markReconstructionLost(op->data.offset);
+            finishLostRead(op, /*locked=*/true);
+            return;
+        }
         c.afterXor(c.layout_->stripeWidth() - 1, &readDegradedCombined, op);
     }
 
@@ -214,6 +417,16 @@ struct IoSteps
     {
         IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
+        // Re-check recoverability: a second disk may have died after the
+        // survivor reads completed, poisoning a unit this XOR would use.
+        if (c.secondFailedDisk_ >= 0 &&
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            loseStripe(c, op->su.stripe);
+            if (c.reconActive_ && op->data.disk == c.failedDisk_)
+                c.markReconstructionLost(op->data.offset);
+            finishLostRead(op, /*locked=*/true);
+            return;
+        }
         const UnitValue value = c.xorStripeExcept(op->su.stripe,
                                                   op->su.pos);
         DECLUST_ASSERT(value == c.shadow_.get(op->dataUnit),
@@ -222,7 +435,8 @@ struct IoSteps
         const bool piggyback =
             c.reconActive_ &&
             c.algorithm_ == ReconAlgorithm::RedirectPiggyback &&
-            !c.reconstructed_[static_cast<std::size_t>(op->data.offset)];
+            c.reconstructed_[static_cast<std::size_t>(op->data.offset)] ==
+                kNotRebuilt;
         if (!piggyback) {
             c.locks_.release(op->su.stripe);
             finishPart(op);
@@ -240,12 +454,17 @@ struct IoSteps
     }
 
     static void
-    piggybackWritten(void *ctx)
+    piggybackWritten(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
-        c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
-        c.markReconstructed(op->data.offset);
+        noteStatus(op, status);
+        if (status == IoStatus::Ok) {
+            c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
+            c.markReconstructed(op->data.offset);
+        }
+        // On failure the piggyback write is simply dropped: the sweep
+        // will reconstruct (or abandon) the unit on its own.
         c.locks_.release(op->su.stripe);
         c.ops_.release(op);
     }
@@ -276,14 +495,25 @@ struct IoSteps
     writeCriticalStep(IoOp *op)
     {
         ArrayController &c = *op->ctl;
-        op->v = c.values_.fresh();
         const int G = c.layout_->stripeWidth();
         const std::int64_t stripe = op->su.stripe;
 
+        if (c.stripeUnrecoverable(stripe)) {
+            finishLostWrite(op, /*locked=*/true);
+            return;
+        }
+
         const bool dataLost = c.unitLost(op->data);
         const bool parityLost = c.unitLost(op->parity);
-        DECLUST_ASSERT(!(dataLost && parityLost),
-                       "data and parity units of one stripe both lost");
+        if (dataLost && !c.stripeRecoverableExcept(stripe, op->su.pos)) {
+            // The target is lost AND so is a second unit of its stripe
+            // (its parity, or a data unit the degraded write would have
+            // to read): nothing consistent can be written.
+            loseStripe(c, stripe);
+            finishLostWrite(op, /*locked=*/true);
+            return;
+        }
+        op->v = c.values_.fresh();
 
         // Where the (valid) data and parity currently live: the layout
         // location, or the stripe's spare after a distributed rebuild.
@@ -301,8 +531,13 @@ struct IoSteps
 
         if (dataLost) {
             DECLUST_PERF_INC(DegradedWrites);
+            // Write-through sends the new data to its rebuild home; that
+            // only exists for units of the disk under reconstruction
+            // (not for units lost to a second failure).
             const bool writeThrough =
-                c.reconActive_ && c.algorithm_ != ReconAlgorithm::Baseline;
+                c.reconActive_ &&
+                c.algorithm_ != ReconAlgorithm::Baseline &&
+                op->data.disk == c.failedDisk_;
             if (G == 2) {
                 // Mirrored pair with a lost primary: just write the copy
                 // (new "parity" = the new value itself).
@@ -367,10 +602,29 @@ struct IoSteps
         c.issueUnit(op->dst1, false, &rmwPreRead, op);
     }
 
+    /** Shared failure epilogue for write flows: when any disk access of
+     * the flow failed, the write is conservatively recorded as lost (the
+     * stripe becomes unrecoverable; contents and shadow stay untouched,
+     * so no partially-applied state is ever modeled). Returns true when
+     * the flow was terminated. Requires the stripe lock held. */
+    static bool
+    writeFlowFailed(IoOp *op)
+    {
+        if (op->status == IoStatus::Ok)
+            return false;
+        ArrayController &c = *op->ctl;
+        loseStripe(c, op->su.stripe);
+        finishLostWrite(op, /*locked=*/true);
+        return true;
+    }
+
     static void
-    writeParityLostDone(void *ctx)
+    writeParityLostDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
+        if (writeFlowFailed(op))
+            return;
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
         c.shadow_.set(op->dataUnit, op->v);
@@ -381,9 +635,12 @@ struct IoSteps
     /** Folded degraded write: only the parity unit is rewritten (with
      * op->aux, the new parity). */
     static void
-    writeFoldedDone(void *ctx)
+    writeFoldedDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
+        if (writeFlowFailed(op))
+            return;
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
         c.shadow_.set(op->dataUnit, op->v);
@@ -392,10 +649,13 @@ struct IoSteps
     }
 
     static void
-    degradedWriteRead(void *ctx)
+    degradedWriteRead(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
+            return;
+        if (writeFlowFailed(op))
             return;
         ArrayController &c = *op->ctl;
         // New parity = XOR of G-2 survivors and the new data.
@@ -418,7 +678,9 @@ struct IoSteps
         }
         op->aux = othersXor ^ op->v;
         const bool writeThrough =
-            c.reconActive_ && c.algorithm_ != ReconAlgorithm::Baseline;
+            c.reconActive_ &&
+            c.algorithm_ != ReconAlgorithm::Baseline &&
+            op->data.disk == c.failedDisk_;
         if (writeThrough)
             startDegradedWriteThrough(op);
         else
@@ -438,10 +700,13 @@ struct IoSteps
     }
 
     static void
-    degradedWriteThroughDone(void *ctx)
+    degradedWriteThroughDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
+            return;
+        if (writeFlowFailed(op))
             return;
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
@@ -453,10 +718,13 @@ struct IoSteps
     }
 
     static void
-    writePairDone(void *ctx)
+    writePairDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
+            return;
+        if (writeFlowFailed(op))
             return;
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
@@ -467,10 +735,13 @@ struct IoSteps
     }
 
     static void
-    reconWriteForked(void *ctx)
+    reconWriteForked(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
+            return;
+        if (writeFlowFailed(op))
             return;
         op->ctl->afterXor(2, &reconWriteCombine, op);
     }
@@ -485,9 +756,12 @@ struct IoSteps
     }
 
     static void
-    reconWriteParityDone(void *ctx)
+    reconWriteParityDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
+        if (writeFlowFailed(op))
+            return;
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
         c.contents_.set(op->dst1.disk, op->dst1.offset, op->aux);
@@ -497,10 +771,13 @@ struct IoSteps
     }
 
     static void
-    rmwPreRead(void *ctx)
+    rmwPreRead(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
+            return;
+        if (writeFlowFailed(op))
             return;
         // New parity combines old data, old parity, and the new data.
         op->ctl->afterXor(3, &rmwCombine, op);
@@ -522,10 +799,13 @@ struct IoSteps
     }
 
     static void
-    rmwWriteDone(void *ctx)
+    rmwWriteDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
+            return;
+        if (writeFlowFailed(op))
             return;
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
@@ -592,9 +872,14 @@ struct IoSteps
     }
 
     static void
-    largeWriteDone(void *ctx)
+    largeWriteDone(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        // Writes cannot fail in this model short of a whole-disk death,
+        // and the large-write path requires a fault-free array.
+        DECLUST_DEBUG_ASSERT(status == IoStatus::Ok,
+                             "large-write access failed");
+        (void)status;
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
@@ -623,14 +908,36 @@ struct IoSteps
         reconLocked(op);
     }
 
+    /** Abandon a reconstruction cycle: the unit's stripe lost a second
+     * unit, so the unit can never be regenerated. */
+    static void
+    reconCycleLost(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        loseStripe(c, op->su.stripe);
+        c.markReconstructionLost(op->offset);
+        c.locks_.release(op->su.stripe);
+        CycleResult res;
+        res.skipped = false;
+        res.lost = true;
+        finishCycle(op, res);
+    }
+
     static void
     reconLocked(IoOp *op)
     {
         ArrayController &c = *op->ctl;
-        // A user write-through may have reconstructed it while we waited.
-        if (c.reconstructed_[static_cast<std::size_t>(op->offset)]) {
+        // A user write-through may have reconstructed it while we waited
+        // (or a fault may have doomed it; either way the sweep moves on).
+        if (c.reconstructed_[static_cast<std::size_t>(op->offset)] !=
+            kNotRebuilt) {
             c.locks_.release(op->su.stripe);
             finishCycle(op, CycleResult{});
+            return;
+        }
+        if (c.stripeUnrecoverable(op->su.stripe) ||
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            reconCycleLost(op);
             return;
         }
         DECLUST_PERF_INC(ReconCycles);
@@ -648,12 +955,19 @@ struct IoSteps
     }
 
     static void
-    reconRead(void *ctx)
+    reconRead(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
         if (--op->pending != 0)
             return;
         ArrayController &c = *op->ctl;
+        if (op->status != IoStatus::Ok) {
+            // A surviving unit of the stripe could not be read: the
+            // lost unit is gone for good. Record it and keep sweeping.
+            reconCycleLost(op);
+            return;
+        }
         c.afterXor(c.layout_->stripeWidth() - 1, &reconCombined, op);
     }
 
@@ -662,6 +976,13 @@ struct IoSteps
     {
         IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
+        // Re-check recoverability: a second disk may have died after the
+        // survivor reads completed, poisoning a unit this XOR would use.
+        if (c.secondFailedDisk_ >= 0 &&
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            reconCycleLost(op);
+            return;
+        }
         op->mid = c.eq_.now(); // write-phase start
         op->v = c.xorStripeExcept(op->su.stripe, op->su.pos);
         op->dst0 = c.rebuildTarget(op->su.stripe, op->offset);
@@ -670,9 +991,16 @@ struct IoSteps
     }
 
     static void
-    reconWritten(void *ctx)
+    reconWritten(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
+        if (op->status != IoStatus::Ok) {
+            // The rebuild-target write failed (e.g. the spare's disk
+            // died mid-flight): the regenerated value has no home.
+            reconCycleLost(op);
+            return;
+        }
         ArrayController &c = *op->ctl;
         c.contents_.set(op->dst0.disk, op->dst0.offset, op->v);
         c.markReconstructed(op->offset);
@@ -709,10 +1037,17 @@ struct IoSteps
     }
 
     static void
-    copybackRead(void *ctx)
+    copybackRead(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
+        noteStatus(op, status);
+        if (status != IoStatus::Ok) {
+            // The spare copy could not be read back. The copy still
+            // proceeds mechanically (the in-memory value is intact),
+            // but the affected stripe is recorded as a loss.
+            loseStripe(c, op->su.stripe);
+        }
         op->v = c.contents_.get(op->dst0.disk, op->dst0.offset);
         op->dst1 = PhysicalUnit{c.remapDisk_, op->offset};
         c.issueUnit(op->dst1, true, &copybackWritten, op,
@@ -720,13 +1055,14 @@ struct IoSteps
     }
 
     static void
-    copybackWritten(void *ctx)
+    copybackWritten(void *ctx, IoStatus status)
     {
         IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
+        noteStatus(op, status);
         c.contents_.set(c.remapDisk_, op->offset, op->v);
         // Unit lives on the replacement again; the spare slot is free.
-        c.reconstructed_[static_cast<std::size_t>(op->offset)] = 0;
+        c.reconstructed_[static_cast<std::size_t>(op->offset)] = kNotRebuilt;
         --c.remappedCount_;
         c.locks_.release(op->su.stripe);
         std::function<void(bool)> done = std::move(op->copyDone);
@@ -815,7 +1151,7 @@ ArrayController::locate(std::int64_t dataUnit) const
 
 void
 ArrayController::issueUnit(const PhysicalUnit &pu, bool isWrite,
-                           void (*cb)(void *), void *ctx,
+                           void (*cb)(void *, IoStatus), void *ctx,
                            Priority priority)
 {
     if (isWrite) {
@@ -868,10 +1204,12 @@ ArrayController::afterXor(int units, void (*fn)(void *), void *ctx)
 bool
 ArrayController::unitLost(const PhysicalUnit &pu) const
 {
+    if (pu.disk == secondFailedDisk_)
+        return true;
     if (pu.disk != failedDisk_)
         return false;
     return !reconActive_ ||
-           !reconstructed_[static_cast<std::size_t>(pu.offset)];
+           reconstructed_[static_cast<std::size_t>(pu.offset)] != kRebuilt;
 }
 
 PhysicalUnit
@@ -881,9 +1219,57 @@ ArrayController::effectiveUnit(std::int64_t stripe, int pos) const
     const bool spared =
         (reconActive_ && distributedSpare_ && pu.disk == failedDisk_) ||
         (remapActive_ && pu.disk == remapDisk_);
-    if (spared && reconstructed_[static_cast<std::size_t>(pu.offset)])
+    if (spared &&
+        reconstructed_[static_cast<std::size_t>(pu.offset)] == kRebuilt)
         return layout_->placeSpare(stripe);
     return pu;
+}
+
+bool
+ArrayController::stripeRecoverableExcept(std::int64_t stripe,
+                                         int excludePos) const
+{
+    for (int pos = 0; pos < layout_->stripeWidth(); ++pos) {
+        if (pos == excludePos)
+            continue;
+        const PhysicalUnit pu = layout_->place(stripe, pos);
+        if (unitLost(pu))
+            return false;
+        // A rebuilt unit living in a spare slot of a now-dead disk is
+        // just as gone as its original.
+        if (effectiveUnit(stripe, pos).disk == secondFailedDisk_)
+            return false;
+    }
+    return true;
+}
+
+bool
+ArrayController::markStripeUnrecoverable(std::int64_t stripe)
+{
+    if (unrecoverable_.empty())
+        unrecoverable_.assign(
+            static_cast<std::size_t>(layout_->numStripes()), 0);
+    auto &flag = unrecoverable_[static_cast<std::size_t>(stripe)];
+    if (flag)
+        return false;
+    flag = 1;
+    anyUnrecoverable_ = true;
+    ++faultStats_.unrecoverableStripes;
+    return true;
+}
+
+void
+ArrayController::markReconstructionLost(int offset)
+{
+    DECLUST_ASSERT(reconActive_, "no reconstruction in progress");
+    auto &flag = reconstructed_[static_cast<std::size_t>(offset)];
+    if (flag == kLostForever)
+        return;
+    if (flag == kRebuilt)
+        --reconstructedCount_; // a rebuilt copy was lost again
+    flag = kLostForever;
+    ++reconLostCount_;
+    ++faultStats_.reconUnitsLost;
 }
 
 PhysicalUnit
@@ -1062,17 +1448,106 @@ ArrayController::quiescent() const
 void
 ArrayController::failDisk(int disk)
 {
-    DECLUST_ASSERT(disk >= 0 && disk < numDisks(), "bad disk id ", disk);
-    DECLUST_ASSERT(failedDisk_ < 0, "disk ", failedDisk_,
-                   " already failed: double failures lose data");
-    DECLUST_ASSERT(!remapActive_,
-                   "units still remapped to spares: copy back before "
-                   "surviving another failure");
-    DECLUST_ASSERT(quiescent(),
-                   "failDisk requires a quiescent array (drain first)");
+    if (disk < 0 || disk >= numDisks())
+        DECLUST_FATAL("failDisk: bad disk id ", disk, " (array has ",
+                      numDisks(), " disks)");
+    if (disk == failedDisk_)
+        DECLUST_FATAL("failDisk: disk ", disk, " is already failed");
+    if (failedDisk_ >= 0)
+        DECLUST_FATAL("failDisk: disk ", failedDisk_,
+                      " already failed: use failSecondDisk() to model a "
+                      "failure during repair");
+    if (copybackActive_)
+        DECLUST_FATAL("failDisk: copyback in progress; finish copying "
+                      "spare units home before failing disk ", disk);
+    if (remapActive_)
+        DECLUST_FATAL("failDisk: units still remapped to spares: copy "
+                      "back before surviving another failure");
+    if (!quiescent())
+        DECLUST_FATAL("failDisk requires a quiescent array (drain first)");
     failedDisk_ = disk;
     reconActive_ = false;
     contents_.poisonDisk(disk);
+}
+
+void
+ArrayController::failSecondDisk(int disk)
+{
+    if (failedDisk_ < 0)
+        DECLUST_FATAL("failSecondDisk: no first failure is outstanding "
+                      "(use failDisk() for the initial failure)");
+    if (disk < 0 || disk >= numDisks())
+        DECLUST_FATAL("failSecondDisk: bad disk id ", disk,
+                      " (array has ", numDisks(), " disks)");
+    if (disk == failedDisk_)
+        DECLUST_FATAL("failSecondDisk: disk ", disk,
+                      " is already the failed disk");
+    if (secondFailedDisk_ >= 0)
+        DECLUST_FATAL("failSecondDisk: disk ", secondFailedDisk_,
+                      " already failed second; a single-failure-"
+                      "correcting array cannot track a third failure");
+    secondFailedDisk_ = disk;
+    // Unlike the first (quiescent) failure, the disk dies live: queued
+    // requests complete immediately with DiskFailed, the in-flight one
+    // at its scheduled time.
+    disks_[static_cast<std::size_t>(disk)]->fail();
+    contents_.poisonDisk(disk);
+
+    // Every stripe that now misses two units is gone. One batch of
+    // losses from one disk failure is one data-loss event.
+    bool anyLost = false;
+    const int G = layout_->stripeWidth();
+    for (int off = 0; off < unitsPerDisk(); ++off) {
+        const auto su = layout_->invert(disk, off);
+        if (!su)
+            continue;
+        if (su->pos >= G) {
+            // A spare unit on the dead disk: if a rebuilt copy of the
+            // first disk's unit lived there, that copy is gone again.
+            if (!reconActive_ || !distributedSpare_)
+                continue;
+            for (int pos = 0; pos < G; ++pos) {
+                const PhysicalUnit pu = layout_->place(su->stripe, pos);
+                if (pu.disk != failedDisk_)
+                    continue;
+                if (reconstructed_[static_cast<std::size_t>(pu.offset)] ==
+                    kRebuilt) {
+                    markReconstructionLost(pu.offset);
+                    if (markStripeUnrecoverable(su->stripe))
+                        anyLost = true;
+                }
+                break;
+            }
+            continue;
+        }
+        // A live stripe member on the dead disk: the stripe is doomed
+        // iff it also has a (still-lost) unit on the first failed disk.
+        for (int pos = 0; pos < G; ++pos) {
+            if (pos == su->pos)
+                continue;
+            const PhysicalUnit pu = layout_->place(su->stripe, pos);
+            if (pu.disk != failedDisk_)
+                continue;
+            if (unitLost(pu)) {
+                if (reconActive_)
+                    markReconstructionLost(pu.offset);
+                if (markStripeUnrecoverable(su->stripe))
+                    anyLost = true;
+            }
+            break;
+        }
+    }
+    if (anyLost)
+        ++faultStats_.dataLossEvents;
+}
+
+void
+ArrayController::attachFaultModels(const FaultConfig &config)
+{
+    for (int d = 0; d < numDisks(); ++d)
+        disks_[static_cast<std::size_t>(d)]->setFaultModel(
+            std::make_unique<FaultModel>(
+                config, params_.geometry.totalSectors(), d));
 }
 
 void
@@ -1082,8 +1557,10 @@ ArrayController::attachCommon(ReconAlgorithm algorithm)
     DECLUST_ASSERT(!reconActive_, "reconstruction already running");
     algorithm_ = algorithm;
     reconActive_ = true;
-    reconstructed_.assign(static_cast<std::size_t>(unitsPerDisk()), 0);
+    reconstructed_.assign(static_cast<std::size_t>(unitsPerDisk()),
+                          kNotRebuilt);
     reconstructedCount_ = 0;
+    reconLostCount_ = 0;
     mappedOnFailed_ = 0;
     for (int off = 0; off < unitsPerDisk(); ++off) {
         const auto su = layout_->invert(failedDisk_, off);
@@ -1098,6 +1575,10 @@ void
 ArrayController::attachReplacement(ReconAlgorithm algorithm)
 {
     DECLUST_ASSERT(failedDisk_ >= 0, "no failed disk to replace");
+    // A disk that died live (second failure, later promoted to be the
+    // outstanding one) is swapped for a fresh drive here.
+    if (disks_[static_cast<std::size_t>(failedDisk_)]->failed())
+        disks_[static_cast<std::size_t>(failedDisk_)]->replace();
     contents_.blankDisk(failedDisk_);
     distributedSpare_ = false;
     attachCommon(algorithm);
@@ -1151,8 +1632,8 @@ ArrayController::markReconstructed(int offset)
 {
     DECLUST_ASSERT(reconActive_, "no reconstruction in progress");
     auto &flag = reconstructed_[static_cast<std::size_t>(offset)];
-    if (!flag) {
-        flag = 1;
+    if (flag == kNotRebuilt) {
+        flag = kRebuilt;
         ++reconstructedCount_;
     }
 }
@@ -1189,19 +1670,32 @@ void
 ArrayController::finishReconstruction()
 {
     DECLUST_ASSERT(reconActive_, "no reconstruction in progress");
-    DECLUST_ASSERT(reconstructedCount_ == mappedOnFailed_,
+    DECLUST_ASSERT(reconstructedCount_ + reconLostCount_ == mappedOnFailed_,
                    "reconstruction incomplete: ", reconstructedCount_,
-                   " of ", mappedOnFailed_, " units");
+                   " rebuilt + ", reconLostCount_, " lost of ",
+                   mappedOnFailed_, " units");
     // Verify every rebuilt unit before declaring the array healthy.
+    // Unrecoverable stripes are exempt: their contents are gone by
+    // definition and the array continues around them.
     for (int off = 0; off < unitsPerDisk(); ++off) {
         const auto su = layout_->invert(failedDisk_, off);
         if (!su || su->pos >= layout_->stripeWidth())
             continue; // unmapped or a (data-free) spare unit
+        if (stripeUnrecoverable(su->stripe) ||
+            reconstructed_[static_cast<std::size_t>(off)] == kLostForever)
+            continue;
         const PhysicalUnit home = effectiveUnit(su->stripe, su->pos);
         const UnitValue stored = contents_.get(home.disk, home.offset);
-        const UnitValue implied = xorStripeExcept(su->stripe, su->pos);
-        DECLUST_ASSERT(stored == implied, "reconstructed unit at offset ",
-                       off, " disagrees with parity");
+        // A stripe with another unit on the second failed disk cannot be
+        // parity-checked until that repair runs; the rebuilt unit itself
+        // is still checked against the shadow below.
+        if (secondFailedDisk_ < 0 ||
+            stripeRecoverableExcept(su->stripe, su->pos)) {
+            const UnitValue implied = xorStripeExcept(su->stripe, su->pos);
+            DECLUST_ASSERT(stored == implied,
+                           "reconstructed unit at offset ", off,
+                           " disagrees with parity");
+        }
         if (su->pos < layout_->dataUnitsPerStripe()) {
             DECLUST_ASSERT(stored ==
                                shadow_.get(layout_->stripeToDataUnit(*su)),
@@ -1216,11 +1710,22 @@ ArrayController::finishReconstruction()
         remappedCount_ = reconstructedCount_;
         reconActive_ = false;
         failedDisk_ = -1;
-        // reconstructed_ is retained: it is now the remap marker.
+        // reconstructed_ is retained: it is now the remap marker (lost
+        // offsets hold kLostForever and are skipped by copyback, which
+        // only copies kRebuilt units home).
+        for (auto &flag : reconstructed_)
+            if (flag == kLostForever)
+                flag = kNotRebuilt;
     } else {
         reconActive_ = false;
         failedDisk_ = -1;
         reconstructed_.clear();
+    }
+    if (secondFailedDisk_ >= 0) {
+        // The repair of the first disk is done; the second failure now
+        // becomes "the" outstanding failure awaiting its own repair.
+        failedDisk_ = secondFailedDisk_;
+        secondFailedDisk_ = -1;
     }
 }
 
@@ -1298,15 +1803,22 @@ ArrayController::verifyConsistency() const
     DECLUST_ASSERT(quiescent(), "verifyConsistency requires quiescence");
     const int G = layout_->stripeWidth();
     for (std::int64_t s = 0; s < layout_->numStripes(); ++s) {
+        if (stripeUnrecoverable(s))
+            continue; // contents are gone by definition
         bool stripeIntact = true;
         int lostPos = -1;
+        int lostCount = 0;
         for (int pos = 0; pos < G; ++pos) {
             const PhysicalUnit pu = layout_->place(s, pos);
             if (unitLost(pu)) {
                 stripeIntact = false;
                 lostPos = pos;
+                ++lostCount;
             }
         }
+        DECLUST_ASSERT(lostCount <= 1, "stripe ", s, " misses ",
+                       lostCount, " units but is not marked "
+                       "unrecoverable");
         if (stripeIntact) {
             DECLUST_ASSERT(xorStripeExcept(s, -1) == 0,
                            "stripe ", s, " fails the parity invariant");

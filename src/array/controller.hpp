@@ -86,6 +86,34 @@ struct ArrayParams
     std::size_t histogramBuckets = 4000;
 };
 
+/**
+ * Fault-path accounting: what the controller observed and what it had
+ * to give up on. Monotonic over the controller's lifetime (resetStats()
+ * does not clear it — a trial's loss record must survive measurement
+ * windows).
+ */
+struct FaultStats
+{
+    /** Disk completions that reported an unrecovered medium error. */
+    std::uint64_t mediumErrors = 0;
+    /** Disk completions that reported whole-disk failure. */
+    std::uint64_t diskFailedIos = 0;
+    /** Units whose home read failed but whose value was regenerated
+     * from parity (and rewritten when the home sector was remapped). */
+    std::uint64_t sectorRepairs = 0;
+    /** Parity stripes recorded as unrecoverable (some data is gone). */
+    std::uint64_t unrecoverableStripes = 0;
+    /** Distinct loss causes: each surviving-disk error that killed at
+     * least one stripe, and each second whole-disk failure. */
+    std::uint64_t dataLossEvents = 0;
+    /** User reads completed without valid data. */
+    std::uint64_t userReadsLost = 0;
+    /** User writes that could not be applied. */
+    std::uint64_t userWritesLost = 0;
+    /** Failed-disk units reconstruction had to abandon. */
+    std::uint64_t reconUnitsLost = 0;
+};
+
 /** User-visible response-time statistics. */
 struct UserStats
 {
@@ -163,9 +191,58 @@ class ArrayController
     /**
      * Fail @p disk, losing its contents. Requires a quiescent array (the
      * benches drain in-flight work first; the failure transient itself
-     * is outside the paper's scope).
+     * is outside the paper's scope). Misuse — a bad id, a disk already
+     * failed, spare units still remapped, an active copyback, or a
+     * non-quiescent array — throws ConfigError (a defined error path,
+     * not a panic).
      */
     void failDisk(int disk);
+
+    /**
+     * Fail a second disk while the first is still being repaired — the
+     * data-loss path of the paper's MTTDL argument. Unlike failDisk()
+     * this needs no quiescence: in-flight and queued accesses to the
+     * dying disk complete with IoStatus::DiskFailed, every parity
+     * stripe that now misses two units is recorded as unrecoverable
+     * (one data-loss event for the batch), and the array keeps serving
+     * everything else. Reconstruction, if running, skips the doomed
+     * stripes and completes. Misuse (no first failure, same disk,
+     * third failure, active copyback) throws ConfigError.
+     */
+    void failSecondDisk(int disk);
+
+    /** The second failed disk (-1 if none). */
+    int secondFailedDisk() const { return secondFailedDisk_; }
+
+    /** Fault-path accounting (never reset; see FaultStats). */
+    const FaultStats &faultStats() const { return faultStats_; }
+
+    /** Stripes recorded as unrecoverable so far. */
+    std::int64_t unrecoverableStripeCount() const
+    {
+        return static_cast<std::int64_t>(
+            faultStats_.unrecoverableStripes);
+    }
+
+    /** True if @p stripe has been recorded as unrecoverable. */
+    bool stripeUnrecoverable(std::int64_t stripe) const
+    {
+        return anyUnrecoverable_ &&
+               unrecoverable_[static_cast<std::size_t>(stripe)] != 0;
+    }
+
+    /** Failed-disk units abandoned as unrecoverable during the current
+     * reconstruction (reset when a replacement is attached). */
+    std::int64_t reconLostUnits() const { return reconLostCount_; }
+
+    /**
+     * Attach per-disk error injectors (latent sector errors, transient
+     * read errors) built from @p config; each disk gets an independent
+     * stream derived from config.seed and its id. Call before the
+     * workload starts. With no injector attached the controller's I/O
+     * paths are bit-identical to the pre-fault-layer behaviour.
+     */
+    void attachFaultModels(const FaultConfig &config);
 
     /**
      * Attach a blank replacement for the failed disk and select the
@@ -298,16 +375,31 @@ class ArrayController
 
     UnitLoc locate(std::int64_t dataUnit) const;
 
-    /** Issue a one-unit disk access; @p cb(@p ctx) runs on completion. */
+    /** Issue a one-unit disk access; @p cb(@p ctx, status) runs on
+     * completion. */
     void issueUnit(const PhysicalUnit &pu, bool isWrite,
-                   void (*cb)(void *), void *ctx,
+                   void (*cb)(void *, IoStatus), void *ctx,
                    Priority priority = Priority::Normal);
 
     /** Run @p fn(@p ctx) after the XOR engine combines @p units units. */
     void afterXor(int units, void (*fn)(void *), void *ctx);
 
-    /** True if this unit's contents are lost (failed and not rebuilt). */
+    /** True if this unit's contents are lost (failed and not rebuilt,
+     * on the second failed disk, or abandoned as unrecoverable). */
     bool unitLost(const PhysicalUnit &pu) const;
+
+    /** True if every unit of @p stripe except position @p excludePos is
+     * readable, i.e. the excluded unit can be regenerated from parity. */
+    bool stripeRecoverableExcept(std::int64_t stripe,
+                                 int excludePos) const;
+
+    /** Record @p stripe as unrecoverable; true if newly recorded (the
+     * caller decides whether that constitutes a data-loss event). */
+    bool markStripeUnrecoverable(std::int64_t stripe);
+
+    /** Mark the failed disk's unit at @p offset as abandoned (never to
+     * be rebuilt); keeps the reconstruction accounting balanced. */
+    void markReconstructionLost(int offset);
 
     /**
      * Where stripe @p stripe's unit at @p pos physically lives right
@@ -344,13 +436,25 @@ class ArrayController
     SlabPool deferredPool_{sizeof(DeferredIssue), 64};
 
     int failedDisk_ = -1;
+    /** Second concurrent whole-disk failure (-1 if none). */
+    int secondFailedDisk_ = -1;
     bool reconActive_ = false;
     /** Rebuilding into distributed spares rather than a replacement. */
     bool distributedSpare_ = false;
     ReconAlgorithm algorithm_ = ReconAlgorithm::Baseline;
+    /** Per-offset rebuild state of the failed disk: kNotRebuilt,
+     * kRebuilt, or kLostForever (see the constants in controller.cpp). */
     std::vector<std::uint8_t> reconstructed_;
     std::int64_t reconstructedCount_ = 0;
+    /** Failed-disk units abandoned as unrecoverable. */
+    std::int64_t reconLostCount_ = 0;
     std::int64_t mappedOnFailed_ = 0;
+
+    /** Per-stripe unrecoverable flags; allocated on first loss so the
+     * fault-free path pays one bool test. */
+    std::vector<std::uint8_t> unrecoverable_;
+    bool anyUnrecoverable_ = false;
+    FaultStats faultStats_;
 
     /** Post-reconstruction spare remap (distributed sparing only). */
     bool remapActive_ = false;

@@ -27,6 +27,7 @@
 
 #include "array/stripe_lock.hpp"
 #include "array/types.hpp"
+#include "disk/fault_model.hpp"
 #include "layout/layout.hpp"
 #include "sim/slab_pool.hpp"
 #include "sim/time.hpp"
@@ -65,6 +66,13 @@ struct IoOp : StripeLockTable::Waiter
     UnitValue v = 0;
     /** Secondary value (new parity). */
     UnitValue aux = 0;
+    /** Worst disk-completion status seen by the current phase (reset
+     * when a step re-forks; see IoSteps::noteStatus). */
+    IoStatus status = IoStatus::Ok;
+    /** Read-repair bookkeeping: true when the failed home read was a
+     * medium error, so the recovered value must be rewritten to the
+     * (remapped) home sector. */
+    bool repairRewrite = false;
     /** User completion (small captures stay inline in std::function). */
     std::function<void()> done;
     std::function<void(CycleResult)> cycleDone;

@@ -39,6 +39,10 @@ struct CycleResult
 {
     /** True if the unit was unmapped or already reconstructed. */
     bool skipped = true;
+    /** True if the unit could not be rebuilt (a surviving unit of its
+     * stripe returned a medium error or sat on a second failed disk);
+     * the stripe was recorded as unrecoverable and the sweep moves on. */
+    bool lost = false;
     double readPhaseMs = 0.0;
     double writePhaseMs = 0.0;
 };

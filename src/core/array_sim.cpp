@@ -85,6 +85,15 @@ ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
                    config_.distributedSparing),
         params);
 
+    if (config_.latentErrorProb > 0 || config_.transientReadProb > 0) {
+        FaultConfig fc;
+        fc.latentErrorProb = config_.latentErrorProb;
+        fc.transientReadProb = config_.transientReadProb;
+        fc.maxRetries = config_.faultMaxRetries;
+        fc.seed = config_.seed ^ 0xfa1700d1u;
+        controller_->attachFaultModels(fc);
+    }
+
     WorkloadConfig wl;
     wl.accessesPerSec = config_.accessesPerSec;
     wl.readFraction = config_.readFraction;

@@ -71,6 +71,18 @@ struct SimConfig
      */
     double replacementDelaySec = 0.0;
 
+    /**
+     * Fault injection (src/disk/fault_model.hpp). Both rates at 0 (the
+     * default) attaches no injector at all, keeping the fault-free
+     * event schedule byte-identical to earlier builds.
+     */
+    /** Probability a sector carries a latent error when first read. */
+    double latentErrorProb = 0.0;
+    /** Per-access transient read-error probability. */
+    double transientReadProb = 0.0;
+    /** Re-read attempts before an access reports a medium error. */
+    int faultMaxRetries = 3;
+
     std::uint64_t seed = 1;
 
     /** Declustering ratio (G-1)/(C-1). */

@@ -1,0 +1,76 @@
+#include "core/failure_window.hpp"
+
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+
+WindowResult
+runFailureWindow(const FailureWindowConfig &config)
+{
+    if (config.mtbfSimSec <= 0)
+        DECLUST_FATAL("failure window needs mtbfSimSec > 0, got ",
+                      config.mtbfSimSec);
+    SimConfig sc = config.sim;
+    sc.seed = config.windowSeed;
+
+    ArraySimulation sim(sc);
+    EventQueue &eq = sim.eventQueue();
+    ArrayController &ctl = sim.controller();
+
+    // The hazard stream is independent of the workload/value/fault
+    // streams (all derived from sc.seed with different salts).
+    Rng hazard(config.windowSeed ^ 0x5ec0dfa1u);
+
+    // Warm the array so the failure hits live queues, then drain (the
+    // first failure models a drive pulled from a quiescent array; the
+    // workload resumes the moment reconstruction starts).
+    if (config.warmupSec > 0) {
+        sim.workload().start();
+        eq.runUntil(eq.now() + secToTicks(config.warmupSec));
+        sim.drain();
+    }
+
+    const int disks = sc.numDisks;
+    const int first = static_cast<int>(
+        hazard.uniformInt(static_cast<std::uint64_t>(disks)));
+    ctl.failDisk(first);
+
+    // Arm the second-failure hazard: the minimum of C-1 exponential
+    // clocks is exponential with mean MTBF/(C-1); the failing disk is
+    // uniform among the survivors. The event guards itself: it only
+    // fires into the controller while the repair window is still open.
+    const double tSecond =
+        hazard.exponential(config.mtbfSimSec / (disks - 1));
+    int second = static_cast<int>(
+        hazard.uniformInt(static_cast<std::uint64_t>(disks - 1)));
+    if (second >= first)
+        ++second;
+    auto fired = std::make_shared<bool>(false);
+    eq.scheduleIn(secToTicks(tSecond), [&ctl, second, fired] {
+        if (ctl.failedDisk() >= 0 && ctl.secondFailedDisk() < 0 &&
+            ctl.failedDisk() != second) {
+            ctl.failSecondDisk(second);
+            *fired = true;
+        }
+    });
+
+    const ReconOutcome outcome = sim.reconstruct();
+
+    WindowResult result;
+    result.secondFailure = *fired;
+    result.secondFailureAtSec = *fired ? tSecond : -1.0;
+    result.reconSec = outcome.totalRepairSec;
+    const FaultStats &fs = ctl.faultStats();
+    result.dataLoss = fs.dataLossEvents > 0;
+    result.dataLossEvents = fs.dataLossEvents;
+    result.unrecoverableStripes = ctl.unrecoverableStripeCount();
+    result.reconUnitsLost = fs.reconUnitsLost;
+    result.mediumErrors = fs.mediumErrors;
+    result.sectorRepairs = fs.sectorRepairs;
+    result.events = eq.executed();
+    result.simSec = ticksToSec(eq.now());
+    return result;
+}
+
+} // namespace declust

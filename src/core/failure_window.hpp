@@ -1,0 +1,72 @@
+/**
+ * @file
+ * One Monte Carlo failure→repair window for the MTTDL campaign.
+ *
+ * A window is the exposure interval of the paper's MTTDL argument
+ * (section 2): a disk fails, reconstruction runs to completion, and the
+ * array either survives or loses data on the way — to a second
+ * whole-disk failure drawn from an exponential hazard over the C-1
+ * survivors, or to a latent sector error on a surviving disk. Each
+ * window stands up a fresh ArraySimulation with its own event queue and
+ * RNG streams, so windows are independent trials that TrialRunner can
+ * execute in any process arrangement with bit-identical results.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/array_sim.hpp"
+
+namespace declust {
+
+/** Configuration of one failure→repair window. */
+struct FailureWindowConfig
+{
+    /** Base array/workload configuration; `sim.seed` is replaced by
+     * @p windowSeed so each window gets independent streams. */
+    SimConfig sim;
+    /**
+     * Accelerated per-disk MTBF in *simulated seconds*. Real MTBFs
+     * (150k hours) against repair windows of minutes would need ~10^7
+     * windows per observed loss; scaling MTBF into the simulated-time
+     * regime keeps the loss probability observable while preserving the
+     * exponential-hazard structure the analytic model assumes.
+     */
+    double mtbfSimSec = 20'000.0;
+    /** Load warmup before the first failure, seconds. */
+    double warmupSec = 0.2;
+    /** Seed for this window (failure draws + workload + value streams). */
+    std::uint64_t windowSeed = 1;
+};
+
+/** What happened in one window. */
+struct WindowResult
+{
+    /** A second disk failed during the repair window. */
+    bool secondFailure = false;
+    /** The window ended with at least one data-loss event. */
+    bool dataLoss = false;
+    /** Reconstruction duration (the repair window), seconds. */
+    double reconSec = 0.0;
+    /** When the second failure hit, seconds after repair start (-1 if
+     * the drawn hazard fell outside the window). */
+    double secondFailureAtSec = -1.0;
+    std::int64_t unrecoverableStripes = 0;
+    std::uint64_t dataLossEvents = 0;
+    std::uint64_t reconUnitsLost = 0;
+    std::uint64_t mediumErrors = 0;
+    std::uint64_t sectorRepairs = 0;
+    /** Events executed / sim-seconds elapsed, for throughput records. */
+    std::uint64_t events = 0;
+    double simSec = 0.0;
+};
+
+/**
+ * Run one failure→repair window: warm the array under load, fail a
+ * uniformly drawn disk, arm the second-failure hazard, reconstruct to
+ * completion, and report what survived. Deterministic per
+ * (config, windowSeed).
+ */
+WindowResult runFailureWindow(const FailureWindowConfig &config);
+
+} // namespace declust

@@ -53,6 +53,11 @@ Reconstructor::pump()
 
     // This process is done; the last one out finalizes.
     if (--activeProcesses_ == 0) {
+        // The controller's count is authoritative: it also covers units
+        // doomed in bulk by a second failure, which the sweep then
+        // passes over as already handled.
+        report_.lostUnits =
+            static_cast<std::uint64_t>(array_.reconLostUnits());
         array_.finishReconstruction();
         report_.reconstructionTimeSec =
             ticksToSec(array_.eventQueue().now() - startTick_);
@@ -73,7 +78,9 @@ Reconstructor::pump()
 void
 Reconstructor::cycleDone(const CycleResult &result)
 {
-    if (result.skipped) {
+    if (result.lost) {
+        ++report_.lostUnits;
+    } else if (result.skipped) {
         ++report_.skipped;
     } else {
         ++report_.cycles;

@@ -43,6 +43,9 @@ struct ReconReport
     double reconstructionTimeSec = 0.0;
     std::uint64_t cycles = 0;   ///< units rebuilt by the sweep
     std::uint64_t skipped = 0;  ///< units rebuilt by user writes, or unmapped
+    /** Units abandoned as unrecoverable (a second failure or a medium
+     * error on a survivor); > 0 means the repair lost data. */
+    std::uint64_t lostUnits = 0;
     Accumulator readPhaseMs;
     Accumulator writePhaseMs;
     Accumulator cycleMs;

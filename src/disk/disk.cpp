@@ -38,6 +38,17 @@ Disk::submit(DiskRequest request)
                    request.sectorCount, ") out of range");
     DECLUST_ASSERT(request.onComplete, "request needs a callback");
 
+    if (failed_) {
+        // A dead disk serves nothing: the request still completes (the
+        // issuing flow must be able to make progress), but only via a
+        // zero-delay event carrying DiskFailed — never inline, so the
+        // caller's "completion is asynchronous" assumption holds.
+        void (*cb)(void *, IoStatus) = request.onComplete;
+        void *ctx = request.ctx;
+        eq_.scheduleIn(0, [cb, ctx] { cb(ctx, IoStatus::DiskFailed); });
+        return;
+    }
+
     int slot;
     if (!freeSlots_.empty()) {
         slot = freeSlots_.back();
@@ -53,6 +64,7 @@ Disk::submit(DiskRequest request)
     p.chs = geometry_.lbaToChs(request.startSector);
     p.enqueued = eq_.now();
     p.live = true;
+    p.status = IoStatus::Ok;
 #if DECLUST_VALIDATE
     // The decode must land strictly inside the geometry; a bad decode
     // here would silently skew every downstream seek/rotate time.
@@ -106,8 +118,21 @@ Disk::dispatch()
     util_.setBusy(eq_.now());
 
     const Tick dispatched = eq_.now();
-    const Pending &p = pending_[static_cast<std::size_t>(slot)];
-    const Tick end = computeServiceEnd(p.request, dispatched, p.chs);
+    Pending &p = pending_[static_cast<std::size_t>(slot)];
+    Tick end = computeServiceEnd(p.request, dispatched, p.chs);
+    if (faultModel_ && !p.request.isWrite) {
+        // The error model decides the outcome at dispatch so retries can
+        // be charged as service time (one full revolution per re-read).
+        const FaultModel::ReadOutcome fo = faultModel_->onRead(
+            p.request.startSector, p.request.sectorCount);
+        end += static_cast<Tick>(fo.extraRevolutions) * revTicks_;
+        p.status = fo.status;
+    } else if (faultModel_) {
+        // Writes never fail (short of whole-disk death) but do retire
+        // any defective sectors they cover.
+        faultModel_->onWrite(p.request.startSector,
+                             p.request.sectorCount);
+    }
 #if DECLUST_VALIDATE
     // Service must take non-negative time and leave the head parked on
     // a real cylinder; either failing means the timing model (seek
@@ -173,11 +198,68 @@ Disk::complete(int slot, Tick dispatched)
         tracer_(record);
     }
 
+    // A disk that died while this transfer was in service reports the
+    // failure, whatever the fault model decided at dispatch.
+    const IoStatus status =
+        failed_ ? IoStatus::DiskFailed : done.status;
+
     // The callback may submit more work to this disk; submit() will start
     // it immediately since we are idle, and the trailing dispatch() below
     // then finds the disk busy and backs off harmlessly.
-    done.request.onComplete(done.request.ctx);
+    done.request.onComplete(done.request.ctx, status);
     dispatch();
+}
+
+void
+Disk::fail()
+{
+    DECLUST_ASSERT(!failed_, "disk ", id_, " already failed");
+    failed_ = true;
+    // Queued (not yet dispatched) requests complete now with DiskFailed;
+    // they never reach the head, so no service time is charged. The
+    // request in service (if any) completes at its scheduled time and
+    // picks up DiskFailed in complete().
+    drainQueueFailed(*scheduler_);
+    if (backgroundScheduler_)
+        drainQueueFailed(*backgroundScheduler_);
+}
+
+void
+Disk::replace()
+{
+    DECLUST_ASSERT(failed_, "disk ", id_, " is not failed");
+    DECLUST_ASSERT(!busy_ && outstanding() == 0,
+                   "disk ", id_, " still has in-flight completions");
+    failed_ = false;
+}
+
+void
+Disk::drainQueueFailed(Scheduler &queue)
+{
+    while (!queue.empty()) {
+        const SchedEntry entry = queue.pop(headCylinder_, direction_);
+        const auto slot = static_cast<int>(entry.id);
+        DECLUST_ASSERT(slot >= 0 &&
+                           slot < static_cast<int>(pending_.size()) &&
+                           pending_[static_cast<std::size_t>(slot)].live,
+                       "scheduler returned unknown id");
+        eq_.scheduleIn(0, [this, slot] { completeFailed(slot); });
+    }
+}
+
+void
+Disk::completeFailed(int slot)
+{
+    DECLUST_ASSERT(slot >= 0 &&
+                       slot < static_cast<int>(pending_.size()) &&
+                       pending_[static_cast<std::size_t>(slot)].live,
+                   "completion for unknown request");
+    const Pending done = pending_[static_cast<std::size_t>(slot)];
+    pending_[static_cast<std::size_t>(slot)].live = false;
+    // LINT: allow-next(hot-path-growth): bounded by pending_.size();
+    // capacity is retained, so steady state never allocates.
+    freeSlots_.push_back(slot);
+    done.request.onComplete(done.request.ctx, IoStatus::DiskFailed);
 }
 
 Tick

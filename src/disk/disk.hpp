@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "disk/fault_model.hpp"
 #include "disk/geometry.hpp"
 #include "disk/scheduler.hpp"
 #include "util/fastdiv.hpp"
@@ -33,11 +34,12 @@ namespace declust {
 /**
  * One I/O request against a disk.
  *
- * Completion is a raw continuation slot — onComplete(ctx) fires once
- * when the transfer finishes — so submitting a request never allocates
- * and requests copy as plain data through the in-flight slot table.
- * Callers with a callable instead of a function pointer can use the
- * boxing submit() overload below.
+ * Completion is a raw continuation slot — onComplete(ctx, status) fires
+ * once when the transfer finishes (status is IoStatus::Ok unless a
+ * fault model is attached or the disk has failed) — so submitting a
+ * request never allocates and requests copy as plain data through the
+ * in-flight slot table. Callers with a callable instead of a function
+ * pointer can use the boxing submit() overload below.
  */
 struct DiskRequest
 {
@@ -47,8 +49,8 @@ struct DiskRequest
     /** Scheduling class; Background yields to Normal when the disk has
      * priority separation enabled. */
     Priority priority = Priority::Normal;
-    /** Invoked (once) as onComplete(ctx) when the transfer completes. */
-    void (*onComplete)(void *) = nullptr;
+    /** Invoked (once) as onComplete(ctx, status) at completion. */
+    void (*onComplete)(void *, IoStatus) = nullptr;
     void *ctx = nullptr;
 };
 
@@ -105,19 +107,27 @@ class Disk
      * Convenience overload boxing an arbitrary callable into the raw
      * continuation slot (one heap allocation per call — tests and
      * one-off flows only; the controller's hot path uses the slot
-     * directly).
+     * directly). The callable may take the completion IoStatus or
+     * nothing at all (callers indifferent to errors).
      */
     template <typename F,
-              typename = std::enable_if_t<std::is_invocable_r_v<
-                  void, std::decay_t<F> &>>>
+              typename = std::enable_if_t<
+                  std::is_invocable_r_v<void, std::decay_t<F> &> ||
+                  std::is_invocable_r_v<void, std::decay_t<F> &,
+                                        IoStatus>>>
     void
     submit(DiskRequest request, F &&onComplete)
     {
         using Fn = std::decay_t<F>;
         auto boxed = std::make_unique<Fn>(std::forward<F>(onComplete));
-        request.onComplete = [](void *ctx) {
+        request.onComplete = [](void *ctx, IoStatus status) {
             std::unique_ptr<Fn> owned(static_cast<Fn *>(ctx));
-            (*owned)();
+            if constexpr (std::is_invocable_v<Fn &, IoStatus>) {
+                (*owned)(status);
+            } else {
+                (void)status;
+                (*owned)();
+            }
         };
         request.ctx = boxed.get();
         submit(request);
@@ -172,9 +182,43 @@ class Disk
      */
     void enableTrackBuffer(double hitServiceMs = 0.5);
 
+    /**
+     * Attach an error injector (null detaches). Without one the disk
+     * performs no RNG draws and no extra work, so fault-free results
+     * are byte-identical to a build without the fault layer.
+     */
+    void setFaultModel(std::unique_ptr<FaultModel> model)
+    {
+        faultModel_ = std::move(model);
+    }
+
+    /** The attached error injector, or null. */
+    FaultModel *faultModel() { return faultModel_.get(); }
+
+    /**
+     * Fail the whole disk now. Queued requests complete immediately
+     * with IoStatus::DiskFailed (a dead disk serves nothing); the
+     * request in service, if any, completes at its scheduled time but
+     * also reports DiskFailed. Later submits complete with DiskFailed
+     * after a zero-delay event (never inline, preserving the "completion
+     * is always asynchronous" contract).
+     */
+    void fail();
+
+    /** True once fail() has been called. */
+    bool failed() const { return failed_; }
+
+    /** Swap in a fresh drive for a failed disk: clears the failed flag
+     * (head state carries over; the model does not care). The disk must
+     * be idle — a dead disk completes everything immediately, so it is
+     * once its zero-delay completions have drained. */
+    void replace();
+
   private:
     void dispatch();
     void complete(int slot, Tick dispatched);
+    void completeFailed(int slot);
+    void drainQueueFailed(Scheduler &queue);
 
     /**
      * Compute the completion time of @p request starting service at
@@ -213,6 +257,9 @@ class Disk
         Chs chs; ///< decoded start address, computed once at submit
         Tick enqueued = 0;
         bool live = false;
+        /** Outcome decided at dispatch by the fault model (Ok without
+         * one); failure of the whole disk overrides at completion. */
+        IoStatus status = IoStatus::Ok;
     };
     std::vector<Pending> pending_;
     std::vector<std::int32_t> freeSlots_;
@@ -226,6 +273,10 @@ class Disk
     DiskStats stats_;
     UtilizationTracker util_;
     AccessTracer tracer_;
+
+    /** Error injector; null = perfect disk (the default). */
+    std::unique_ptr<FaultModel> faultModel_;
+    bool failed_ = false;
 
     // Track buffer state (disabled unless enableTrackBuffer()).
     bool trackBufferEnabled_ = false;

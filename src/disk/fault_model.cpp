@@ -1,0 +1,137 @@
+#include "disk/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+const char *
+toString(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::Ok:          return "ok";
+      case IoStatus::MediumError: return "medium-error";
+      case IoStatus::DiskFailed:  return "disk-failed";
+    }
+    return "?";
+}
+
+namespace {
+
+/** splitmix64 step, used to derive independent per-disk seeds. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    std::uint64_t z = seed + salt + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+FaultModel::FaultModel(const FaultConfig &config,
+                       std::int64_t totalSectors, int diskId)
+    : config_(config),
+      rng_(mixSeed(config.seed,
+                   static_cast<std::uint64_t>(diskId) * 2 + 1)),
+      hazardRng_(mixSeed(config.seed,
+                         static_cast<std::uint64_t>(diskId) * 2 + 2))
+{
+    if (config_.latentErrorProb < 0 || config_.latentErrorProb > 1)
+        DECLUST_FATAL("latent error probability ",
+                      config_.latentErrorProb, " outside [0, 1]");
+    if (config_.transientReadProb < 0 || config_.transientReadProb >= 1)
+        DECLUST_FATAL("transient read probability ",
+                      config_.transientReadProb, " outside [0, 1)");
+    if (config_.maxRetries < 0)
+        DECLUST_FATAL("retry budget must be non-negative");
+    if (totalSectors <= 0)
+        DECLUST_FATAL("disk has no sectors");
+
+    // Sample the defect map by geometric skip lengths: the gap to the
+    // next defective sector is Geometric(p), so the cost is one draw
+    // per defect rather than one per sector.
+    const double p = config_.latentErrorProb;
+    if (p > 0 && p < 1) {
+        const double logq = std::log1p(-p);
+        std::int64_t sector = -1;
+        for (;;) {
+            const double u = rng_.uniform();
+            sector += 1 + static_cast<std::int64_t>(
+                              std::floor(std::log1p(-u) / logq));
+            if (sector >= totalSectors)
+                break;
+            latent_.push_back(sector);
+        }
+    } else if (p >= 1) {
+        latent_.resize(static_cast<std::size_t>(totalSectors));
+        for (std::int64_t s = 0; s < totalSectors; ++s)
+            latent_[static_cast<std::size_t>(s)] = s;
+    }
+}
+
+bool
+FaultModel::popLatent(std::int64_t startSector, int count)
+{
+    if (latent_.empty())
+        return false;
+    const auto first =
+        std::lower_bound(latent_.begin(), latent_.end(), startSector);
+    auto last = first;
+    const std::int64_t end = startSector + count;
+    while (last != latent_.end() && *last < end)
+        ++last;
+    if (first == last)
+        return false;
+    stats_.sectorsRemapped +=
+        static_cast<std::uint64_t>(last - first);
+    latent_.erase(first, last);
+    return true;
+}
+
+FaultModel::ReadOutcome
+FaultModel::onRead(std::int64_t startSector, int count)
+{
+    ReadOutcome outcome;
+    if (popLatent(startSector, count)) {
+        // Hard defect: the drive burns its whole retry budget re-reading,
+        // then reports an unrecovered error and remaps the sector. The
+        // data is gone; the layer above must regenerate it from parity.
+        outcome.extraRevolutions = config_.maxRetries;
+        stats_.transientRetries +=
+            static_cast<std::uint64_t>(config_.maxRetries);
+        outcome.status = IoStatus::MediumError;
+        ++stats_.mediumErrors;
+        return outcome;
+    }
+    if (config_.transientReadProb > 0) {
+        // Each attempt independently fails with probability p; every
+        // retry costs one revolution. Exhausting the budget surfaces as
+        // an unrecovered error (no remap: the medium itself is fine).
+        int failures = 0;
+        while (failures <= config_.maxRetries &&
+               rng_.bernoulli(config_.transientReadProb))
+            ++failures;
+        if (failures > 0) {
+            const int retries = std::min(failures, config_.maxRetries);
+            outcome.extraRevolutions = retries;
+            stats_.transientRetries += static_cast<std::uint64_t>(retries);
+            if (failures > config_.maxRetries) {
+                outcome.status = IoStatus::MediumError;
+                ++stats_.mediumErrors;
+            }
+        }
+    }
+    return outcome;
+}
+
+void
+FaultModel::onWrite(std::int64_t startSector, int count)
+{
+    popLatent(startSector, count);
+}
+
+} // namespace declust

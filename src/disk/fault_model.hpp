@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Injectable per-disk error model (the fault-injection layer's lowest
+ * tier).
+ *
+ * Three error processes, all driven by one seeded RNG so a campaign
+ * replays bit-exactly per seed:
+ *
+ *  - Latent sector errors: a per-sector defect map sampled at
+ *    construction (geometric skip-sampling, so a 10^-8 rate over 10^6
+ *    sectors costs a handful of draws, not one per sector). A read that
+ *    covers a defective sector fails hard after the drive's bounded
+ *    retries; the drive then remaps the sector — later accesses to it
+ *    succeed, but the data it held is gone and must be regenerated from
+ *    parity. A write covering a defective sector remaps it silently
+ *    (writes reassign sectors, so no data is lost).
+ *
+ *  - Transient read errors: each read attempt independently fails with
+ *    a configured probability; the drive re-reads, charging one full
+ *    revolution per retry, and reports an unrecovered (medium) error
+ *    once the retry budget is exhausted.
+ *
+ *  - Whole-disk failures: the model carries a dedicated hazard RNG
+ *    stream for exponential time-to-failure sampling, kept separate
+ *    from the per-access stream so hazard draws never perturb the
+ *    sector-error sequence.
+ *
+ * The model is consulted only when attached (Disk::setFaultModel); an
+ * unattached disk performs zero extra RNG draws and zero extra work, so
+ * all default-configuration results stay byte-identical.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace declust {
+
+/** Outcome of one disk I/O, as reported to the completion callback. */
+enum class IoStatus : std::uint8_t
+{
+    /** Transfer completed and the data is valid. */
+    Ok = 0,
+    /** Unrecovered medium error: the transfer failed after retries and
+     * the covered data is lost (defective sectors are remapped). */
+    MediumError = 1,
+    /** The whole disk has failed; no data was transferred. */
+    DiskFailed = 2,
+};
+
+/** Display name for an I/O status. */
+const char *toString(IoStatus status);
+
+/** The worse of two statuses (DiskFailed > MediumError > Ok). */
+inline IoStatus
+worseStatus(IoStatus a, IoStatus b)
+{
+    return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b)
+               ? a
+               : b;
+}
+
+/** Error-process rates for one disk. */
+struct FaultConfig
+{
+    /** Probability that any given sector carries a latent defect. */
+    double latentErrorProb = 0.0;
+    /** Per-attempt transient read-error probability. */
+    double transientReadProb = 0.0;
+    /** Re-read attempts before the drive reports a medium error; each
+     * retry costs one platter revolution of service time. */
+    int maxRetries = 3;
+    /** Seed for the model's RNG streams (mixed with the disk id). */
+    std::uint64_t seed = 1;
+};
+
+/** Counters exposed by one disk's fault model. */
+struct FaultModelStats
+{
+    std::uint64_t mediumErrors = 0;     ///< reads reported MediumError
+    std::uint64_t transientRetries = 0; ///< re-reads charged
+    std::uint64_t sectorsRemapped = 0;  ///< defective sectors retired
+};
+
+/** Seeded error injector for a single disk. */
+class FaultModel
+{
+  public:
+    /**
+     * @param config Error rates and retry budget.
+     * @param totalSectors Capacity of the disk being modelled.
+     * @param diskId Mixed into the seed so every disk gets an
+     *        independent (but reproducible) stream.
+     */
+    FaultModel(const FaultConfig &config, std::int64_t totalSectors,
+               int diskId);
+
+    /** What the model decided about one read transfer. */
+    struct ReadOutcome
+    {
+        IoStatus status = IoStatus::Ok;
+        /** Extra platter revolutions spent on re-reads. */
+        int extraRevolutions = 0;
+    };
+
+    /**
+     * Consult the model for a read of [@p startSector, + @p count).
+     * Defective sectors in range are remapped (data lost) and the read
+     * reports MediumError after a full retry budget; otherwise the
+     * transient process may charge retries and, if the budget runs out,
+     * also report MediumError.
+     */
+    ReadOutcome onRead(std::int64_t startSector, int count);
+
+    /**
+     * A write covering a defective sector remaps it (the new data lands
+     * on a good sector, nothing is lost). Never fails, never draws.
+     */
+    void onWrite(std::int64_t startSector, int count);
+
+    /**
+     * Exponential variate with mean @p mean from the hazard stream
+     * (whole-disk time-to-failure sampling). Independent of the
+     * per-access stream.
+     */
+    double sampleHazard(double mean) { return hazardRng_.exponential(mean); }
+
+    const FaultModelStats &stats() const { return stats_; }
+
+    /** Defective sectors not yet hit (and so not yet remapped). */
+    std::size_t latentRemaining() const { return latent_.size(); }
+
+  private:
+    /** Remap (erase) defective sectors in range; true if any were hit. */
+    bool popLatent(std::int64_t startSector, int count);
+
+    FaultConfig config_;
+    Rng rng_;
+    Rng hazardRng_;
+    /** Sorted sector numbers carrying a latent defect. */
+    std::vector<std::int64_t> latent_;
+    FaultModelStats stats_;
+};
+
+} // namespace declust

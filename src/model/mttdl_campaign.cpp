@@ -1,0 +1,70 @@
+#include "model/mttdl_campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+double
+windowLossProbability(double mtbfSec, int survivors, double windowSec)
+{
+    if (mtbfSec <= 0)
+        DECLUST_FATAL("MTBF must be positive, got ", mtbfSec);
+    if (survivors < 1)
+        DECLUST_FATAL("need at least one surviving disk, got ", survivors);
+    if (windowSec < 0)
+        DECLUST_FATAL("window length must be non-negative, got ",
+                      windowSec);
+    return 1.0 - std::exp(-(survivors * windowSec) / mtbfSec);
+}
+
+double
+impliedWindowSec(double pHat, double mtbfSec, int survivors)
+{
+    if (pHat < 0 || pHat >= 1)
+        DECLUST_FATAL("loss rate must be in [0, 1), got ", pHat);
+    if (mtbfSec <= 0)
+        DECLUST_FATAL("MTBF must be positive, got ", mtbfSec);
+    if (survivors < 1)
+        DECLUST_FATAL("need at least one surviving disk, got ", survivors);
+    return -std::log1p(-pHat) * mtbfSec / survivors;
+}
+
+double
+mttdlFromLossProbability(double mtbfSec, int disks, double lossProbability)
+{
+    if (mtbfSec <= 0)
+        DECLUST_FATAL("MTBF must be positive, got ", mtbfSec);
+    if (disks < 2)
+        DECLUST_FATAL("an array needs at least 2 disks, got ", disks);
+    if (lossProbability <= 0)
+        return std::numeric_limits<double>::infinity();
+    // Windows until the first loss are geometric with mean 1/p; windows
+    // arrive at the array's failure rate C/MTBF.
+    return mtbfSec / (disks * lossProbability);
+}
+
+double
+binomialCiHalfWidth(double pHat, int n)
+{
+    if (n <= 0)
+        DECLUST_FATAL("confidence interval needs n > 0, got ", n);
+    const double p = std::clamp(pHat, 0.0, 1.0);
+    return 1.96 * std::sqrt(p * (1.0 - p) / n);
+}
+
+bool
+lossRateAgrees(double pHat, double pModel, int n)
+{
+    // The absolute floor covers the degenerate corners the normal
+    // approximation mishandles: p̂ = 0 with a tiny analytic p, and
+    // small-n campaigns where the CI itself is noisy.
+    const double slack =
+        std::max(binomialCiHalfWidth(pHat, n), 3.0 / n);
+    return std::abs(pHat - pModel) <= slack;
+}
+
+} // namespace declust

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Aggregation and analytic cross-check for the Monte Carlo MTTDL
+ * campaign (bench/bench_mttdl.cpp).
+ *
+ * The campaign measures the per-window data-loss probability p̂ over N
+ * independent failure→repair windows and compares it against the
+ * analytic prediction of the paper's MTTDL argument. Both sides are
+ * mapped to a mean time to data loss through the same identity
+ *
+ *     MTTDL = MTBF / (C · p)
+ *
+ * where p is the probability that the repair window following a disk
+ * failure loses data. With p = 1 - exp(-(C-1)·T/MTBF) ≈ (C-1)·T/MTBF
+ * this reduces to the familiar MTTDL = MTBF² / (C·(C-1)·T). All the
+ * functions here are pure math over sim-seconds, so tests can pin them
+ * without running simulations.
+ */
+#pragma once
+
+namespace declust {
+
+/** Running totals over one campaign configuration's windows. */
+struct CampaignAggregate
+{
+    int windows = 0;
+    /** Windows in which a second disk failed during the repair. */
+    int secondFailures = 0;
+    /** Windows that ended with at least one data-loss event. */
+    int losses = 0;
+    double totalReconSec = 0.0;
+    long long unrecoverableStripes = 0;
+    long long mediumErrors = 0;
+    long long sectorRepairs = 0;
+
+    void
+    merge(const CampaignAggregate &other)
+    {
+        windows += other.windows;
+        secondFailures += other.secondFailures;
+        losses += other.losses;
+        totalReconSec += other.totalReconSec;
+        unrecoverableStripes += other.unrecoverableStripes;
+        mediumErrors += other.mediumErrors;
+        sectorRepairs += other.sectorRepairs;
+    }
+
+    double
+    lossRate() const
+    {
+        return windows > 0 ? static_cast<double>(losses) / windows : 0.0;
+    }
+
+    double
+    meanReconSec() const
+    {
+        return windows > 0 ? totalReconSec / windows : 0.0;
+    }
+};
+
+/**
+ * Analytic probability that a repair window of @p windowSec loses data
+ * to a second whole-disk failure: 1 - exp(-survivors·T/MTBF), the
+ * minimum of @p survivors exponential clocks landing inside T.
+ */
+double windowLossProbability(double mtbfSec, int survivors,
+                             double windowSec);
+
+/**
+ * Invert windowLossProbability: the repair-window length T̂ that the
+ * measured loss rate @p pHat implies. Comparing T̂ with the measured
+ * mean reconstruction time checks the exponential-hazard model
+ * end-to-end.
+ */
+double impliedWindowSec(double pHat, double mtbfSec, int survivors);
+
+/** MTTDL (in the same time unit as @p mtbfSec) from a per-window loss
+ * probability: expected windows until a loss, times the inter-failure
+ * time MTBF/C. */
+double mttdlFromLossProbability(double mtbfSec, int disks,
+                                double lossProbability);
+
+/** Half-width of the 95% normal-approximation confidence interval for
+ * a binomial proportion @p pHat over @p n trials. */
+double binomialCiHalfWidth(double pHat, int n);
+
+/**
+ * True when the measured loss rate is statistically compatible with the
+ * analytic prediction: |p̂ - p| within the binomial CI half-width
+ * (plus a small absolute floor so p = 0 configurations pass exactly
+ * when no loss was seen).
+ */
+bool lossRateAgrees(double pHat, double pModel, int n);
+
+} // namespace declust

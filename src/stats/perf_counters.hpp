@@ -71,6 +71,7 @@ namespace declust {
     X(DegradedWrites, "degraded_writes")                                   \
     X(ParityLostWrites, "parity_lost_writes")                              \
     X(PiggybackWrites, "piggyback_writes")                                 \
+    X(ReadRepairs, "read_repairs")                                         \
     X(ReconCycles, "recon_cycles")                                         \
     X(CopybackCycles, "copyback_cycles")
 

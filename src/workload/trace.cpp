@@ -1,11 +1,53 @@
 #include "workload/trace.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
 
 namespace declust {
+
+namespace {
+
+// Full-token numeric conversion: the whole token must be consumed, so
+// "5.7" is not silently truncated to an integer 5 and "3x" is an error
+// rather than a 3. Every diagnostic carries the 1-based line number.
+
+double
+parseTimeToken(const std::string &tok, int lineNo)
+{
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (ec != std::errc{} || end != tok.data() + tok.size())
+        DECLUST_FATAL("trace line ", lineNo, ": bad timestamp '", tok,
+                      "'");
+    if (!std::isfinite(value) || value < 0)
+        DECLUST_FATAL("trace line ", lineNo, ": timestamp '", tok,
+                      "' must be finite and non-negative");
+    return value;
+}
+
+std::int64_t
+parseCountToken(const std::string &tok, const char *what,
+                std::int64_t min, int lineNo)
+{
+    std::int64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (ec != std::errc{} || end != tok.data() + tok.size())
+        DECLUST_FATAL("trace line ", lineNo, ": bad ", what, " '", tok,
+                      "'");
+    if (value < min)
+        DECLUST_FATAL("trace line ", lineNo, ": ", what, " '", tok,
+                      "' must be >= ", min);
+    return value;
+}
+
+} // namespace
 
 std::vector<TraceRecord>
 parseTrace(std::istream &in)
@@ -20,27 +62,43 @@ parseTrace(std::istream &in)
         if (firstNonSpace == std::string::npos ||
             line[firstNonSpace] == '#')
             continue;
+        // Tokenize the whole line up front so extra fields are rejected
+        // instead of silently ignored.
         std::istringstream ls(line);
+        std::vector<std::string> toks;
+        for (std::string tok; ls >> tok;)
+            toks.push_back(std::move(tok));
+        if (toks.size() < 3 || toks.size() > 4)
+            DECLUST_FATAL("trace line ", lineNo, ": expected '<time> "
+                          "<R|W> <first-unit> [<count>]', got ",
+                          toks.size(), " fields");
+
         TraceRecord rec;
-        std::string op;
-        ls >> rec.timeSec >> op >> rec.firstUnit;
-        if (!ls)
-            DECLUST_FATAL("trace line ", lineNo, ": malformed record");
-        if (!(ls >> rec.unitCount))
-            rec.unitCount = 1;
-        if (op == "R" || op == "r") {
+        rec.timeSec = parseTimeToken(toks[0], lineNo);
+        if (toks[1] == "R" || toks[1] == "r") {
             rec.kind = RequestKind::Read;
-        } else if (op == "W" || op == "w") {
+        } else if (toks[1] == "W" || toks[1] == "w") {
             rec.kind = RequestKind::Write;
         } else {
-            DECLUST_FATAL("trace line ", lineNo, ": bad op '", op,
+            DECLUST_FATAL("trace line ", lineNo, ": bad op '", toks[1],
                           "' (want R or W)");
         }
-        if (rec.timeSec < 0 || rec.firstUnit < 0 || rec.unitCount < 1)
-            DECLUST_FATAL("trace line ", lineNo, ": negative field");
+        rec.firstUnit =
+            parseCountToken(toks[2], "first unit", 0, lineNo);
+        if (toks.size() == 4) {
+            const std::int64_t count =
+                parseCountToken(toks[3], "unit count", 1, lineNo);
+            if (count > std::numeric_limits<int>::max())
+                DECLUST_FATAL("trace line ", lineNo, ": unit count ",
+                              count, " is out of range");
+            rec.unitCount = static_cast<int>(count);
+        } else {
+            rec.unitCount = 1;
+        }
         if (rec.timeSec < lastTime)
-            DECLUST_FATAL("trace line ", lineNo,
-                          ": timestamps must be non-decreasing");
+            DECLUST_FATAL("trace line ", lineNo, ": timestamp ",
+                          rec.timeSec, " is out of order (previous "
+                          "record at ", lastTime, ")");
         lastTime = rec.timeSec;
         records.push_back(rec);
     }
@@ -72,11 +130,10 @@ TraceWorkload::TraceWorkload(EventQueue &eq, ArrayController &array,
     : eq_(eq), array_(array), records_(std::move(records))
 {
     for (const TraceRecord &rec : records_) {
-        DECLUST_ASSERT(rec.firstUnit + rec.unitCount <=
-                           array_.numDataUnits(),
-                       "trace touches unit ", rec.firstUnit, "+",
-                       rec.unitCount, " beyond the array's ",
-                       array_.numDataUnits(), " data units");
+        if (rec.firstUnit + rec.unitCount > array_.numDataUnits())
+            DECLUST_FATAL("trace touches unit ", rec.firstUnit, "+",
+                          rec.unitCount, " beyond the array's ",
+                          array_.numDataUnits(), " data units");
     }
 }
 

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: the per-disk error model,
+ * read-repair of latent sector errors, graceful degradation under a
+ * second whole-disk failure, the failure-window driver behind the MTTDL
+ * campaign, and the defined error paths for failDisk()/failSecondDisk()
+ * misuse.
+ */
+#include <gtest/gtest.h>
+
+#include "core/array_sim.hpp"
+#include "core/failure_window.hpp"
+#include "disk/fault_model.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+namespace {
+
+SimConfig
+smallConfig(int G = 4)
+{
+    SimConfig cfg;
+    cfg.numDisks = 5;
+    cfg.stripeUnits = G;
+    DiskGeometry g = DiskGeometry::ibm0661();
+    g.cylinders = 20;
+    g.tracksPerCyl = 2;
+    cfg.geometry = g;
+    cfg.accessesPerSec = 40.0;
+    cfg.readFraction = 0.5;
+    cfg.seed = 7;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// FaultModel: the per-disk error injector.
+
+TEST(FaultModel, DeterministicPerSeed)
+{
+    FaultConfig fc;
+    fc.latentErrorProb = 0.01;
+    fc.transientReadProb = 0.05;
+    fc.seed = 42;
+    FaultModel a(fc, 4096, 3);
+    FaultModel b(fc, 4096, 3);
+    for (std::int64_t s = 0; s < 4096; s += 8) {
+        const auto oa = a.onRead(s, 8);
+        const auto ob = b.onRead(s, 8);
+        EXPECT_EQ(oa.status, ob.status) << "sector " << s;
+        EXPECT_EQ(oa.extraRevolutions, ob.extraRevolutions)
+            << "sector " << s;
+    }
+    EXPECT_EQ(a.stats().mediumErrors, b.stats().mediumErrors);
+    EXPECT_EQ(a.stats().transientRetries, b.stats().transientRetries);
+    EXPECT_EQ(a.stats().sectorsRemapped, b.stats().sectorsRemapped);
+}
+
+TEST(FaultModel, DifferentDisksGetIndependentDefectMaps)
+{
+    FaultConfig fc;
+    fc.latentErrorProb = 0.02;
+    fc.seed = 42;
+    FaultModel a(fc, 65536, 0);
+    FaultModel b(fc, 65536, 1);
+    EXPECT_GT(a.latentRemaining(), 0u);
+    EXPECT_GT(b.latentRemaining(), 0u);
+    // Same rate, different streams: the maps should not coincide.
+    std::uint64_t sameStatus = 0, total = 0;
+    for (std::int64_t s = 0; s < 65536; ++s) {
+        ++total;
+        sameStatus += a.onRead(s, 1).status == b.onRead(s, 1).status;
+    }
+    EXPECT_LT(sameStatus, total);
+}
+
+TEST(FaultModel, LatentErrorBurnsRetriesThenRemaps)
+{
+    FaultConfig fc;
+    fc.latentErrorProb = 0.01;
+    fc.maxRetries = 5;
+    fc.seed = 9;
+    FaultModel m(fc, 8192, 0);
+    const std::size_t defects = m.latentRemaining();
+    ASSERT_GT(defects, 0u);
+
+    std::uint64_t errors = 0;
+    for (std::int64_t s = 0; s < 8192; ++s) {
+        const auto out = m.onRead(s, 1);
+        if (out.status == IoStatus::MediumError) {
+            ++errors;
+            // A hard defect exhausts the whole retry budget.
+            EXPECT_EQ(out.extraRevolutions, 5);
+            // The sector was remapped: re-reading it now succeeds.
+            EXPECT_EQ(m.onRead(s, 1).status, IoStatus::Ok);
+        }
+    }
+    EXPECT_EQ(errors, defects);
+    EXPECT_EQ(m.latentRemaining(), 0u);
+    EXPECT_EQ(m.stats().sectorsRemapped, defects);
+}
+
+TEST(FaultModel, WriteRemapsDefectsSilently)
+{
+    FaultConfig fc;
+    fc.latentErrorProb = 0.01;
+    fc.seed = 11;
+    FaultModel m(fc, 8192, 0);
+    const std::size_t defects = m.latentRemaining();
+    ASSERT_GT(defects, 0u);
+
+    m.onWrite(0, 8192);
+    EXPECT_EQ(m.latentRemaining(), 0u);
+    EXPECT_EQ(m.stats().sectorsRemapped, defects);
+    EXPECT_EQ(m.stats().mediumErrors, 0u);
+    for (std::int64_t s = 0; s < 8192; s += 64)
+        EXPECT_EQ(m.onRead(s, 64).status, IoStatus::Ok);
+}
+
+TEST(FaultModel, TransientErrorsRecoverWithinRetryBudget)
+{
+    FaultConfig fc;
+    fc.transientReadProb = 0.3;
+    fc.maxRetries = 20; // generous budget: failures should all recover
+    fc.seed = 13;
+    FaultModel m(fc, 4096, 0);
+    for (std::int64_t s = 0; s < 4096; ++s)
+        EXPECT_EQ(m.onRead(s, 1).status, IoStatus::Ok);
+    // Retries were charged even though every read recovered.
+    EXPECT_GT(m.stats().transientRetries, 0u);
+    EXPECT_EQ(m.stats().mediumErrors, 0u);
+}
+
+TEST(FaultModel, TransientBudgetExhaustionReportsMediumError)
+{
+    FaultConfig fc;
+    fc.transientReadProb = 0.9;
+    fc.maxRetries = 1;
+    fc.seed = 17;
+    FaultModel m(fc, 4096, 0);
+    std::uint64_t errors = 0;
+    for (std::int64_t s = 0; s < 4096; ++s)
+        errors += m.onRead(s, 1).status == IoStatus::MediumError;
+    // P(error) = 0.9^2 = 0.81 per read: must show up in bulk.
+    EXPECT_GT(errors, 2000u);
+    // Transient errors never remap: the medium itself is fine.
+    EXPECT_EQ(m.stats().sectorsRemapped, 0u);
+}
+
+TEST(FaultModel, ZeroRatesAlwaysSucceed)
+{
+    FaultModel m(FaultConfig{}, 4096, 0);
+    EXPECT_EQ(m.latentRemaining(), 0u);
+    for (std::int64_t s = 0; s < 4096; s += 32) {
+        const auto out = m.onRead(s, 32);
+        EXPECT_EQ(out.status, IoStatus::Ok);
+        EXPECT_EQ(out.extraRevolutions, 0);
+    }
+}
+
+TEST(FaultModel, RejectsBadConfig)
+{
+    FaultConfig fc;
+    fc.latentErrorProb = -0.1;
+    EXPECT_THROW(FaultModel(fc, 100, 0), ConfigError);
+    fc.latentErrorProb = 0;
+    fc.transientReadProb = 1.0; // certain failure can never complete
+    EXPECT_THROW(FaultModel(fc, 100, 0), ConfigError);
+    fc.transientReadProb = 0;
+    fc.maxRetries = -1;
+    EXPECT_THROW(FaultModel(fc, 100, 0), ConfigError);
+    fc.maxRetries = 3;
+    EXPECT_THROW(FaultModel(fc, 0, 0), ConfigError);
+}
+
+TEST(IoStatusHelpers, WorseStatusOrdersSeverity)
+{
+    EXPECT_EQ(worseStatus(IoStatus::Ok, IoStatus::Ok), IoStatus::Ok);
+    EXPECT_EQ(worseStatus(IoStatus::Ok, IoStatus::MediumError),
+              IoStatus::MediumError);
+    EXPECT_EQ(worseStatus(IoStatus::DiskFailed, IoStatus::MediumError),
+              IoStatus::DiskFailed);
+    EXPECT_STREQ(toString(IoStatus::MediumError), "medium-error");
+}
+
+// ---------------------------------------------------------------------
+// Controller: read-repair and clean-path pins.
+
+TEST(Faults, LatentErrorsAreRepairedFromParity)
+{
+    SimConfig cfg = smallConfig();
+    cfg.latentErrorProb = 2e-3;
+    ArraySimulation sim(cfg);
+    sim.runFaultFree(1.0, 20.0);
+    sim.drain();
+
+    const FaultStats &fs = sim.controller().faultStats();
+    EXPECT_GT(fs.mediumErrors, 0u);
+    EXPECT_GT(fs.sectorRepairs, 0u);
+    // Single latent errors are always recoverable from parity; the
+    // consistency sweep must still hold everywhere.
+    sim.controller().verifyConsistency();
+}
+
+TEST(Faults, CleanPathHasZeroFaultCounters)
+{
+    // Regression pin: with injection off, a full fail→reconstruct cycle
+    // must run with every fault counter at zero and nothing lost.
+    ArraySimulation sim(smallConfig());
+    sim.runFaultFree(0.3, 0.5);
+    sim.failAndRunDegraded(0.3, 0.5, 1);
+    const ReconOutcome outcome = sim.reconstruct();
+
+    const FaultStats &fs = sim.controller().faultStats();
+    EXPECT_EQ(fs.mediumErrors, 0u);
+    EXPECT_EQ(fs.diskFailedIos, 0u);
+    EXPECT_EQ(fs.sectorRepairs, 0u);
+    EXPECT_EQ(fs.unrecoverableStripes, 0u);
+    EXPECT_EQ(fs.dataLossEvents, 0u);
+    EXPECT_EQ(fs.userReadsLost, 0u);
+    EXPECT_EQ(fs.userWritesLost, 0u);
+    EXPECT_EQ(outcome.report.lostUnits, 0u);
+    EXPECT_EQ(sim.controller().unrecoverableStripeCount(), 0);
+    EXPECT_EQ(sim.controller().failedDisk(), -1);
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
+TEST(Faults, SecondFailureMidReconstructionDegradesGracefully)
+{
+    ArraySimulation sim(smallConfig());
+    sim.runFaultFree(0.3, 0.5);
+    sim.failAndRunDegraded(0.3, 0.5, 1);
+
+    // Kill a second disk shortly after reconstruction starts. The array
+    // must keep going: doomed stripes are recorded, the rest repairs.
+    ArrayController &ctl = sim.controller();
+    sim.eventQueue().scheduleIn(secToTicks(0.5), [&ctl] {
+        if (ctl.reconstructing() && ctl.secondFailedDisk() < 0)
+            ctl.failSecondDisk(3);
+    });
+    const ReconOutcome outcome = sim.reconstruct();
+
+    const FaultStats &fs = ctl.faultStats();
+    EXPECT_EQ(ctl.secondFailedDisk(), -1);
+    EXPECT_EQ(ctl.failedDisk(), 3); // promoted: now awaiting its repair
+    EXPECT_GE(fs.dataLossEvents, 1u);
+    EXPECT_GT(ctl.unrecoverableStripeCount(), 0);
+    EXPECT_GT(outcome.report.lostUnits, 0u);
+    EXPECT_EQ(outcome.report.lostUnits,
+              static_cast<std::uint64_t>(ctl.reconLostUnits()));
+
+    // The promoted failure repairs like any other; unrecoverable
+    // stripes stay on record and are exempt from verification.
+    sim.drain();
+    const std::int64_t lostStripes = ctl.unrecoverableStripeCount();
+    sim.reconstruct();
+    EXPECT_EQ(ctl.failedDisk(), -1);
+    EXPECT_EQ(ctl.unrecoverableStripeCount(), lostStripes);
+    sim.drain();
+    ctl.verifyConsistency();
+}
+
+TEST(Faults, SurvivorMediumErrorDuringReconstructionIsRecorded)
+{
+    // A latent error on a surviving disk during reconstruction makes
+    // that stripe unrecoverable only if it collides with the dead
+    // disk's unit; either way the sweep completes and the books
+    // balance: rebuilt + lost == mapped.
+    SimConfig cfg = smallConfig();
+    cfg.latentErrorProb = 5e-4;
+    ArraySimulation sim(cfg);
+    sim.runFaultFree(0.3, 0.5);
+    sim.failAndRunDegraded(0.3, 0.5, 1);
+    const ReconOutcome outcome = sim.reconstruct();
+
+    const FaultStats &fs = sim.controller().faultStats();
+    EXPECT_GT(fs.mediumErrors, 0u);
+    EXPECT_EQ(sim.controller().failedDisk(), -1);
+    EXPECT_EQ(static_cast<std::int64_t>(outcome.report.lostUnits),
+              sim.controller().reconLostUnits());
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
+// ---------------------------------------------------------------------
+// Failure windows: the Monte Carlo campaign's unit of work.
+
+TEST(FailureWindow, DeterministicPerSeed)
+{
+    FailureWindowConfig fw;
+    fw.sim = smallConfig();
+    fw.mtbfSimSec = 30.0; // short enough to usually hit a second failure
+    fw.windowSeed = 5;
+    const WindowResult a = runFailureWindow(fw);
+    const WindowResult b = runFailureWindow(fw);
+    EXPECT_EQ(a.secondFailure, b.secondFailure);
+    EXPECT_EQ(a.dataLoss, b.dataLoss);
+    EXPECT_EQ(a.reconSec, b.reconSec);
+    EXPECT_EQ(a.unrecoverableStripes, b.unrecoverableStripes);
+    EXPECT_EQ(a.dataLossEvents, b.dataLossEvents);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(FailureWindow, TinyMtbfLosesData)
+{
+    FailureWindowConfig fw;
+    fw.sim = smallConfig();
+    fw.mtbfSimSec = 1.0;
+    // The hazard is random per seed; with MTBF far below the repair
+    // time, a handful of windows must contain at least one loss.
+    bool anyLoss = false;
+    for (std::uint64_t seed = 1; seed <= 5 && !anyLoss; ++seed) {
+        fw.windowSeed = seed;
+        const WindowResult r = runFailureWindow(fw);
+        EXPECT_GT(r.reconSec, 0.0);
+        if (r.secondFailure) {
+            EXPECT_GE(r.secondFailureAtSec, 0.0);
+            anyLoss = anyLoss || r.dataLoss;
+        }
+    }
+    EXPECT_TRUE(anyLoss);
+}
+
+TEST(FailureWindow, HugeMtbfSurvivesCleanly)
+{
+    FailureWindowConfig fw;
+    fw.sim = smallConfig();
+    fw.mtbfSimSec = 1e12;
+    fw.windowSeed = 5;
+    const WindowResult r = runFailureWindow(fw);
+    EXPECT_FALSE(r.secondFailure);
+    EXPECT_FALSE(r.dataLoss);
+    EXPECT_EQ(r.unrecoverableStripes, 0);
+    EXPECT_GT(r.reconSec, 0.0);
+}
+
+TEST(FailureWindow, RejectsBadMtbf)
+{
+    FailureWindowConfig fw;
+    fw.sim = smallConfig();
+    fw.mtbfSimSec = 0.0;
+    EXPECT_THROW(runFailureWindow(fw), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Defined error paths for failure-API misuse.
+
+TEST(Faults, FailDiskMisuseThrowsConfigError)
+{
+    ArraySimulation sim(smallConfig());
+    ArrayController &ctl = sim.controller();
+    EXPECT_THROW(ctl.failDisk(-1), ConfigError);
+    EXPECT_THROW(ctl.failDisk(99), ConfigError);
+
+    ctl.failDisk(2);
+    EXPECT_THROW(ctl.failDisk(2), ConfigError); // already failed
+    EXPECT_THROW(ctl.failDisk(0), ConfigError); // use failSecondDisk()
+}
+
+TEST(Faults, FailSecondDiskMisuseThrowsConfigError)
+{
+    ArraySimulation sim(smallConfig());
+    ArrayController &ctl = sim.controller();
+    // No first failure outstanding.
+    EXPECT_THROW(ctl.failSecondDisk(1), ConfigError);
+
+    ctl.failDisk(2);
+    EXPECT_THROW(ctl.failSecondDisk(-1), ConfigError);
+    EXPECT_THROW(ctl.failSecondDisk(2), ConfigError); // same disk
+
+    ctl.failSecondDisk(4);
+    // A single-failure-correcting array cannot track a third failure.
+    EXPECT_THROW(ctl.failSecondDisk(0), ConfigError);
+}
+
+} // namespace
+} // namespace declust

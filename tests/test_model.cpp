@@ -7,7 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/array_sim.hpp"
+#include "model/mttdl_campaign.hpp"
 #include "model/muntz_lui.hpp"
 #include "model/queueing.hpp"
 #include "model/reliability.hpp"
@@ -296,6 +299,74 @@ TEST(MlModel, RejectsBadInputs)
     EXPECT_ANY_THROW(muntzLuiReconstructionTime(cfg));
     cfg = baseModel(2, ReconAlgorithm::Baseline);
     EXPECT_ANY_THROW(muntzLuiReconstructionTime(cfg));
+}
+
+TEST(MttdlCampaign, WindowLossProbabilityMatchesExponentialHazard)
+{
+    // 20 survivors, window 100 s, MTBF 20000 s: p = 1 - e^{-0.1}.
+    EXPECT_NEAR(windowLossProbability(20'000.0, 20, 100.0),
+                1.0 - std::exp(-0.1), 1e-12);
+    EXPECT_EQ(windowLossProbability(20'000.0, 20, 0.0), 0.0);
+    // Small-p regime matches the paper's linear MTTDL approximation.
+    EXPECT_NEAR(windowLossProbability(1e9, 20, 100.0), 20 * 100.0 / 1e9,
+                1e-9);
+}
+
+TEST(MttdlCampaign, ImpliedWindowInvertsLossProbability)
+{
+    const double p = windowLossProbability(20'000.0, 20, 137.5);
+    EXPECT_NEAR(impliedWindowSec(p, 20'000.0, 20), 137.5, 1e-9);
+    EXPECT_EQ(impliedWindowSec(0.0, 20'000.0, 20), 0.0);
+}
+
+TEST(MttdlCampaign, MttdlIdentityReducesToPaperFormula)
+{
+    // MTTDL = MTBF/(C·p) with p ≈ (C-1)·T/MTBF reduces to the paper's
+    // MTBF² / (C·(C-1)·T) when failures are rare.
+    const double mtbfSec = 150'000.0 * 3600.0;
+    const double reconSec = 3600.0;
+    const int C = 21;
+    const double p = windowLossProbability(mtbfSec, C - 1, reconSec);
+    const double mttdl = mttdlFromLossProbability(mtbfSec, C, p);
+    const double paper = mtbfSec * mtbfSec / (C * (C - 1.0) * reconSec);
+    EXPECT_NEAR(mttdl / paper, 1.0, 1e-4);
+    // Zero observed losses: the estimate is unbounded, not a crash.
+    EXPECT_TRUE(std::isinf(mttdlFromLossProbability(mtbfSec, C, 0.0)));
+}
+
+TEST(MttdlCampaign, AgreementUsesBinomialConfidence)
+{
+    EXPECT_NEAR(binomialCiHalfWidth(0.5, 100), 1.96 * 0.05, 1e-12);
+    // Within one CI half-width: agrees.
+    EXPECT_TRUE(lossRateAgrees(0.25, 0.26, 1000));
+    // Far outside: disagrees.
+    EXPECT_FALSE(lossRateAgrees(0.25, 0.40, 1000));
+    // p̂ = 0 with a tiny analytic p: the 3/n floor absorbs it...
+    EXPECT_TRUE(lossRateAgrees(0.0, 0.002, 1000));
+    // ...but not a large one.
+    EXPECT_FALSE(lossRateAgrees(0.0, 0.02, 1000));
+}
+
+TEST(MttdlCampaign, AggregateMergesAndRejectsBadInputs)
+{
+    CampaignAggregate a, b;
+    a.windows = 10;
+    a.losses = 2;
+    a.totalReconSec = 100.0;
+    b.windows = 30;
+    b.losses = 1;
+    b.totalReconSec = 500.0;
+    a.merge(b);
+    EXPECT_EQ(a.windows, 40);
+    EXPECT_EQ(a.losses, 3);
+    EXPECT_NEAR(a.lossRate(), 3.0 / 40.0, 1e-12);
+    EXPECT_NEAR(a.meanReconSec(), 15.0, 1e-12);
+
+    EXPECT_ANY_THROW(windowLossProbability(0.0, 20, 100.0));
+    EXPECT_ANY_THROW(windowLossProbability(100.0, 0, 100.0));
+    EXPECT_ANY_THROW(impliedWindowSec(1.0, 100.0, 20));
+    EXPECT_ANY_THROW(mttdlFromLossProbability(100.0, 1, 0.5));
+    EXPECT_ANY_THROW(binomialCiHalfWidth(0.5, 0));
 }
 
 } // namespace

@@ -231,6 +231,70 @@ TEST(SparingCopyback, FailureBeforeCopybackIsRejected)
     EXPECT_ANY_THROW(sim.controller().failDisk(3));
 }
 
+TEST(SparingFaults, FailDiskDuringActiveCopybackThrowsConfigError)
+{
+    ArraySimulation sim(
+        sparedConfig(4, ReconAlgorithm::Baseline, 1, 20.0));
+    sim.failAndRunDegraded(0.2, 0.2, 0);
+    sim.reconstruct();
+    sim.drain();
+    // Open the copyback phase but do not run it: a failure while spare
+    // units are being copied home is a defined, rejected operation.
+    sim.controller().beginCopyback();
+    EXPECT_THROW(sim.controller().failDisk(3), ConfigError);
+}
+
+TEST(SparingFaults, SecondFailureMidRebuildIntoSparesDegradesGracefully)
+{
+    ArraySimulation sim(
+        sparedConfig(4, ReconAlgorithm::Redirect, 8, 30.0));
+    sim.failAndRunDegraded(0.2, 0.3, 1);
+    ArrayController &ctl = sim.controller();
+    // Kill a second disk mid-rebuild: spare units already rebuilt onto
+    // it are lost again, and stripes missing two live units are doomed.
+    sim.eventQueue().scheduleIn(secToTicks(0.3), [&ctl] {
+        if (ctl.reconstructing() && ctl.secondFailedDisk() < 0)
+            ctl.failSecondDisk(5);
+    });
+    const ReconOutcome outcome = sim.reconstruct();
+
+    EXPECT_EQ(ctl.failedDisk(), 5); // promoted: awaiting its own repair
+    EXPECT_EQ(ctl.secondFailedDisk(), -1);
+    EXPECT_TRUE(ctl.spareRemapActive());
+    EXPECT_GE(ctl.faultStats().dataLossEvents, 1u);
+    EXPECT_GT(ctl.unrecoverableStripeCount(), 0);
+    EXPECT_GT(outcome.report.lostUnits, 0u);
+
+    // The array keeps serving user traffic around the damage.
+    sim.workload().start();
+    sim.eventQueue().runUntil(sim.eventQueue().now() + secToTicks(0.5));
+    sim.drain();
+}
+
+TEST(SparingFaults, CleanCycleHasZeroFaultCounters)
+{
+    // Regression pin: with no injected faults, a full
+    // fail→rebuild→copyback cycle leaves every fault counter at zero.
+    ArraySimulation sim(
+        sparedConfig(4, ReconAlgorithm::Redirect, 8, 30.0));
+    sim.failAndRunDegraded(0.2, 0.3, 1);
+    const ReconOutcome outcome = sim.reconstruct();
+    sim.copyback();
+
+    const FaultStats &fs = sim.controller().faultStats();
+    EXPECT_EQ(fs.mediumErrors, 0u);
+    EXPECT_EQ(fs.diskFailedIos, 0u);
+    EXPECT_EQ(fs.sectorRepairs, 0u);
+    EXPECT_EQ(fs.unrecoverableStripes, 0u);
+    EXPECT_EQ(fs.dataLossEvents, 0u);
+    EXPECT_EQ(fs.userReadsLost, 0u);
+    EXPECT_EQ(fs.userWritesLost, 0u);
+    EXPECT_EQ(outcome.report.lostUnits, 0u);
+    EXPECT_EQ(sim.controller().unrecoverableStripeCount(), 0);
+    sim.drain();
+    sim.controller().verifyConsistency();
+}
+
 TEST(SparingRecon, SpreadsRebuildWritesAcrossDisks)
 {
     ArraySimulation sim(

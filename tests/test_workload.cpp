@@ -232,6 +232,62 @@ TEST(Trace, ParserRejectsBadInput)
     }
 }
 
+/** Parse @p text expecting a ConfigError; returns its message. */
+std::string
+traceError(const std::string &text)
+{
+    std::stringstream ss(text);
+    try {
+        parseTrace(ss);
+    } catch (const ConfigError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "no ConfigError for: " << text;
+    return {};
+}
+
+TEST(Trace, ParserDiagnosticsCarryLineNumbers)
+{
+    EXPECT_NE(traceError("# ok\n0.0 R 5\njunk R 5\n").find("line 3"),
+              std::string::npos);
+    EXPECT_NE(traceError("0.0 R 5\n1.0 R 5 2 junk\n").find("line 2"),
+              std::string::npos);
+    EXPECT_NE(traceError("2.0 R 5\n1.0 R 6\n").find("line 2"),
+              std::string::npos);
+}
+
+TEST(Trace, ParserRejectsSilentMisparses)
+{
+    // Each of these parsed "successfully" under a naive stream reader
+    // by dropping the bad token; all must be hard errors.
+    const char *bad[] = {
+        "0.0 R 5 xyz\n",         // non-numeric count (was: default 1)
+        "0.0 R 5.7\n",           // fractional unit id (was: truncated)
+        "0.0 R 5 1 9\n",         // trailing field (was: ignored)
+        "nan R 5\n",             // unordered timestamp (was: accepted)
+        "inf R 5\n",             // non-finite timestamp
+        "-1.0 R 5\n",            // negative timestamp
+        "0.0 R 5 0\n",           // zero count
+        "0.0 R 5 -2\n",          // negative count
+        "0.0 R -5\n",            // negative unit
+        "0.0 R 5 99999999999\n", // count beyond int range
+    };
+    for (const char *text : bad) {
+        std::stringstream ss(text);
+        EXPECT_THROW(parseTrace(ss), ConfigError) << text;
+    }
+}
+
+TEST(Trace, ParserAcceptsCarriageReturns)
+{
+    std::stringstream ss("0.0 R 5 2\r\n1.0 W 6\r\n");
+    const auto records = parseTrace(ss);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].unitCount, 2);
+    EXPECT_EQ(records[1].kind, RequestKind::Write);
+    EXPECT_EQ(records[1].unitCount, 1);
+}
+
 TEST(Trace, ReplayIssuesAtRecordedTimes)
 {
     ArraySimulation sim(baseConfig(60.0, 0.5));

@@ -20,6 +20,9 @@ Enforces the invariants the generic toolchain cannot see:
     determinism-unordered    no std::unordered_map/set (iteration order
                              is address-dependent and would feed
                              nondeterminism into event scheduling)
+    determinism-std-random   no std::<random> engines/distributions
+                             (sequences are implementation-defined; use
+                             sim/rng.hpp so campaigns replay everywhere)
 
   header hygiene (all files)
     header-pragma-once       every header starts its code with #pragma once
@@ -51,6 +54,7 @@ DETERMINISM_RULES = (
     "determinism-wall-clock",
     "determinism-rand",
     "determinism-unordered",
+    "determinism-std-random",
 )
 HEADER_RULES = (
     "header-pragma-once",
@@ -96,6 +100,25 @@ LINE_PATTERNS = {
         re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
         "unordered container in simulation code (iteration order is "
         "address-dependent; use a sorted or indexed container)",
+    ),
+    # Fault injection and the MTTDL campaign sample hazards and error
+    # maps; <random> engines/distributions have implementation-defined
+    # sequences, so a campaign seeded on one platform would not replay
+    # on another.
+    "determinism-std-random": (
+        re.compile(
+            r"\b(?:mt19937(?:_64)?|minstd_rand0?|ranlux(?:24|48)(?:_base)?|"
+            r"knuth_b|default_random_engine|subtract_with_carry_engine|"
+            r"mersenne_twister_engine|linear_congruential_engine|"
+            r"(?:uniform_int|uniform_real|bernoulli|binomial|geometric|"
+            r"negative_binomial|poisson|exponential|gamma|weibull|"
+            r"extreme_value|normal|lognormal|chi_squared|cauchy|fisher_f|"
+            r"student_t|discrete|piecewise_constant|piecewise_linear)"
+            r"_distribution)\b"
+        ),
+        "std::<random> engine/distribution in simulation code (sequences "
+        "are implementation-defined and differ across platforms; draw "
+        "from sim/rng.hpp's seeded Rng instead)",
     ),
     "header-using-namespace": (
         re.compile(r"^\s*using\s+namespace\b"),

@@ -17,6 +17,14 @@ wallClockSeed()
     return t.time_since_epoch().count() + noise;
 }
 
+double
+implementationDefinedHazard(unsigned long seed)
+{
+    std::mt19937_64 engine(seed); // EXPECT-LINT: determinism-std-random
+    std::exponential_distribution<double> ttf(1.0); // EXPECT-LINT: determinism-std-random
+    return ttf(engine);
+}
+
 // Mentioning rand() or std::chrono in a comment must NOT fire, nor may
 // the word "time" inside a diagnostic string literal:
 inline const char *kMessage = "rotational time (not a wall-clock read)";
