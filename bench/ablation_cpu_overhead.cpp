@@ -28,6 +28,8 @@ main(int argc, char **argv)
     opts.add("xor-ms", "0.05", "XOR ms per stripe unit combined");
     if (!opts.parse(argc, argv))
         return 1;
+    if (!bench::applyEventQueueOption(opts))
+        return 1;
 
     const double warmup = opts.getDouble("warmup");
     const double measure = opts.getDouble("measure");

@@ -34,6 +34,8 @@ main(int argc, char **argv)
     opts.add("mtbf-khours", "150", "per-disk MTBF in thousands of hours");
     if (!opts.parse(argc, argv))
         return 1;
+    if (!bench::applyEventQueueOption(opts))
+        return 1;
 
     const double warmup = opts.getDouble("warmup");
     const double mtbfHours = opts.getDouble("mtbf-khours") * 1000.0;

@@ -26,6 +26,8 @@ main(int argc, char **argv)
     opts.add("rate", "105", "user access rate");
     if (!opts.parse(argc, argv))
         return 1;
+    if (!bench::applyEventQueueOption(opts))
+        return 1;
 
     const double warmup = opts.getDouble("warmup");
     const double measure = opts.getDouble("measure");

@@ -41,6 +41,7 @@
 #include "harness/json_writer.hpp"
 #include "harness/progress.hpp"
 #include "harness/trial_runner.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "stats/perf_counters.hpp"
 #include "util/options.hpp"
@@ -69,6 +70,22 @@ addCommonOptions(Options &opts)
              "worker threads for the sweep (0 = hardware threads)");
     opts.add("json", "",
              "write a machine-readable run record to this file");
+    opts.add("event-queue", "",
+             std::string("event-queue implementation: heap | calendar "
+                         "(default: ") +
+                 EventQueue::implName(EventQueue::defaultImpl()) + ")");
+}
+
+/**
+ * Apply --event-queue to the process-wide default. Call right after
+ * opts.parse(), before any simulation is constructed. Golden outputs
+ * are byte-identical under either value (the determinism contract);
+ * only wall-clock changes. @return false on an unknown name.
+ */
+inline bool
+applyEventQueueOption(const Options &opts)
+{
+    return selectEventQueue(opts.getString("event-queue"));
 }
 
 /** Build the experiment geometry from parsed options / environment. */
@@ -223,6 +240,8 @@ writeJsonRecord(const Options &opts, const std::string &benchName,
         return;
     JsonObject record;
     record.set("bench", benchName)
+        .set("event_queue",
+             EventQueue::implName(EventQueue::defaultImpl()))
         .set("jobs", out.jobs)
         .set("trials", out.trials)
         .set("wall_sec", out.wallSec)

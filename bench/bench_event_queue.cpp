@@ -1,19 +1,39 @@
 /**
  * @file
  * Microbenchmark for the event core: the schedule/dispatch churn that
- * dominates the simulator's wall clock. Uses google-benchmark.
+ * dominates the simulator's wall clock.
  *
- * The classic "hold" model: keep a fixed number of events pending and
- * repeatedly pop the earliest while scheduling a replacement at a
- * pseudo-random future tick. Swept over queue depth (heap behaviour) and
- * callback capture size (inline small-buffer storage vs pooled spill —
- * EventCallback keeps 48 bytes inline).
+ * Two modes:
+ *
+ *  - Default: google-benchmark microbenchmarks, each registered once
+ *    per event-queue implementation (heap and calendar) so the two can
+ *    be compared at a glance.
+ *
+ *  - --hold-sweep [--json FILE]: the classic "hold" model measured as a
+ *    crossover experiment — keep a fixed population pending, repeatedly
+ *    pop the earliest and schedule a replacement — swept over pending
+ *    population (1k / 10k / 100k) x increment distribution (exponential
+ *    and skewed-bimodal, the latter sending 10% of events far into the
+ *    future to exercise the calendar's overflow ladder) x
+ *    implementation. Every cell re-runs the identical deterministic
+ *    schedule, and a per-cell checksum over the dispatched (when, seq)
+ *    stream cross-checks that both implementations dispatched exactly
+ *    the same events. This sweep is the measured basis for the default
+ *    --event-queue choice (see EXPERIMENTS.md).
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "harness/json_writer.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
 
 namespace {
 
@@ -36,10 +56,11 @@ struct DelayStream
 
 /** Hold model with a callback whose capture fits the 48-byte SBO. */
 void
-BM_HoldSmallCallback(benchmark::State &state)
+BM_HoldSmallCallback(benchmark::State &state, EventQueue::Impl impl)
 {
     const int depth = static_cast<int>(state.range(0));
-    EventQueue queue;
+    EventQueue queue(impl);
+    queue.reserve(static_cast<std::size_t>(depth) + 1);
     DelayStream delays;
     std::uint64_t sink = 0;
     for (int i = 0; i < depth; ++i)
@@ -50,14 +71,23 @@ BM_HoldSmallCallback(benchmark::State &state)
     }
     benchmark::DoNotOptimize(sink);
 }
-BENCHMARK(BM_HoldSmallCallback)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK_CAPTURE(BM_HoldSmallCallback, heap, EventQueue::Impl::Heap)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_HoldSmallCallback, calendar,
+                  EventQueue::Impl::Calendar)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
 
 /** Same churn with a capture too large for the SBO: pooled spill path. */
 void
-BM_HoldSpillCallback(benchmark::State &state)
+BM_HoldSpillCallback(benchmark::State &state, EventQueue::Impl impl)
 {
     const int depth = static_cast<int>(state.range(0));
-    EventQueue queue;
+    EventQueue queue(impl);
+    queue.reserve(static_cast<std::size_t>(depth) + 1);
     DelayStream delays;
     std::uint64_t sink = 0;
     struct Fat
@@ -77,16 +107,24 @@ BM_HoldSpillCallback(benchmark::State &state)
     }
     benchmark::DoNotOptimize(sink);
 }
-BENCHMARK(BM_HoldSpillCallback)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK_CAPTURE(BM_HoldSpillCallback, heap, EventQueue::Impl::Heap)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_HoldSpillCallback, calendar,
+                  EventQueue::Impl::Calendar)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
 
-/** Fill-then-drain: pure heap push/pop throughput without steady state. */
+/** Fill-then-drain: pure push/pop throughput without steady state. */
 void
-BM_FillDrain(benchmark::State &state)
+BM_FillDrain(benchmark::State &state, EventQueue::Impl impl)
 {
     const int n = static_cast<int>(state.range(0));
     std::uint64_t sink = 0;
     for (auto _ : state) {
-        EventQueue queue;
+        EventQueue queue(impl);
         DelayStream delays;
         for (int i = 0; i < n; ++i)
             queue.scheduleIn(delays.next(), [&sink] { ++sink; });
@@ -96,16 +134,21 @@ BM_FillDrain(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
     state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_FillDrain)->Arg(1024)->Arg(65536);
+BENCHMARK_CAPTURE(BM_FillDrain, heap, EventQueue::Impl::Heap)
+    ->Arg(1024)
+    ->Arg(65536);
+BENCHMARK_CAPTURE(BM_FillDrain, calendar, EventQueue::Impl::Calendar)
+    ->Arg(1024)
+    ->Arg(65536);
 
 /** Same-tick FIFO burst: stresses the seq tie-break path. */
 void
-BM_SameTickBurst(benchmark::State &state)
+BM_SameTickBurst(benchmark::State &state, EventQueue::Impl impl)
 {
     const int n = static_cast<int>(state.range(0));
     std::uint64_t sink = 0;
     for (auto _ : state) {
-        EventQueue queue;
+        EventQueue queue(impl);
         for (int i = 0; i < n; ++i)
             queue.scheduleAt(1000, [&sink] { ++sink; });
         queue.runToCompletion();
@@ -114,8 +157,174 @@ BM_SameTickBurst(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
     state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SameTickBurst)->Arg(1024);
+BENCHMARK_CAPTURE(BM_SameTickBurst, heap, EventQueue::Impl::Heap)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_SameTickBurst, calendar, EventQueue::Impl::Calendar)
+    ->Arg(1024);
+
+// ---------------------------------------------------------------------
+// --hold-sweep: the crossover experiment.
+
+/** Increment distributions for the hold model. */
+enum class HoldDist
+{
+    Exponential,  ///< classic hold model: exp(mean 10000 ticks)
+    SkewedBimodal ///< 90% near (uniform < 1000), 10% far (2^34 + u)
+};
+
+const char *
+holdDistName(HoldDist dist)
+{
+    return dist == HoldDist::Exponential ? "exponential"
+                                         : "skewed_bimodal";
+}
+
+Tick
+holdDelay(Rng &rng, HoldDist dist)
+{
+    if (dist == HoldDist::Exponential)
+        return static_cast<Tick>(rng.exponential(10000.0)) + 1;
+    if (rng.bernoulli(0.10))
+        return (Tick{1} << 34) + rng.uniformInt(1u << 20);
+    return rng.uniformInt(1000) + 1;
+}
+
+struct HoldResult
+{
+    double wallSec = 0.0;
+    double opsPerSec = 0.0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Warm a queue to @p population, then time @p holdOps pop+push pairs.
+ * The checksum folds every dispatched tick with the running op index,
+ * so any cross-implementation divergence in dispatch order changes it.
+ */
+HoldResult
+runHold(EventQueue::Impl impl, int population, HoldDist dist,
+        std::uint64_t holdOps)
+{
+    EventQueue queue(impl);
+    queue.reserve(static_cast<std::size_t>(population) + 1);
+    Rng rng(0x601d + static_cast<std::uint64_t>(population));
+    std::uint64_t checksum = 0;
+    const auto schedule = [&] {
+        queue.scheduleIn(holdDelay(rng, dist), [&checksum, &queue] {
+            checksum = checksum * 0x9e3779b97f4a7c15ull + queue.now();
+        });
+    };
+    for (int i = 0; i < population; ++i)
+        schedule();
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t op = 0; op < holdOps; ++op) {
+        queue.step();
+        schedule();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+
+    HoldResult r;
+    r.wallSec = std::chrono::duration<double>(stop - start).count();
+    r.opsPerSec = r.wallSec > 0.0
+                      ? static_cast<double>(holdOps) / r.wallSec
+                      : 0.0;
+    r.checksum = checksum;
+    return r;
+}
+
+int
+runHoldSweep(const std::string &jsonPath)
+{
+    const std::vector<int> populations = {1000, 10000, 100000};
+    const std::vector<HoldDist> dists = {HoldDist::Exponential,
+                                         HoldDist::SkewedBimodal};
+    constexpr std::uint64_t kHoldOps = 2000000;
+
+    JsonObject records;
+    bool checksumsMatch = true;
+    std::cout << "hold model, " << kHoldOps << " ops per cell\n";
+    std::cout << "population  distribution     heap ops/s  calendar "
+                 "ops/s  calendar/heap\n";
+    for (int population : populations) {
+        for (HoldDist dist : dists) {
+            const HoldResult heap = runHold(EventQueue::Impl::Heap,
+                                            population, dist, kHoldOps);
+            const HoldResult calendar = runHold(
+                EventQueue::Impl::Calendar, population, dist, kHoldOps);
+            if (heap.checksum != calendar.checksum) {
+                checksumsMatch = false;
+                std::cerr << "DISPATCH STREAMS DIVERGED: population "
+                          << population << ", dist "
+                          << holdDistName(dist) << "\n";
+            }
+            const double ratio = heap.opsPerSec > 0.0
+                                     ? calendar.opsPerSec / heap.opsPerSec
+                                     : 0.0;
+            std::printf("%10d  %-15s  %10.0f  %14.0f  %13.2f\n",
+                        population, holdDistName(dist), heap.opsPerSec,
+                        calendar.opsPerSec, ratio);
+            for (EventQueue::Impl impl : {EventQueue::Impl::Heap,
+                                          EventQueue::Impl::Calendar}) {
+                const HoldResult &r =
+                    impl == EventQueue::Impl::Heap ? heap : calendar;
+                JsonObject cell;
+                cell.set("impl", EventQueue::implName(impl))
+                    .set("population", population)
+                    .set("distribution", holdDistName(dist))
+                    .set("hold_ops", kHoldOps)
+                    .set("wall_sec", r.wallSec)
+                    .set("ops_per_sec", r.opsPerSec)
+                    .set("checksum", r.checksum);
+                records.set(std::string(EventQueue::implName(impl)) +
+                                "_" + std::to_string(population) + "_" +
+                                holdDistName(dist),
+                            std::move(cell));
+            }
+        }
+    }
+    if (!checksumsMatch) {
+        std::cerr << "hold sweep FAILED: implementations disagreed\n";
+        return 1;
+    }
+    std::cout << "all heap/calendar dispatch checksums match\n";
+
+    if (!jsonPath.empty()) {
+        JsonObject record;
+        record.set("bench", "bench_event_queue_hold")
+            .set("hold_ops", kHoldOps)
+            .set("checksums_match", std::int64_t{1})
+            .set("records", std::move(records));
+        std::ofstream file(jsonPath);
+        if (!file) {
+            std::cerr << "cannot write " << jsonPath << "\n";
+            return 1;
+        }
+        record.write(file);
+    }
+    return 0;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool holdSweep = false;
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--hold-sweep") == 0)
+            holdSweep = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+    }
+    if (holdSweep)
+        return runHoldSweep(jsonPath);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

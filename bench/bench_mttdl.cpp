@@ -74,6 +74,8 @@ main(int argc, char **argv)
                  "fields; golden-comparable) to this file");
     if (!opts.parse(argc, argv))
         return 1;
+    if (!bench::applyEventQueueOption(opts))
+        return 1;
 
     const int windows = static_cast<int>(opts.getInt("windows"));
     const int chunk = static_cast<int>(opts.getInt("chunk"));

@@ -22,6 +22,8 @@ main(int argc, char **argv)
     addCommonOptions(opts);
     if (!opts.parse(argc, argv))
         return 1;
+    if (!bench::applyEventQueueOption(opts))
+        return 1;
 
     const double warmup = opts.getDouble("warmup");
     const double measure = opts.getDouble("measure");

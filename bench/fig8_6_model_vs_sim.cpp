@@ -31,6 +31,8 @@ main(int argc, char **argv)
              "      bandwidth is used, i.e. maximally parallel sweep)");
     if (!opts.parse(argc, argv))
         return 1;
+    if (!bench::applyEventQueueOption(opts))
+        return 1;
 
     const double warmup = opts.getDouble("warmup");
     const double rate = opts.getDouble("rate");

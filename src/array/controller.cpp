@@ -1124,6 +1124,13 @@ ArrayController::ArrayController(EventQueue &eq,
         params_.xorOverheadMsPerUnit > 0) {
         cpu_ = std::make_unique<SerialResource>(eq_);
     }
+    // Pre-size the pending set for the steady-state event population:
+    // each disk contributes a handful of in-flight events (completion,
+    // scheduler hand-off, track-buffer timer) and the workload/recon
+    // layers keep a bounded backlog on top. Over-estimating costs a few
+    // kilobytes; under-estimating only costs growth reallocations that
+    // the alloc-guard test would surface.
+    eq_.reserve(static_cast<std::size_t>(layout_->numDisks()) * 16 + 128);
     for (int d = 0; d < layout_->numDisks(); ++d) {
         auto background =
             params_.prioritizeUserIo

@@ -1,12 +1,29 @@
 #include "harness/trial_runner.hpp"
 
 #include <atomic>
+#include <iostream>
 #include <mutex>
 #include <thread>
 
+#include "sim/event_queue.hpp"
 #include "util/error.hpp"
 
 namespace declust {
+
+bool
+selectEventQueue(const std::string &name)
+{
+    if (name.empty())
+        return true;
+    EventQueue::Impl impl;
+    if (!EventQueue::parseImplName(name, &impl)) {
+        std::cerr << "unknown event-queue implementation '" << name
+                  << "' (expected: heap | calendar)\n";
+        return false;
+    }
+    EventQueue::setDefaultImpl(impl);
+    return true;
+}
 
 TrialRunner::TrialRunner(int jobs)
 {

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The unit of work both event-queue implementations store: a callback
+ * tagged with its absolute dispatch tick and a global sequence number.
+ *
+ * The (when, seq) pair is the simulator's TOTAL dispatch order — seq is
+ * assigned by the EventQueue facade in scheduling order, so ties at the
+ * same tick dispatch FIFO. Both the 4-ary heap and the calendar queue
+ * order entries with eventBefore() and nothing else, which is what lets
+ * the facade swap implementations without perturbing a single golden
+ * table.
+ */
+// LINT: hot-path
+#pragma once
+
+#include <cstdint>
+
+#include "sim/callback.hpp"
+#include "sim/time.hpp"
+
+namespace declust {
+
+/** One pending event: dispatch tick, FIFO tie-break, and the work. */
+struct EventEntry
+{
+    Tick when = 0;
+    std::uint64_t seq = 0; // tie-break: FIFO among same-tick events
+    EventCallback cb;
+};
+
+/** Strict (when, seq) order — the determinism contract's comparator. */
+inline bool
+eventBefore(const EventEntry &a, const EventEntry &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    return a.seq < b.seq;
+}
+
+} // namespace declust

@@ -1,0 +1,61 @@
+// LINT: hot-path
+#include "sim/event_heap.hpp"
+
+#include <utility>
+
+namespace declust {
+
+void
+HeapEventQueue::push(EventEntry entry)
+{
+    // Hole-based sift-up: shift ancestors down until the insertion point
+    // is found, then place the entry once (no pairwise swaps).
+    std::size_t hole = heap_.size();
+    // LINT: allow-next(hot-path-growth): heap capacity is retained across
+    // pops; steady state never reallocates.
+    heap_.emplace_back(); // default entry; overwritten below
+    while (hole > 0) {
+        const std::size_t parent = (hole - 1) / kArity;
+        if (!eventBefore(entry, heap_[parent]))
+            break;
+        heap_[hole] = std::move(heap_[parent]);
+        hole = parent;
+    }
+    heap_[hole] = std::move(entry);
+}
+
+void
+HeapEventQueue::siftDown(std::size_t hole, EventEntry entry)
+{
+    const std::size_t size = heap_.size();
+    for (;;) {
+        const std::size_t first = hole * kArity + 1;
+        if (first >= size)
+            break;
+        std::size_t best = first;
+        const std::size_t last =
+            first + kArity < size ? first + kArity : size;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (eventBefore(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!eventBefore(heap_[best], entry))
+            break;
+        heap_[hole] = std::move(heap_[best]);
+        hole = best;
+    }
+    heap_[hole] = std::move(entry);
+}
+
+EventEntry
+HeapEventQueue::popTop()
+{
+    EventEntry top = std::move(heap_.front());
+    EventEntry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0, std::move(last));
+    return top;
+}
+
+} // namespace declust

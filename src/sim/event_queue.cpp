@@ -1,63 +1,70 @@
 // LINT: hot-path
 #include "sim/event_queue.hpp"
 
+#include <atomic>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace declust {
 
-void
-EventQueue::push(Entry entry)
+namespace {
+
+/**
+ * Process-wide default implementation for default-constructed queues.
+ * Written once at startup (flag parsing), read from worker threads;
+ * relaxed atomics keep the read free and TSan-clean.
+ *
+ * The shipped default is the fig8-sweep winner — the calendar queue:
+ * it beats the heap on fig8_recon_single (~+6% events/sec) and the
+ * margin widens with pending population, to ~3x at 100k events in the
+ * hold-model sweep (EXPERIMENTS.md has the crossover table).
+ */
+std::atomic<EventQueue::Impl> g_defaultImpl{EventQueue::Impl::Calendar};
+
+} // namespace
+
+EventQueue::Impl
+EventQueue::defaultImpl()
 {
-    // Hole-based sift-up: shift ancestors down until the insertion point
-    // is found, then place the entry once (no pairwise swaps).
-    std::size_t hole = heap_.size();
-    // LINT: allow-next(hot-path-growth): heap capacity is retained across
-    // pops; steady state never reallocates.
-    heap_.emplace_back(); // default entry; overwritten below
-    while (hole > 0) {
-        const std::size_t parent = (hole - 1) / kArity;
-        if (!before(entry, heap_[parent]))
-            break;
-        heap_[hole] = std::move(heap_[parent]);
-        hole = parent;
-    }
-    heap_[hole] = std::move(entry);
+    return g_defaultImpl.load(std::memory_order_relaxed);
 }
 
 void
-EventQueue::siftDown(std::size_t hole, Entry entry)
+EventQueue::setDefaultImpl(Impl impl)
 {
-    const std::size_t size = heap_.size();
-    for (;;) {
-        const std::size_t first = hole * kArity + 1;
-        if (first >= size)
-            break;
-        std::size_t best = first;
-        const std::size_t last =
-            first + kArity < size ? first + kArity : size;
-        for (std::size_t c = first + 1; c < last; ++c) {
-            if (before(heap_[c], heap_[best]))
-                best = c;
-        }
-        if (!before(heap_[best], entry))
-            break;
-        heap_[hole] = std::move(heap_[best]);
-        hole = best;
-    }
-    heap_[hole] = std::move(entry);
+    g_defaultImpl.store(impl, std::memory_order_relaxed);
 }
 
-EventQueue::Entry
-EventQueue::popTop()
+const char *
+EventQueue::implName(Impl impl)
 {
-    Entry top = std::move(heap_.front());
-    Entry last = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty())
-        siftDown(0, std::move(last));
-    return top;
+    return impl == Impl::Heap ? "heap" : "calendar";
+}
+
+bool
+EventQueue::parseImplName(const std::string &name, Impl *out)
+{
+    if (name == "heap") {
+        *out = Impl::Heap;
+        return true;
+    }
+    if (name == "calendar") {
+        *out = Impl::Calendar;
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::reserve(std::size_t expectedPending)
+{
+    if (impl_ == Impl::Heap)
+        // LINT: allow-next(hot-path-growth): this IS the pre-sizing hook.
+        heap_.reserve(expectedPending);
+    else
+        // LINT: allow-next(hot-path-growth): this IS the pre-sizing hook.
+        calendar_.reserve(expectedPending);
 }
 
 void
@@ -77,7 +84,14 @@ EventQueue::scheduleAt(Tick when, Callback cb)
                              when, " < ", now_);
         when = now_;
     }
-    push(Entry{when, nextSeq_++, std::move(cb)});
+    EventEntry entry;
+    entry.when = when;
+    entry.seq = nextSeq_++;
+    entry.cb = std::move(cb);
+    if (impl_ == Impl::Heap)
+        heap_.push(std::move(entry));
+    else
+        calendar_.push(now_, std::move(entry));
 }
 
 void
@@ -89,15 +103,22 @@ EventQueue::scheduleIn(Tick delay, Callback cb)
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
-        return false;
     // The entry is moved out before execution so the callback can safely
-    // schedule further events (which may reallocate the heap).
-    Entry top = popTop();
+    // schedule further events (which may reallocate the pending set).
+    EventEntry top;
+    if (impl_ == Impl::Heap) {
+        if (heap_.empty())
+            return false;
+        top = heap_.popTop();
+    } else {
+        if (calendar_.empty())
+            return false;
+        top = calendar_.popTop(now_);
+    }
 #if DECLUST_VALIDATE
     // The dispatch stream must be strictly (when, seq)-increasing: any
-    // violation means the heap lost an ordering (ties no longer FIFO)
-    // or time ran backwards — either breaks byte-identical replay.
+    // violation means the pending set lost an ordering (ties no longer
+    // FIFO) or time ran backwards — either breaks byte-identical replay.
     DECLUST_VALIDATE_CHECK(top.when >= now_,
                            "dispatching event (tick ", top.when, ", seq ",
                            top.seq, ") into the past: now is ", now_);
@@ -121,8 +142,13 @@ EventQueue::step()
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!heap_.empty() && heap_.front().when <= until)
-        step();
+    if (impl_ == Impl::Heap) {
+        while (!heap_.empty() && heap_.topWhen() <= until)
+            step();
+    } else {
+        while (!calendar_.empty() && calendar_.topWhen(now_) <= until)
+            step();
+    }
     // No event before the horizon: idle time just passes.
     if (now_ < until)
         now_ = until;

@@ -3,34 +3,57 @@
  * Deterministic event-driven simulation engine.
  *
  * Events are closures scheduled at absolute ticks; ties are broken by
- * insertion order so a given seed always replays identically. This is the
- * lowest layer of the simulator, standing in for raidSim's event core.
+ * insertion order so a given seed always replays identically. This is
+ * the lowest layer of the simulator, standing in for raidSim's event
+ * core.
  *
- * The pending set is a 4-ary implicit heap over a contiguous vector: a
- * node's four children share cache lines, halving the tree depth of a
- * binary heap for the same comparison count, and sift operations move
- * entries with a hole instead of swapping. Callbacks are EventCallback
- * (sim/callback.hpp): 48 bytes of inline capture storage and pooled
- * spill, so scheduling an event performs no heap allocation in the
- * common case. The ordering CONTRACT is unchanged from the original
- * std::priority_queue engine: strict (when, seq) order — earliest tick
- * first, FIFO among events scheduled for the same tick — which the
- * determinism tests pin down.
+ * EventQueue is a thin dispatch facade over two interchangeable
+ * pending-set implementations selected at construction:
  *
- * Validation builds (-DDECLUST_VALIDATE=ON) audit that contract at run
+ *  - Impl::Heap     — a 4-ary implicit heap (event_heap.hpp), O(log n)
+ *                     per operation with a small constant.
+ *  - Impl::Calendar — a Brown-style calendar queue with ladder-style
+ *                     overflow spilling (event_calendar.hpp), O(1)
+ *                     amortized; the measured winner at every tested
+ *                     population, by ~6% on the figure benches up to
+ *                     ~3x at 100k pending events (EXPERIMENTS.md), and
+ *                     therefore the shipped default.
+ *
+ * Both honor the exact same ordering CONTRACT: strict (when, seq)
+ * order — earliest tick first, FIFO among events scheduled for the same
+ * tick. The facade owns the clock, the sequence counter, and the
+ * validation audits, so every golden table is byte-identical whichever
+ * implementation runs; the lockstep property test in
+ * tests/test_event_queue.cpp pins the two dispatch streams together.
+ * The process-wide default implementation (what the default constructor
+ * selects) is set once at startup from the --event-queue flag
+ * (bench_common.hpp / harness::selectEventQueue).
+ *
+ * Callbacks are EventCallback (sim/callback.hpp): 48 bytes of inline
+ * capture storage and pooled spill, so scheduling an event performs no
+ * heap allocation in the common case; reserve() pre-sizes whichever
+ * backing store is active so bring-up does not pay growth reallocations
+ * either.
+ *
+ * Validation builds (-DDECLUST_VALIDATE=ON) audit the contract at run
  * time: scheduling into the past is a fatal diagnostic rather than a
  * release-mode clamp, and every dispatch is checked against the
- * previously dispatched (when, seq) pair — a heap bug that reordered
+ * previously dispatched (when, seq) pair — a queue bug that reordered
  * same-tick events or ran an event before its scheduler panics at the
  * first out-of-order pop instead of silently skewing a published table.
+ * The calendar implementation additionally audits its own structure
+ * (bucket order, year membership, counts) after every rebuild.
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <vector>
+#include <string>
 
-#include "sim/callback.hpp"
+#include "sim/event_calendar.hpp"
+#include "sim/event_entry.hpp"
+#include "sim/event_heap.hpp"
 #include "sim/time.hpp"
 #include "util/validate.hpp"
 
@@ -42,9 +65,38 @@ class EventQueue
   public:
     using Callback = EventCallback;
 
-    EventQueue() = default;
+    /** Pending-set implementation behind the facade. */
+    enum class Impl : std::uint8_t
+    {
+        Heap,     ///< 4-ary implicit heap, O(log n)
+        Calendar, ///< calendar queue + overflow ladder, O(1) amortized
+    };
+
+    /** Uses the process-wide default implementation. */
+    EventQueue() : EventQueue(defaultImpl()) {}
+    explicit EventQueue(Impl impl) : impl_(impl) {}
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Process-wide default for default-constructed queues. Set it once
+     * at startup (before any simulation threads exist); reads are
+     * lock-free and safe from TrialRunner workers.
+     */
+    static Impl defaultImpl();
+    static void setDefaultImpl(Impl impl);
+
+    /** "heap" / "calendar". */
+    static const char *implName(Impl impl);
+
+    /**
+     * Parse an implementation name ("heap" | "calendar").
+     * @return true and set @p out on success; false on unknown names.
+     */
+    static bool parseImplName(const std::string &name, Impl *out);
+
+    /** The implementation this queue dispatches to. */
+    Impl impl() const { return impl_; }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -61,10 +113,27 @@ class EventQueue
     void scheduleIn(Tick delay, Callback cb);
 
     /** True if no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool
+    empty() const
+    {
+        return impl_ == Impl::Heap ? heap_.empty() : calendar_.empty();
+    }
 
     /** Number of pending events. */
-    size_t pending() const { return heap_.size(); }
+    size_t
+    pending() const
+    {
+        return impl_ == Impl::Heap ? heap_.size() : calendar_.size();
+    }
+
+    /**
+     * Pre-size the pending set for an expected steady-state population
+     * so bring-up does not pay growth reallocations: reserves the heap
+     * vector, or carves the calendar's node slabs and bucket ring.
+     * Array bring-up (ArrayController) calls this with its queue-depth
+     * estimate.
+     */
+    void reserve(std::size_t expectedPending);
 
     /** Pop and run the single earliest event. @return false if empty. */
     bool step();
@@ -89,29 +158,9 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Entry
-    {
-        Tick when;
-        std::uint64_t seq; // tie-break: FIFO among same-tick events
-        Callback cb;
-    };
-
-    static bool
-    before(const Entry &a, const Entry &b)
-    {
-        if (a.when != b.when)
-            return a.when < b.when;
-        return a.seq < b.seq;
-    }
-
-    void push(Entry entry);
-    /** Remove the root, returning it; heap property restored. */
-    Entry popTop();
-    void siftDown(std::size_t hole, Entry entry);
-
-    static constexpr std::size_t kArity = 4;
-
-    std::vector<Entry> heap_;
+    Impl impl_;
+    HeapEventQueue heap_;
+    CalendarEventQueue calendar_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -73,7 +73,10 @@ namespace declust {
     X(PiggybackWrites, "piggyback_writes")                                 \
     X(ReadRepairs, "read_repairs")                                         \
     X(ReconCycles, "recon_cycles")                                         \
-    X(CopybackCycles, "copyback_cycles")
+    X(CopybackCycles, "copyback_cycles")                                   \
+    X(EventQueueSpills, "event_queue_spills")                              \
+    X(EventQueueResizes, "event_queue_resizes")                            \
+    X(EventQueueRebuilds, "event_queue_rebuilds")
 
 /** Per-phase tick histograms (power-of-two buckets). */
 #define DECLUST_PERF_HIST_LIST(X)                                          \
@@ -83,7 +86,9 @@ namespace declust {
     X(UserReadTicks, "user_read_ticks")                                    \
     X(UserWriteTicks, "user_write_ticks")                                  \
     X(ReconReadPhaseTicks, "recon_read_phase_ticks")                       \
-    X(ReconWritePhaseTicks, "recon_write_phase_ticks")
+    X(ReconWritePhaseTicks, "recon_write_phase_ticks")                     \
+    X(EventBucketScan, "event_bucket_scan_steps")                          \
+    X(EventBucketOccupancy, "event_bucket_occupancy")
 
 enum class PerfCounter : std::size_t
 {

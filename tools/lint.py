@@ -11,6 +11,14 @@ Enforces the invariants the generic toolchain cannot see:
     hot-path-growth      no container growth calls (.push_back,
                          .emplace_back, .resize, .reserve, .assign)
 
+  event-core rules (all of src/ except src/sim/, which implements the
+  event core itself)
+    event-core-priority-queue   no std::priority_queue or raw heap
+                             algorithms (make/push/pop/sort_heap); the
+                             (when, seq) determinism contract lives in
+                             EventQueue — a second ad-hoc pending set
+                             would dispatch outside it
+
   determinism rules (all of src/ except src/harness/, which is
   operator-facing and may read the wall clock for ETAs)
     determinism-wall-clock   no std::chrono clocks, time(), clock(),
@@ -56,12 +64,14 @@ DETERMINISM_RULES = (
     "determinism-unordered",
     "determinism-std-random",
 )
+EVENT_CORE_RULES = ("event-core-priority-queue",)
 HEADER_RULES = (
     "header-pragma-once",
     "header-using-namespace",
     "include-relative",
 )
-ALL_RULES = HOT_PATH_RULES + DETERMINISM_RULES + HEADER_RULES
+ALL_RULES = (HOT_PATH_RULES + DETERMINISM_RULES + EVENT_CORE_RULES +
+             HEADER_RULES)
 
 # Line-level patterns, applied to code with comments and string/char
 # literal bodies stripped.  Each entry: (rule, compiled regex, message).
@@ -83,6 +93,12 @@ LINE_PATTERNS = {
         ),
         "container growth in a hot-path file (pre-size it, or justify "
         "the warm-up with an allow)",
+    ),
+    "event-core-priority-queue": (
+        re.compile(r"(?:\bpriority_queue\b|\b(?:make|push|pop|sort)_heap\b)"),
+        "ad-hoc priority queue outside src/sim/ (the (when, seq) "
+        "dispatch contract lives in EventQueue; schedule through it "
+        "instead of keeping a second pending set)",
     ),
     "determinism-wall-clock": (
         re.compile(
@@ -217,6 +233,7 @@ def check_file(path, rel, findings):
 
     hot_path = any(MARKER_RE.search(line) for line in raw_lines)
     in_sim_core = not rel.startswith(os.path.join("src", "harness"))
+    outside_event_core = not rel.startswith(os.path.join("src", "sim"))
     is_header = rel.endswith((".hpp", ".h"))
 
     active = []
@@ -224,6 +241,8 @@ def check_file(path, rel, findings):
         active += list(HOT_PATH_RULES)
     if in_sim_core:
         active += list(DETERMINISM_RULES)
+    if outside_event_core:
+        active += list(EVENT_CORE_RULES)
     active += ["include-relative"]
     if is_header:
         active += ["header-using-namespace"]
