@@ -16,6 +16,15 @@
  *   --json FILE    append a machine-readable run record (events/sec,
  *                  wall clock, simulated-to-wall time ratio)
  *
+ * Paper-figure drivers additionally accept
+ *   --shards S     split every sweep point across S independent array
+ *                  shards (own event queue, own shardSeed-derived
+ *                  sub-seed, a proportional slice of the work), merged
+ *                  deterministically in shard-index order. For a fixed
+ *                  (seed, shards) the output is byte-identical at any
+ *                  --jobs and either --event-queue; --shards 1 is the
+ *                  identity and reproduces unsharded goldens exactly.
+ *
  * PD_FULL=1 in the environment selects the paper's full-scale disk
  * (equivalent to --tracks 14), trading minutes of wall-clock for
  * paper-scale absolute reconstruction times.
@@ -28,6 +37,7 @@
  */
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -42,8 +52,10 @@
 #include "harness/progress.hpp"
 #include "harness/trial_runner.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/seed.hpp"
 #include "sim/time.hpp"
 #include "stats/perf_counters.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -88,6 +100,74 @@ applyEventQueueOption(const Options &opts)
     return selectEventQueue(opts.getString("event-queue"));
 }
 
+/** Register --shards (drivers that support per-trial sharding). */
+inline void
+addShardOption(Options &opts)
+{
+    opts.add("shards", "1",
+             "split each sweep point across N independent array shards "
+             "(deterministic merge; 1 = unsharded)");
+}
+
+/** Validated --shards value; 0 (after printing to stderr) on error. */
+inline int
+shardsFrom(const Options &opts)
+{
+    const long shards = opts.getInt("shards");
+    if (shards < 1 || shards > 64) {
+        std::cerr << "--shards must be in [1, 64], got " << shards
+                  << "\n";
+        return 0;
+    }
+    return static_cast<int>(shards);
+}
+
+/**
+ * Fair share of @p total items for shard @p shard of @p shards: every
+ * shard gets total/shards, the first total%shards get one extra.
+ */
+inline int
+shardShare(int total, int shard, int shards)
+{
+    return total / shards + (shard < total % shards ? 1 : 0);
+}
+
+/**
+ * The geometry slice shard @p shard rebuilds: capacity (and thus
+ * reconstruction sweep length) divides across shards while seek and
+ * rotation behaviour stay identical — the same scaling argument as
+ * DiskGeometry::ibm0661Scaled, applied per shard. Tracks per cylinder
+ * divide when they can; otherwise cylinders do. shards == 1 returns
+ * @p g unchanged.
+ */
+inline DiskGeometry
+shardGeometry(const DiskGeometry &g, int shard, int shards)
+{
+    if (shards == 1)
+        return g;
+    DiskGeometry slice = g;
+    if (g.tracksPerCyl >= shards)
+        slice.tracksPerCyl = shardShare(g.tracksPerCyl, shard, shards);
+    else if (g.cylinders >= shards)
+        slice.cylinders = shardShare(g.cylinders, shard, shards);
+    else
+        DECLUST_FATAL("geometry too small to split ", shards,
+                      " ways: ", g.tracksPerCyl, " tracks x ",
+                      g.cylinders, " cylinders");
+    slice.validate();
+    return slice;
+}
+
+/**
+ * Each shard's slice of a measured window: an equal fraction of
+ * @p seconds. Exact identity for shards == 1.
+ */
+inline double
+shardSeconds(double seconds, int shards)
+{
+    return shards == 1 ? seconds : seconds / shards;
+}
+
 /** Build the experiment geometry from parsed options / environment. */
 inline DiskGeometry
 geometryFrom(const Options &opts)
@@ -101,6 +181,52 @@ geometryFrom(const Options &opts)
     g.tracksPerCyl = tracks;
     g.validate();
     return g;
+}
+
+/**
+ * Parse a comma-separated list of reconstruction-algorithm names (the
+ * toString spellings: baseline, user-writes, redirect,
+ * redir+piggyback) from option @p name. Returns false (after printing
+ * to stderr) on an unknown name or an empty list.
+ */
+inline bool
+algorithmsFrom(const Options &opts, const std::string &name,
+               std::vector<ReconAlgorithm> *out)
+{
+    static constexpr ReconAlgorithm kAll[] = {
+        ReconAlgorithm::Baseline, ReconAlgorithm::UserWrites,
+        ReconAlgorithm::Redirect, ReconAlgorithm::RedirectPiggyback};
+    out->clear();
+    const std::string text = opts.getString(name);
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string token = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        bool known = false;
+        for (ReconAlgorithm algorithm : kAll) {
+            if (token == toString(algorithm)) {
+                out->push_back(algorithm);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::cerr << "unknown algorithm '" << token
+                      << "' (expected: baseline | user-writes | "
+                         "redirect | redir+piggyback)\n";
+            return false;
+        }
+    }
+    if (out->empty()) {
+        std::cerr << "--" << name << " needs at least one algorithm\n";
+        return false;
+    }
+    return true;
 }
 
 /** Emit a finished table in the selected format. */
@@ -140,9 +266,13 @@ struct SweepOutcome
 {
     int trials = 0;
     int jobs = 1;
+    int shards = 1;
     double wallSec = 0.0;
     std::uint64_t events = 0;
     double simSec = 0.0;
+    /** Wall-clock spent in shard index s, summed across trials. The
+     * max entry is the sweep's critical path under perfect overlap. */
+    std::vector<double> shardWallSec;
 };
 
 /**
@@ -168,6 +298,82 @@ runTrials(const Options &opts, const std::string &benchName,
     out.trials = static_cast<int>(trials.size());
     out.jobs = runner.jobs();
     out.wallSec = meter.elapsedSec();
+    for (auto &result : results) {
+        for (auto &row : result.rows)
+            table.addRow(std::move(row));
+        out.events += result.events;
+        out.simSec += result.simSec;
+    }
+    return out;
+}
+
+/**
+ * One sweep point split across shards: run(shard) stands up shard's
+ * independent array and returns its raw statistics; merge() folds the
+ * shard results — always presented in shard-index order — into the
+ * point's table rows. Neither may share mutable state across shards.
+ */
+template <typename Shard>
+struct ShardedTrial
+{
+    std::function<Shard(int shard)> run;
+    std::function<TrialResult(std::vector<Shard> &shardResults)> merge;
+};
+
+/**
+ * Two-level runTrials: fan the trials × shards grid across --jobs
+ * workers, merge each trial's shards in index order, splice rows in
+ * trial order, and record per-shard wall clocks. The progress line
+ * counts shard units so single-point sharded runs show motion.
+ */
+template <typename Shard>
+inline SweepOutcome
+runShardedTrials(const Options &opts, const std::string &benchName,
+                 TablePrinter &table,
+                 const std::vector<ShardedTrial<Shard>> &trials,
+                 int shards)
+{
+    // Scope the perf-counter window to this sweep so the --json record
+    // reflects exactly the work the table reports.
+    perfReset();
+    TrialRunner runner(static_cast<int>(opts.getInt("jobs")));
+    ProgressMeter meter(benchName, shards > 1 ? "shards" : "trials");
+    const int numTrials = static_cast<int>(trials.size());
+    // Disjoint (trial, shard) slots, folded per shard index below —
+    // deterministic content whatever the worker interleaving.
+    std::vector<std::vector<double>> wall(
+        static_cast<std::size_t>(numTrials),
+        std::vector<double>(static_cast<std::size_t>(shards), 0.0));
+    auto results = runShardedOrdered<Shard, TrialResult>(
+        runner, numTrials, shards,
+        [&trials, &wall](int trial, int shard) {
+            const auto start = std::chrono::steady_clock::now();
+            Shard result =
+                trials[static_cast<std::size_t>(trial)].run(shard);
+            wall[static_cast<std::size_t>(trial)]
+                [static_cast<std::size_t>(shard)] =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+            return result;
+        },
+        [&trials](int trial, std::vector<Shard> &parts) {
+            return trials[static_cast<std::size_t>(trial)].merge(parts);
+        },
+        [&meter](int done, int total) { meter.update(done, total); });
+    meter.finish(numTrials * shards);
+
+    SweepOutcome out;
+    out.trials = numTrials;
+    out.jobs = runner.jobs();
+    out.shards = shards;
+    out.wallSec = meter.elapsedSec();
+    out.shardWallSec.assign(static_cast<std::size_t>(shards), 0.0);
+    for (int t = 0; t < numTrials; ++t)
+        for (int s = 0; s < shards; ++s)
+            out.shardWallSec[static_cast<std::size_t>(s)] +=
+                wall[static_cast<std::size_t>(t)]
+                    [static_cast<std::size_t>(s)];
     for (auto &result : results) {
         for (auto &row : result.rows)
             table.addRow(std::move(row));
@@ -244,7 +450,9 @@ writeJsonRecord(const Options &opts, const std::string &benchName,
              EventQueue::implName(EventQueue::defaultImpl()))
         .set("jobs", out.jobs)
         .set("trials", out.trials)
+        .set("shards", out.shards)
         .set("wall_sec", out.wallSec)
+        .set("shard_wall_sec", out.shardWallSec)
         .set("events", out.events)
         .set("events_per_sec",
              out.wallSec > 0.0

@@ -16,10 +16,12 @@
  * plus the paper-scale mttdlFromReconstruction() anchor at a real
  * 150k-hour disk MTBF.
  *
- * Windows are dealt to TrialRunner in fixed-size chunks whose seeds
- * depend only on (seed, G, window index), so the aggregate — and the
- * --campaign-json record — is bit-identical for any --jobs value.
+ * One trial per stripe size; --shards splits each trial's windows into
+ * contiguous ranges, one per shard. A window's seed depends only on
+ * (seed, G, window index), so the aggregate — and the --campaign
+ * record — is bit-identical for any (--jobs, --shards) combination.
  */
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -29,17 +31,8 @@
 
 namespace {
 
-/** splitmix64 finalizer: decorrelates (seed, G, window) tuples. */
-std::uint64_t
-mixSeed(std::uint64_t z)
-{
-    z += 0x9e3779b97f4a7c15ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-struct ChunkResult
+/** Raw statistics one shard (a contiguous window range) produces. */
+struct MttdlShard
 {
     declust::CampaignAggregate agg;
     std::uint64_t events = 0;
@@ -56,10 +49,8 @@ main(int argc, char **argv)
 
     Options opts("Monte Carlo MTTDL campaign vs the closed-form model");
     addCommonOptions(opts);
+    addShardOption(opts);
     opts.add("windows", "1000", "failure windows per stripe size");
-    opts.add("chunk", "25",
-             "windows per worker task (fixed, so results are identical "
-             "for any --jobs)");
     opts.add("mtbf", "20000",
              "accelerated per-disk MTBF in simulated seconds");
     opts.add("rate", "105", "user accesses per second during repair");
@@ -76,99 +67,121 @@ main(int argc, char **argv)
         return 1;
     if (!bench::applyEventQueueOption(opts))
         return 1;
+    const int shards = shardsFrom(opts);
+    if (!shards)
+        return 1;
 
     const int windows = static_cast<int>(opts.getInt("windows"));
-    const int chunk = static_cast<int>(opts.getInt("chunk"));
     const double mtbfSec = opts.getDouble("mtbf");
     const auto baseSeed =
         static_cast<std::uint64_t>(opts.getInt("seed"));
     const int disks = 21;
 
-    if (windows <= 0 || chunk <= 0) {
-        std::cerr << "bench_mttdl: --windows and --chunk must be "
-                     "positive\n";
+    if (windows <= 0) {
+        std::cerr << "bench_mttdl: --windows must be positive\n";
         return 1;
     }
 
-    // One chunk of consecutive windows for one stripe size. The seed of
-    // window w depends only on (baseSeed, G, w).
-    struct ChunkSpec
-    {
-        int gIndex;
-        int firstWindow;
-        int count;
+    const std::vector<long> stripes = opts.getIntList("stripes");
+    const int numTrials = static_cast<int>(stripes.size());
+
+    // Shard `shard` of a trial covers the contiguous window range
+    // [firstWindow(shard), firstWindow(shard) + share); window w's
+    // seed depends only on (baseSeed, G, w), never on the split.
+    auto firstWindow = [windows, shards](int shard) {
+        return shard * (windows / shards) +
+               std::min(shard, windows % shards);
     };
-    std::vector<long> stripes = opts.getIntList("stripes");
-    std::vector<ChunkSpec> specs;
-    for (std::size_t gi = 0; gi < stripes.size(); ++gi)
-        for (int w = 0; w < windows; w += chunk)
-            specs.push_back({static_cast<int>(gi), w,
-                             std::min(chunk, windows - w)});
-
-    std::vector<std::function<ChunkResult()>> trials;
-    trials.reserve(specs.size());
-    for (const ChunkSpec &spec : specs) {
-        trials.push_back([&opts, &stripes, spec, mtbfSec, baseSeed,
-                          disks] {
-            FailureWindowConfig fw;
-            fw.sim.numDisks = disks;
-            fw.sim.stripeUnits = static_cast<int>(
-                stripes[static_cast<std::size_t>(spec.gIndex)]);
-            fw.sim.geometry = geometryFrom(opts);
-            fw.sim.accessesPerSec = opts.getDouble("rate");
-            fw.sim.readFraction = 0.5;
-            fw.sim.algorithm = ReconAlgorithm::Baseline;
-            fw.sim.latentErrorProb = opts.getDouble("latent");
-            fw.sim.transientReadProb = opts.getDouble("transient");
-            fw.sim.faultMaxRetries =
-                static_cast<int>(opts.getInt("retries"));
-            fw.mtbfSimSec = mtbfSec;
-            fw.warmupSec = opts.getDouble("warmup");
-
-            ChunkResult result;
-            for (int i = 0; i < spec.count; ++i) {
-                const auto g = static_cast<std::uint64_t>(
-                    stripes[static_cast<std::size_t>(spec.gIndex)]);
-                fw.windowSeed = mixSeed(
-                    mixSeed(baseSeed ^ (g << 32)) ^
-                    static_cast<std::uint64_t>(spec.firstWindow + i));
-                const WindowResult wr = runFailureWindow(fw);
-                ++result.agg.windows;
-                result.agg.secondFailures += wr.secondFailure;
-                result.agg.losses += wr.dataLoss;
-                result.agg.totalReconSec += wr.reconSec;
-                result.agg.unrecoverableStripes +=
-                    wr.unrecoverableStripes;
-                result.agg.mediumErrors +=
-                    static_cast<long long>(wr.mediumErrors);
-                result.agg.sectorRepairs +=
-                    static_cast<long long>(wr.sectorRepairs);
-                result.events += wr.events;
-                result.simSec += wr.simSec;
-            }
-            return result;
-        });
-    }
 
     perfReset();
     TrialRunner runner(static_cast<int>(opts.getInt("jobs")));
-    ProgressMeter meter("bench_mttdl");
-    auto results = runTrialsOrdered<ChunkResult>(
-        runner, trials,
-        [&meter](int done, int total) { meter.update(done, total); });
-    meter.finish(static_cast<int>(trials.size()));
+    ProgressMeter meter("bench_mttdl",
+                        shards > 1 ? "shards" : "trials");
+    std::vector<std::vector<double>> wall(
+        static_cast<std::size_t>(numTrials),
+        std::vector<double>(static_cast<std::size_t>(shards), 0.0));
 
-    // Fold chunks (ordered, so double sums are jobs-independent).
-    std::vector<CampaignAggregate> byStripe(stripes.size());
+    auto runShard = [&opts, &stripes, firstWindow, windows, shards,
+                     mtbfSec, baseSeed, disks](int trial, int shard) {
+        FailureWindowConfig fw;
+        fw.sim.numDisks = disks;
+        fw.sim.stripeUnits = static_cast<int>(
+            stripes[static_cast<std::size_t>(trial)]);
+        fw.sim.geometry = geometryFrom(opts);
+        fw.sim.accessesPerSec = opts.getDouble("rate");
+        fw.sim.readFraction = 0.5;
+        fw.sim.algorithm = ReconAlgorithm::Baseline;
+        fw.sim.latentErrorProb = opts.getDouble("latent");
+        fw.sim.transientReadProb = opts.getDouble("transient");
+        fw.sim.faultMaxRetries =
+            static_cast<int>(opts.getInt("retries"));
+        fw.mtbfSimSec = mtbfSec;
+        fw.warmupSec = opts.getDouble("warmup");
+
+        const auto g = static_cast<std::uint64_t>(fw.sim.stripeUnits);
+        const std::uint64_t gSeed =
+            splitmix64(taggedSeed(baseSeed, g << 32));
+        const int first = firstWindow(shard);
+        const int share = shardShare(windows, shard, shards);
+
+        MttdlShard result;
+        for (int i = 0; i < share; ++i) {
+            fw.windowSeed = splitmix64(taggedSeed(
+                gSeed, static_cast<std::uint64_t>(first + i)));
+            const WindowResult wr = runFailureWindow(fw);
+            ++result.agg.windows;
+            result.agg.secondFailures += wr.secondFailure;
+            result.agg.losses += wr.dataLoss;
+            result.agg.totalReconSec += wr.reconSec;
+            result.agg.unrecoverableStripes += wr.unrecoverableStripes;
+            result.agg.mediumErrors +=
+                static_cast<long long>(wr.mediumErrors);
+            result.agg.sectorRepairs +=
+                static_cast<long long>(wr.sectorRepairs);
+            result.events += wr.events;
+            result.simSec += wr.simSec;
+        }
+        return result;
+    };
+
+    auto byStripe = runShardedOrdered<MttdlShard, MttdlShard>(
+        runner, numTrials, shards,
+        [&runShard, &wall](int trial, int shard) {
+            const auto start = std::chrono::steady_clock::now();
+            MttdlShard result = runShard(trial, shard);
+            wall[static_cast<std::size_t>(trial)]
+                [static_cast<std::size_t>(shard)] =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+            return result;
+        },
+        [](int, std::vector<MttdlShard> &parts) {
+            MttdlShard merged = std::move(parts[0]);
+            for (std::size_t s = 1; s < parts.size(); ++s) {
+                merged.agg.merge(parts[s].agg);
+                merged.events += parts[s].events;
+                merged.simSec += parts[s].simSec;
+            }
+            return merged;
+        },
+        [&meter](int done, int total) { meter.update(done, total); });
+    meter.finish(numTrials * shards);
+
     SweepOutcome out;
-    out.trials = static_cast<int>(trials.size());
+    out.trials = numTrials;
     out.jobs = runner.jobs();
+    out.shards = shards;
     out.wallSec = meter.elapsedSec();
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        byStripe[static_cast<std::size_t>(specs[i].gIndex)].merge(
-            results[i].agg);
-        out.events += results[i].events;
-        out.simSec += results[i].simSec;
+    out.shardWallSec.assign(static_cast<std::size_t>(shards), 0.0);
+    for (int t = 0; t < numTrials; ++t)
+        for (int s = 0; s < shards; ++s)
+            out.shardWallSec[static_cast<std::size_t>(s)] +=
+                wall[static_cast<std::size_t>(t)]
+                    [static_cast<std::size_t>(s)];
+    for (const MttdlShard &merged : byStripe) {
+        out.events += merged.events;
+        out.simSec += merged.simSec;
     }
 
     TablePrinter table({"alpha", "G", "windows", "2nd fail", "losses",
@@ -185,7 +198,7 @@ main(int argc, char **argv)
 
     for (std::size_t gi = 0; gi < stripes.size(); ++gi) {
         const int G = static_cast<int>(stripes[gi]);
-        const CampaignAggregate &agg = byStripe[gi];
+        const CampaignAggregate &agg = byStripe[gi].agg;
         const double alpha =
             static_cast<double>(G - 1) / (disks - 1);
         const double pMeas = agg.lossRate();

@@ -7,10 +7,28 @@
  *
  * One row per (G, mode, rate): fault-free mean response time and
  * degraded-mode mean response time in milliseconds.
+ *
+ * --shards splits every point's *measured horizon*: each shard runs
+ * the full-geometry array (slicing capacity would change the seek
+ * profile this figure measures) for measure/S seconds under its own
+ * sub-seed, and the samples merge as one longer measurement.
  */
 #include <iostream>
 
 #include "bench_common.hpp"
+
+namespace {
+
+/** Raw statistics one shard of a sweep point produces. */
+struct Fig6Shard
+{
+    declust::PhaseSample healthy;
+    declust::PhaseSample degraded;
+    std::uint64_t events = 0;
+    double simSec = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -20,13 +38,20 @@ main(int argc, char **argv)
 
     Options opts("Figures 6-1/6-2: fault-free and degraded response time");
     addCommonOptions(opts);
+    addShardOption(opts);
     if (!opts.parse(argc, argv))
         return 1;
     if (!bench::applyEventQueueOption(opts))
         return 1;
+    const int shards = shardsFrom(opts);
+    if (!shards)
+        return 1;
 
     const double warmup = opts.getDouble("warmup");
     const double measure = opts.getDouble("measure");
+    const auto baseSeed =
+        static_cast<std::uint64_t>(opts.getInt("seed"));
+    constexpr int kDisks = 21;
 
     TablePrinter table({"alpha", "G", "mode", "rate/s", "fault-free ms",
                         "degraded ms", "ff util", "deg util"});
@@ -42,52 +67,75 @@ main(int argc, char **argv)
         {"write", 0.0, {105, 210}},
     };
 
-    std::vector<Trial> trials;
+    std::vector<ShardedTrial<Fig6Shard>> trials;
     for (int G : paperStripeSizes()) {
         for (const Mode &mode : modes) {
             for (long rate : mode.rates) {
                 const char *modeName = mode.name;
                 const double readFraction = mode.readFraction;
-                trials.push_back([&opts, warmup, measure, G, modeName,
-                                  readFraction, rate] {
+                ShardedTrial<Fig6Shard> trial;
+                trial.run = [&opts, warmup, measure, baseSeed, shards,
+                             G, readFraction, rate](int shard) {
+                    const double slice = shardSeconds(measure, shards);
                     SimConfig cfg;
-                    cfg.numDisks = 21;
+                    cfg.numDisks = kDisks;
                     cfg.stripeUnits = G;
                     cfg.geometry = geometryFrom(opts);
                     cfg.accessesPerSec = static_cast<double>(rate);
                     cfg.readFraction = readFraction;
-                    cfg.seed =
-                        static_cast<std::uint64_t>(opts.getInt("seed"));
+                    cfg.seed = shardSeed(baseSeed, shard, shards);
 
                     ArraySimulation sim(cfg);
-                    const PhaseStats healthy =
-                        sim.runFaultFree(warmup, measure);
-                    const PhaseStats degraded =
-                        sim.failAndRunDegraded(warmup, measure);
-
+                    Fig6Shard result;
+                    sim.runFaultFree(warmup, slice);
+                    result.healthy = sim.samplePhase(slice);
+                    sim.failAndRunDegraded(warmup, slice);
+                    result.degraded = sim.samplePhase(slice);
+                    result.events = sim.eventQueue().executed();
+                    result.simSec = ticksToSec(sim.eventQueue().now());
+                    return result;
+                };
+                trial.merge = [G, modeName, readFraction,
+                               rate](std::vector<Fig6Shard> &parts) {
+                    Fig6Shard &merged = parts[0];
+                    for (std::size_t s = 1; s < parts.size(); ++s) {
+                        ShardMerge::into(merged.healthy,
+                                         parts[s].healthy);
+                        ShardMerge::into(merged.degraded,
+                                         parts[s].degraded);
+                        merged.events += parts[s].events;
+                        merged.simSec += parts[s].simSec;
+                    }
+                    const double alpha =
+                        static_cast<double>(G - 1) / (kDisks - 1);
                     TrialResult result;
                     result.rows.push_back(
-                        {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                        {fmtDouble(alpha, 2), std::to_string(G),
                          modeName, std::to_string(rate),
                          fmtDouble(readFraction == 1.0
-                                       ? healthy.meanReadMs
-                                       : healthy.meanWriteMs,
+                                       ? merged.healthy.meanReadMs()
+                                       : merged.healthy.meanWriteMs(),
                                    2),
                          fmtDouble(readFraction == 1.0
-                                       ? degraded.meanReadMs
-                                       : degraded.meanWriteMs,
+                                       ? merged.degraded.meanReadMs()
+                                       : merged.degraded.meanWriteMs(),
                                    2),
-                         fmtDouble(healthy.meanDiskUtilization, 3),
-                         fmtDouble(degraded.meanDiskUtilization, 3)});
-                    noteSim(result, sim);
+                         fmtDouble(
+                             merged.healthy.meanDiskUtilization(), 3),
+                         fmtDouble(
+                             merged.degraded.meanDiskUtilization(),
+                             3)});
+                    result.events = merged.events;
+                    result.simSec = merged.simSec;
                     return result;
-                });
+                };
+                trials.push_back(std::move(trial));
             }
         }
     }
 
-    const SweepOutcome outcome =
-        runTrials(opts, "fig6_response_time", table, trials);
+    const SweepOutcome outcome = runShardedTrials(
+        opts, "fig6_response_time", table, trials, shards);
 
     std::cout << "Figures 6-1 (reads) and 6-2 (writes): response time vs "
                  "alpha, fault-free and degraded\n";

@@ -4,10 +4,27 @@
  * user response time during reconstruction, for all four reconstruction
  * algorithms, under 50/50 read/write workloads at 105 and 210 user
  * accesses per second, across the alpha sweep.
+ *
+ * --stripes / --algorithms narrow the sweep (e.g. to one point for a
+ * paper-scale speedup measurement); --shards splits every point across
+ * independent array shards that each rebuild a slice of the geometry.
  */
 #include <iostream>
 
 #include "bench_common.hpp"
+
+namespace {
+
+/** Raw statistics one shard of a sweep point produces. */
+struct ReconShard
+{
+    declust::ReconReport report;
+    declust::PhaseSample user;
+    std::uint64_t events = 0;
+    double simSec = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -18,59 +35,93 @@ main(int argc, char **argv)
     Options opts(
         "Figures 8-1/8-2: single-thread reconstruction vs alpha");
     addCommonOptions(opts);
+    addShardOption(opts);
     opts.add("rates", "105,210", "user access rates to sweep");
     opts.add("processes", "1", "reconstruction processes");
+    opts.add("stripes", "3,4,5,6,10,18,21", "stripe sizes G to sweep");
+    opts.add("algorithms",
+             "baseline,user-writes,redirect,redir+piggyback",
+             "reconstruction algorithms to sweep");
     if (!opts.parse(argc, argv))
         return 1;
     if (!bench::applyEventQueueOption(opts))
         return 1;
+    const int shards = shardsFrom(opts);
+    if (!shards)
+        return 1;
+    std::vector<ReconAlgorithm> algorithms;
+    if (!algorithmsFrom(opts, "algorithms", &algorithms))
+        return 1;
 
     const double warmup = opts.getDouble("warmup");
-    const std::vector<ReconAlgorithm> algorithms = {
-        ReconAlgorithm::Baseline, ReconAlgorithm::UserWrites,
-        ReconAlgorithm::Redirect, ReconAlgorithm::RedirectPiggyback};
+    const auto baseSeed =
+        static_cast<std::uint64_t>(opts.getInt("seed"));
+    constexpr int kDisks = 21;
 
     TablePrinter table({"alpha", "G", "rate/s", "algorithm",
                         "recon time s", "user resp ms", "p90 ms"});
 
-    std::vector<Trial> trials;
-    for (int G : paperStripeSizes()) {
+    std::vector<ShardedTrial<ReconShard>> trials;
+    for (long G : opts.getIntList("stripes")) {
         for (long rate : opts.getIntList("rates")) {
             for (ReconAlgorithm algorithm : algorithms) {
-                trials.push_back([&opts, warmup, G, rate, algorithm] {
+                ShardedTrial<ReconShard> trial;
+                trial.run = [&opts, warmup, baseSeed, shards, G, rate,
+                             algorithm](int shard) {
                     SimConfig cfg;
-                    cfg.numDisks = 21;
-                    cfg.stripeUnits = G;
-                    cfg.geometry = geometryFrom(opts);
+                    cfg.numDisks = kDisks;
+                    cfg.stripeUnits = static_cast<int>(G);
+                    cfg.geometry = shardGeometry(geometryFrom(opts),
+                                                 shard, shards);
                     cfg.accessesPerSec = static_cast<double>(rate);
                     cfg.readFraction = 0.5;
                     cfg.algorithm = algorithm;
                     cfg.reconProcesses =
                         static_cast<int>(opts.getInt("processes"));
-                    cfg.seed =
-                        static_cast<std::uint64_t>(opts.getInt("seed"));
+                    cfg.seed = shardSeed(baseSeed, shard, shards);
 
                     ArraySimulation sim(cfg);
                     sim.failAndRunDegraded(warmup, warmup);
                     const ReconOutcome outcome = sim.reconstruct();
 
+                    ReconShard result;
+                    result.report = outcome.report;
+                    result.user = sim.samplePhase(
+                        outcome.report.reconstructionTimeSec);
+                    result.events = sim.eventQueue().executed();
+                    result.simSec = ticksToSec(sim.eventQueue().now());
+                    return result;
+                };
+                trial.merge = [G, rate, algorithm](
+                                  std::vector<ReconShard> &parts) {
+                    ReconShard &merged = parts[0];
+                    for (std::size_t s = 1; s < parts.size(); ++s) {
+                        merged.report.merge(parts[s].report);
+                        ShardMerge::into(merged.user, parts[s].user);
+                        merged.events += parts[s].events;
+                        merged.simSec += parts[s].simSec;
+                    }
+                    const double alpha =
+                        static_cast<double>(G - 1) / (kDisks - 1);
                     TrialResult result;
                     result.rows.push_back(
-                        {fmtDouble(cfg.alpha(), 2), std::to_string(G),
+                        {fmtDouble(alpha, 2), std::to_string(G),
                          std::to_string(rate), toString(algorithm),
-                         fmtDouble(outcome.report.reconstructionTimeSec,
+                         fmtDouble(merged.report.reconstructionTimeSec,
                                    1),
-                         fmtDouble(outcome.userDuringRecon.meanMs, 1),
-                         fmtDouble(outcome.userDuringRecon.p90Ms, 1)});
-                    noteSim(result, sim);
+                         fmtDouble(merged.user.meanMs(), 1),
+                         fmtDouble(merged.user.p90Ms(), 1)});
+                    result.events = merged.events;
+                    result.simSec = merged.simSec;
                     return result;
-                });
+                };
+                trials.push_back(std::move(trial));
             }
         }
     }
 
-    const SweepOutcome outcome =
-        runTrials(opts, "fig8_recon_single", table, trials);
+    const SweepOutcome outcome = runShardedTrials(
+        opts, "fig8_recon_single", table, trials, shards);
 
     std::cout << "Figures 8-1 (reconstruction time) and 8-2 (user "
                  "response during reconstruction), "

@@ -5,6 +5,7 @@
 #include "layout/declustered.hpp"
 #include "layout/left_symmetric.hpp"
 #include "layout/spared.hpp"
+#include "sim/seed.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -71,7 +72,7 @@ ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
     ArrayParams params;
     params.geometry = config_.geometry;
     params.scheduler = config_.scheduler;
-    params.valueSeed = config_.seed ^ 0x5eedf00d;
+    params.valueSeed = taggedSeed(config_.seed, 0x5eedf00d);
     params.prioritizeUserIo = config_.prioritizeUserIo;
     params.trackBuffer = config_.trackBuffer;
     params.unitSectors = config_.unitSectors;
@@ -90,7 +91,7 @@ ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
         fc.latentErrorProb = config_.latentErrorProb;
         fc.transientReadProb = config_.transientReadProb;
         fc.maxRetries = config_.faultMaxRetries;
-        fc.seed = config_.seed ^ 0xfa1700d1u;
+        fc.seed = taggedSeed(config_.seed, 0xfa1700d1u);
         controller_->attachFaultModels(fc);
     }
 
@@ -126,6 +127,25 @@ ArraySimulation::collectPhase() const
         util += controller_->disk(d).utilization();
     ps.meanDiskUtilization = util / controller_->numDisks();
     return ps;
+}
+
+PhaseSample
+ArraySimulation::samplePhase(double windowSec) const
+{
+    const UserStats &us = controller_->userStats();
+    PhaseSample sample;
+    sample.readMs = us.readMs;
+    sample.writeMs = us.writeMs;
+    sample.allMs = us.allMs;
+    sample.allHist = us.allHist;
+    sample.reads = us.readsDone;
+    sample.writes = us.writesDone;
+    double util = 0.0;
+    for (int d = 0; d < controller_->numDisks(); ++d)
+        util += controller_->disk(d).utilization();
+    sample.diskUtilization.add(util / controller_->numDisks(),
+                               windowSec);
+    return sample;
 }
 
 PhaseStats

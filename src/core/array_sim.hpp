@@ -20,6 +20,7 @@
 #include "array/controller.hpp"
 #include "core/reconstructor.hpp"
 #include "sim/event_queue.hpp"
+#include "stats/shard_merge.hpp"
 #include "workload/synthetic.hpp"
 
 namespace declust {
@@ -161,6 +162,16 @@ class ArraySimulation
 
     /** Stop arrivals and run until every queue drains. */
     void drain();
+
+    /**
+     * Mergeable snapshot of the current measured phase: the raw user
+     * accumulators/histogram plus mean disk utilization weighted by
+     * @p windowSec (the phase's measured length). Sharded benches
+     * sample each shard with this and fold the samples with
+     * PhaseSample::merge; its reductions match what the PhaseStats of
+     * an unsharded run would report.
+     */
+    PhaseSample samplePhase(double windowSec) const;
 
     ArrayController &controller() { return *controller_; }
     EventQueue &eventQueue() { return eq_; }

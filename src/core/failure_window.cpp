@@ -1,6 +1,7 @@
 #include "core/failure_window.hpp"
 
 #include "sim/rng.hpp"
+#include "sim/seed.hpp"
 #include "util/error.hpp"
 
 namespace declust {
@@ -20,7 +21,7 @@ runFailureWindow(const FailureWindowConfig &config)
 
     // The hazard stream is independent of the workload/value/fault
     // streams (all derived from sc.seed with different salts).
-    Rng hazard(config.windowSeed ^ 0x5ec0dfa1u);
+    Rng hazard(taggedSeed(config.windowSeed, 0x5ec0dfa1u));
 
     // Warm the array so the failure hits live queues, then drain (the
     // first failure models a drive pulled from a quiescent array; the

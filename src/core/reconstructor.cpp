@@ -4,6 +4,20 @@
 
 namespace declust {
 
+void
+ReconReport::merge(const ReconReport &other)
+{
+    reconstructionTimeSec += other.reconstructionTimeSec;
+    cycles += other.cycles;
+    skipped += other.skipped;
+    lostUnits += other.lostUnits;
+    readPhaseMs.merge(other.readPhaseMs);
+    writePhaseMs.merge(other.writePhaseMs);
+    cycleMs.merge(other.cycleMs);
+    tailReadPhaseMs.merge(other.tailReadPhaseMs);
+    tailWritePhaseMs.merge(other.tailWritePhaseMs);
+}
+
 Reconstructor::Reconstructor(ArrayController &array,
                              const ReconConfig &config)
     : array_(array), config_(config)

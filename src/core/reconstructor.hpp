@@ -52,6 +52,17 @@ struct ReconReport
     /** Same phases measured over only the last `tailWindow` cycles. */
     Accumulator tailReadPhaseMs;
     Accumulator tailWritePhaseMs;
+
+    /**
+     * Fold another report in, as when shards of one logical trial each
+     * reconstructed a slice of the failed disk. Times and unit counts
+     * add (a serial run would have swept the slices back-to-back);
+     * phase accumulators merge, so cycle statistics cover every
+     * shard's cycles — the tail accumulators then cover the union of
+     * the shards' tail windows. Fold in shard-index order for
+     * bit-reproducible sums.
+     */
+    void merge(const ReconReport &other);
 };
 
 /** Drives reconstruction of the currently failed disk to completion. */

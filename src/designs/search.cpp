@@ -5,6 +5,7 @@
 
 #include "designs/generators.hpp"
 #include "sim/rng.hpp"
+#include "sim/seed.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -47,8 +48,9 @@ searchCyclicDesign(int v, int k, const SearchParams &params)
 {
     DECLUST_ASSERT(v >= 3 && k >= 2 && k < v, "bad search params v=", v,
                    " k=", k);
-    Rng rng(params.seed ^ (static_cast<std::uint64_t>(v) << 16) ^
-            static_cast<std::uint64_t>(k));
+    Rng rng(taggedSeed(params.seed,
+                       (static_cast<std::uint64_t>(v) << 16) ^
+                           static_cast<std::uint64_t>(k)));
     std::vector<int> scratch;
 
     for (int t = 1; t <= params.maxBaseBlocks; ++t) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/seed.hpp"
 #include "util/error.hpp"
 
 namespace declust {
@@ -17,20 +18,6 @@ toString(IoStatus status)
     }
     return "?";
 }
-
-namespace {
-
-/** splitmix64 step, used to derive independent per-disk seeds. */
-std::uint64_t
-mixSeed(std::uint64_t seed, std::uint64_t salt)
-{
-    std::uint64_t z = seed + salt + 0x9e3779b97f4a7c15ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-} // namespace
 
 FaultModel::FaultModel(const FaultConfig &config,
                        std::int64_t totalSectors, int diskId)

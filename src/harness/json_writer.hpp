@@ -76,6 +76,14 @@ class JsonObject
         return *this;
     }
 
+    /** Flat array of numbers under @p key (e.g. per-shard walls). */
+    JsonObject &
+    set(std::string key, std::vector<double> values)
+    {
+        fields_.emplace_back(std::move(key), Value{std::move(values)});
+        return *this;
+    }
+
     /** Serialize as a single pretty-printed object. */
     void
     write(std::ostream &os) const
@@ -94,7 +102,8 @@ class JsonObject
 
   private:
     using Value = std::variant<std::string, std::int64_t, double,
-                               std::shared_ptr<JsonObject>>;
+                               std::shared_ptr<JsonObject>,
+                               std::vector<double>>;
 
     void
     writeIndented(std::ostream &os, int depth) const
@@ -138,12 +147,27 @@ class JsonObject
         } else if (const auto *obj =
                        std::get_if<std::shared_ptr<JsonObject>>(&v)) {
             (*obj)->writeIndented(os, depth);
+        } else if (const auto *arr =
+                       std::get_if<std::vector<double>>(&v)) {
+            os << '[';
+            for (std::size_t i = 0; i < arr->size(); ++i) {
+                if (i)
+                    os << ", ";
+                writeNumber(os, (*arr)[i]);
+            }
+            os << ']';
         } else {
-            std::ostringstream num;
-            num.precision(17);
-            num << std::get<double>(v);
-            os << num.str();
+            writeNumber(os, std::get<double>(v));
         }
+    }
+
+    static void
+    writeNumber(std::ostream &os, double value)
+    {
+        std::ostringstream num;
+        num.precision(17);
+        num << value;
+        os << num.str();
     }
 
     std::vector<std::pair<std::string, Value>> fields_;

@@ -12,8 +12,9 @@
 
 namespace declust {
 
-ProgressMeter::ProgressMeter(std::string label)
+ProgressMeter::ProgressMeter(std::string label, std::string unit)
     : label_(std::move(label)),
+      unit_(std::move(unit)),
       start_(std::chrono::steady_clock::now()),
       isTty_(DECLUST_ISATTY(fileno(stderr)) != 0)
 {
@@ -34,8 +35,9 @@ ProgressMeter::update(int done, int total)
     const double elapsed = elapsedSec();
     const double eta =
         done > 0 ? elapsed * (total - done) / done : 0.0;
-    std::fprintf(stderr, "\r%s: %d/%d trials  elapsed %.1fs  eta %.1fs ",
-                 label_.c_str(), done, total, elapsed, eta);
+    std::fprintf(stderr, "\r%s: %d/%d %s  elapsed %.1fs  eta %.1fs ",
+                 label_.c_str(), done, total, unit_.c_str(), elapsed,
+                 eta);
     std::fflush(stderr);
     lineActive_ = true;
 }
@@ -47,8 +49,8 @@ ProgressMeter::finish(int total)
         std::fprintf(stderr, "\r\033[K");
         lineActive_ = false;
     }
-    std::fprintf(stderr, "%s: %d trials in %.1fs\n", label_.c_str(),
-                 total, elapsedSec());
+    std::fprintf(stderr, "%s: %d %s in %.1fs\n", label_.c_str(), total,
+                 unit_.c_str(), elapsedSec());
 }
 
 } // namespace declust

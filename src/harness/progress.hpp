@@ -20,8 +20,14 @@ namespace declust {
 class ProgressMeter
 {
   public:
-    /** @param label Prefix for the line, typically the bench name. */
-    explicit ProgressMeter(std::string label);
+    /**
+     * @param label Prefix for the line, typically the bench name.
+     * @param unit  Noun for the counted work items ("trials" by
+     *        default; sharded sweeps count "shards" so a 1-trial ×
+     *        8-shard run shows motion instead of sitting at 0/1).
+     */
+    explicit ProgressMeter(std::string label,
+                           std::string unit = "trials");
 
     /** Update the line (no-op unless stderr is a tty). Thread-safe only
      * if externally serialized — TrialRunner serializes its progress
@@ -36,6 +42,7 @@ class ProgressMeter
 
   private:
     std::string label_;
+    std::string unit_;
     std::chrono::steady_clock::time_point start_;
     bool isTty_;
     bool lineActive_ = false;

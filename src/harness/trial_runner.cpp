@@ -1,6 +1,7 @@
 #include "harness/trial_runner.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <iostream>
 #include <mutex>
 #include <thread>
@@ -38,53 +39,92 @@ void
 TrialRunner::run(int numTasks, const std::function<void(int)> &task,
                  const std::function<void(int, int)> &onTrialDone)
 {
-    DECLUST_ASSERT(numTasks >= 0, "negative trial count");
     DECLUST_ASSERT(task, "runner needs a task");
-    if (numTasks == 0)
+    // One-level scheduling is the shards == 1 corner of the grid.
+    runSharded(
+        numTasks, 1, [&task](int trial, int) { task(trial); }, {},
+        onTrialDone);
+}
+
+void
+TrialRunner::runSharded(int numTrials, int shards,
+                        const std::function<void(int, int)> &item,
+                        const std::function<void(int)> &mergeTrial,
+                        const std::function<void(int, int)> &onItemDone)
+{
+    DECLUST_ASSERT(numTrials >= 0, "negative trial count");
+    DECLUST_ASSERT(shards >= 1, "shards must be >= 1, got ", shards);
+    DECLUST_ASSERT(item, "runner needs a work item");
+    if (numTrials == 0)
         return;
+    DECLUST_ASSERT(static_cast<long long>(numTrials) * shards <=
+                       INT32_MAX,
+                   "trials x shards overflows the work-item grid");
+    const int total = numTrials * shards;
 
     if (jobs_ == 1) {
         // Inline serial path: no threads, identical to the pre-harness
         // drivers down to the order progress callbacks fire in.
-        for (int i = 0; i < numTasks; ++i) {
-            task(i);
-            if (onTrialDone)
-                onTrialDone(i + 1, numTasks);
+        int finished = 0;
+        for (int trial = 0; trial < numTrials; ++trial) {
+            for (int shard = 0; shard < shards; ++shard) {
+                item(trial, shard);
+                if (shard == shards - 1 && mergeTrial)
+                    mergeTrial(trial);
+                ++finished;
+                if (onItemDone)
+                    onItemDone(finished, total);
+            }
         }
         return;
     }
 
     std::atomic<int> next{0};
     std::atomic<int> done{0};
-    std::mutex mu; // serializes onTrialDone and first-error capture
+    // Per-trial countdown: the worker that retires a trial's last shard
+    // runs its merge. acq_rel on the decrement makes every shard's
+    // writes visible to the merging worker.
+    std::vector<std::atomic<int>> remaining(
+        static_cast<std::size_t>(numTrials));
+    for (auto &r : remaining)
+        r.store(shards, std::memory_order_relaxed);
+    std::mutex mu; // serializes onItemDone and first-error capture
     std::exception_ptr firstError;
 
     auto worker = [&] {
         for (;;) {
             const int i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= numTasks)
+            if (i >= total)
                 return;
+            // Trial-major claim order: all shards of a trial go out
+            // back-to-back, so one long sweep point saturates the pool.
+            const int trial = i / shards;
+            const int shard = i % shards;
             try {
-                task(i);
+                item(trial, shard);
+                if (remaining[static_cast<std::size_t>(trial)].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1 &&
+                    mergeTrial)
+                    mergeTrial(trial);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mu);
                 if (!firstError)
                     firstError = std::current_exception();
                 // Park the claim counter past the end so idle workers
-                // stop picking up new trials.
-                next.store(numTasks, std::memory_order_relaxed);
+                // stop picking up new work items.
+                next.store(total, std::memory_order_relaxed);
                 return;
             }
             const int finished =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (onTrialDone) {
+            if (onItemDone) {
                 std::lock_guard<std::mutex> lock(mu);
-                onTrialDone(finished, numTasks);
+                onItemDone(finished, total);
             }
         }
     };
 
-    const int threads = jobs_ < numTasks ? jobs_ : numTasks;
+    const int threads = jobs_ < total ? jobs_ : total;
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t)

@@ -61,6 +61,30 @@ class TrialRunner
              const std::function<void(int done, int total)> &onTrialDone =
                  {});
 
+    /**
+     * Two-level scheduling over a trials × shards grid: invoke
+     * item(trial, shard) exactly once for every cell, and
+     * mergeTrial(trial) exactly once per trial, on whichever worker
+     * completes the trial's last shard — strictly after all of that
+     * trial's shards finished, and before that shard is reported done.
+     *
+     * Work items are claimed trial-major (all shards of trial 0, then
+     * trial 1, ...), so with few trials every worker still finds a
+     * shard to run — the point of sharding one long sweep point.
+     *
+     * Determinism: mergeTrial sees every shard's result regardless of
+     * completion order; if it folds them in shard-index order its
+     * output is identical whatever the worker count. @p onItemDone is
+     * serialized and counts finished *shards* (total = trials×shards),
+     * so progress moves within a single sharded trial. Exceptions
+     * propagate as in run().
+     */
+    void runSharded(
+        int numTrials, int shards,
+        const std::function<void(int trial, int shard)> &item,
+        const std::function<void(int trial)> &mergeTrial,
+        const std::function<void(int done, int total)> &onItemDone = {});
+
   private:
     int jobs_;
 };
@@ -83,6 +107,44 @@ runTrialsOrdered(TrialRunner &runner,
                 trials[static_cast<std::size_t>(i)]();
         },
         onTrialDone);
+    return results;
+}
+
+/**
+ * Typed two-level wrapper: run every (trial, shard) cell through
+ * @p item, hand each trial's shard results — indexed by shard, whatever
+ * order they finished in — to @p mergeTrial, and return the merged
+ * results in trial order. Shard must be default-constructible; each
+ * trial's shard vector is released as soon as the trial is merged.
+ */
+template <typename Shard, typename Merged>
+std::vector<Merged>
+runShardedOrdered(
+    TrialRunner &runner, int numTrials, int shards,
+    const std::function<Shard(int trial, int shard)> &item,
+    const std::function<Merged(int trial, std::vector<Shard> &shardResults)>
+        &mergeTrial,
+    const std::function<void(int, int)> &onItemDone = {})
+{
+    std::vector<std::vector<Shard>> parts(
+        static_cast<std::size_t>(numTrials));
+    for (auto &p : parts)
+        p.resize(static_cast<std::size_t>(shards));
+    std::vector<Merged> results(static_cast<std::size_t>(numTrials));
+    runner.runSharded(
+        numTrials, shards,
+        [&](int trial, int shard) {
+            parts[static_cast<std::size_t>(trial)]
+                 [static_cast<std::size_t>(shard)] = item(trial, shard);
+        },
+        [&](int trial) {
+            auto &mine = parts[static_cast<std::size_t>(trial)];
+            results[static_cast<std::size_t>(trial)] =
+                mergeTrial(trial, mine);
+            mine.clear();
+            mine.shrink_to_fit();
+        },
+        onItemDone);
     return results;
 }
 

@@ -30,6 +30,18 @@ Histogram::add(double x)
     ++counts_[idx];
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    DECLUST_ASSERT(limit_ == other.limit_ &&
+                       counts_.size() == other.counts_.size(),
+                   "merging differently-shaped histograms");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 double
 Histogram::quantile(double q) const
 {

@@ -26,6 +26,19 @@ class Histogram
     /** Record one sample. */
     void add(double x);
 
+    /**
+     * Fold @p other into this histogram. Both must have the same shape
+     * (limit and bucket count); counts add bucket-wise, so merging is
+     * exact — a merged histogram equals one fed both sample streams.
+     */
+    void merge(const Histogram &other);
+
+    /** Upper edge of the tracked range (exclusive). */
+    double limit() const { return limit_; }
+
+    /** Number of uniform buckets in [0, limit). */
+    std::size_t buckets() const { return counts_.size(); }
+
     /** Total samples recorded. */
     std::uint64_t count() const { return total_; }
 

@@ -1,0 +1,31 @@
+#include "stats/shard_merge.hpp"
+
+namespace declust {
+
+void
+PhaseSample::merge(const PhaseSample &other)
+{
+    readMs.merge(other.readMs);
+    writeMs.merge(other.writeMs);
+    allMs.merge(other.allMs);
+    if (allHist.count() == 0 &&
+        (allHist.limit() != other.allHist.limit() ||
+         allHist.buckets() != other.allHist.buckets())) {
+        // An empty placeholder adopts the first real shape it meets;
+        // after that merge() asserts the shapes agree.
+        allHist = other.allHist;
+    } else {
+        allHist.merge(other.allHist);
+    }
+    reads += other.reads;
+    writes += other.writes;
+    diskUtilization.merge(other.diskUtilization);
+}
+
+double
+PhaseSample::p90Ms() const
+{
+    return allHist.count() ? allHist.quantile(0.90) : 0.0;
+}
+
+} // namespace declust

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic, order-fixed merging of per-shard statistics.
+ *
+ * A sharded trial runs S independent arrays, each with its own event
+ * queue and derived sub-seed, and combines their statistics as if one
+ * serial run had produced all the samples. The merge rules:
+ *
+ *   Accumulator       Welford parallel combine (Accumulator::merge) —
+ *                     exact for count/min/max, numerically stable for
+ *                     mean/variance.
+ *   Histogram         bucket-wise count addition — exact.
+ *   PerfCounterBlock  counter/bucket addition — exact.
+ *   utilization       time-weighted mean: each shard contributes its
+ *                     utilization weighted by its window length, so a
+ *                     short shard cannot drown out a long one.
+ *
+ * Determinism contract: callers must fold shards in shard-index order
+ * (TrialRunner::runSharded guarantees the fold runs only after every
+ * shard of the trial finished, reading results from an index-ordered
+ * vector), so floating-point sums are identical whatever --jobs is.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/perf_counters.hpp"
+#include "stats/utilization.hpp"
+
+namespace declust {
+
+/** Weighted arithmetic mean, mergeable across shards. */
+class WeightedMean
+{
+  public:
+    /** Fold one observation with weight @p weight (ignored if <= 0). */
+    void
+    add(double value, double weight)
+    {
+        if (weight <= 0.0)
+            return;
+        weightedSum_ += value * weight;
+        totalWeight_ += weight;
+    }
+
+    /** Fold another weighted mean into this one. */
+    void
+    merge(const WeightedMean &other)
+    {
+        weightedSum_ += other.weightedSum_;
+        totalWeight_ += other.totalWeight_;
+    }
+
+    /** The mean, or 0 with no (positively weighted) observations. */
+    double
+    value() const
+    {
+        return totalWeight_ > 0.0 ? weightedSum_ / totalWeight_ : 0.0;
+    }
+
+    double totalWeight() const { return totalWeight_; }
+
+  private:
+    double weightedSum_ = 0.0;
+    double totalWeight_ = 0.0;
+};
+
+/**
+ * Mergeable snapshot of one measured phase's user statistics: the raw
+ * accumulators/histogram a shard collected, not the reduced means
+ * PhaseStats reports — reducing before merging would weight shards
+ * wrongly and lose the percentile information entirely.
+ */
+struct PhaseSample
+{
+    Accumulator readMs;
+    Accumulator writeMs;
+    Accumulator allMs;
+    /** Placeholder shape; populated by copy-assignment from the
+     * controller's histogram, whose shape all shards share. */
+    Histogram allHist{1.0, 1};
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    /** Disk utilization weighted by the phase's window length. */
+    WeightedMean diskUtilization;
+
+    /** Fold @p other in (callers fold in shard-index order). */
+    void merge(const PhaseSample &other);
+
+    /** @{ The reductions PhaseStats reports, over the merged sample. */
+    double meanReadMs() const { return readMs.mean(); }
+    double meanWriteMs() const { return writeMs.mean(); }
+    double meanMs() const { return allMs.mean(); }
+    double p90Ms() const;
+    double meanDiskUtilization() const { return diskUtilization.value(); }
+    /** @} */
+};
+
+/**
+ * Uniform entry point for folding shard statistics: ShardMerge::into
+ * overloads cover every mergeable statistic so call sites read the
+ * same whatever they combine.
+ */
+struct ShardMerge
+{
+    static void
+    into(Accumulator &dst, const Accumulator &src)
+    {
+        dst.merge(src);
+    }
+
+    static void
+    into(Histogram &dst, const Histogram &src)
+    {
+        dst.merge(src);
+    }
+
+    static void
+    into(PerfCounterBlock &dst, const PerfCounterBlock &src)
+    {
+        dst.addFrom(src);
+    }
+
+    static void
+    into(WeightedMean &dst, const WeightedMean &src)
+    {
+        dst.merge(src);
+    }
+
+    static void
+    into(PhaseSample &dst, const PhaseSample &src)
+    {
+        dst.merge(src);
+    }
+
+    /**
+     * Fold a tracker's current window (windowStart()..@p now) into a
+     * weighted utilization mean, weighting by the window length.
+     */
+    static void
+    into(WeightedMean &dst, const UtilizationTracker &src, Tick now)
+    {
+        dst.add(src.utilization(now),
+                ticksToSec(now - src.windowStart()));
+    }
+};
+
+} // namespace declust

@@ -52,6 +52,9 @@ class UtilizationTracker
     /** Start a new measurement window at @p now. */
     void resetWindow(Tick now);
 
+    /** Start of the current measurement window. */
+    Tick windowStart() const { return windowStart_; }
+
   private:
     bool busy_ = false;
     Tick busySince_ = 0;

@@ -148,6 +148,128 @@ TEST(TrialRunner, ZeroTasksIsANoOp)
     EXPECT_FALSE(called);
 }
 
+TEST(TrialRunner, ShardedRunsEveryCellExactlyOnce)
+{
+    static constexpr int kTrials = 9;
+    static constexpr int kShards = 5;
+    for (int jobs : {1, 4}) {
+        TrialRunner runner(jobs);
+        std::vector<std::atomic<int>> hits(kTrials * kShards);
+        runner.runSharded(kTrials, kShards,
+                          [&hits](int trial, int shard) {
+                              hits[static_cast<std::size_t>(
+                                       trial * kShards + shard)]
+                                  .fetch_add(1);
+                          },
+                          {});
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(TrialRunner, ShardedMergeRunsOncePerTrialAfterItsShards)
+{
+    static constexpr int kTrials = 7;
+    static constexpr int kShards = 4;
+    for (int jobs : {1, 8}) {
+        TrialRunner runner(jobs);
+        std::vector<std::atomic<int>> shardsDone(kTrials);
+        std::vector<std::atomic<int>> merges(kTrials);
+        runner.runSharded(
+            kTrials, kShards,
+            [&shardsDone](int trial, int) {
+                shardsDone[static_cast<std::size_t>(trial)].fetch_add(1);
+            },
+            [&shardsDone, &merges](int trial) {
+                // The merge must observe every shard of its trial done.
+                EXPECT_EQ(
+                    shardsDone[static_cast<std::size_t>(trial)].load(),
+                    kShards);
+                merges[static_cast<std::size_t>(trial)].fetch_add(1);
+            });
+        for (const auto &m : merges)
+            EXPECT_EQ(m.load(), 1);
+    }
+}
+
+TEST(TrialRunner, ShardedOrderedIsDeterministicAcrossJobs)
+{
+    // A sharded mini-sim per (trial, shard) cell, merged in shard-index
+    // order, must produce the same per-trial digests at any jobs count.
+    static constexpr int kTrials = 6;
+    static constexpr int kShards = 4;
+    auto runAll = [&](int jobs) {
+        TrialRunner runner(jobs);
+        return runShardedOrdered<std::uint64_t, std::uint64_t>(
+            runner, kTrials, kShards,
+            [](int trial, int shard) {
+                return miniSimTrial(trial * kShards + shard);
+            },
+            [](int, std::vector<std::uint64_t> &parts) {
+                std::uint64_t digest = 0;
+                for (std::uint64_t p : parts)
+                    digest = digest * 1099511628211ull ^ p;
+                return digest;
+            });
+    };
+    const auto serial = runAll(1);
+    const auto parallel = runAll(8);
+    ASSERT_EQ(serial.size(), static_cast<std::size_t>(kTrials));
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(TrialRunner, ShardedProgressCountsShardUnits)
+{
+    static constexpr int kTrials = 3;
+    static constexpr int kShards = 6;
+    for (int jobs : {1, 4}) {
+        TrialRunner runner(jobs);
+        std::vector<int> seen;
+        runner.runSharded(
+            kTrials, kShards, [](int, int) {}, {},
+            [&seen](int done, int total) {
+                EXPECT_EQ(total, kTrials * kShards);
+                seen.push_back(done);
+            });
+        std::vector<int> expect(kTrials * kShards);
+        std::iota(expect.begin(), expect.end(), 1);
+        EXPECT_EQ(seen, expect);
+    }
+}
+
+TEST(TrialRunner, ShardedExceptionPropagates)
+{
+    for (int jobs : {1, 4}) {
+        TrialRunner runner(jobs);
+        std::atomic<int> merges{0};
+        EXPECT_THROW(
+            runner.runSharded(8, 4,
+                              [](int trial, int shard) {
+                                  if (trial == 2 && shard == 1)
+                                      throw std::runtime_error("cell");
+                              },
+                              [&merges](int) { merges.fetch_add(1); }),
+            std::runtime_error);
+        // The failed trial must never merge; others may or may not have.
+        EXPECT_LE(merges.load(), 7);
+    }
+}
+
+TEST(TrialRunner, ShardCountOneMatchesPlainRun)
+{
+    constexpr int kTrials = 12;
+    TrialRunner runner(4);
+    std::vector<std::function<std::uint64_t()>> trials;
+    for (int i = 0; i < kTrials; ++i)
+        trials.push_back([i] { return miniSimTrial(i); });
+    const auto plain = runTrialsOrdered<std::uint64_t>(runner, trials);
+    const auto sharded = runShardedOrdered<std::uint64_t, std::uint64_t>(
+        runner, kTrials, 1,
+        [](int trial, int) { return miniSimTrial(trial); },
+        [](int, std::vector<std::uint64_t> &parts) { return parts[0]; });
+    EXPECT_EQ(plain, sharded);
+}
+
 TEST(ProgressMeter, SilentWhenNotATtyAndClockAdvances)
 {
     // Under ctest stderr is redirected, so update() must emit nothing;

@@ -15,6 +15,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/join.hpp"
 #include "sim/rng.hpp"
+#include "sim/seed.hpp"
 #include "sim/serial_resource.hpp"
 #include "sim/time.hpp"
 #include "util/validate.hpp"
@@ -379,6 +380,60 @@ TEST(Join, OverfiringPanics)
 TEST(Join, ZeroForksRejected)
 {
     EXPECT_ANY_THROW(makeJoin(0, [] {}));
+}
+
+TEST(Seed, Splitmix64KnownValues)
+{
+    // Reference values from the published splitmix64 test vectors
+    // (Vigna); these pin the exact numerics goldens depend on.
+    EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafull);
+    EXPECT_EQ(splitmix64(1), 0x910a2dec89025cc1ull);
+    EXPECT_NE(splitmix64(42), 42u);
+}
+
+TEST(Seed, MixSeedIsSplitmixOfSum)
+{
+    // mixSeed froze the fault model's original derivation; it must stay
+    // exactly splitmix64(seed + salt) or fault-injection goldens move.
+    EXPECT_EQ(mixSeed(7, 1234), splitmix64(7 + 1234));
+    EXPECT_EQ(mixSeed(0, 0), splitmix64(0));
+}
+
+TEST(Seed, TaggedSeedIsXor)
+{
+    EXPECT_EQ(taggedSeed(0xff00ull, 0x00ffull), 0xffffull);
+    EXPECT_EQ(taggedSeed(123, 0), 123u);
+}
+
+TEST(Seed, ShardSeedIdentityAtOneShard)
+{
+    // The whole --shards 1 golden-compatibility story rests on this.
+    for (std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull})
+        EXPECT_EQ(shardSeed(seed, 0, 1), seed);
+}
+
+TEST(Seed, ShardSeedsAreDistinct)
+{
+    // Across shard indices and nearby trial seeds, the derived streams
+    // must not collide (they seed independent arrays). The derivation
+    // is deliberately independent of the shard *count*: shard s of a
+    // trial sees the same stream however many siblings it has.
+    EXPECT_EQ(shardSeed(42, 1, 2), shardSeed(42, 1, 8));
+    std::vector<std::uint64_t> seen;
+    for (std::uint64_t trialSeed : {42ull, 43ull, 44ull})
+        for (int s = 0; s < 8; ++s)
+            seen.push_back(shardSeed(trialSeed, s, 8));
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Seed, ShardSeedDiffersFromTrialSeed)
+{
+    // Shard 0 of a multi-shard split must not reuse the trial seed
+    // verbatim, or it would correlate with the unsharded run.
+    for (std::uint64_t seed : {1ull, 42ull, 7777ull})
+        for (int shards : {2, 8})
+            EXPECT_NE(shardSeed(seed, 0, shards), seed);
 }
 
 } // namespace

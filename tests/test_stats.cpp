@@ -6,8 +6,11 @@
 
 #include <cmath>
 
+#include <vector>
+
 #include "stats/accumulator.hpp"
 #include "stats/histogram.hpp"
+#include "stats/shard_merge.hpp"
 #include "stats/utilization.hpp"
 
 namespace declust {
@@ -107,6 +110,212 @@ TEST(Histogram, NegativeSamplesClampToZeroBucket)
     EXPECT_EQ(h.count(), 1u);
     EXPECT_EQ(h.overflow(), 0u);
     EXPECT_LT(h.quantile(1.0), 1.01);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream)
+{
+    Histogram a(50.0, 25), b(50.0, 25), all(50.0, 25);
+    for (int i = 0; i < 200; ++i) {
+        const double x = 30.0 + 25.0 * std::sin(i); // some overflow
+        (i % 3 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.overflow(), all.overflow());
+    for (double q : {0.1, 0.5, 0.9, 1.0})
+        EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch)
+{
+    Histogram a(10.0, 10);
+    Histogram wrongLimit(20.0, 10);
+    Histogram wrongBuckets(10.0, 5);
+    EXPECT_ANY_THROW(a.merge(wrongLimit));
+    EXPECT_ANY_THROW(a.merge(wrongBuckets));
+}
+
+TEST(WeightedMean, WeighsObservations)
+{
+    WeightedMean m;
+    m.add(1.0, 3.0);
+    m.add(5.0, 1.0);
+    EXPECT_DOUBLE_EQ(m.value(), 2.0);
+    EXPECT_DOUBLE_EQ(m.totalWeight(), 4.0);
+}
+
+TEST(WeightedMean, IgnoresNonPositiveWeights)
+{
+    WeightedMean m;
+    m.add(100.0, 0.0);
+    m.add(100.0, -1.0);
+    EXPECT_DOUBLE_EQ(m.value(), 0.0);
+    m.add(7.0, 2.0);
+    EXPECT_DOUBLE_EQ(m.value(), 7.0);
+}
+
+TEST(WeightedMean, MergeCombinesWeights)
+{
+    WeightedMean a, b;
+    a.add(1.0, 1.0);
+    b.add(3.0, 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.value(), 2.5);
+
+    WeightedMean empty;
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.value(), a.value());
+}
+
+TEST(PhaseSample, MergeCombinesEverything)
+{
+    PhaseSample a, b;
+    a.allHist = Histogram(100.0, 10);
+    b.allHist = Histogram(100.0, 10);
+    for (double x : {10.0, 20.0, 30.0}) {
+        a.readMs.add(x);
+        a.allMs.add(x);
+        a.allHist.add(x);
+    }
+    a.reads = 3;
+    a.diskUtilization.add(0.5, 1.0);
+    for (double x : {40.0, 60.0}) {
+        b.writeMs.add(x);
+        b.allMs.add(x);
+        b.allHist.add(x);
+    }
+    b.writes = 2;
+    b.diskUtilization.add(0.9, 3.0);
+
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.meanReadMs(), 20.0);
+    EXPECT_DOUBLE_EQ(a.meanWriteMs(), 50.0);
+    EXPECT_DOUBLE_EQ(a.meanMs(), 32.0);
+    EXPECT_EQ(a.reads, 3u);
+    EXPECT_EQ(a.writes, 2u);
+    EXPECT_EQ(a.allHist.count(), 5u);
+    EXPECT_DOUBLE_EQ(a.meanDiskUtilization(), 0.8);
+}
+
+TEST(PhaseSample, PlaceholderHistogramAdoptsShape)
+{
+    // A default-constructed PhaseSample holds a 1-bucket placeholder
+    // histogram; merging a real sample into it must adopt the real
+    // shape instead of asserting on the mismatch.
+    PhaseSample placeholder;
+    PhaseSample real;
+    real.allHist = Histogram(200.0, 20);
+    real.allHist.add(150.0);
+    real.allMs.add(150.0);
+
+    ShardMerge::into(placeholder, real);
+    EXPECT_DOUBLE_EQ(placeholder.allHist.limit(), 200.0);
+    EXPECT_EQ(placeholder.allHist.buckets(), 20u);
+    EXPECT_EQ(placeholder.allHist.count(), 1u);
+    EXPECT_NEAR(placeholder.p90Ms(), 150.0, 10.0);
+}
+
+// The sharding determinism contract: folding S per-shard statistics in
+// shard-index order is (a) repeatable bit-for-bit, (b) equal to the
+// concatenated sample stream for every integer statistic and within
+// float tolerance for mean/variance, and (c) associative — grouping the
+// fold differently moves mean/variance by at most rounding while the
+// integer statistics (counts, min/max, histogram buckets) stay exact.
+TEST(ShardMerge, OrderFixedFoldIsRepeatableAndMatchesStream)
+{
+    constexpr int kShards = 6;
+    std::vector<Accumulator> acc(kShards);
+    std::vector<Histogram> hist(kShards, Histogram(40.0, 32));
+    Accumulator streamAcc;
+    Histogram streamHist(40.0, 32);
+    for (int s = 0; s < kShards; ++s) {
+        for (int i = 0; i < 40 + 13 * s; ++i) {
+            const double x = 20.0 + 15.0 * std::sin(s * 997 + i);
+            acc[static_cast<std::size_t>(s)].add(x);
+            hist[static_cast<std::size_t>(s)].add(x);
+            streamAcc.add(x);
+            streamHist.add(x);
+        }
+    }
+
+    auto leftFold = [&] {
+        std::pair<Accumulator, Histogram> out{acc[0], hist[0]};
+        for (int s = 1; s < kShards; ++s) {
+            ShardMerge::into(out.first,
+                             acc[static_cast<std::size_t>(s)]);
+            ShardMerge::into(out.second,
+                             hist[static_cast<std::size_t>(s)]);
+        }
+        return out;
+    };
+
+    const auto once = leftFold();
+    const auto twice = leftFold();
+    // (a) bit-for-bit repeatable: EXPECT_EQ on doubles is exact.
+    EXPECT_EQ(once.first.mean(), twice.first.mean());
+    EXPECT_EQ(once.first.variance(), twice.first.variance());
+    EXPECT_EQ(once.first.count(), twice.first.count());
+
+    // (b) integer statistics match the concatenated stream exactly.
+    EXPECT_EQ(once.first.count(), streamAcc.count());
+    EXPECT_EQ(once.first.min(), streamAcc.min());
+    EXPECT_EQ(once.first.max(), streamAcc.max());
+    EXPECT_EQ(once.second.count(), streamHist.count());
+    EXPECT_EQ(once.second.overflow(), streamHist.overflow());
+    for (double q : {0.25, 0.5, 0.9})
+        EXPECT_EQ(once.second.quantile(q), streamHist.quantile(q));
+    // Mean/variance within float tolerance of the single-stream fold.
+    EXPECT_NEAR(once.first.mean(), streamAcc.mean(),
+                1e-9 * std::abs(streamAcc.mean()));
+    EXPECT_NEAR(once.first.variance(), streamAcc.variance(),
+                1e-9 * streamAcc.variance());
+}
+
+TEST(ShardMerge, FoldIsAssociative)
+{
+    constexpr int kShards = 5;
+    std::vector<Accumulator> acc(kShards);
+    std::vector<Histogram> hist(kShards, Histogram(40.0, 32));
+    for (int s = 0; s < kShards; ++s)
+        for (int i = 0; i < 25 + 7 * s; ++i) {
+            const double x = 20.0 + 15.0 * std::sin(s * 131 + i);
+            acc[static_cast<std::size_t>(s)].add(x);
+            hist[static_cast<std::size_t>(s)].add(x);
+        }
+
+    // ((((0+1)+2)+3)+4) versus (0+((1+2)+(3+4))).
+    Accumulator left = acc[0];
+    Histogram leftH = hist[0];
+    for (int s = 1; s < kShards; ++s) {
+        left.merge(acc[static_cast<std::size_t>(s)]);
+        leftH.merge(hist[static_cast<std::size_t>(s)]);
+    }
+    Accumulator mid12 = acc[1], mid34 = acc[3];
+    mid12.merge(acc[2]);
+    mid34.merge(acc[4]);
+    mid12.merge(mid34);
+    Accumulator right = acc[0];
+    right.merge(mid12);
+    Histogram midH12 = hist[1], midH34 = hist[3];
+    midH12.merge(hist[2]);
+    midH34.merge(hist[4]);
+    midH12.merge(midH34);
+    Histogram rightH = hist[0];
+    rightH.merge(midH12);
+
+    // Integer statistics are exactly associative.
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_EQ(left.min(), right.min());
+    EXPECT_EQ(left.max(), right.max());
+    EXPECT_EQ(leftH.count(), rightH.count());
+    EXPECT_EQ(leftH.overflow(), rightH.overflow());
+    for (double q : {0.25, 0.5, 0.9})
+        EXPECT_EQ(leftH.quantile(q), rightH.quantile(q));
+    // Welford combine is associative only up to rounding.
+    EXPECT_NEAR(left.mean(), right.mean(), 1e-9 * std::abs(left.mean()));
+    EXPECT_NEAR(left.variance(), right.variance(),
+                1e-9 * left.variance());
 }
 
 TEST(Utilization, BusyFractions)

@@ -32,6 +32,14 @@ Enforces the invariants the generic toolchain cannot see:
                              (sequences are implementation-defined; use
                              sim/rng.hpp so campaigns replay everywhere)
 
+  seed hygiene (all of src/ except src/sim/seed.hpp, which is the one
+  sanctioned derivation point)
+    seed-derivation          no std::seed_seq and no ad-hoc seed
+                             arithmetic (xor/multiply/add-a-constant on
+                             anything named *seed*); derive sub-seeds
+                             through sim/seed.hpp so stream splits stay
+                             auditable and collision-free
+
   header hygiene (all files)
     header-pragma-once       every header starts its code with #pragma once
     header-using-namespace   no file-scope `using namespace` in headers
@@ -65,13 +73,14 @@ DETERMINISM_RULES = (
     "determinism-std-random",
 )
 EVENT_CORE_RULES = ("event-core-priority-queue",)
+SEED_RULES = ("seed-derivation",)
 HEADER_RULES = (
     "header-pragma-once",
     "header-using-namespace",
     "include-relative",
 )
 ALL_RULES = (HOT_PATH_RULES + DETERMINISM_RULES + EVENT_CORE_RULES +
-             HEADER_RULES)
+             SEED_RULES + HEADER_RULES)
 
 # Line-level patterns, applied to code with comments and string/char
 # literal bodies stripped.  Each entry: (rule, compiled regex, message).
@@ -135,6 +144,21 @@ LINE_PATTERNS = {
         "std::<random> engine/distribution in simulation code (sequences "
         "are implementation-defined and differ across platforms; draw "
         "from sim/rng.hpp's seeded Rng instead)",
+    ),
+    # Seed arithmetic: std::seed_seq, or an identifier containing
+    # seed/Seed combined with ^, *, or + <numeric literal>. `<<` is
+    # deliberately not matched (stream output of seeds is fine), and
+    # plain assignment/copy of a seed does not trip it.
+    "seed-derivation": (
+        re.compile(
+            r"(?:\bstd\s*::\s*seed_seq\b"
+            r"|\b[\w.]*[Ss]eed\w*\s*(?:\^|\*)"
+            r"|(?:\^|\*)\s*[\w.]*[Ss]eed\w*\b"
+            r"|\b[\w.]*[Ss]eed\w*\s*\+\s*(?:0x[0-9a-fA-F]+|\d))"
+        ),
+        "ad-hoc seed derivation (xor/multiply/salt by hand risks "
+        "silently correlated streams; derive sub-seeds through "
+        "sim/seed.hpp's splitmix64/mixSeed/taggedSeed/shardSeed)",
     ),
     "header-using-namespace": (
         re.compile(r"^\s*using\s+namespace\b"),
@@ -234,6 +258,7 @@ def check_file(path, rel, findings):
     hot_path = any(MARKER_RE.search(line) for line in raw_lines)
     in_sim_core = not rel.startswith(os.path.join("src", "harness"))
     outside_event_core = not rel.startswith(os.path.join("src", "sim"))
+    is_seed_helper = rel == os.path.join("src", "sim", "seed.hpp")
     is_header = rel.endswith((".hpp", ".h"))
 
     active = []
@@ -243,6 +268,8 @@ def check_file(path, rel, findings):
         active += list(DETERMINISM_RULES)
     if outside_event_core:
         active += list(EVENT_CORE_RULES)
+    if not is_seed_helper:
+        active += list(SEED_RULES)
     active += ["include-relative"]
     if is_header:
         active += ["header-using-namespace"]

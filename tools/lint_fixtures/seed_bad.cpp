@@ -1,0 +1,24 @@
+// Fixture: ad-hoc seed derivation the seed-derivation rule must catch.
+// Every stream split must go through sim/seed.hpp; hand-rolled xor,
+// multiply, or salt arithmetic on seeds is banned everywhere else.
+#include <cstdint>
+#include <random>
+
+std::uint64_t
+deriveBad(std::uint64_t baseSeed, int shard)
+{
+    // EXPECT-LINT: seed-derivation
+    std::seed_seq seq{baseSeed};
+    (void)seq;
+    // EXPECT-LINT: seed-derivation
+    std::uint64_t a = baseSeed ^ 0xdeadbeefull;
+    // EXPECT-LINT: seed-derivation
+    std::uint64_t b = baseSeed * 0x9e3779b97f4a7c15ull;
+    // EXPECT-LINT: seed-derivation
+    std::uint64_t c = baseSeed + 1234;
+    // EXPECT-LINT: seed-derivation
+    std::uint64_t d = static_cast<std::uint64_t>(shard) ^ baseSeed;
+    // Copying a seed is fine; only arithmetic on one is banned.
+    std::uint64_t ok = baseSeed;
+    return a + b + c + d + ok;
+}
