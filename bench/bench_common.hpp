@@ -86,17 +86,32 @@ addCommonOptions(Options &opts)
              std::string("event-queue implementation: heap | calendar "
                          "(default: ") +
                  EventQueue::implName(EventQueue::defaultImpl()) + ")");
+    opts.add("data-plane", "off",
+             "erasure-code data plane: off (value-level parity math "
+             "only) | verify (real SIMD byte XOR cross-checked at every "
+             "combine; no timing change) | on (verify + XOR cost from "
+             "measured kernel throughput)");
 }
 
 /**
- * Apply --event-queue to the process-wide default. Call right after
- * opts.parse(), before any simulation is constructed. Golden outputs
- * are byte-identical under either value (the determinism contract);
- * only wall-clock changes. @return false on an unknown name.
+ * Apply --event-queue and --data-plane to their process-wide defaults.
+ * Call right after opts.parse(), before any simulation is constructed.
+ * Golden outputs are byte-identical under either event queue and under
+ * data-plane off/verify (the determinism contract; verify changes no
+ * simulated timing) — only wall-clock changes. @return false on an
+ * unknown name.
  */
 inline bool
 applyEventQueueOption(const Options &opts)
 {
+    const std::string plane = opts.getString("data-plane");
+    ec::DataPlaneMode mode{};
+    if (!ec::dataPlaneModeFromName(plane, &mode)) {
+        std::cerr << "unknown --data-plane '" << plane
+                  << "' (expected: off | verify | on)\n";
+        return false;
+    }
+    ec::selectDataPlane(mode);
     return selectEventQueue(opts.getString("event-queue"));
 }
 
@@ -448,6 +463,10 @@ writeJsonRecord(const Options &opts, const std::string &benchName,
     record.set("bench", benchName)
         .set("event_queue",
              EventQueue::implName(EventQueue::defaultImpl()))
+        .set("data_plane",
+             ec::dataPlaneModeName(ec::defaultDataPlaneMode()))
+        .set("ec_tier", ec::tierName(ec::activeTier()))
+        .set("cpu_features", ec::cpuFeatureString())
         .set("jobs", out.jobs)
         .set("trials", out.trials)
         .set("shards", out.shards)

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "core/array_sim.hpp"
+#include "ec/data_plane.hpp"
 #include "layout/criteria.hpp"
 #include "model/reliability.hpp"
 #include "util/error.hpp"
@@ -62,6 +63,8 @@ run(int argc, char **argv)
     opts.add("throttle-ms", "0", "per-cycle reconstruction delay");
     opts.add("cpu-ms", "0", "serial controller CPU cost per access");
     opts.add("xor-ms", "0", "XOR cost per unit combined");
+    opts.add("data-plane", "off",
+             "real parity bytes: off|verify|on (ec/data_plane.hpp)");
     opts.add("replacement-delay", "0", "seconds until replacement");
     opts.add("warmup", "5", "warmup seconds per phase");
     opts.add("measure", "30", "measured seconds per phase");
@@ -97,6 +100,10 @@ run(int argc, char **argv)
     cfg.distributedSparing = opts.getFlag("sparing");
     cfg.controllerOverheadMs = opts.getDouble("cpu-ms");
     cfg.xorOverheadMsPerUnit = opts.getDouble("xor-ms");
+    if (!ec::dataPlaneModeFromName(opts.getString("data-plane"),
+                                   &cfg.dataPlane))
+        DECLUST_FATAL("unknown --data-plane '",
+                      opts.getString("data-plane"), "' (off|verify|on)");
     cfg.replacementDelaySec = opts.getDouble("replacement-delay");
     cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
 

@@ -2,7 +2,7 @@
  * @file
  * Logical-contents models used to verify array correctness end to end.
  *
- * The simulator does not move real bytes; instead every stripe unit
+ * The simulator's at-rest state is not real bytes; every stripe unit
  * carries a 64-bit UnitValue and parity is the XOR of its stripe's data
  * values, so "XOR over every stripe's units == 0" is the global
  * consistency invariant. ArrayContents tracks what is physically stored
@@ -10,6 +10,13 @@
  * each logical data unit. Together they let tests assert that every user
  * read returns the right data and that a completed reconstruction
  * restored exactly the lost contents.
+ *
+ * With `--data-plane verify|on` (ec/data_plane.hpp) each UnitValue
+ * additionally stands for a full stripe unit of bytes via a GF(2)-linear
+ * expansion, and every parity combine over these values is re-executed
+ * over real buffers through the SIMD kernels and byte-compared — the
+ * 64-bit invariant and the byte-level math are checked against each
+ * other at every combine site.
  */
 #pragma once
 

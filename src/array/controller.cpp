@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ec/cost_model.hpp"
 #include "stats/perf_counters.hpp"
 #include "util/error.hpp"
 
@@ -670,13 +671,19 @@ struct IoSteps
         ArrayController &c = *op->ctl;
         const int G = c.layout_->stripeWidth();
         UnitValue othersXor = 0;
+        UnitValue vals[ArrayController::kMaxCheckedStripeWidth];
+        int n = 0;
         for (int pos = 0; pos < G - 1; ++pos) {
             if (pos == op->su.pos)
                 continue;
             const PhysicalUnit pu = c.effectiveUnit(op->su.stripe, pos);
-            othersXor ^= c.contents_.get(pu.disk, pu.offset);
+            const UnitValue v = c.contents_.get(pu.disk, pu.offset);
+            othersXor ^= v;
+            vals[n++] = v;
         }
+        vals[n++] = op->v;
         op->aux = othersXor ^ op->v;
+        c.checkCombine("degraded-write-fold", vals, n, op->aux);
         const bool writeThrough =
             c.reconActive_ &&
             c.algorithm_ != ReconAlgorithm::Baseline &&
@@ -751,7 +758,11 @@ struct IoSteps
     {
         IoOp *op = fromCtx(ctx);
         ArrayController &c = *op->ctl;
-        op->aux = c.contents_.get(op->dst2.disk, op->dst2.offset) ^ op->v;
+        const UnitValue other =
+            c.contents_.get(op->dst2.disk, op->dst2.offset);
+        op->aux = other ^ op->v;
+        const UnitValue vals[2] = {other, op->v};
+        c.checkCombine("reconstruct-write", vals, 2, op->aux);
         c.issueUnit(op->dst1, true, &reconWriteParityDone, op);
     }
 
@@ -793,6 +804,8 @@ struct IoSteps
         const UnitValue oldParity = c.contents_.get(op->dst1.disk,
                                                     op->dst1.offset);
         op->aux = oldParity ^ oldData ^ op->v;
+        const UnitValue vals[3] = {oldData, oldParity, op->v};
+        c.checkCombine("read-modify-write", vals, 3, op->aux);
         op->pending = 2;
         c.issueUnit(op->dst0, true, &rmwWriteDone, op);
         c.issueUnit(op->dst1, true, &rmwWriteDone, op);
@@ -843,15 +856,19 @@ struct IoSteps
         // mix — and the fault-free requirement rules out every flow that
         // reads this stripe's parity before we release.
         UnitValue parity = 0;
+        UnitValue vals[ArrayController::kMaxCheckedStripeWidth];
+        int n = 0;
         for (int pos = 0; pos < G - 1; ++pos) {
             const UnitValue value = c.values_.fresh();
             parity ^= value;
+            vals[n++] = value;
             const PhysicalUnit pu = c.effectiveUnit(stripe, pos);
             c.contents_.set(pu.disk, pu.offset, value);
             c.shadow_.set(
                 c.layout_->stripeToDataUnit(StripeUnit{stripe, pos}),
                 value);
         }
+        c.checkCombine("large-write", vals, n, parity);
         const PhysicalUnit ppu = c.effectiveUnit(stripe, G - 1);
         c.contents_.set(ppu.disk, ppu.offset, parity);
         // The new parity XORs the G-1 fresh data units before anything
@@ -1120,8 +1137,33 @@ ArrayController::ArrayController(EventQueue &eq,
                    "layout maps ", layout_->unitsPerDisk(),
                    " units/disk but the geometry only holds ",
                    unitCapacity);
-    if (params_.controllerOverheadMs > 0 ||
-        params_.xorOverheadMsPerUnit > 0) {
+    // The XOR charge basis is fixed here, per unit, so afterXor charges
+    // are additive across batches (see xorChargeTicks). Mode On derives
+    // the per-unit cost from the measured throughput of the dispatched
+    // kernel tier, *replacing* the hand-picked constant.
+    double xorMsPerUnit = params_.xorOverheadMsPerUnit;
+    if (params_.dataPlane != ec::DataPlaneMode::Off) {
+        const std::size_t unitBytes =
+            static_cast<std::size_t>(params_.unitSectors) *
+            static_cast<std::size_t>(params_.geometry.sectorBytes);
+        DECLUST_ASSERT(layout_->stripeWidth() <= kMaxCheckedStripeWidth,
+                       "data-plane combine checks support stripes up to ",
+                       kMaxCheckedStripeWidth, " units wide");
+        plane_ = std::make_unique<ec::DataPlane>(params_.dataPlane,
+                                                 unitBytes);
+        if (params_.dataPlane == ec::DataPlaneMode::On) {
+            const ec::Tier tier = plane_->tier();
+            if (!ec::xorCostCalibrated(tier))
+                DECLUST_FATAL(
+                    "--data-plane on needs a calibrated XOR throughput "
+                    "for kernel tier ", ec::tierName(tier),
+                    "; run bench_ec_kernels --json and "
+                    "tools/calibrate_xor.py (see src/ec/cost_model.hpp)");
+            xorMsPerUnit = ec::xorMsPerUnit(unitBytes, tier);
+        }
+    }
+    xorTicksPerUnit_ = msToTicks(xorMsPerUnit);
+    if (params_.controllerOverheadMs > 0 || xorTicksPerUnit_ > 0) {
         cpu_ = std::make_unique<SerialResource>(eq_);
     }
     // Pre-size the pending set for the steady-state event population:
@@ -1200,9 +1242,9 @@ ArrayController::issueUnit(const PhysicalUnit &pu, bool isWrite,
 void
 ArrayController::afterXor(int units, void (*fn)(void *), void *ctx)
 {
-    const double ms = params_.xorOverheadMsPerUnit * units;
-    if (cpu_ && ms > 0) {
-        cpu_->use(msToTicks(ms), fn, ctx);
+    const Tick charge = xorChargeTicks(units);
+    if (cpu_ && charge > 0) {
+        cpu_->use(charge, fn, ctx);
         return;
     }
     fn(ctx);
@@ -1291,12 +1333,18 @@ UnitValue
 ArrayController::xorStripeExcept(std::int64_t stripe, int excludePos) const
 {
     UnitValue acc = 0;
+    UnitValue vals[kMaxCheckedStripeWidth];
+    int n = 0;
     for (int pos = 0; pos < layout_->stripeWidth(); ++pos) {
         if (pos == excludePos)
             continue;
         const PhysicalUnit pu = effectiveUnit(stripe, pos);
-        acc ^= contents_.get(pu.disk, pu.offset);
+        const UnitValue v = contents_.get(pu.disk, pu.offset);
+        acc ^= v;
+        if (plane_)
+            vals[n++] = v;
     }
+    checkCombine("xor-stripe", vals, n, acc);
     return acc;
 }
 

@@ -36,6 +36,7 @@
 #include "array/stripe_lock.hpp"
 #include "array/types.hpp"
 #include "disk/disk.hpp"
+#include "ec/data_plane.hpp"
 #include "layout/layout.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/serial_resource.hpp"
@@ -81,6 +82,17 @@ struct ArrayParams
      * reconstruction, rebuild cycles).
      */
     double xorOverheadMsPerUnit = 0.0;
+    /**
+     * Data-plane mode (see ec/data_plane.hpp). Off: value-level parity
+     * math only, byte-identical to the pre-data-plane goldens. Verify:
+     * every parity combine additionally XORs real stripe-unit buffers
+     * through the dispatched SIMD kernels and cross-checks the result
+     * against the 64-bit shadow value — no effect on simulated time.
+     * On: Verify, plus the XOR cost charged to the controller CPU is
+     * derived from measured kernel throughput (ec/cost_model.hpp),
+     * *replacing* xorOverheadMsPerUnit.
+     */
+    ec::DataPlaneMode dataPlane = ec::DataPlaneMode::Off;
     /** Response-time histogram range (ms) and bucket count. */
     double histogramLimitMs = 4000.0;
     std::size_t histogramBuckets = 4000;
@@ -333,6 +345,30 @@ class ArrayController
         return cpu_ ? cpu_->utilization() : 0.0;
     }
 
+    /** Active data-plane mode. */
+    ec::DataPlaneMode dataPlane() const { return params_.dataPlane; }
+
+    /** Data-plane counters (all zero when the plane is off). */
+    ec::DataPlane::Stats dataPlaneStats() const
+    {
+        return plane_ ? plane_->stats() : ec::DataPlane::Stats{};
+    }
+
+    /**
+     * Simulated controller-CPU ticks charged for XORing @p units stripe
+     * units: units x the per-unit tick cost, which is msToTicks of
+     * xorOverheadMsPerUnit (modes off/verify) or of the calibrated
+     * throughput-derived ms/unit (mode on). The basis is explicitly
+     * per-unit — rounding happens once, in the per-unit constant — so
+     * the charge is additive across batches: charging a G-1-unit
+     * combine equals charging G-1 single units, and calibrated
+     * constants plug in without double-charging.
+     */
+    Tick xorChargeTicks(int units) const
+    {
+        return static_cast<Tick>(units) * xorTicksPerUnit_;
+    }
+
     /** Install an access tracer on every disk (null to disable). */
     void setAccessTracer(AccessTracer tracer);
 
@@ -416,8 +452,24 @@ class ArrayController
     void attachCommon(ReconAlgorithm algorithm);
 
     /** XOR of the stored values of stripe @p stripe except position
-     * @p excludePos (pass -1 to include all positions). */
+     * @p excludePos (pass -1 to include all positions). With the data
+     * plane enabled the same combine is replayed over real stripe-unit
+     * buffers and cross-checked (see ec/data_plane.hpp). */
     UnitValue xorStripeExcept(std::int64_t stripe, int excludePos) const;
+
+    /** Data-plane hook for combines not expressed via xorStripeExcept:
+     * byte-verify that XOR of @p count values at @p vals equals
+     * @p expected. No-op when the plane is off. */
+    void checkCombine(const char *site, const UnitValue *vals, int count,
+                      UnitValue expected) const
+    {
+        if (plane_)
+            plane_->checkCombine(site, vals, count, expected);
+    }
+
+    /** Most input values a byte-checked combine can carry (bounds the
+     * gather arrays on the combine paths' stacks). */
+    static constexpr int kMaxCheckedStripeWidth = 64;
 
     void markReconstructed(int offset);
 
@@ -428,6 +480,11 @@ class ArrayController
     std::vector<std::unique_ptr<Disk>> disks_;
     /** Serial controller CPU; null when overheads are disabled. */
     std::unique_ptr<SerialResource> cpu_;
+    /** Real-bytes data plane; null in mode Off (the default), so the
+     * off path pays one pointer test per combine. */
+    std::unique_ptr<ec::DataPlane> plane_;
+    /** Per-unit XOR charge, fixed at construction (see xorChargeTicks). */
+    Tick xorTicksPerUnit_ = 0;
     ArrayContents contents_;
     ShadowModel shadow_;
     ValueSource values_;

@@ -62,7 +62,10 @@ struct IoOp : StripeLockTable::Waiter
     PhysicalUnit dst1;
     PhysicalUnit dst2;
     std::int64_t dataUnit = 0;
-    /** New/reconstructed data value. */
+    /** New/reconstructed data value. The XOR staging values feed the
+     * value-level parity math; with the data plane enabled the same
+     * combines are replayed over real bytes and cross-checked at the
+     * controller's combine sites (see ArrayController::checkCombine). */
     UnitValue v = 0;
     /** Secondary value (new parity). */
     UnitValue aux = 0;

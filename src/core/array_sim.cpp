@@ -78,6 +78,7 @@ ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
     params.unitSectors = config_.unitSectors;
     params.controllerOverheadMs = config_.controllerOverheadMs;
     params.xorOverheadMsPerUnit = config_.xorOverheadMsPerUnit;
+    params.dataPlane = config_.dataPlane;
 
     controller_ = std::make_unique<ArrayController>(
         eq_,

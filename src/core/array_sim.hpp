@@ -65,6 +65,16 @@ struct SimConfig
     /** XOR cost per stripe unit combined, ms (0 = paper's model). */
     double xorOverheadMsPerUnit = 0.0;
     /**
+     * Data-plane mode (ec/data_plane.hpp): off = value-level parity
+     * math only (byte-identical to earlier builds), verify = real SIMD
+     * byte math cross-checked at every combine with no timing change,
+     * on = verify + XOR cost charged from measured kernel throughput.
+     * Defaults to the process-wide selection (--data-plane via
+     * bench_common, ec::selectDataPlane()), so drivers need no
+     * per-config plumbing.
+     */
+    ec::DataPlaneMode dataPlane = ec::defaultDataPlaneMode();
+    /**
      * Delay between failure and replacement availability, seconds.
      * With an on-line spare pool this is ~0 (section 8: "repair time is
      * essentially reconstruction time"); order-and-swap service models

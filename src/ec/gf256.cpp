@@ -1,0 +1,71 @@
+#include "ec/gf256.hpp"
+
+#include "util/error.hpp"
+
+namespace declust::ec {
+
+std::uint8_t
+gfMulSlow(std::uint8_t a, std::uint8_t b)
+{
+    unsigned product = 0;
+    unsigned aa = a;
+    unsigned bb = b;
+    while (bb) {
+        if (bb & 1)
+            product ^= aa;
+        aa <<= 1;
+        if (aa & 0x100)
+            aa ^= kGfPoly;
+        bb >>= 1;
+    }
+    return static_cast<std::uint8_t>(product);
+}
+
+namespace {
+
+struct TableBuilder : GfTables
+{
+    TableBuilder()
+    {
+        // log/exp from the generator 2 (primitive for 0x11d).
+        unsigned x = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            expTbl[i] = static_cast<std::uint8_t>(x);
+            expTbl[i + 255] = static_cast<std::uint8_t>(x);
+            logTbl[x] = static_cast<std::uint8_t>(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= kGfPoly;
+        }
+        DECLUST_ASSERT(x == 1, "generator 2 is not primitive for poly ",
+                       kGfPoly);
+        logTbl[0] = 0; // never read: mul handles the zero operands
+
+        for (unsigned a = 0; a < 256; ++a) {
+            for (unsigned b = 0; b < 256; ++b) {
+                mul[a][b] = (a && b)
+                                ? expTbl[logTbl[a] + logTbl[b]]
+                                : std::uint8_t{0};
+            }
+            for (unsigned nib = 0; nib < 16; ++nib) {
+                shuffleLo[a][nib] = mul[a][nib];
+                shuffleHi[a][nib] = mul[a][nib << 4];
+            }
+        }
+
+        inv[0] = 0; // zero has no inverse; callers must not divide by 0
+        for (unsigned a = 1; a < 256; ++a)
+            inv[a] = expTbl[255 - logTbl[a]];
+    }
+};
+
+} // namespace
+
+const GfTables &
+gfTables()
+{
+    static const TableBuilder tables;
+    return tables;
+}
+
+} // namespace declust::ec

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GF(2^8) arithmetic tables for the erasure-code kernel layer.
+ *
+ * The field is GF(256) under the AES-adjacent primitive polynomial
+ * x^8 + x^4 + x^3 + x^2 + 1 (0x11d) — the same field jerasure and
+ * ISA-L default to, so coefficients interoperate with their encodings.
+ *
+ * Three table families serve three consumers:
+ *   - mul[c][x]: full 256x256 product table, the scalar kernels' inner
+ *     loop and the reference the SIMD kernels are tested against;
+ *   - shuffleLo[c][16] / shuffleHi[c][16]: the split-table form
+ *     (products of c with the low and high nibble of x) consumed by the
+ *     PSHUFB/VPSHUFB kernels — c*x = shuffleLo[c][x & 0xf] ^
+ *     shuffleHi[c][x >> 4] because multiplication is GF(2)-linear in x;
+ *   - log/exp and inv: used by tests and by future decode-matrix
+ *     inversion (jerasure_invert_matrix-style RAID 6 / LRC decode).
+ *
+ * Tables are built once on first use and immutable afterwards, so
+ * worker threads share them freely.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace declust::ec {
+
+/** The primitive polynomial (with the x^8 term) the field reduces by. */
+inline constexpr unsigned kGfPoly = 0x11d;
+
+/** Immutable GF(256) lookup tables (see file comment). */
+struct GfTables
+{
+    std::uint8_t mul[256][256];
+    std::uint8_t shuffleLo[256][16];
+    std::uint8_t shuffleHi[256][16];
+    std::uint8_t inv[256];
+    /** log[0] is undefined; exp covers [0, 509] so that
+     * mul(a, b) == exp[log[a] + log[b]] needs no modulo. */
+    std::uint8_t logTbl[256];
+    std::uint8_t expTbl[510];
+};
+
+/** The process-wide tables, built on first call (thread-safe). */
+const GfTables &gfTables();
+
+/** Slow bitwise product, independent of the tables (test oracle). */
+std::uint8_t gfMulSlow(std::uint8_t a, std::uint8_t b);
+
+} // namespace declust::ec

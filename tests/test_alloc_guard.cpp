@@ -91,11 +91,13 @@ class AllocGuardTest : public ::testing::Test
     explicit AllocGuardTest(EventQueue::Impl impl) : eq(impl) {}
 
     void
-    build(int numDisks, int G, const char *scheduler = "cvscan")
+    build(int numDisks, int G, const char *scheduler = "cvscan",
+          ec::DataPlaneMode dataPlane = ec::DataPlaneMode::Off)
     {
         ArrayParams params;
         params.geometry = tinyGeometry();
         params.scheduler = scheduler;
+        params.dataPlane = dataPlane;
         const int units =
             static_cast<int>(params.geometry.totalSectors() / 8);
         auto layout = std::make_unique<DeclusteredLayout>(
@@ -162,6 +164,78 @@ TEST_F(AllocGuardTest, DegradedModeSteadyStateIsAllocationFree)
         allocsDuring([&] { writeRange(0, 96); readRange(0, 96); });
     EXPECT_EQ(steady, 0u)
         << "degraded-mode traffic allocated on a warm array";
+}
+
+/**
+ * The data plane's byte math runs inside the combine paths, so verify
+ * mode is held to the same contract: the buffer pool's slabs are
+ * warm-up-only, and every steady-state cross-check is two pooled leases
+ * with zero heap traffic — fault-free, degraded, and while
+ * reconstruction cycles stream G-1-way combines.
+ */
+TEST_F(AllocGuardTest, DataPlaneVerifySteadyStateIsAllocationFree)
+{
+    build(5, 4, "cvscan", ec::DataPlaneMode::Verify);
+    const std::uint64_t warm =
+        allocsDuring([&] { writeRange(0, 64); readRange(0, 64); });
+    EXPECT_GT(warm, 0u) << "warm-up should have grown the pools";
+
+    const std::uint64_t steady =
+        allocsDuring([&] { writeRange(0, 64); readRange(0, 64); });
+    EXPECT_EQ(steady, 0u)
+        << "verify-mode RMW cross-checks allocated on a warm array";
+    EXPECT_GT(array->dataPlaneStats().combinesChecked, 0u)
+        << "the steady state exercised no combine checks";
+}
+
+TEST_F(AllocGuardTest, DataPlaneVerifyDegradedSteadyStateIsAllocationFree)
+{
+    build(5, 4, "cvscan", ec::DataPlaneMode::Verify);
+    allocsDuring([&] { writeRange(0, 128); });
+    array->failDisk(1);
+
+    // Warm the degraded combine paths: G-1-way reconstruct-reads and
+    // folded writes, each byte-checked by the plane.
+    allocsDuring([&] { writeRange(0, 96); readRange(0, 96); });
+
+    const std::uint64_t checkedBefore =
+        array->dataPlaneStats().combinesChecked;
+    const std::uint64_t steady =
+        allocsDuring([&] { writeRange(0, 96); readRange(0, 96); });
+    EXPECT_EQ(steady, 0u)
+        << "verify-mode degraded cross-checks allocated on a warm array";
+    EXPECT_GT(array->dataPlaneStats().combinesChecked, checkedBefore);
+}
+
+TEST_F(AllocGuardTest, DataPlaneVerifyReconstructionIsAllocationFree)
+{
+    build(5, 4, "cvscan", ec::DataPlaneMode::Verify);
+    allocsDuring([&] { writeRange(0, 128); });
+    array->failDisk(2);
+    array->attachReplacement(ReconAlgorithm::RedirectPiggyback);
+
+    const auto cycle = [&](int offset) {
+        array->reconstructOffset(offset, [](const CycleResult &) {});
+    };
+    // Warm the reconstruction combine paths (cycle combines plus the
+    // write-through/piggyback user-write variants).
+    allocsDuring([&] {
+        writeRange(0, 48);
+        for (int off = 0; off < 16; ++off)
+            cycle(off);
+    });
+
+    const std::uint64_t checkedBefore =
+        array->dataPlaneStats().combinesChecked;
+    const std::uint64_t steady = allocsDuring([&] {
+        writeRange(48, 48);
+        for (int off = 16; off < 32; ++off)
+            cycle(off);
+    });
+    EXPECT_EQ(steady, 0u)
+        << "verify-mode reconstruction cross-checks allocated on a "
+           "warm array";
+    EXPECT_GT(array->dataPlaneStats().combinesChecked, checkedBefore);
 }
 
 /**

@@ -32,6 +32,16 @@ Enforces the invariants the generic toolchain cannot see:
                              (sequences are implementation-defined; use
                              sim/rng.hpp so campaigns replay everywhere)
 
+  kernel isolation (all of src/ except src/ec/, which is the data
+  plane's kernel layer)
+    ec-kernel-isolation      no raw SIMD intrinsics (`_mm*`, `__m128/256/512`,
+                             the *mmintrin headers, __builtin_cpu_supports)
+                             and no aligned-buffer allocation (align_val_t,
+                             aligned_alloc, posix_memalign) outside src/ec/;
+                             consumers go through ec::Kernels and
+                             ec::BufferPool so ISA growth stays confined to
+                             the per-tier translation units
+
   seed hygiene (all of src/ except src/sim/seed.hpp, which is the one
   sanctioned derivation point)
     seed-derivation          no std::seed_seq and no ad-hoc seed
@@ -73,6 +83,7 @@ DETERMINISM_RULES = (
     "determinism-std-random",
 )
 EVENT_CORE_RULES = ("event-core-priority-queue",)
+EC_RULES = ("ec-kernel-isolation",)
 SEED_RULES = ("seed-derivation",)
 HEADER_RULES = (
     "header-pragma-once",
@@ -80,7 +91,7 @@ HEADER_RULES = (
     "include-relative",
 )
 ALL_RULES = (HOT_PATH_RULES + DETERMINISM_RULES + EVENT_CORE_RULES +
-             SEED_RULES + HEADER_RULES)
+             EC_RULES + SEED_RULES + HEADER_RULES)
 
 # Line-level patterns, applied to code with comments and string/char
 # literal bodies stripped.  Each entry: (rule, compiled regex, message).
@@ -108,6 +119,22 @@ LINE_PATTERNS = {
         "ad-hoc priority queue outside src/sim/ (the (when, seq) "
         "dispatch contract lives in EventQueue; schedule through it "
         "instead of keeping a second pending set)",
+    ),
+    # Raw vector types/intrinsics, the x86 intrinsic headers, CPU feature
+    # probes, and aligned-buffer allocation (align_val_t / aligned_alloc /
+    # posix_memalign — not `alignas`, which is fine for member layout).
+    # ISA-specific code lives in src/ec/'s per-tier translation units;
+    # everything else calls through ec::Kernels and ec::BufferPool.
+    "ec-kernel-isolation": (
+        re.compile(
+            r"(?:\b_mm(?:256|512)?_\w+|\b__m(?:128|256|512)[di]?\b|"
+            r"\b[a-z]*mmintrin\.h\b|\bimmintrin\.h\b|\bavx\w*intrin\.h\b|"
+            r"\b__builtin_cpu_supports\b|\balign_val_t\b|"
+            r"\baligned_alloc\b|\bposix_memalign\b|(?<![\w.])memalign\b)"
+        ),
+        "raw SIMD intrinsics / aligned-buffer allocation outside src/ec/ "
+        "(dispatch through ec::Kernels and lease from ec::BufferPool so "
+        "ISA-specific code stays in the per-tier kernel TUs)",
     ),
     "determinism-wall-clock": (
         re.compile(
@@ -258,6 +285,7 @@ def check_file(path, rel, findings):
     hot_path = any(MARKER_RE.search(line) for line in raw_lines)
     in_sim_core = not rel.startswith(os.path.join("src", "harness"))
     outside_event_core = not rel.startswith(os.path.join("src", "sim"))
+    outside_ec = not rel.startswith(os.path.join("src", "ec"))
     is_seed_helper = rel == os.path.join("src", "sim", "seed.hpp")
     is_header = rel.endswith((".hpp", ".h"))
 
@@ -268,6 +296,8 @@ def check_file(path, rel, findings):
         active += list(DETERMINISM_RULES)
     if outside_event_core:
         active += list(EVENT_CORE_RULES)
+    if outside_ec:
+        active += list(EC_RULES)
     if not is_seed_helper:
         active += list(SEED_RULES)
     active += ["include-relative"]
@@ -290,10 +320,12 @@ def check_file(path, rel, findings):
         if m:
             allows |= parse_rule_list(m.group(1))
         # An #include line can only violate the include rule (e.g.
-        # `#include <new>` is not an allocation).
+        # `#include <new>` is not an allocation) — and the kernel
+        # isolation rule, which bans the intrinsic headers themselves.
         is_include = re.match(r"\s*#\s*include\b", code) is not None
         for rule in active:
-            if is_include and rule != "include-relative":
+            if is_include and rule not in ("include-relative",
+                                           "ec-kernel-isolation"):
                 continue
             pattern, message = LINE_PATTERNS[rule]
             if rule in allows:

@@ -1,0 +1,29 @@
+// Fixture: raw SIMD / aligned allocation outside src/ec/ must trip
+// ec-kernel-isolation (real code calls through ec::Kernels and leases
+// buffers from ec::BufferPool instead).
+#include <emmintrin.h> // EXPECT-LINT: ec-kernel-isolation
+#include <immintrin.h> // EXPECT-LINT: ec-kernel-isolation
+
+void
+fixtureXor(unsigned char *dst, const unsigned char *src)
+{
+    // EXPECT-LINT: ec-kernel-isolation (vector type + intrinsic calls)
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i *>(src));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<__m128i *>(dst));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(dst),
+                     _mm_xor_si128(a, b));
+}
+
+bool
+fixtureProbe()
+{
+    // EXPECT-LINT: ec-kernel-isolation (ad-hoc CPU feature probe)
+    return __builtin_cpu_supports("avx2");
+}
+
+void *
+fixtureAlignedBuffer()
+{
+    // EXPECT-LINT: ec-kernel-isolation (aligned-buffer allocation)
+    return aligned_alloc(64, 4096);
+}
