@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "array/types.hpp"
 #include "util/error.hpp"
 
 namespace declust {

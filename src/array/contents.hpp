@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "array/types.hpp"
+#include "sim/seed.hpp"
 #include "util/error.hpp"
 
 namespace declust {
@@ -116,10 +117,7 @@ class ValueSource
         // splitmix64 step; skip the (vanishingly unlikely) zero output
         // so a written unit is always distinguishable from a blank one.
         for (;;) {
-            std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            z ^= z >> 31;
+            const std::uint64_t z = splitmixNext(state_);
             if (z != 0)
                 return z;
         }

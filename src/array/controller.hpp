@@ -36,13 +36,18 @@
 #include "array/stripe_lock.hpp"
 #include "array/types.hpp"
 #include "disk/disk.hpp"
+#include "disk/fault_model.hpp"
+#include "disk/geometry.hpp"
+#include "disk/scheduler.hpp"
 #include "ec/data_plane.hpp"
 #include "layout/layout.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/serial_resource.hpp"
 #include "sim/slab_pool.hpp"
+#include "sim/time.hpp"
 #include "stats/accumulator.hpp"
 #include "stats/histogram.hpp"
+#include "util/annotations.hpp"
 
 namespace declust {
 
@@ -175,9 +180,11 @@ class ArrayController
     // ------------------------------------------------------------------
 
     /** Read one data unit; @p done runs when the data is available. */
+    DECLUST_HOT_PATH
     void readUnit(std::int64_t dataUnit, std::function<void()> done);
 
     /** Write one data unit with fresh contents. */
+    DECLUST_HOT_PATH
     void writeUnit(std::int64_t dataUnit, std::function<void()> done);
 
     /**
@@ -185,8 +192,10 @@ class ArrayController
      * state a write covering a whole stripe's data uses the large-write
      * optimization (criterion 5): G parallel writes, no pre-reads.
      */
+    DECLUST_HOT_PATH
     void readUnits(std::int64_t firstDataUnit, int count,
                    std::function<void()> done);
+    DECLUST_HOT_PATH
     void writeUnits(std::int64_t firstDataUnit, int count,
                     std::function<void()> done);
 
@@ -300,6 +309,7 @@ class ArrayController
      * XOR, write the result to the replacement. Skips unmapped or
      * already-reconstructed units.
      */
+    DECLUST_HOT_PATH
     void reconstructOffset(int offset,
                            std::function<void(CycleResult)> done);
 

@@ -32,6 +32,8 @@
 #include "sim/slab_pool.hpp"
 #include "sim/time.hpp"
 #include "stats/perf_counters.hpp"
+#include "util/annotations.hpp"
+#include "util/validate.hpp"
 
 namespace declust {
 

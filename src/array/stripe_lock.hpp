@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/validate.hpp"
 
 namespace declust {
@@ -65,9 +66,11 @@ class StripeLockTable
      * behalf — when the holder releases. Either way the critical
      * section ends only when release(stripe) is called.
      */
+    DECLUST_HOT_PATH
     bool acquire(std::int64_t stripe, Waiter *waiter);
 
     /** Release @p stripe's lock and hand it to the next waiter, if any. */
+    DECLUST_HOT_PATH
     void release(std::int64_t stripe);
 
     /** True if the stripe's lock is currently held. */

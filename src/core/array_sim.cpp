@@ -1,13 +1,21 @@
 #include "core/array_sim.hpp"
 
+#include "array/controller.hpp"
+#include "core/reconstructor.hpp"
 #include "designs/generators.hpp"
 #include "designs/select.hpp"
+#include "disk/fault_model.hpp"
+#include "disk/geometry.hpp"
 #include "layout/declustered.hpp"
+#include "layout/layout.hpp"
 #include "layout/left_symmetric.hpp"
 #include "layout/spared.hpp"
 #include "sim/seed.hpp"
+#include "sim/time.hpp"
+#include "stats/shard_merge.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "workload/synthetic.hpp"
 
 namespace declust {
 

@@ -18,8 +18,13 @@
 #include <string>
 
 #include "array/controller.hpp"
+#include "array/types.hpp"
 #include "core/reconstructor.hpp"
+#include "disk/geometry.hpp"
+#include "ec/data_plane.hpp"
+#include "layout/layout.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/time.hpp"
 #include "stats/shard_merge.hpp"
 #include "workload/synthetic.hpp"
 

@@ -1,7 +1,11 @@
 #include "core/failure_window.hpp"
 
+#include "array/controller.hpp"
+#include "core/array_sim.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/seed.hpp"
+#include "sim/time.hpp"
 #include "util/error.hpp"
 
 namespace declust {

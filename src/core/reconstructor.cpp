@@ -1,5 +1,8 @@
 #include "core/reconstructor.hpp"
 
+#include "array/controller.hpp"
+#include "array/types.hpp"
+#include "sim/time.hpp"
 #include "util/error.hpp"
 
 namespace declust {

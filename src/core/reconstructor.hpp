@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "array/controller.hpp"
+#include "array/types.hpp"
+#include "sim/time.hpp"
 #include "stats/accumulator.hpp"
 
 namespace declust {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "designs/design.hpp"
 #include "designs/generators.hpp"
 #include "util/error.hpp"
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "designs/design.hpp"
 #include "designs/generators.hpp"
 #include "sim/rng.hpp"
 #include "sim/seed.hpp"

@@ -4,7 +4,9 @@
 #include <optional>
 
 #include "designs/catalog.hpp"
+#include "designs/design.hpp"
 #include "designs/generators.hpp"
+#include "designs/search.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 

@@ -23,11 +23,13 @@
 #include "disk/fault_model.hpp"
 #include "disk/geometry.hpp"
 #include "disk/scheduler.hpp"
-#include "util/fastdiv.hpp"
 #include "disk/seek_model.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/time.hpp"
 #include "stats/accumulator.hpp"
 #include "stats/utilization.hpp"
+#include "util/annotations.hpp"
+#include "util/fastdiv.hpp"
 
 namespace declust {
 
@@ -101,6 +103,7 @@ class Disk
     Disk &operator=(const Disk &) = delete;
 
     /** Enqueue a request; completion is signalled via its callback. */
+    DECLUST_HOT_PATH
     void submit(DiskRequest request);
 
     /**
@@ -119,6 +122,10 @@ class Disk
     submit(DiskRequest request, F &&onComplete)
     {
         using Fn = std::decay_t<F>;
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-alloc: boxing overload for tests and one-off "
+            "flows; the controller's hot path fills the raw "
+            "continuation slot directly");
         auto boxed = std::make_unique<Fn>(std::forward<F>(onComplete));
         request.onComplete = [](void *ctx, IoStatus status) {
             std::unique_ptr<Fn> owned(static_cast<Fn *>(ctx));

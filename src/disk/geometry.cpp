@@ -1,6 +1,8 @@
 #include "disk/geometry.hpp"
 
+#include "sim/time.hpp"
 #include "util/error.hpp"
+#include "util/fastdiv.hpp"
 
 namespace declust {
 

@@ -1,10 +1,10 @@
-// LINT: hot-path
 #include "disk/scheduler.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <string>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 
 namespace declust {
@@ -53,8 +53,9 @@ class FcfsScheduler : public Scheduler
     {
         // Re-linearize into a fresh ring so the occupied span is
         // contiguous from index 0; doubling keeps the mask trick valid.
-        // LINT: allow-next(hot-path-growth): grow only fires at a new
-        // queue-depth high-water mark, never in steady state.
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: grow only fires at a new queue-depth high-water "
+            "mark, never in steady state");
         std::vector<SchedEntry> bigger(ring_.size() * 2);
         for (std::size_t i = 0; i < count_; ++i)
             bigger[i] = ring_[(head_ + i) & (ring_.size() - 1)];
@@ -79,8 +80,9 @@ class VrScheduler : public Scheduler
     void
     push(const SchedEntry &entry) override
     {
-        // LINT: allow-next(hot-path-growth): capacity is retained across
-        // pops, so steady state re-uses it without allocating.
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: capacity is retained across pops, so steady "
+            "state re-uses it without allocating");
         queue_.push_back(entry);
     }
 
@@ -136,14 +138,16 @@ class VrScheduler : public Scheduler
 std::unique_ptr<Scheduler>
 makeFcfsScheduler()
 {
-    // LINT: allow-next(hot-path-new): factory runs once at disk set-up
+    DECLUST_ANALYZE_SUPPRESS(
+        "hot-path-alloc: factory runs once at disk set-up");
     return std::make_unique<FcfsScheduler>();
 }
 
 std::unique_ptr<Scheduler>
 makeVrScheduler(double r, int cylinders)
 {
-    // LINT: allow-next(hot-path-new): factory runs once at disk set-up
+    DECLUST_ANALYZE_SUPPRESS(
+        "hot-path-alloc: factory runs once at disk set-up");
     return std::make_unique<VrScheduler>(r, cylinders);
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/annotations.hpp"
 
 namespace declust {
 
@@ -46,12 +47,14 @@ class Scheduler
     virtual ~Scheduler() = default;
 
     /** Add a request to the queue. */
+    DECLUST_HOT_PATH
     virtual void push(const SchedEntry &entry) = 0;
 
     /**
      * Remove and return the next request to service given the current
      * head cylinder and travel direction. Precondition: !empty().
      */
+    DECLUST_HOT_PATH
     virtual SchedEntry pop(int headCylinder, SeekDirection direction) = 0;
 
     virtual bool empty() const = 0;

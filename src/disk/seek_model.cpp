@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "disk/geometry.hpp"
+#include "sim/time.hpp"
 #include "util/error.hpp"
 
 namespace declust {

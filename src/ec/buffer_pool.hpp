@@ -18,7 +18,6 @@
  * Not thread-safe, by design: one pool per ArrayController, confined to
  * that controller's event thread like every other pool in the spine.
  */
-// LINT: hot-path
 #pragma once
 
 #include <cstddef>
@@ -26,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 
 namespace declust::ec {
@@ -56,6 +56,7 @@ class BufferPool
     BufferPool &operator=(const BufferPool &) = delete;
 
     /** Pop an aligned buffer, growing by one slab if the list is dry. */
+    DECLUST_HOT_PATH
     std::uint8_t *
     acquire()
     {
@@ -68,6 +69,7 @@ class BufferPool
     }
 
     /** Return @p p (obtained from acquire()) to the free list. */
+    DECLUST_HOT_PATH
     void
     release(std::uint8_t *p)
     {
@@ -98,7 +100,8 @@ class BufferPool
     {
         // Warm-up growth path, O(1) slabs per run (see SlabPool::grow).
         const std::size_t bytes = stride_ * buffersPerSlab_ + kAlignment;
-        // LINT: allow-next(hot-path-growth): slab warm-up
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: slab warm-up");
         slabs_.emplace_back(
             static_cast<std::byte *>(::operator new(bytes)));
         auto base = reinterpret_cast<std::uintptr_t>(slabs_.back().get());

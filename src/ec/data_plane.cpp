@@ -1,10 +1,11 @@
-// LINT: hot-path
 #include "ec/data_plane.hpp"
 
 #include <atomic>
 #include <bit>
 #include <cstring>
 
+#include "ec/buffer_pool.hpp"
+#include "ec/kernels.hpp"
 #include "util/error.hpp"
 
 namespace declust::ec {

@@ -26,7 +26,6 @@
  * measured kernel throughput (cost_model.hpp) instead of the
  * hand-picked xorOverheadMsPerUnit.
  */
-// LINT: hot-path
 #pragma once
 
 #include <cstddef>
@@ -35,6 +34,7 @@
 
 #include "ec/buffer_pool.hpp"
 #include "ec/kernels.hpp"
+#include "util/annotations.hpp"
 
 namespace declust::ec {
 
@@ -94,10 +94,12 @@ class DataPlane
      * expected == 0 (an empty XOR), matching xorStripeExcept's
      * identity.
      */
+    DECLUST_HOT_PATH
     void checkCombine(const char *site, const std::uint64_t *vals,
                       int count, std::uint64_t expected);
 
     /** Write the byte expansion of @p v into @p dst (unitBytes long). */
+    DECLUST_HOT_PATH
     void expandInto(std::uint8_t *dst, std::uint64_t v) const;
 
   private:

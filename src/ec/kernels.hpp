@@ -19,7 +19,8 @@
  * 512-bit byte shuffle). Non-x86 builds compile the scalar tier only.
  *
  * The raw intrinsics live exclusively in the per-tier TUs under src/ec/
- * (lint rule ec-kernel-isolation keeps it that way).
+ * (analyzer rule ec-isolation keeps it that way, walking the include
+ * graph so a leak through a transitive header is caught too).
  */
 #pragma once
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "layout/layout.hpp"
 #include "util/error.hpp"
 
 namespace declust {

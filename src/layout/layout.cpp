@@ -1,6 +1,7 @@
 #include "layout/layout.hpp"
 
 #include "util/error.hpp"
+#include "util/fastdiv.hpp"
 
 namespace declust {
 

@@ -1,5 +1,6 @@
 #include "layout/left_symmetric.hpp"
 
+#include "layout/layout.hpp"
 #include "util/error.hpp"
 
 namespace declust {

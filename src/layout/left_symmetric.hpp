@@ -10,6 +10,7 @@
 #pragma once
 
 #include "layout/layout.hpp"
+#include "util/fastdiv.hpp"
 
 namespace declust {
 

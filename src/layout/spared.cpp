@@ -1,5 +1,8 @@
 #include "layout/spared.hpp"
 
+#include "designs/design.hpp"
+#include "layout/declustered.hpp"
+#include "layout/layout.hpp"
 #include "util/error.hpp"
 
 namespace declust {

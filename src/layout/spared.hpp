@@ -17,7 +17,9 @@
  */
 #pragma once
 
+#include "designs/design.hpp"
 #include "layout/declustered.hpp"
+#include "layout/layout.hpp"
 
 namespace declust {
 

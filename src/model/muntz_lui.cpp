@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "array/types.hpp"
+#include "disk/geometry.hpp"
 #include "util/error.hpp"
 
 namespace declust {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "disk/geometry.hpp"
 #include "model/muntz_lui.hpp"
 #include "util/error.hpp"
 

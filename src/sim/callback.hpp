@@ -15,7 +15,6 @@
  * created, run, and destroyed on one thread. The TrialRunner harness
  * guarantees this by running each simulation wholly on one worker.
  */
-// LINT: hot-path
 #pragma once
 
 #include <cstddef>

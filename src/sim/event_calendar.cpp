@@ -1,9 +1,13 @@
-// LINT: hot-path
 #include "sim/event_calendar.hpp"
 
 #include <utility>
 
+#include "sim/event_entry.hpp"
+#include "sim/time.hpp"
+#include "stats/perf_counters.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
+#include "util/validate.hpp"
 
 namespace declust {
 
@@ -42,7 +46,8 @@ CalendarEventQueue::growPool()
 {
     // Warm-up growth path: nodes recycle through the free list, so this
     // runs O(1) times per run and steady state never allocates.
-    // LINT: allow-next(hot-path-new, hot-path-growth): slab warm-up
+    DECLUST_ANALYZE_SUPPRESS(
+        "hot-path-alloc,hot-path-growth: slab warm-up");
     slabs_.push_back(std::unique_ptr<Node[]>(new Node[kNodesPerSlab]));
     Node *base = slabs_.back().get();
     // Thread the slab onto the free list back-to-front so nodes are
@@ -62,8 +67,9 @@ CalendarEventQueue::ensureInit(Tick anchor)
     if (nbuckets_ == 0 || reservedBuckets_ > nbuckets_) {
         nbuckets_ =
             reservedBuckets_ > kMinBuckets ? reservedBuckets_ : kMinBuckets;
-        // LINT: allow-next(hot-path-growth): empty-queue (re)init; the
-        // ring's capacity is reserved at bring-up and then retained.
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: empty-queue (re)init; the ring's capacity is "
+            "reserved at bring-up and then retained");
         buckets_.assign(nbuckets_, Bucket{});
     }
     widthShift_ = targetWidthShift();
@@ -306,9 +312,9 @@ CalendarEventQueue::rebuild(Tick anchor, std::size_t newBuckets,
 
     nbuckets_ = newBuckets;
     widthShift_ = newShift;
-    // LINT: allow-next(hot-path-growth): ring resize; shrinks retain
-    // capacity and grows past the bring-up reserve happen O(log n)
-    // times per population doubling.
+    DECLUST_ANALYZE_SUPPRESS(
+        "hot-path-growth: ring resize; shrinks retain capacity and grows past "
+        "the bring-up reserve happen O(log n) times per population doubling");
     buckets_.assign(nbuckets_, Bucket{});
     calendarStart_ = alignDown(anchor, widthShift_);
 
@@ -349,7 +355,8 @@ CalendarEventQueue::reserve(std::size_t expected)
         target = kMaxBuckets;
     if (target > reservedBuckets_) {
         reservedBuckets_ = target;
-        // LINT: allow-next(hot-path-growth): bring-up pre-size
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: bring-up pre-size");
         buckets_.reserve(reservedBuckets_);
     }
     // The logical ring picks the hint up on the next empty-queue init

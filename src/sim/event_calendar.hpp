@@ -37,7 +37,6 @@
  * scanned per dispatch) and `event_bucket_occupancy` (list lengths
  * sampled at every rebuild).
  */
-// LINT: hot-path
 #pragma once
 
 #include <bit>
@@ -46,7 +45,9 @@
 #include <memory>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/event_entry.hpp"
+#include "sim/time.hpp"
 #include "stats/perf_counters.hpp"
 #include "util/validate.hpp"
 

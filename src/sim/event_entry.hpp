@@ -10,7 +10,6 @@
  * the facade swap implementations without perturbing a single golden
  * table.
  */
-// LINT: hot-path
 #pragma once
 
 #include <cstdint>

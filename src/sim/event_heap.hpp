@@ -15,13 +15,14 @@
  * Ordering is strict eventBefore() (when, seq); the EventQueue facade
  * owns the clock, sequence numbers, and validation audits.
  */
-// LINT: hot-path
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "sim/event_entry.hpp"
+#include "sim/time.hpp"
+#include "util/annotations.hpp"
 
 namespace declust {
 
@@ -50,7 +51,8 @@ class HeapEventQueue
     void
     reserve(std::size_t expected)
     {
-        // LINT: allow-next(hot-path-growth): explicit bring-up pre-size
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: explicit bring-up pre-size");
         heap_.reserve(expected);
     }
 

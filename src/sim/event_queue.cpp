@@ -1,10 +1,13 @@
-// LINT: hot-path
 #include "sim/event_queue.hpp"
 
 #include <atomic>
 #include <utility>
 
+#include "sim/event_entry.hpp"
+#include "sim/time.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
+#include "util/validate.hpp"
 
 namespace declust {
 
@@ -59,12 +62,15 @@ EventQueue::parseImplName(const std::string &name, Impl *out)
 void
 EventQueue::reserve(std::size_t expectedPending)
 {
-    if (impl_ == Impl::Heap)
-        // LINT: allow-next(hot-path-growth): this IS the pre-sizing hook.
+    if (impl_ == Impl::Heap) {
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: this IS the pre-sizing hook");
         heap_.reserve(expectedPending);
-    else
-        // LINT: allow-next(hot-path-growth): this IS the pre-sizing hook.
+    } else {
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: this IS the pre-sizing hook");
         calendar_.reserve(expectedPending);
+    }
 }
 
 void
@@ -161,9 +167,10 @@ EventQueue::runToCompletion()
     }
 }
 
+DECLUST_ANALYZE_SUPPRESS(
+    "hot-path-function: harness-facing API, called once per simulation run, "
+    "not per event");
 bool
-// LINT: allow-next(hot-path-function): harness-facing API, called once
-// per simulation run, not per event.
 EventQueue::runUntilCondition(const std::function<bool()> &done)
 {
     if (done())

@@ -51,10 +51,12 @@
 #include <functional>
 #include <string>
 
+#include "sim/callback.hpp"
 #include "sim/event_calendar.hpp"
 #include "sim/event_entry.hpp"
 #include "sim/event_heap.hpp"
 #include "sim/time.hpp"
+#include "util/annotations.hpp"
 #include "util/validate.hpp"
 
 namespace declust {
@@ -107,9 +109,11 @@ class EventQueue
      * builds clamp @p when to now() so simulated time never runs
      * backwards and determinism is preserved.
      */
+    DECLUST_HOT_PATH
     void scheduleAt(Tick when, Callback cb);
 
     /** Schedule @p cb @p delay ticks from now. */
+    DECLUST_HOT_PATH
     void scheduleIn(Tick delay, Callback cb);
 
     /** True if no events are pending. */
@@ -136,6 +140,7 @@ class EventQueue
     void reserve(std::size_t expectedPending);
 
     /** Pop and run the single earliest event. @return false if empty. */
+    DECLUST_HOT_PATH
     bool step();
 
     /**

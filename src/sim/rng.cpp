@@ -2,20 +2,12 @@
 
 #include <cmath>
 
+#include "sim/seed.hpp"
 #include "util/error.hpp"
 
 namespace declust {
 
 namespace {
-
-std::uint64_t
-splitmix64(std::uint64_t &x)
-{
-    std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
 
 std::uint64_t
 rotl(std::uint64_t x, int k)
@@ -29,7 +21,7 @@ Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t x = seed;
     for (auto &s : s_)
-        s = splitmix64(x);
+        s = splitmixNext(x);
 }
 
 std::uint64_t

@@ -41,6 +41,21 @@ splitmix64(std::uint64_t z)
     return z ^ (z >> 31);
 }
 
+/**
+ * Sequential splitmix64 step: returns splitmix64 of the current state
+ * and advances the state by the golden-gamma increment. This is the
+ * generator form of the finalizer above — use it to expand one seed
+ * into a stream of independent 64-bit words (Rng state init, fresh
+ * unit values) instead of re-deriving the mixing constants locally.
+ */
+inline std::uint64_t
+splitmixNext(std::uint64_t &state)
+{
+    const std::uint64_t z = splitmix64(state);
+    state += 0x9e3779b97f4a7c15ull;
+    return z;
+}
+
 /** Salted splitmix64: decorrelates (seed, salt) tuples. */
 constexpr std::uint64_t
 mixSeed(std::uint64_t seed, std::uint64_t salt)

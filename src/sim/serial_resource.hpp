@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/time.hpp"
 #include "stats/perf_counters.hpp"
 #include "stats/utilization.hpp"
+#include "util/annotations.hpp"
 
 namespace declust {
 
@@ -63,6 +65,9 @@ class SerialResource
     use(Tick duration, F &&then)
     {
         using Fn = std::decay_t<F>;
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-alloc: boxing overload is documented as "
+            "allocating; hot callers use the raw {fn, ctx} overload");
         auto boxed = std::make_unique<Fn>(std::forward<F>(then));
         use(
             duration,

@@ -21,7 +21,6 @@
  * let owning pools stamp handles and detect a chunk that was freed and
  * reallocated underneath them.
  */
-// LINT: hot-path
 #pragma once
 
 #include <cstddef>
@@ -30,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/validate.hpp"
 
@@ -55,6 +55,7 @@ class SlabPool
     SlabPool &operator=(const SlabPool &) = delete;
 
     /** Pop a chunk from the free list, growing by one slab if dry. */
+    DECLUST_HOT_PATH
     void *
     allocate()
     {
@@ -75,6 +76,7 @@ class SlabPool
     }
 
     /** Return @p p (obtained from allocate()) to the free list. */
+    DECLUST_HOT_PATH
     void
     deallocate(void *p)
     {
@@ -168,12 +170,14 @@ class SlabPool
     {
         // Warm-up growth path: the pool doubles down to zero steady-state
         // allocations precisely because this runs O(1) times per run.
-        // LINT: allow-next(hot-path-growth, hot-path-new): slab warm-up
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth,hot-path-alloc: slab warm-up");
         slabs_.push_back(std::make_unique<std::byte[]>(chunkSize_ *
                                                        chunksPerSlab_));
         std::byte *base = slabs_.back().get();
 #if DECLUST_VALIDATE
-        // LINT: allow-next(hot-path-growth): shadow state mirrors slabs
+        DECLUST_ANALYZE_SUPPRESS(
+            "hot-path-growth: shadow state mirrors slabs");
         states_.resize(states_.size() + chunksPerSlab_);
 #endif
         // Thread the new slab onto the free list back-to-front so

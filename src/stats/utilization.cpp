@@ -1,3 +1,4 @@
+#include "sim/time.hpp"
 #include "stats/utilization.hpp"
 
 namespace declust {

@@ -1,5 +1,8 @@
 #include "workload/closed_loop.hpp"
 
+#include "array/controller.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
 #include "util/error.hpp"
 
 namespace declust {

@@ -15,6 +15,7 @@
 #include "array/controller.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/time.hpp"
 
 namespace declust {
 

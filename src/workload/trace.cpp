@@ -6,6 +6,10 @@
 #include <limits>
 #include <sstream>
 
+#include "array/controller.hpp"
+#include "array/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
 #include "util/error.hpp"
 
 namespace declust {

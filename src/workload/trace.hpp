@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "array/controller.hpp"
+#include "array/types.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/time.hpp"
 
 namespace declust {
 

@@ -1,0 +1,7 @@
+"""``python3 -m tools.analyze`` entry point."""
+
+import sys
+
+from .analyze import main
+
+sys.exit(main(sys.argv[1:]))

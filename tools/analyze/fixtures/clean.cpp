@@ -1,0 +1,16 @@
+// Fixture: well-behaved code; the analyzer must report nothing here.
+
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t
+checksum(const std::uint64_t *values, int count)
+{
+    std::uint64_t acc = 0;
+    for (int i = 0; i < count; ++i)
+        acc ^= values[i];
+    return acc;
+}
+
+} // namespace fixture

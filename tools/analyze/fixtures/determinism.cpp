@@ -1,0 +1,31 @@
+// Fixture: nondeterminism leaking into simulation results — a
+// wall-clock read, and unordered-container iteration feeding a stats
+// merge (iteration order is address-dependent).
+// EXPECT-ANALYZE: determinism-taint
+
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+long
+stampTrial()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+struct TrialStats
+{
+    void merge(double v);
+};
+
+void
+mergeShards(const std::unordered_map<int, double> &shards,
+            TrialStats &stats)
+{
+    for (const auto &kv : shards)
+        stats.merge(kv.second);
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: raw SIMD intrinsics in a header outside src/ec/ — both the
+// intrinsics #include and the intrinsic identifiers themselves.
+// EXPECT-ANALYZE: ec-isolation
+#pragma once
+
+#include <immintrin.h>
+
+namespace fixture {
+
+inline void
+zeroLane()
+{
+    __m128i v = _mm_setzero_si128();
+    (void)v;
+}
+
+} // namespace fixture

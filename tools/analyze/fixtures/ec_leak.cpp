@@ -1,0 +1,16 @@
+// Fixture: a clean-looking translation unit that pulls raw intrinsics
+// headers in through its include graph — the isolation check must walk
+// transitive includes, not just this file's own tokens.
+// EXPECT-ANALYZE: ec-isolation
+
+#include "ec_intrinsics.hpp"
+
+namespace fixture {
+
+void
+runKernels()
+{
+    zeroLane();
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture support header: includes geometry_core.hpp directly (so it
+// is itself hygienic) and re-exports it transitively to its users.
+#pragma once
+
+#include "geometry_core.hpp"
+
+namespace fixture {
+
+inline int
+totalUnits(const StripeShape &shape)
+{
+    return shape.dataUnits + shape.parityUnits;
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture support header: the real home of StripeShape. Produces no
+// findings of its own.
+#pragma once
+
+namespace fixture {
+
+struct StripeShape
+{
+    int dataUnits;
+    int parityUnits;
+};
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: allocation, container growth, and std::function conversion
+// reachable from a DECLUST_HOT_PATH root. logEntry has no annotation of
+// its own — it is dragged into the hot closure by the call edge from
+// submitEntry, which is what the reachability analysis must prove.
+// EXPECT-ANALYZE: hot-path-alloc
+// EXPECT-ANALYZE: hot-path-growth
+// EXPECT-ANALYZE: hot-path-function
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Batch
+{
+    std::vector<int> entries;
+    std::function<void()> done;
+};
+
+void
+logEntry(Batch &batch, int v)
+{
+    batch.entries.push_back(v);
+}
+
+DECLUST_HOT_PATH
+void
+submitEntry(Batch &batch, int v)
+{
+    auto *node = new int(v);
+    auto boxed = std::make_unique<int>(v);
+    batch.done = std::function<void()>([] {});
+    logEntry(batch, *node + *boxed);
+}
+
+} // namespace fixture

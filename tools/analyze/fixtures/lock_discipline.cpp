@@ -1,0 +1,27 @@
+// Fixture: stripe-lock discipline violations — an acquire whose
+// continuation chain contains no release (the critical section can
+// never end), and a straight-line double release.
+// EXPECT-ANALYZE: lock-discipline
+
+namespace fixture {
+
+struct StripeLockTable
+{
+    bool acquire(long stripe);
+    void release(long stripe);
+};
+
+void
+pinStripeForever(StripeLockTable &locks, long stripe)
+{
+    locks.acquire(stripe);
+}
+
+void
+doubleRelease(StripeLockTable &locks, long stripe)
+{
+    locks.release(stripe);
+    locks.release(stripe);
+}
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: pooled-handle lifetime violations. The op is stored into a
+// heap-owned container (escape) and then touched after being returned
+// to its pool (use-after-release on the same path).
+// EXPECT-ANALYZE: pooled-use-after-release
+// EXPECT-ANALYZE: pooled-escape
+
+#include <vector>
+
+namespace fixture {
+
+struct IoOp
+{
+    int stripe;
+};
+
+struct OpPool
+{
+    IoOp *allocate();
+    void deallocate(IoOp *op);
+};
+
+void
+finishOp(OpPool &pool, std::vector<IoOp *> &retired, IoOp *op)
+{
+    retired.push_back(op);
+    pool.deallocate(op);
+    op->stripe = 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: seed derivation outside sim/seed.hpp — an inline splitmix64
+// mixing constant and ad-hoc xor arithmetic on a seed value.
+// EXPECT-ANALYZE: seed-isolation
+
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t
+deriveTrialSeed(std::uint64_t base, std::uint64_t trial)
+{
+    std::uint64_t z = base + trial * 0x9e3779b97f4a7c15ull;
+    return z;
+}
+
+std::uint64_t
+saltSeed(std::uint64_t seed, std::uint64_t shard)
+{
+    return seed ^ (shard << 1);
+}
+
+} // namespace fixture

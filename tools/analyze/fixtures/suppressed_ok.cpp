@@ -1,0 +1,18 @@
+// Fixture: a would-be determinism finding silenced by an inline
+// annotation. The self-test requires zero findings from this file —
+// it proves suppression plumbing, not the check itself.
+
+#include <chrono>
+
+namespace fixture {
+
+long
+wallClockForDisplay()
+{
+    DECLUST_ANALYZE_SUPPRESS(
+        "determinism-taint: progress display only, never fed to stats");
+    const auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: names StripeShape, whose home header arrives only through
+// geometry_api.hpp — a refactor of that header's includes would break
+// this file silently.
+// EXPECT-ANALYZE: transitive-include
+
+#include "geometry_api.hpp"
+
+namespace fixture {
+
+int
+unitsFor(const StripeShape &shape)
+{
+    return totalUnits(shape) + shape.dataUnits;
+}
+
+} // namespace fixture

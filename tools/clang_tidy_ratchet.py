@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Full-repo clang-tidy with a committed ratchet baseline.
+
+Runs clang-tidy (profile: .clang-tidy) over every src/ translation unit
+in compile_commands.json and compares the per-(file, check) warning
+counts against ci/clang_tidy_baseline.json:
+
+  * a count above its baseline entry — or any finding in a (file,
+    check) pair the baseline has never seen — FAILS the run: new debt
+    is rejected at the door;
+  * a count below its baseline entry passes with a nudge to re-run with
+    --update, so the baseline only ever ratchets downward;
+  * --update rewrites the baseline to the current counts (run it after
+    paying debt down, commit the result).
+
+The committed baseline starts in "bootstrap" mode (empty counts,
+written before CI had a clang-tidy toolchain to measure with). In that
+mode the run prints every finding and the baseline that SHOULD be
+committed (saved next to the input as *.measured.json), but exits 0 —
+flipping "mode" to "ratchet" arms the gate. This keeps the promotion
+from changed-files-only to full-repo from being a flag day.
+
+Exit status: 0 ok, 1 ratchet violation, 2 usage/environment error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# clang-tidy diagnostic line: /abs/path.cpp:12:3: warning: msg [check]
+_DIAG_RE = re.compile(
+    r"^(?P<path>/[^:]+):(?P<line>\d+):\d+:\s+"
+    r"(?:warning|error):\s+.*\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def load_tus(build_dir, root):
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    with open(cc_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    tus = []
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith("src" + os.sep) and rel.endswith(".cpp"):
+            tus.append(path)
+    return sorted(set(tus))
+
+
+def run_tidy(tidy, build_dir, tus, jobs):
+    """Run clang-tidy per TU; returns {(rel_file, check): count}."""
+    def one(tu):
+        proc = subprocess.run(
+            [tidy, "-p", build_dir, "--quiet", tu],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True)
+        return proc.stdout
+
+    counts = {}
+    lines = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as ex:
+        for out in ex.map(one, tus):
+            for line in out.splitlines():
+                m = _DIAG_RE.match(line)
+                if not m:
+                    continue
+                rel = os.path.relpath(m.group("path"))
+                # One diagnostic may carry several check aliases.
+                for check in m.group("check").split(","):
+                    key = (rel, check)
+                    counts[key] = counts.get(key, 0) + 1
+                lines.append(line)
+    return counts, lines
+
+
+def counts_to_tree(counts):
+    tree = {}
+    for (rel, check), n in sorted(counts.items()):
+        tree.setdefault(rel, {})[check] = n
+    return tree
+
+
+def tree_to_counts(tree):
+    return {(rel, check): n
+            for rel, checks in tree.items()
+            for check, n in checks.items()}
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default="build",
+                    help="build dir with compile_commands.json")
+    ap.add_argument("--baseline",
+                    default=os.path.join("ci",
+                                         "clang_tidy_baseline.json"))
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline to the current counts")
+    args = ap.parse_args(argv)
+
+    if shutil.which(args.clang_tidy) is None:
+        print("ratchet: %s not found on PATH" % args.clang_tidy,
+              file=sys.stderr)
+        return 2
+
+    root = os.getcwd()
+    try:
+        tus = load_tus(args.build, root)
+    except (OSError, ValueError) as e:
+        print("ratchet: cannot read compile database: %s" % e,
+              file=sys.stderr)
+        return 2
+    if not tus:
+        print("ratchet: no src/ translation units in the compile "
+              "database", file=sys.stderr)
+        return 2
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    base_counts = tree_to_counts(baseline.get("counts", {}))
+    bootstrap = baseline.get("mode") == "bootstrap"
+
+    counts, lines = run_tidy(args.clang_tidy, args.build, tus,
+                             args.jobs)
+    for line in lines:
+        print(line)
+    total = sum(counts.values())
+    print("ratchet: %d finding(s) across %d translation unit(s)"
+          % (total, len(tus)))
+
+    if args.update:
+        baseline["mode"] = "ratchet"
+        baseline["counts"] = counts_to_tree(counts)
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print("ratchet: baseline rewritten (%d findings); commit it"
+              % total)
+        return 0
+
+    if bootstrap:
+        measured = args.baseline.replace(".json", ".measured.json")
+        with open(measured, "w", encoding="utf-8") as f:
+            json.dump({"mode": "ratchet",
+                       "counts": counts_to_tree(counts)},
+                      f, indent=1, sort_keys=True)
+            f.write("\n")
+        print("ratchet: BOOTSTRAP mode — gate disarmed. Commit %s as "
+              "%s (flipping mode to 'ratchet') to arm it."
+              % (measured, args.baseline))
+        return 0
+
+    ok = True
+    for key in sorted(set(counts) | set(base_counts)):
+        cur = counts.get(key, 0)
+        base = base_counts.get(key, 0)
+        if cur > base:
+            ok = False
+            print("ratchet: %s [%s]: %d finding(s), baseline allows %d "
+                  "— fix them or (for audited debt) re-baseline with "
+                  "--update" % (key[0], key[1], cur, base),
+                  file=sys.stderr)
+        elif cur < base:
+            print("ratchet: %s [%s] improved (%d -> %d); run with "
+                  "--update to lock it in" % (key[0], key[1], base, cur))
+    if not ok:
+        return 1
+    print("ratchet: ok (%d finding(s), none above baseline)" % total)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,15 +1,13 @@
 #!/usr/bin/env python3
 """Repo-specific static lint for the declustering simulator.
 
-Enforces the invariants the generic toolchain cannot see:
-
-  hot-path rules (files carrying a ``// LINT: hot-path`` marker)
-    hot-path-function    no std::function (type-erased callables allocate
-                         and indirect; use EventCallback / raw {fn,ctx})
-    hot-path-new         no non-placement `new` / make_unique /
-                         make_shared (steady state must not allocate)
-    hot-path-growth      no container growth calls (.push_back,
-                         .emplace_back, .resize, .reserve, .assign)
+Line-level regex rules for the invariants that are genuinely textual —
+a banned token is a violation wherever and however it appears.  Rules
+that needed semantic context (hot-path allocation reachability, seed
+derivation, EC kernel isolation, lock discipline, pooled lifetimes)
+have moved to the AST-grounded analyzer in tools/analyze/, which
+supersedes the old ``// LINT: hot-path`` file markers with
+DECLUST_HOT_PATH annotations and call-graph reachability.
 
   event-core rules (all of src/ except src/sim/, which implements the
   event core itself)
@@ -31,24 +29,6 @@ Enforces the invariants the generic toolchain cannot see:
     determinism-std-random   no std::<random> engines/distributions
                              (sequences are implementation-defined; use
                              sim/rng.hpp so campaigns replay everywhere)
-
-  kernel isolation (all of src/ except src/ec/, which is the data
-  plane's kernel layer)
-    ec-kernel-isolation      no raw SIMD intrinsics (`_mm*`, `__m128/256/512`,
-                             the *mmintrin headers, __builtin_cpu_supports)
-                             and no aligned-buffer allocation (align_val_t,
-                             aligned_alloc, posix_memalign) outside src/ec/;
-                             consumers go through ec::Kernels and
-                             ec::BufferPool so ISA growth stays confined to
-                             the per-tier translation units
-
-  seed hygiene (all of src/ except src/sim/seed.hpp, which is the one
-  sanctioned derivation point)
-    seed-derivation          no std::seed_seq and no ad-hoc seed
-                             arithmetic (xor/multiply/add-a-constant on
-                             anything named *seed*); derive sub-seeds
-                             through sim/seed.hpp so stream splits stay
-                             auditable and collision-free
 
   header hygiene (all files)
     header-pragma-once       every header starts its code with #pragma once
@@ -75,7 +55,6 @@ import os
 import re
 import sys
 
-HOT_PATH_RULES = ("hot-path-function", "hot-path-new", "hot-path-growth")
 DETERMINISM_RULES = (
     "determinism-wall-clock",
     "determinism-rand",
@@ -83,58 +62,21 @@ DETERMINISM_RULES = (
     "determinism-std-random",
 )
 EVENT_CORE_RULES = ("event-core-priority-queue",)
-EC_RULES = ("ec-kernel-isolation",)
-SEED_RULES = ("seed-derivation",)
 HEADER_RULES = (
     "header-pragma-once",
     "header-using-namespace",
     "include-relative",
 )
-ALL_RULES = (HOT_PATH_RULES + DETERMINISM_RULES + EVENT_CORE_RULES +
-             EC_RULES + SEED_RULES + HEADER_RULES)
+ALL_RULES = DETERMINISM_RULES + EVENT_CORE_RULES + HEADER_RULES
 
 # Line-level patterns, applied to code with comments and string/char
 # literal bodies stripped.  Each entry: (rule, compiled regex, message).
 LINE_PATTERNS = {
-    "hot-path-function": (
-        re.compile(r"\bstd\s*::\s*function\b"),
-        "std::function in a hot-path file (use EventCallback or a raw "
-        "{fn, ctx} pair)",
-    ),
-    # `new` immediately followed by `(` is placement new or an
-    # `::operator new(size)` call, both of which the pools rely on.
-    "hot-path-new": (
-        re.compile(r"(?:\bnew\b(?!\s*\()|\bmake_unique\b|\bmake_shared\b)"),
-        "allocation in a hot-path file (pool it or hoist it to set-up)",
-    ),
-    "hot-path-growth": (
-        re.compile(
-            r"\.\s*(?:push_back|emplace_back|resize|reserve|assign)\s*\("
-        ),
-        "container growth in a hot-path file (pre-size it, or justify "
-        "the warm-up with an allow)",
-    ),
     "event-core-priority-queue": (
         re.compile(r"(?:\bpriority_queue\b|\b(?:make|push|pop|sort)_heap\b)"),
         "ad-hoc priority queue outside src/sim/ (the (when, seq) "
         "dispatch contract lives in EventQueue; schedule through it "
         "instead of keeping a second pending set)",
-    ),
-    # Raw vector types/intrinsics, the x86 intrinsic headers, CPU feature
-    # probes, and aligned-buffer allocation (align_val_t / aligned_alloc /
-    # posix_memalign — not `alignas`, which is fine for member layout).
-    # ISA-specific code lives in src/ec/'s per-tier translation units;
-    # everything else calls through ec::Kernels and ec::BufferPool.
-    "ec-kernel-isolation": (
-        re.compile(
-            r"(?:\b_mm(?:256|512)?_\w+|\b__m(?:128|256|512)[di]?\b|"
-            r"\b[a-z]*mmintrin\.h\b|\bimmintrin\.h\b|\bavx\w*intrin\.h\b|"
-            r"\b__builtin_cpu_supports\b|\balign_val_t\b|"
-            r"\baligned_alloc\b|\bposix_memalign\b|(?<![\w.])memalign\b)"
-        ),
-        "raw SIMD intrinsics / aligned-buffer allocation outside src/ec/ "
-        "(dispatch through ec::Kernels and lease from ec::BufferPool so "
-        "ISA-specific code stays in the per-tier kernel TUs)",
     ),
     "determinism-wall-clock": (
         re.compile(
@@ -172,21 +114,6 @@ LINE_PATTERNS = {
         "are implementation-defined and differ across platforms; draw "
         "from sim/rng.hpp's seeded Rng instead)",
     ),
-    # Seed arithmetic: std::seed_seq, or an identifier containing
-    # seed/Seed combined with ^, *, or + <numeric literal>. `<<` is
-    # deliberately not matched (stream output of seeds is fine), and
-    # plain assignment/copy of a seed does not trip it.
-    "seed-derivation": (
-        re.compile(
-            r"(?:\bstd\s*::\s*seed_seq\b"
-            r"|\b[\w.]*[Ss]eed\w*\s*(?:\^|\*)"
-            r"|(?:\^|\*)\s*[\w.]*[Ss]eed\w*\b"
-            r"|\b[\w.]*[Ss]eed\w*\s*\+\s*(?:0x[0-9a-fA-F]+|\d))"
-        ),
-        "ad-hoc seed derivation (xor/multiply/salt by hand risks "
-        "silently correlated streams; derive sub-seeds through "
-        "sim/seed.hpp's splitmix64/mixSeed/taggedSeed/shardSeed)",
-    ),
     "header-using-namespace": (
         re.compile(r"^\s*using\s+namespace\b"),
         "file-scope `using namespace` in a header leaks into every "
@@ -199,7 +126,6 @@ LINE_PATTERNS = {
     ),
 }
 
-MARKER_RE = re.compile(r"//\s*LINT:\s*hot-path\b")
 ALLOW_RE = re.compile(r"//\s*LINT:\s*allow\(([^)]*)\)")
 ALLOW_NEXT_RE = re.compile(r"//\s*LINT:\s*allow-next\(([^)]*)\)")
 EXPECT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([A-Za-z0-9-]+)")
@@ -282,24 +208,15 @@ def check_file(path, rel, findings):
         raw_lines = f.read().splitlines()
     code_lines = strip_code(raw_lines)
 
-    hot_path = any(MARKER_RE.search(line) for line in raw_lines)
     in_sim_core = not rel.startswith(os.path.join("src", "harness"))
     outside_event_core = not rel.startswith(os.path.join("src", "sim"))
-    outside_ec = not rel.startswith(os.path.join("src", "ec"))
-    is_seed_helper = rel == os.path.join("src", "sim", "seed.hpp")
     is_header = rel.endswith((".hpp", ".h"))
 
     active = []
-    if hot_path:
-        active += list(HOT_PATH_RULES)
     if in_sim_core:
         active += list(DETERMINISM_RULES)
     if outside_event_core:
         active += list(EVENT_CORE_RULES)
-    if outside_ec:
-        active += list(EC_RULES)
-    if not is_seed_helper:
-        active += list(SEED_RULES)
     active += ["include-relative"]
     if is_header:
         active += ["header-using-namespace"]
@@ -320,12 +237,10 @@ def check_file(path, rel, findings):
         if m:
             allows |= parse_rule_list(m.group(1))
         # An #include line can only violate the include rule (e.g.
-        # `#include <new>` is not an allocation) — and the kernel
-        # isolation rule, which bans the intrinsic headers themselves.
+        # `#include <random>` is not a use of an engine).
         is_include = re.match(r"\s*#\s*include\b", code) is not None
         for rule in active:
-            if is_include and rule not in ("include-relative",
-                                           "ec-kernel-isolation"):
+            if is_include and rule != "include-relative":
                 continue
             pattern, message = LINE_PATTERNS[rule]
             if rule in allows:

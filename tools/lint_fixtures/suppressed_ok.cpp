@@ -1,23 +1,15 @@
 // Fixture: both suppression forms silence their rules — this file must
 // produce zero findings (no EXPECT-LINT lines).
-// LINT: hot-path
-#include <vector>
+#include <unordered_map>
 
 namespace declust {
 
-struct WarmupPool
+struct HostIndex
 {
-    void
-    grow()
-    {
-        // LINT: allow-next(hot-path-growth, hot-path-new): warm-up
-        // growth path, runs O(1) times per simulation.
-        slabs_.push_back(new int(0));
-        free_.reserve(8); // LINT: allow(hot-path-growth)
-    }
-
-    std::vector<int *> slabs_;
-    std::vector<int *> free_;
+    // LINT: allow-next(determinism-unordered): operator-facing lookup
+    // cache; never iterated into simulation state.
+    std::unordered_map<int, int> byId_;
+    std::unordered_map<int, int> byName_; // LINT: allow(determinism-unordered)
 };
 
 } // namespace declust
