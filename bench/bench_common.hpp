@@ -115,6 +115,88 @@ applyEventQueueOption(const Options &opts)
     return selectEventQueue(opts.getString("event-queue"));
 }
 
+/**
+ * Register the gray-failure robustness knobs (all default off, so a
+ * driver gaining these flags changes no golden output). Drivers that
+ * stand up ArraySimulations apply them with applyRobustnessOptions.
+ */
+inline void
+addRobustnessOptions(Options &opts)
+{
+    opts.add("fail-slow", "",
+             "degrade one disk: DISK,FACTOR[,STALLPROB,STALLMS"
+             "[,DEFECTPROB]] (empty = off)");
+    opts.add("hedge-after", "0", "hedged-read deadline in ms (0 = off)");
+    opts.add("scrub-interval", "0",
+             "seconds per full background scrub pass (0 = off)");
+}
+
+/**
+ * Apply the robustness options to @p cfg. Returns false (after
+ * printing to stderr) on a malformed --fail-slow spec; value
+ * validation itself lives in the library (ConfigError on, e.g., a
+ * negative hedge deadline or a slowdown below 1).
+ */
+inline bool
+applyRobustnessOptions(const Options &opts, SimConfig *cfg)
+{
+    cfg->hedgeAfterMs = opts.getDouble("hedge-after");
+    cfg->scrubIntervalSec = opts.getDouble("scrub-interval");
+    const std::string spec = opts.getString("fail-slow");
+    if (spec.empty())
+        return true;
+    const std::vector<double> f = opts.getDoubleList("fail-slow");
+    // Stall probability and duration only make sense together.
+    if (f.size() != 2 && f.size() != 4 && f.size() != 5) {
+        std::cerr << "--fail-slow expects DISK,FACTOR[,STALLPROB,"
+                     "STALLMS[,DEFECTPROB]], got '"
+                  << spec << "'\n";
+        return false;
+    }
+    cfg->failSlowDisk = static_cast<int>(f[0]);
+    cfg->failSlowFactor = f[1];
+    if (f.size() >= 4) {
+        cfg->failSlowStallProb = f[2];
+        cfg->failSlowStallMs = f[3];
+    }
+    if (f.size() >= 5)
+        cfg->failSlowDefectProb = f[4];
+    return true;
+}
+
+/**
+ * The run's complete fault-injection / robustness configuration, read
+ * from whichever of the knobs the driver registered (unregistered
+ * knobs report their library defaults). Every --json record carries
+ * this, so a recorded run can be tied back to the exact injection
+ * setup that produced it.
+ */
+inline JsonObject
+faultModelJson(const Options &opts)
+{
+    SimConfig cfg;
+    if (opts.has("fail-slow"))
+        applyRobustnessOptions(opts, &cfg);
+    if (opts.has("latent"))
+        cfg.latentErrorProb = opts.getDouble("latent");
+    if (opts.has("transient"))
+        cfg.transientReadProb = opts.getDouble("transient");
+    if (opts.has("retries"))
+        cfg.faultMaxRetries = static_cast<int>(opts.getInt("retries"));
+    JsonObject fm;
+    fm.set("latent_error_prob", cfg.latentErrorProb)
+        .set("transient_read_prob", cfg.transientReadProb)
+        .set("fault_max_retries", cfg.faultMaxRetries)
+        .set("fail_slow_disk", cfg.failSlowDisk)
+        .set("fail_slow_factor", cfg.failSlowFactor)
+        .set("fail_slow_stall_prob", cfg.failSlowStallProb)
+        .set("fail_slow_stall_ms", cfg.failSlowStallMs)
+        .set("fail_slow_defect_prob", cfg.failSlowDefectProb)
+        .set("hedge_after_ms", cfg.hedgeAfterMs)
+        .set("scrub_interval_sec", cfg.scrubIntervalSec);
+    return fm;
+}
+
 /** Register --shards (drivers that support per-trial sharding). */
 inline void
 addShardOption(Options &opts)
@@ -440,7 +522,8 @@ perfJson()
         summary.set("count", h.total())
             .set("p50_ticks_le", histPercentileBound(h, 0.50))
             .set("p90_ticks_le", histPercentileBound(h, 0.90))
-            .set("p99_ticks_le", histPercentileBound(h, 0.99));
+            .set("p99_ticks_le", histPercentileBound(h, 0.99))
+            .set("p999_ticks_le", histPercentileBound(h, 0.999));
         hists.set(perfHistName(static_cast<PerfHist>(i)),
                   std::move(summary));
     }
@@ -480,6 +563,7 @@ writeJsonRecord(const Options &opts, const std::string &benchName,
         .set("sim_sec", out.simSec)
         .set("sim_time_ratio",
              out.wallSec > 0.0 ? out.simSec / out.wallSec : 0.0)
+        .set("fault_model", faultModelJson(opts))
         .set("perf", perfJson());
     std::ofstream file(path);
     if (!file) {

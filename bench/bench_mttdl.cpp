@@ -41,8 +41,8 @@ struct MttdlShard
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace declust;
     using namespace declust::bench;
@@ -63,6 +63,7 @@ main(int argc, char **argv)
     opts.add("campaign",
              "", "write a deterministic campaign record (no wall-clock "
                  "fields; golden-comparable) to this file");
+    addRobustnessOptions(opts);
     if (!opts.parse(argc, argv))
         return 1;
     if (!bench::applyEventQueueOption(opts))
@@ -70,6 +71,13 @@ main(int argc, char **argv)
     const int shards = shardsFrom(opts);
     if (!shards)
         return 1;
+    {
+        // Validate the robustness spec once, up front, instead of
+        // letting every worker shard trip over a malformed list.
+        SimConfig probe;
+        if (!applyRobustnessOptions(opts, &probe))
+            return 1;
+    }
 
     const int windows = static_cast<int>(opts.getInt("windows"));
     const double mtbfSec = opts.getDouble("mtbf");
@@ -115,6 +123,10 @@ main(int argc, char **argv)
         fw.sim.transientReadProb = opts.getDouble("transient");
         fw.sim.faultMaxRetries =
             static_cast<int>(opts.getInt("retries"));
+        // A scrub interval (or any other robustness knob) applies to
+        // every window: the scrubber drains latent defects between
+        // the failure and the survivor reads that would trip on them.
+        applyRobustnessOptions(opts, &fw.sim);
         fw.mtbfSimSec = mtbfSec;
         fw.warmupSec = opts.getDouble("warmup");
 
@@ -195,6 +207,15 @@ main(int argc, char **argv)
         .set("mtbf_sim_sec", mtbfSec)
         .set("latent", opts.getDouble("latent"))
         .set("transient", opts.getDouble("transient"));
+    // Only non-default robustness settings enter the record: the
+    // default campaign JSON stays byte-identical to the goldens.
+    if (opts.getDouble("scrub-interval") > 0)
+        campaign.set("scrub_interval_sec",
+                     opts.getDouble("scrub-interval"));
+    if (opts.getDouble("hedge-after") > 0)
+        campaign.set("hedge_after_ms", opts.getDouble("hedge-after"));
+    if (!opts.getString("fail-slow").empty())
+        campaign.set("fail_slow", opts.getString("fail-slow"));
 
     for (std::size_t gi = 0; gi < stripes.size(); ++gi) {
         const int G = static_cast<int>(stripes[gi]);
@@ -262,4 +283,18 @@ main(int argc, char **argv)
         campaign.write(file);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Robustness knobs (scrub interval, fail-slow target) are
+    // range-checked by the simulation itself; a ConfigError thrown
+    // inside a window must exit cleanly, not terminate.
+    try {
+        return run(argc, argv);
+    } catch (const declust::ConfigError &e) {
+        std::cerr << "configuration error: " << e.what() << "\n";
+        return 1;
+    }
 }

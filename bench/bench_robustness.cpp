@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Gray-failure robustness measurements: user response-time tails on an
+ * array with one fail-slow disk, swept over hedged-read deadlines,
+ * with optional online scrubbing.
+ *
+ * The scenario the hedging layer exists for: no disk has failed, but
+ * one is degraded (slower transfers, intermittent stalls), so every
+ * G-th read lands on it and drags the tail out. The sweep holds the
+ * workload and the injected fault fixed and varies only --hedge-sweep,
+ * so the p99/p999 columns isolate what deadline-driven reconstruct
+ * races buy. Hedge accounting (launched / wins / wasted) shows what
+ * they cost.
+ *
+ * Supports --shards / --jobs with the usual contract: output is a pure
+ * function of (seed, shards), byte-identical at any worker count and
+ * either --event-queue.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scrubber.hpp"
+
+namespace {
+
+/** Raw statistics one shard of a sweep point produces. */
+struct RobustShard
+{
+    declust::PhaseSample user;
+    declust::HedgeStats hedges;
+    declust::ScrubStats scrub;
+    std::uint64_t sectorRepairs = 0;
+    std::uint64_t events = 0;
+    double simSec = 0.0;
+};
+
+} // namespace
+
+static int
+run(int argc, char **argv)
+{
+    using namespace declust;
+    using namespace declust::bench;
+
+    Options opts("Gray-failure robustness: response-time tails on a "
+                 "fail-slow disk vs the hedged-read deadline");
+    addCommonOptions(opts);
+    addShardOption(opts);
+    addRobustnessOptions(opts);
+    opts.add("rate", "105", "user accesses per second");
+    opts.add("G", "6", "parity stripe size");
+    opts.add("hedge-sweep", "0,30",
+             "hedged-read deadlines (ms) to sweep; 0 = no hedging");
+    if (!opts.parse(argc, argv))
+        return 1;
+    if (!bench::applyEventQueueOption(opts))
+        return 1;
+    const int shards = shardsFrom(opts);
+    if (!shards)
+        return 1;
+
+    SimConfig base;
+    if (!applyRobustnessOptions(opts, &base))
+        return 1;
+    base.numDisks = 21;
+    base.stripeUnits = static_cast<int>(opts.getInt("G"));
+    base.accessesPerSec = opts.getDouble("rate");
+    base.readFraction = 0.5;
+
+    const double warmup = opts.getDouble("warmup");
+    const double measure = opts.getDouble("measure");
+    const auto baseSeed =
+        static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    TablePrinter table({"hedge ms", "mean ms", "p90 ms", "p99 ms",
+                        "p999 ms", "reads", "hedges", "wins", "wasted",
+                        "scrubbed", "repairs"});
+
+    std::vector<ShardedTrial<RobustShard>> trials;
+    for (double hedgeMs : opts.getDoubleList("hedge-sweep")) {
+        ShardedTrial<RobustShard> trial;
+        trial.run = [&opts, base, warmup, measure, baseSeed, shards,
+                     hedgeMs](int shard) {
+            SimConfig cfg = base;
+            cfg.hedgeAfterMs = hedgeMs;
+            cfg.geometry =
+                shardGeometry(geometryFrom(opts), shard, shards);
+            cfg.seed = shardSeed(baseSeed, shard, shards);
+
+            ArraySimulation sim(cfg);
+            sim.runFaultFree(warmup,
+                             shardSeconds(measure, shards));
+
+            RobustShard result;
+            result.user = sim.samplePhase(
+                shardSeconds(measure, shards));
+            result.hedges = sim.controller().hedgeStats();
+            if (const Scrubber *scrubber = sim.scrubber())
+                result.scrub = scrubber->stats();
+            result.sectorRepairs =
+                sim.controller().faultStats().sectorRepairs;
+            result.events = sim.eventQueue().executed();
+            result.simSec = ticksToSec(sim.eventQueue().now());
+            return result;
+        };
+        trial.merge = [hedgeMs](std::vector<RobustShard> &parts) {
+            RobustShard &merged = parts[0];
+            for (std::size_t s = 1; s < parts.size(); ++s) {
+                ShardMerge::into(merged.user, parts[s].user);
+                merged.hedges.launched += parts[s].hedges.launched;
+                merged.hedges.wins += parts[s].hedges.wins;
+                merged.hedges.wasted += parts[s].hedges.wasted;
+                merged.scrub.unitsScrubbed +=
+                    parts[s].scrub.unitsScrubbed;
+                merged.scrub.defectsRepaired +=
+                    parts[s].scrub.defectsRepaired;
+                merged.sectorRepairs += parts[s].sectorRepairs;
+                merged.events += parts[s].events;
+                merged.simSec += parts[s].simSec;
+            }
+            TrialResult result;
+            result.rows.push_back(
+                {fmtDouble(hedgeMs, 0),
+                 fmtDouble(merged.user.meanMs(), 1),
+                 fmtDouble(merged.user.p90Ms(), 1),
+                 fmtDouble(merged.user.p99Ms(), 1),
+                 fmtDouble(merged.user.p999Ms(), 1),
+                 std::to_string(merged.user.reads),
+                 std::to_string(merged.hedges.launched),
+                 std::to_string(merged.hedges.wins),
+                 std::to_string(merged.hedges.wasted),
+                 std::to_string(merged.scrub.unitsScrubbed),
+                 std::to_string(merged.sectorRepairs)});
+            result.events = merged.events;
+            result.simSec = merged.simSec;
+            return result;
+        };
+        trials.push_back(std::move(trial));
+    }
+
+    const SweepOutcome outcome = runShardedTrials(
+        opts, "bench_robustness", table, trials, shards);
+
+    std::cout << "Gray-failure robustness sweep: fail-slow spec '"
+              << opts.getString("fail-slow") << "', scrub interval "
+              << fmtDouble(opts.getDouble("scrub-interval"), 0)
+              << " s, G=" << opts.getInt("G") << "\n";
+    emit(opts, table);
+    writeJsonRecord(opts, "bench_robustness", outcome);
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // A robustness spec can be well-formed yet name a state the model
+    // rejects (a disk id past C, a sub-tick deadline); those surface
+    // as ConfigError from inside the trial and must exit cleanly, not
+    // terminate.
+    try {
+        return run(argc, argv);
+    } catch (const declust::ConfigError &e) {
+        std::cerr << "configuration error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -42,6 +42,9 @@ main(int argc, char **argv)
     opts.add("algorithms",
              "baseline,user-writes,redirect,redir+piggyback",
              "reconstruction algorithms to sweep");
+    opts.addFlag("tails",
+                 "append p99/p999 response-time columns (off by "
+                 "default so golden tables are unchanged)");
     if (!opts.parse(argc, argv))
         return 1;
     if (!bench::applyEventQueueOption(opts))
@@ -58,8 +61,15 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.getInt("seed"));
     constexpr int kDisks = 21;
 
-    TablePrinter table({"alpha", "G", "rate/s", "algorithm",
-                        "recon time s", "user resp ms", "p90 ms"});
+    const bool tails = opts.getFlag("tails");
+    std::vector<std::string> header{"alpha", "G", "rate/s", "algorithm",
+                                    "recon time s", "user resp ms",
+                                    "p90 ms"};
+    if (tails) {
+        header.push_back("p99 ms");
+        header.push_back("p999 ms");
+    }
+    TablePrinter table(header);
 
     std::vector<ShardedTrial<ReconShard>> trials;
     for (long G : opts.getIntList("stripes")) {
@@ -92,7 +102,7 @@ main(int argc, char **argv)
                     result.simSec = ticksToSec(sim.eventQueue().now());
                     return result;
                 };
-                trial.merge = [G, rate, algorithm](
+                trial.merge = [G, rate, algorithm, tails](
                                   std::vector<ReconShard> &parts) {
                     ReconShard &merged = parts[0];
                     for (std::size_t s = 1; s < parts.size(); ++s) {
@@ -104,13 +114,19 @@ main(int argc, char **argv)
                     const double alpha =
                         static_cast<double>(G - 1) / (kDisks - 1);
                     TrialResult result;
-                    result.rows.push_back(
-                        {fmtDouble(alpha, 2), std::to_string(G),
-                         std::to_string(rate), toString(algorithm),
-                         fmtDouble(merged.report.reconstructionTimeSec,
-                                   1),
-                         fmtDouble(merged.user.meanMs(), 1),
-                         fmtDouble(merged.user.p90Ms(), 1)});
+                    std::vector<std::string> row{
+                        fmtDouble(alpha, 2), std::to_string(G),
+                        std::to_string(rate), toString(algorithm),
+                        fmtDouble(merged.report.reconstructionTimeSec,
+                                  1),
+                        fmtDouble(merged.user.meanMs(), 1),
+                        fmtDouble(merged.user.p90Ms(), 1)};
+                    if (tails) {
+                        row.push_back(fmtDouble(merged.user.p99Ms(), 1));
+                        row.push_back(
+                            fmtDouble(merged.user.p999Ms(), 1));
+                    }
+                    result.rows.push_back(std::move(row));
                     result.events = merged.events;
                     result.simSec = merged.simSec;
                     return result;

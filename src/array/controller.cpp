@@ -31,6 +31,23 @@ constexpr std::uint8_t kRebuilt = 1;
  * never be regenerated. Counts as "handled" for sweep accounting. */
 constexpr std::uint8_t kLostForever = 2;
 
+/** @{ Hedge state bits (IoOp::hedgeFlags; see IoSteps hedge* flows). */
+/** Deadline timer scheduled; the op is a hedged read. */
+constexpr std::uint8_t kHedgeArmed = 1;
+/** The parity-reconstruct race has been launched. */
+constexpr std::uint8_t kHedgeLaunched = 2;
+/** The primary disk read has completed (either way). */
+constexpr std::uint8_t kHedgePrimaryDone = 4;
+/** The user-visible completion has been delivered (exactly once). */
+constexpr std::uint8_t kHedgeResolved = 8;
+/** The primary flow has asked to recycle the op (holds pending). */
+constexpr std::uint8_t kHedgeMainDone = 16;
+/** The hedge chain aborted without delivering a value. */
+constexpr std::uint8_t kHedgeFailed = 32;
+/** The hedge chain has fully unwound (its hold was dropped). */
+constexpr std::uint8_t kHedgeEnded = 64;
+/** @} */
+
 } // namespace
 
 const char *
@@ -241,6 +258,10 @@ struct IoSteps
             // read of the rebuilt replacement/spare unit, or a remapped
             // spare location after a distributed-sparing rebuild.
             op->dst0 = c.effectiveUnit(op->su.stripe, op->su.pos);
+            if (c.hedgeTicks_ > 0) {
+                armHedge(op);
+                return;
+            }
             c.issueUnit(op->dst0, false, &readVerifyDone, op);
             return;
         }
@@ -489,6 +510,320 @@ struct IoSteps
         // will reconstruct (or abandon) the unit on its own.
         c.locks_.release(op->su.stripe);
         c.ops_.release(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Hedged reads
+    //
+    // With hedgeAfterMs > 0, every plain-path user read arms a deadline
+    // timer alongside the primary disk access. If the primary has not
+    // completed by the deadline, the controller launches the
+    // parity-reconstruct read a degraded read would perform — the G-1
+    // survivor reads under the stripe lock — racing the slow disk.
+    //
+    // Resolution rule: whichever side materializes the value first
+    // delivers the user completion; kHedgeResolved records that the
+    // completion happened, exactly once, and every later arrival drains
+    // silently into the accounting (HedgeWasted). "First" is decided by
+    // event order on the simulated clock, so the race is deterministic
+    // across --jobs / --shards / queue implementations.
+    //
+    // Lifetime rule: the event queue has no cancellation, so the pooled
+    // op must outlive its pending deadline timer and any in-flight
+    // hedge chain. hedgeHolds counts those obligations (timer +1, chain
+    // +1); the primary flow's end sets kHedgeMainDone instead of
+    // releasing, and the op is recycled by whichever of opRelease /
+    // dropHold sees the other side already finished. hedgedLive_ keeps
+    // the controller non-quiescent until every such record drains.
+    // ------------------------------------------------------------------
+
+    /** Bump the controller's fault counters for one completion without
+     * folding into the op's accumulator — the hedge paths keep the
+     * primary's outcome and the chain's worseStatus fold separate. */
+    static void
+    noteRawStatus(ArrayController &c, IoStatus status)
+    {
+        if (status == IoStatus::Ok)
+            return;
+        if (status == IoStatus::MediumError)
+            ++c.faultStats_.mediumErrors;
+        else
+            ++c.faultStats_.diskFailedIos;
+    }
+
+    /** Recycle a hedged op (primary flow and all holds finished). */
+    static void
+    hedgedRelease(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        --c.hedgedLive_;
+        c.ops_.release(op);
+    }
+
+    /** The primary flow of a hedged op is over: recycle now, or defer
+     * to the last hold if the timer or chain still references the op. */
+    static void
+    opRelease(IoOp *op)
+    {
+        if (op->hedgeHolds > 0) {
+            op->hedgeFlags |= kHedgeMainDone;
+            return;
+        }
+        hedgedRelease(op);
+    }
+
+    /** Drop one hold; recycle once the primary flow has also ended. */
+    static void
+    dropHold(IoOp *op)
+    {
+        DECLUST_DEBUG_ASSERT(op->hedgeHolds > 0, "hedge hold underflow");
+        if (--op->hedgeHolds == 0 && (op->hedgeFlags & kHedgeMainDone))
+            hedgedRelease(op);
+    }
+
+    /** The hedge chain has fully unwound: drop its hold. */
+    static void
+    hedgeEnd(IoOp *op)
+    {
+        op->hedgeFlags |= kHedgeEnded;
+        dropHold(op);
+    }
+
+    /** Both sides of a hedged read failed: deliver the loss. */
+    static void
+    lostHedged(IoOp *op, bool locked)
+    {
+        ArrayController &c = *op->ctl;
+        op->hedgeFlags |= kHedgeResolved;
+        loseStripe(c, op->su.stripe);
+        ++c.faultStats_.userReadsLost;
+        if (locked)
+            c.locks_.release(op->su.stripe);
+        userPartDone(op);
+    }
+
+    /** Arm a hedged read: deadline timer plus the primary access. The
+     * timer is scheduled first — with both sides landing on the same
+     * tick, the timer's lower sequence number fires it first, and that
+     * fixed order is part of the determinism contract. */
+    static void
+    armHedge(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        op->hedgeFlags = kHedgeArmed;
+        op->hedgeHolds = 1;
+        op->status = IoStatus::Ok;
+        ++c.hedgedLive_;
+        c.eq_.scheduleIn(c.hedgeTicks_, [op] { hedgeDeadline(op); });
+        c.issueUnit(op->dst0, false, &hedgePrimaryDone, op);
+    }
+
+    /** The deadline fired: launch the reconstruct race unless the
+     * primary already finished (or a hedge is somehow already up). */
+    static void
+    hedgeDeadline(IoOp *op)
+    {
+        const std::uint8_t f = op->hedgeFlags;
+        if (!(f & (kHedgeResolved | kHedgePrimaryDone | kHedgeLaunched)))
+            tryLaunchHedge(op);
+        dropHold(op);
+    }
+
+    /**
+     * Start the reconstruct side of a hedged read: acquire the stripe
+     * lock and read the G-1 survivors. Returns false — without
+     * launching — if the stripe cannot supply the value (already
+     * unrecoverable, or a survivor is lost).
+     */
+    static bool
+    tryLaunchHedge(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        if (c.stripeUnrecoverable(op->su.stripe) ||
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos))
+            return false;
+        op->hedgeFlags |= kHedgeLaunched;
+        ++op->hedgeHolds;
+        DECLUST_PERF_INC(HedgesLaunched);
+        ++c.hedgeStats_.launched;
+        op->resume = &hedgeResume;
+        op->mid = c.eq_.now();
+        if (c.locks_.acquire(op->su.stripe, op))
+            hedgeLocked(op);
+        return true;
+    }
+
+    static void
+    hedgeResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        hedgeLocked(op);
+    }
+
+    /** The hedge chain cannot deliver (the stripe lost a survivor).
+     * With the primary already failed this is a lost read; otherwise
+     * the primary is still in flight and may yet succeed, so the chain
+     * just steps aside. Called with the stripe lock held. */
+    static void
+    hedgeChainFailed(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        if (op->hedgeFlags & kHedgePrimaryDone) {
+            lostHedged(op, /*locked=*/true);
+        } else {
+            op->hedgeFlags |= kHedgeFailed;
+            c.locks_.release(op->su.stripe);
+        }
+        hedgeEnd(op);
+    }
+
+    static void
+    hedgeLocked(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        if (op->hedgeFlags & kHedgeResolved) {
+            // The primary finished while the hedge waited for the lock.
+            DECLUST_PERF_INC(HedgeWasted);
+            ++c.hedgeStats_.wasted;
+            c.locks_.release(op->su.stripe);
+            hedgeEnd(op);
+            return;
+        }
+        // Re-check under the lock: a failure may have landed while this
+        // op waited.
+        if (c.stripeUnrecoverable(op->su.stripe) ||
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            hedgeChainFailed(op);
+            return;
+        }
+        const int G = c.layout_->stripeWidth();
+        op->pending = G - 1;
+        for (int pos = 0; pos < G; ++pos) {
+            if (pos == op->su.pos)
+                continue;
+            c.issueUnit(c.effectiveUnit(op->su.stripe, pos), false,
+                        &hedgeRead, op);
+        }
+    }
+
+    static void
+    hedgeRead(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        if (op->hedgeFlags & kHedgeResolved) {
+            // The primary beat the reconstruction: drain and discard.
+            DECLUST_PERF_INC(HedgeWasted);
+            ++c.hedgeStats_.wasted;
+            c.locks_.release(op->su.stripe);
+            hedgeEnd(op);
+            return;
+        }
+        if (op->status != IoStatus::Ok) {
+            hedgeChainFailed(op);
+            return;
+        }
+        c.afterXor(c.layout_->stripeWidth() - 1, &hedgeCombined, op);
+    }
+
+    static void
+    hedgeCombined(void *ctx)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        if (op->hedgeFlags & kHedgeResolved) {
+            // The primary completed while the XOR charge was pending.
+            DECLUST_PERF_INC(HedgeWasted);
+            ++c.hedgeStats_.wasted;
+            c.locks_.release(op->su.stripe);
+            hedgeEnd(op);
+            return;
+        }
+        // A second disk may have died after the survivor reads
+        // completed, poisoning a unit this XOR would use.
+        if (c.secondFailedDisk_ >= 0 &&
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            hedgeChainFailed(op);
+            return;
+        }
+        op->v = c.xorStripeExcept(op->su.stripe, op->su.pos);
+        DECLUST_ASSERT(op->v == c.shadow_.get(op->dataUnit),
+                       "hedged reconstruction of unit ", op->dataUnit,
+                       " produced wrong data");
+        op->hedgeFlags |= kHedgeResolved;
+        DECLUST_PERF_INC(HedgeWins);
+        ++c.hedgeStats_.wins;
+        userPartDone(op);
+        if ((op->hedgeFlags & kHedgePrimaryDone) && op->repairRewrite) {
+            // The primary reported a medium error before the hedge won:
+            // rewrite the recovered value to the (remapped) home
+            // sector, still under the stripe lock.
+            ++c.faultStats_.sectorRepairs;
+            c.issueUnit(op->dst0, true, &hedgeRewritten, op);
+            return;
+        }
+        c.locks_.release(op->su.stripe);
+        hedgeEnd(op);
+    }
+
+    static void
+    hedgeRewritten(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        noteRawStatus(c, status);
+        // The in-memory model never corrupted the value (see
+        // readRepairWritten); only the media state changed.
+        c.locks_.release(op->su.stripe);
+        hedgeEnd(op);
+    }
+
+    /** Primary completion of a hedged read. */
+    static void
+    hedgePrimaryDone(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        noteRawStatus(c, status);
+        op->hedgeFlags |= kHedgePrimaryDone;
+        if (op->hedgeFlags & kHedgeResolved) {
+            // The hedge already delivered the value; the slow primary
+            // lost the race. When it lost with a medium error, the home
+            // rewrite is skipped — the model's contents were never
+            // corrupted, so the divergence is accounting only.
+            opRelease(op);
+            return;
+        }
+        if (status == IoStatus::Ok) {
+            const UnitValue got = c.contents_.get(op->dst0.disk,
+                                                  op->dst0.offset);
+            DECLUST_ASSERT(got == c.shadow_.get(op->dataUnit),
+                           "read of unit ", op->dataUnit,
+                           " returned wrong data");
+            op->hedgeFlags |= kHedgeResolved;
+            userPartDone(op);
+            opRelease(op);
+            return;
+        }
+        // The primary failed. The hedge chain is exactly the parity
+        // repair a non-hedged read would run (see startReadRepair); if
+        // it is already in flight, let it deliver. If it already ended,
+        // it ended without delivering (a delivered chain sets
+        // kHedgeResolved, handled above), so both sides have lost.
+        op->repairRewrite = status == IoStatus::MediumError;
+        if (op->hedgeFlags & kHedgeLaunched) {
+            if (op->hedgeFlags & kHedgeEnded)
+                lostHedged(op, /*locked=*/false);
+            opRelease(op);
+            return;
+        }
+        if (!tryLaunchHedge(op))
+            lostHedged(op, /*locked=*/false);
+        opRelease(op);
     }
 
     // ------------------------------------------------------------------
@@ -1057,6 +1392,150 @@ struct IoSteps
     }
 
     // ------------------------------------------------------------------
+    // Scrub cycles
+    //
+    // An online scrub verifies one unit with a background-priority read
+    // (yielding to user traffic wherever priority separation is on).
+    // Clean reads end the cycle; a medium error means the drive just
+    // remapped a latent defect under the scrubber instead of under a
+    // future degraded read — the cycle regenerates the value from the
+    // stripe's survivors and rewrites the remapped home, all at
+    // background priority under the stripe lock. Scrub cycles reuse
+    // the CycleResult plumbing (finishCycle) but never touch user
+    // response statistics.
+    // ------------------------------------------------------------------
+
+    static void
+    startScrub(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        DECLUST_PERF_INC(ScrubReads);
+        c.issueUnit(op->dst0, false, &scrubReadDone, op,
+                    Priority::Background);
+    }
+
+    static void
+    scrubReadDone(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        noteStatus(op, status);
+        if (status == IoStatus::Ok) {
+            CycleResult res;
+            res.skipped = false;
+            finishCycle(op, res);
+            return;
+        }
+        if (status == IoStatus::DiskFailed) {
+            // The disk died with the scrub in flight: the rebuild
+            // machinery owns it now.
+            finishCycle(op, CycleResult{});
+            return;
+        }
+        // Latent defect found: the drive remapped the sector and lost
+        // its data. Regenerate from parity and rewrite the home.
+        op->status = IoStatus::Ok;
+        op->resume = &scrubRepairResume;
+        op->mid = c.eq_.now();
+        if (c.locks_.acquire(op->su.stripe, op))
+            scrubRepairLocked(op);
+    }
+
+    static void
+    scrubRepairResume(StripeLockTable::Waiter *w)
+    {
+        IoOp *op = fromWaiter(w);
+        DECLUST_PERF_HIST(LockWaitTicks, op->ctl->eq_.now() - op->mid);
+        scrubRepairLocked(op);
+    }
+
+    /** Abandon a scrub repair: the stripe cannot regenerate the unit. */
+    static void
+    scrubRepairLost(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        loseStripe(c, op->su.stripe);
+        c.locks_.release(op->su.stripe);
+        CycleResult res;
+        res.skipped = false;
+        res.lost = true;
+        finishCycle(op, res);
+    }
+
+    static void
+    scrubRepairLocked(IoOp *op)
+    {
+        ArrayController &c = *op->ctl;
+        if (c.stripeUnrecoverable(op->su.stripe) ||
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            scrubRepairLost(op);
+            return;
+        }
+        const int G = c.layout_->stripeWidth();
+        op->pending = G - 1;
+        for (int pos = 0; pos < G; ++pos) {
+            if (pos == op->su.pos)
+                continue;
+            c.issueUnit(c.effectiveUnit(op->su.stripe, pos), false,
+                        &scrubRepairRead, op, Priority::Background);
+        }
+    }
+
+    static void
+    scrubRepairRead(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        noteStatus(op, status);
+        if (--op->pending != 0)
+            return;
+        ArrayController &c = *op->ctl;
+        if (op->status != IoStatus::Ok) {
+            // A survivor failed too: the scrubbed unit is gone.
+            scrubRepairLost(op);
+            return;
+        }
+        c.afterXor(c.layout_->stripeWidth() - 1, &scrubCombined, op);
+    }
+
+    static void
+    scrubCombined(void *ctx)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        // Re-check recoverability: a disk may have died after the
+        // survivor reads completed, poisoning a unit this XOR would use.
+        if (c.secondFailedDisk_ >= 0 &&
+            !c.stripeRecoverableExcept(op->su.stripe, op->su.pos)) {
+            scrubRepairLost(op);
+            return;
+        }
+        op->v = c.xorStripeExcept(op->su.stripe, op->su.pos);
+        // The in-memory model never corrupted the value; the medium
+        // did. The regenerated value must equal the stored one.
+        DECLUST_ASSERT(op->v ==
+                           c.contents_.get(op->dst0.disk, op->dst0.offset),
+                       "scrub repair of stripe ", op->su.stripe, " pos ",
+                       op->su.pos, " produced wrong data");
+        ++c.faultStats_.sectorRepairs;
+        DECLUST_PERF_INC(ScrubRepairs);
+        c.issueUnit(op->dst0, true, &scrubRewritten, op,
+                    Priority::Background);
+    }
+
+    static void
+    scrubRewritten(void *ctx, IoStatus status)
+    {
+        IoOp *op = fromCtx(ctx);
+        ArrayController &c = *op->ctl;
+        noteStatus(op, status);
+        c.locks_.release(op->su.stripe);
+        CycleResult res;
+        res.skipped = false;
+        res.repaired = true;
+        finishCycle(op, res);
+    }
+
+    // ------------------------------------------------------------------
     // Copyback cycles
     // ------------------------------------------------------------------
 
@@ -1191,6 +1670,14 @@ ArrayController::ArrayController(EventQueue &eq,
     if (params_.controllerOverheadMs > 0 || xorTicksPerUnit_ > 0) {
         cpu_ = std::make_unique<SerialResource>(eq_);
     }
+    if (params_.hedgeAfterMs < 0)
+        DECLUST_FATAL("hedge deadline ", params_.hedgeAfterMs,
+                      " ms is negative (0 disables hedging)");
+    hedgeTicks_ = msToTicks(params_.hedgeAfterMs);
+    if (params_.hedgeAfterMs > 0 && hedgeTicks_ <= 0)
+        DECLUST_FATAL("hedge deadline ", params_.hedgeAfterMs,
+                      " ms rounds to zero ticks; use 0 to disable "
+                      "hedging or a deadline of at least one tick");
     // Pre-size the pending set for the steady-state event population:
     // each disk contributes a handful of in-flight events (completion,
     // scheduler hand-off, track-buffer timer) and the workload/recon
@@ -1520,6 +2007,11 @@ ArrayController::quiescent() const
 {
     if (outstanding_ != 0 || locks_.heldCount() != 0)
         return false;
+    // Hedged records can outlive their user completion (a pending
+    // deadline timer keeps the op alive); drain them too, so failure
+    // injection and verification never race a live hedge.
+    if (hedgedLive_ != 0)
+        return false;
     if (cpu_ && (cpu_->busy() || cpu_->queued() != 0))
         return false;
     for (const auto &d : disks_)
@@ -1631,6 +2123,43 @@ ArrayController::attachFaultModels(const FaultConfig &config)
         disks_[static_cast<std::size_t>(d)]->setFaultModel(
             std::make_unique<FaultModel>(
                 config, params_.geometry.totalSectors(), d));
+}
+
+void
+ArrayController::beginFailSlow(int disk, const FailSlowConfig &slow)
+{
+    if (disk < 0 || disk >= numDisks())
+        DECLUST_FATAL("fail-slow: bad disk id ", disk, " (array has ",
+                      numDisks(), " disks)");
+    if (disk == failedDisk_ || disk == secondFailedDisk_)
+        DECLUST_FATAL("fail-slow: disk ", disk,
+                      " has already hard-failed; a dead disk cannot "
+                      "degrade");
+    disks_[static_cast<std::size_t>(disk)]->beginFailSlow(slow);
+}
+
+void
+ArrayController::scrubUnit(std::int64_t stripe, int pos,
+                           std::function<void(CycleResult)> done)
+{
+    if (stripe < 0 || stripe >= layout_->numStripes())
+        DECLUST_FATAL("scrub: bad stripe ", stripe, " (array has ",
+                      layout_->numStripes(), " stripes)");
+    if (pos < 0 || pos >= layout_->stripeWidth())
+        DECLUST_FATAL("scrub: bad stripe position ", pos,
+                      " (stripes are ", layout_->stripeWidth(),
+                      " units wide)");
+    const PhysicalUnit pu = effectiveUnit(stripe, pos);
+    if (pu.disk == failedDisk_ || pu.disk == secondFailedDisk_)
+        DECLUST_FATAL("scrub: stripe ", stripe, " pos ", pos,
+                      " lives on failed disk ", pu.disk,
+                      "; scrubbing needs a live disk");
+    IoOp *op = ops_.acquire();
+    op->ctl = this;
+    op->su = StripeUnit{stripe, pos};
+    op->dst0 = pu;
+    op->cycleDone = std::move(done);
+    IoSteps::startScrub(op);
 }
 
 void

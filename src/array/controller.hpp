@@ -98,9 +98,35 @@ struct ArrayParams
      * *replacing* xorOverheadMsPerUnit.
      */
     ec::DataPlaneMode dataPlane = ec::DataPlaneMode::Off;
+    /**
+     * Hedged-read deadline, milliseconds (0 = hedging off, the
+     * default; negative throws ConfigError). When positive, a plain
+     * user read that has not completed within this deadline launches a
+     * parity-reconstruct read — the G-1 survivor reads a degraded read
+     * would perform — racing the slow disk; whichever side delivers
+     * first wins, deterministically. The declustered layout makes the
+     * race cheap: the reconstruct fan-out touches only G-1 of the
+     * other disks, spread by the block design.
+     */
+    double hedgeAfterMs = 0.0;
     /** Response-time histogram range (ms) and bucket count. */
     double histogramLimitMs = 4000.0;
     std::size_t histogramBuckets = 4000;
+};
+
+/**
+ * Hedged-read accounting, monotonic over the controller's lifetime
+ * (like FaultStats; resetStats() does not clear it). Every launched
+ * hedge ends exactly one way: the hedge delivers the value (win), the
+ * primary delivers first and the hedge work is discarded (wasted), or
+ * the chain aborts because the stripe lost a survivor (neither counter;
+ * the read resolves through the primary or the loss path).
+ */
+struct HedgeStats
+{
+    std::uint64_t launched = 0;
+    std::uint64_t wins = 0;
+    std::uint64_t wasted = 0;
 };
 
 /**
@@ -238,6 +264,12 @@ class ArrayController
     /** Fault-path accounting (never reset; see FaultStats). */
     const FaultStats &faultStats() const { return faultStats_; }
 
+    /** Hedged-read accounting (never reset; see HedgeStats). */
+    const HedgeStats &hedgeStats() const { return hedgeStats_; }
+
+    /** True when hedged reads are armed (hedgeAfterMs > 0). */
+    bool hedging() const { return hedgeTicks_ > 0; }
+
     /** Stripes recorded as unrecoverable so far. */
     std::int64_t unrecoverableStripeCount() const
     {
@@ -264,6 +296,28 @@ class ArrayController
      * paths are bit-identical to the pre-fault-layer behaviour.
      */
     void attachFaultModels(const FaultConfig &config);
+
+    /**
+     * Switch @p disk into fail-slow (gray failure) mode per @p slow.
+     * Requires attached fault models (they supply the mode's RNG
+     * stream) and a disk that has not hard-failed; misuse throws
+     * ConfigError.
+     */
+    void beginFailSlow(int disk, const FailSlowConfig &slow);
+
+    /**
+     * Scrub one unit: a background-priority verify read of stripe
+     * @p stripe's unit at position @p pos (its current physical
+     * location). A clean read completes the cycle immediately; a
+     * medium error triggers a parity repair under the stripe lock —
+     * G-1 background survivor reads, XOR, rewrite to the remapped home
+     * sector — draining the latent defect. Scrub I/O never touches
+     * user response-time statistics. Targeting a unit whose disk has
+     * hard-failed throws ConfigError (the rebuild machinery owns dead
+     * disks; the Scrubber skips them).
+     */
+    void scrubUnit(std::int64_t stripe, int pos,
+                   std::function<void(CycleResult)> done);
 
     /**
      * Attach a blank replacement for the failed disk and select the
@@ -522,6 +576,14 @@ class ArrayController
     std::vector<std::uint8_t> unrecoverable_;
     bool anyUnrecoverable_ = false;
     FaultStats faultStats_;
+
+    /** Hedged-read deadline in ticks (0 = off). */
+    Tick hedgeTicks_ = 0;
+    /** Hedged ops whose pooled record is still alive (a deadline timer
+     * or hedge chain may outlive the user-visible completion); drains
+     * to zero before the array is quiescent. */
+    std::int64_t hedgedLive_ = 0;
+    HedgeStats hedgeStats_;
 
     /** Post-reconstruction spare remap (distributed sparing only). */
     bool remapActive_ = false;

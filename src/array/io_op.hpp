@@ -78,6 +78,13 @@ struct IoOp : StripeLockTable::Waiter
      * medium error, so the recovered value must be rewritten to the
      * (remapped) home sector. */
     bool repairRewrite = false;
+    /** Hedged-read lifetime: obligations (deadline timer, hedge chain)
+     * that keep this op alive beyond its user-visible flow. The op is
+     * recycled only when the primary flow has ended AND every hold has
+     * been dropped (see IoSteps::opRelease / dropHold). */
+    std::uint8_t hedgeHolds = 0;
+    /** Hedge state bits (kHedge* constants in controller.cpp). */
+    std::uint8_t hedgeFlags = 0;
     /** User completion (small captures stay inline in std::function). */
     std::function<void()> done;
     std::function<void(CycleResult)> cycleDone;

@@ -43,6 +43,9 @@ struct CycleResult
      * stripe returned a medium error or sat on a second failed disk);
      * the stripe was recorded as unrecoverable and the sweep moves on. */
     bool lost = false;
+    /** Scrub cycles only: the verify read surfaced a latent defect and
+     * the unit was regenerated from parity and rewritten in place. */
+    bool repaired = false;
     double readPhaseMs = 0.0;
     double writePhaseMs = 0.0;
 };

@@ -1,9 +1,12 @@
 #include "core/array_sim.hpp"
 
 #include "array/controller.hpp"
+#include "core/health_monitor.hpp"
 #include "core/reconstructor.hpp"
+#include "core/scrubber.hpp"
 #include "designs/generators.hpp"
 #include "designs/select.hpp"
+#include "disk/disk.hpp"
 #include "disk/fault_model.hpp"
 #include "disk/geometry.hpp"
 #include "layout/declustered.hpp"
@@ -87,6 +90,7 @@ ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
     params.controllerOverheadMs = config_.controllerOverheadMs;
     params.xorOverheadMsPerUnit = config_.xorOverheadMsPerUnit;
     params.dataPlane = config_.dataPlane;
+    params.hedgeAfterMs = config_.hedgeAfterMs;
 
     controller_ = std::make_unique<ArrayController>(
         eq_,
@@ -95,13 +99,39 @@ ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
                    config_.distributedSparing),
         params);
 
-    if (config_.latentErrorProb > 0 || config_.transientReadProb > 0) {
+    // Fail-slow rides on the fault-model hooks, so a fail-slow disk
+    // forces the models on even with both error rates at zero (a
+    // zero-rate model draws nothing and stays timing-identical).
+    if (config_.latentErrorProb > 0 || config_.transientReadProb > 0 ||
+        config_.failSlowDisk >= 0) {
         FaultConfig fc;
         fc.latentErrorProb = config_.latentErrorProb;
         fc.transientReadProb = config_.transientReadProb;
         fc.maxRetries = config_.faultMaxRetries;
         fc.seed = taggedSeed(config_.seed, 0xfa1700d1u);
         controller_->attachFaultModels(fc);
+    }
+    if (config_.failSlowDisk >= 0) {
+        FailSlowConfig slow;
+        slow.serviceSlowdown = config_.failSlowFactor;
+        slow.stallProb = config_.failSlowStallProb;
+        slow.stallMs = config_.failSlowStallMs;
+        slow.defectProbPerRead = config_.failSlowDefectProb;
+        controller_->beginFailSlow(config_.failSlowDisk, slow);
+    }
+
+    if (config_.scrubIntervalSec < 0)
+        DECLUST_FATAL("scrub interval ", config_.scrubIntervalSec,
+                      " sec is negative (0 disables scrubbing)");
+    if (config_.hotSpares < 0)
+        DECLUST_FATAL("hot spare count ", config_.hotSpares,
+                      " is negative");
+    sparesLeft_ = config_.hotSpares;
+    if (config_.healthMonitor) {
+        health_ = std::make_unique<HealthMonitor>(config_.numDisks,
+                                                  HealthConfig{});
+        controller_->setAccessTracer(
+            [this](const AccessRecord &r) { health_->observe(r); });
     }
 
     WorkloadConfig wl;
@@ -110,6 +140,12 @@ ArraySimulation::ArraySimulation(const SimConfig &config) : config_(config)
     wl.accessUnits = config_.accessUnits;
     wl.seed = config_.seed;
     workload_ = std::make_unique<SyntheticWorkload>(eq_, *controller_, wl);
+
+    if (config_.scrubIntervalSec > 0) {
+        scrubber_ = std::make_unique<Scrubber>(*controller_, eq_,
+                                               config_.scrubIntervalSec);
+        scrubber_->start();
+    }
 }
 
 ArraySimulation::~ArraySimulation()
@@ -118,6 +154,8 @@ ArraySimulation::~ArraySimulation()
     // events pointing at a dead workload (the queue dies with us anyway,
     // but be tidy if callers keep the event queue alive longer).
     workload_->stop();
+    if (scrubber_)
+        scrubber_->stop();
 }
 
 PhaseStats
@@ -129,6 +167,8 @@ ArraySimulation::collectPhase() const
     ps.meanWriteMs = us.writeMs.mean();
     ps.meanMs = us.allMs.mean();
     ps.p90Ms = us.allHist.count() ? us.allHist.quantile(0.90) : 0.0;
+    ps.p99Ms = us.allHist.count() ? us.allHist.quantile(0.99) : 0.0;
+    ps.p999Ms = us.allHist.count() ? us.allHist.quantile(0.999) : 0.0;
     ps.reads = us.readsDone;
     ps.writes = us.writesDone;
     double util = 0.0;
@@ -251,15 +291,8 @@ ArraySimulation::copyback()
 }
 
 ReconOutcome
-ArraySimulation::reconstruct()
+ArraySimulation::runReconstruction()
 {
-    DECLUST_ASSERT(controller_->failedDisk() >= 0,
-                   "reconstruct() needs a failed disk "
-                   "(call failAndRunDegraded first)");
-    workload_->start();
-    // Waiting for the replacement drive: degraded service continues.
-    if (config_.replacementDelaySec > 0)
-        eq_.runUntil(eq_.now() + secToTicks(config_.replacementDelaySec));
     controller_->resetStats();
 
     ReconConfig rc;
@@ -279,9 +312,44 @@ ArraySimulation::reconstruct()
     ReconOutcome outcome;
     outcome.report = recon.report();
     outcome.userDuringRecon = collectPhase();
-    outcome.totalRepairSec = config_.replacementDelaySec +
-                             outcome.report.reconstructionTimeSec;
+    outcome.totalRepairSec = outcome.report.reconstructionTimeSec;
     return outcome;
+}
+
+ReconOutcome
+ArraySimulation::reconstruct()
+{
+    DECLUST_ASSERT(controller_->failedDisk() >= 0,
+                   "reconstruct() needs a failed disk "
+                   "(call failAndRunDegraded first)");
+    workload_->start();
+    // Waiting for the replacement drive: degraded service continues.
+    if (config_.replacementDelaySec > 0)
+        eq_.runUntil(eq_.now() + secToTicks(config_.replacementDelaySec));
+
+    ReconOutcome outcome = runReconstruction();
+    outcome.totalRepairSec += config_.replacementDelaySec;
+    return outcome;
+}
+
+ReconOutcome
+ArraySimulation::retireDisk(int disk)
+{
+    if (controller_->failedDisk() >= 0)
+        DECLUST_FATAL("cannot retire disk ", disk, ": disk ",
+                      controller_->failedDisk(),
+                      " is already failed and under repair");
+    if (sparesLeft_ <= 0)
+        DECLUST_FATAL("retiring disk ", disk,
+                      " needs a hot spare and the pool is empty "
+                      "(hotSpares=", config_.hotSpares, ")");
+    --sparesLeft_;
+    drain();
+    controller_->failDisk(disk);
+    workload_->start();
+    // The spare is already on line: no replacement-ordering delay, the
+    // repair window is exactly the reconstruction time.
+    return runReconstruction();
 }
 
 } // namespace declust

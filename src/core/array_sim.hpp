@@ -30,6 +30,9 @@
 
 namespace declust {
 
+class HealthMonitor;
+class Scrubber;
+
 /** Everything needed to stand up one experiment. */
 struct SimConfig
 {
@@ -99,6 +102,30 @@ struct SimConfig
     /** Re-read attempts before an access reports a medium error. */
     int faultMaxRetries = 3;
 
+    /**
+     * Gray-failure robustness knobs. All default-off: the defaults
+     * attach no fail-slow model, no hedging, no scrubber, and no
+     * health monitor, keeping every existing golden byte-identical.
+     */
+    /** Disk to degrade with the fail-slow fault mode (-1 = none). */
+    int failSlowDisk = -1;
+    /** Fail-slow service-time multiplier (>= 1; 1 = no slowdown). */
+    double failSlowFactor = 1.0;
+    /** Per-access probability of an intermittent fail-slow stall. */
+    double failSlowStallProb = 0.0;
+    /** Duration of each fail-slow stall, milliseconds. */
+    double failSlowStallMs = 0.0;
+    /** Per-read probability the fail-slow disk grows a latent defect. */
+    double failSlowDefectProb = 0.0;
+    /** Hedged-read deadline, ms (0 = hedging off). */
+    double hedgeAfterMs = 0.0;
+    /** Target duration of one full scrub pass, sec (0 = no scrubber). */
+    double scrubIntervalSec = 0.0;
+    /** Attach the per-disk gray-failure health monitor. */
+    bool healthMonitor = false;
+    /** Hot spares available to proactive retirement (retireDisk). */
+    int hotSpares = 1;
+
     std::uint64_t seed = 1;
 
     /** Declustering ratio (G-1)/(C-1). */
@@ -112,6 +139,9 @@ struct PhaseStats
     double meanWriteMs = 0.0;
     double meanMs = 0.0;
     double p90Ms = 0.0;
+    /** Tail percentiles (0 when the phase recorded no samples). */
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     /** Mean disk utilization over the phase. */
@@ -179,6 +209,16 @@ class ArraySimulation
     void drain();
 
     /**
+     * Proactively retire @p disk onto a hot spare before it hard-fails
+     * (the health monitor's Retired verdict is the usual trigger).
+     * Consumes one spare (ConfigError when the pool is empty), drains,
+     * fails the disk, and reconstructs to completion while the workload
+     * keeps running — the same repair path as reconstruct(), entered on
+     * the array's schedule instead of the failure's.
+     */
+    ReconOutcome retireDisk(int disk);
+
+    /**
      * Mergeable snapshot of the current measured phase: the raw user
      * accumulators/histogram plus mean disk utilization weighted by
      * @p windowSec (the phase's measured length). Sharded benches
@@ -193,13 +233,24 @@ class ArraySimulation
     SyntheticWorkload &workload() { return *workload_; }
     const SimConfig &config() const { return config_; }
 
+    /** Scrubber, when scrubIntervalSec > 0 (else nullptr). */
+    Scrubber *scrubber() { return scrubber_.get(); }
+    /** Health monitor, when healthMonitor is set (else nullptr). */
+    HealthMonitor *healthMonitor() { return health_.get(); }
+    /** Hot spares not yet consumed by retireDisk(). */
+    int sparesLeft() const { return sparesLeft_; }
+
   private:
     PhaseStats collectPhase() const;
+    ReconOutcome runReconstruction();
 
     SimConfig config_;
     EventQueue eq_;
     std::unique_ptr<ArrayController> controller_;
     std::unique_ptr<SyntheticWorkload> workload_;
+    std::unique_ptr<Scrubber> scrubber_;
+    std::unique_ptr<HealthMonitor> health_;
+    int sparesLeft_ = 0;
 };
 
 /**

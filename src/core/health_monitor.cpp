@@ -1,0 +1,119 @@
+#include "core/health_monitor.hpp"
+
+#include "disk/disk.hpp"
+#include "disk/fault_model.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+
+const char *toString(DiskHealth health)
+{
+    switch (health)
+    {
+    case DiskHealth::Healthy: return "healthy";
+    case DiskHealth::Suspect: return "suspect";
+    case DiskHealth::Retired: return "retired";
+    }
+    DECLUST_PANIC("invalid DiskHealth ", static_cast<int>(health));
+}
+
+HealthMonitor::HealthMonitor(int numDisks, const HealthConfig &config)
+    : config_(config)
+{
+    if (numDisks <= 0)
+        DECLUST_FATAL("health monitor needs at least one disk, got ",
+                      numDisks);
+    if (!(config.ewmaAlpha > 0.0) || config.ewmaAlpha > 1.0)
+        DECLUST_FATAL("health EWMA alpha ", config.ewmaAlpha,
+                      " outside (0, 1]");
+    if (config.baselineSamples <= 0)
+        DECLUST_FATAL("health baseline window ", config.baselineSamples,
+                      " must be positive");
+    if (config.suspectFactor <= 1.0)
+        DECLUST_FATAL("suspect latency factor ", config.suspectFactor,
+                      " must exceed 1 (the baseline itself)");
+    if (config.retireFactor < config.suspectFactor)
+        DECLUST_FATAL("retire latency factor ", config.retireFactor,
+                      " below suspect factor ", config.suspectFactor,
+                      "; escalation must be monotonic");
+    if (config.errorSuspectRate <= 0.0 ||
+        config.errorRetireRate < config.errorSuspectRate)
+        DECLUST_FATAL("error-rate thresholds must satisfy 0 < suspect (",
+                      config.errorSuspectRate, ") <= retire (",
+                      config.errorRetireRate, ")");
+    disks_.resize(static_cast<std::size_t>(numDisks));
+}
+
+const HealthMonitor::DiskState &HealthMonitor::state(int disk) const
+{
+    if (disk < 0 || disk >= static_cast<int>(disks_.size()))
+        DECLUST_FATAL("disk ", disk, " out of range [0, ", disks_.size(),
+                      ") in health monitor");
+    return disks_[static_cast<std::size_t>(disk)];
+}
+
+HealthMonitor::DiskState &HealthMonitor::state(int disk)
+{
+    return const_cast<DiskState &>(
+        static_cast<const HealthMonitor *>(this)->state(disk));
+}
+
+void HealthMonitor::escalate(int disk, DiskState &s, DiskHealth to)
+{
+    if (to <= s.health)
+        return;
+    s.health = to;
+    ++stats_.escalations;
+    if (onEscalate_)
+        onEscalate_(disk, to);
+}
+
+void HealthMonitor::observe(const AccessRecord &record)
+{
+    // A hard-failed disk completes everything instantly with DiskFailed;
+    // folding those zero-latency errors into the EWMAs would poison the
+    // gray-failure signal for a disk the array already knows is dead.
+    if (record.status == IoStatus::DiskFailed)
+        return;
+
+    DiskState &s = state(record.disk);
+    ++stats_.samples;
+
+    const double serviceMs = ticksToMs(record.completed - record.dispatched);
+    if (s.baselineCount < config_.baselineSamples)
+    {
+        // Still learning this disk's own fault-free service time; the
+        // EWMA warm-starts from the finished mean so the first post-
+        // baseline samples compare against something meaningful.
+        s.baselineMs += serviceMs;
+        if (++s.baselineCount == config_.baselineSamples)
+        {
+            s.baselineMs /= config_.baselineSamples;
+            s.latencyMs = s.baselineMs;
+        }
+        return;
+    }
+
+    const double a = config_.ewmaAlpha;
+    s.latencyMs = (1.0 - a) * s.latencyMs + a * serviceMs;
+    const double err = record.status == IoStatus::Ok ? 0.0 : 1.0;
+    s.errorRate = (1.0 - a) * s.errorRate + a * err;
+
+    if (s.latencyMs >= config_.retireFactor * s.baselineMs ||
+        s.errorRate >= config_.errorRetireRate)
+        escalate(record.disk, s, DiskHealth::Retired);
+    else if (s.latencyMs >= config_.suspectFactor * s.baselineMs ||
+             s.errorRate >= config_.errorSuspectRate)
+        escalate(record.disk, s, DiskHealth::Suspect);
+}
+
+int HealthMonitor::retiredDisk() const
+{
+    for (std::size_t i = 0; i < disks_.size(); ++i)
+        if (disks_[i].health == DiskHealth::Retired)
+            return static_cast<int>(i);
+    return -1;
+}
+
+} // namespace declust

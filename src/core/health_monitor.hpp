@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Per-disk gray-failure detector.
+ *
+ * Real arrays rarely see a drive go from perfect to dead: they see it
+ * get *slow* — rising service times, intermittent stalls, climbing
+ * error rates — long before (or instead of) a hard failure. The
+ * monitor watches every completed access through the disk layer's
+ * AccessTracer, keeps one latency EWMA and one error-rate EWMA per
+ * disk, learns each disk's own fault-free baseline from its first
+ * accesses, and escalates monotonically through
+ *
+ *     Healthy -> Suspect -> Retired
+ *
+ * when the EWMAs cross configured multiples of that baseline. A
+ * Retired verdict is the cue for proactive replacement: rebuild the
+ * disk onto a spare *now*, from a still-readable drive, instead of
+ * waiting for the hard failure and paying a full parity
+ * reconstruction during the vulnerability window.
+ *
+ * The monitor is a pure observer: it performs no I/O, draws no random
+ * numbers, and never alters timing, so enabling it cannot perturb the
+ * simulation schedule. Verdicts are a deterministic function of the
+ * access stream.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "disk/disk.hpp"
+
+namespace declust {
+
+/** Escalation state of one disk (strictly monotonic). */
+enum class DiskHealth : std::uint8_t
+{
+    Healthy = 0,
+    /** Latency or error EWMA crossed the suspect threshold. */
+    Suspect = 1,
+    /** Crossed the retire threshold: replace proactively. */
+    Retired = 2,
+};
+
+/** Display name for a health state. */
+const char *toString(DiskHealth health);
+
+/** Detector thresholds. */
+struct HealthConfig
+{
+    /** EWMA smoothing weight for new samples (0, 1]. */
+    double ewmaAlpha = 0.05;
+    /** Accesses averaged to learn each disk's fault-free baseline
+     * service time before any escalation is possible. */
+    int baselineSamples = 200;
+    /** Latency EWMA >= suspectFactor x baseline escalates to Suspect. */
+    double suspectFactor = 2.0;
+    /** Latency EWMA >= retireFactor x baseline escalates to Retired. */
+    double retireFactor = 4.0;
+    /** Error-rate EWMA (errors per access) for Suspect. */
+    double errorSuspectRate = 0.02;
+    /** Error-rate EWMA for Retired. */
+    double errorRetireRate = 0.10;
+};
+
+/** Counters exposed by the monitor. */
+struct HealthStats
+{
+    std::uint64_t samples = 0;     ///< accesses observed
+    std::uint64_t escalations = 0; ///< state transitions recorded
+};
+
+/** Latency/error EWMA tracker with healthy->suspect->retired verdicts. */
+class HealthMonitor
+{
+  public:
+    /**
+     * @param numDisks Array width.
+     * @param config Thresholds; validated here (ConfigError on misuse).
+     */
+    HealthMonitor(int numDisks, const HealthConfig &config);
+
+    /**
+     * Feed one completed access (wire via Disk/ArrayController access
+     * tracers). Whole-disk failures (IoStatus::DiskFailed) are ignored:
+     * a hard-failed disk is the rebuild machinery's problem, not a
+     * gray-failure signal.
+     */
+    void observe(const AccessRecord &record);
+
+    /** Current verdict for @p disk. */
+    DiskHealth health(int disk) const
+    {
+        return state(disk).health;
+    }
+
+    /** Lowest-numbered disk currently Retired, or -1. */
+    int retiredDisk() const;
+
+    /** Latency EWMA for @p disk, ms (0 until the baseline is learned). */
+    double latencyEwmaMs(int disk) const { return state(disk).latencyMs; }
+
+    /** Learned baseline service time for @p disk, ms (0 while learning). */
+    double baselineMs(int disk) const { return state(disk).baselineMs; }
+
+    /** Error-rate EWMA for @p disk (errors per access). */
+    double errorEwma(int disk) const { return state(disk).errorRate; }
+
+    /**
+     * Install a callback fired on every escalation, as
+     * fn(disk, newHealth). Fired at most twice per disk (Suspect, then
+     * Retired); the handler may not re-enter the monitor.
+     */
+    void setEscalationHandler(std::function<void(int, DiskHealth)> fn)
+    {
+        onEscalate_ = std::move(fn);
+    }
+
+    const HealthStats &stats() const { return stats_; }
+
+  private:
+    struct DiskState
+    {
+        DiskHealth health = DiskHealth::Healthy;
+        /** Samples folded into the baseline so far. */
+        int baselineCount = 0;
+        /** Sum of the baseline window's service times, then the mean. */
+        double baselineMs = 0.0;
+        double latencyMs = 0.0;
+        double errorRate = 0.0;
+    };
+
+    const DiskState &state(int disk) const;
+    DiskState &state(int disk);
+    void escalate(int disk, DiskState &s, DiskHealth to);
+
+    HealthConfig config_;
+    std::vector<DiskState> disks_;
+    std::function<void(int, DiskHealth)> onEscalate_;
+    HealthStats stats_;
+};
+
+} // namespace declust

@@ -1,0 +1,96 @@
+#include "core/scrubber.hpp"
+
+#include "array/controller.hpp"
+#include "array/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+
+Scrubber::Scrubber(ArrayController &ctl, EventQueue &eq, double intervalSec)
+    : ctl_(ctl), eq_(eq)
+{
+    if (!(intervalSec > 0.0))
+        DECLUST_FATAL("scrub interval ", intervalSec,
+                      " sec must be positive (omit the scrubber to disable "
+                      "scrubbing)");
+    const std::int64_t totalUnits =
+        ctl.layout().numStripes() * ctl.stripeWidth();
+    DECLUST_ASSERT(totalUnits > 0, "layout maps no stripe units");
+    Tick step = secToTicks(intervalSec) / totalUnits;
+    // A pass shorter than one tick per unit cannot be paced any finer;
+    // clamp so the sweep still makes forward progress.
+    stepTicks_ = step > 0 ? step : 1;
+}
+
+void Scrubber::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    scheduleNext();
+}
+
+void Scrubber::stop()
+{
+    running_ = false;
+    ++epoch_; // strands every scheduled tick and in-flight completion
+}
+
+void Scrubber::scheduleNext()
+{
+    const std::uint64_t epoch = epoch_;
+    eq_.scheduleIn(stepTicks_, [this, epoch] { tick(epoch); });
+}
+
+void Scrubber::advance()
+{
+    if (++pos_ >= ctl_.stripeWidth())
+    {
+        pos_ = 0;
+        if (++stripe_ >= ctl_.layout().numStripes())
+        {
+            stripe_ = 0;
+            ++stats_.passes;
+        }
+    }
+}
+
+void Scrubber::tick(std::uint64_t epoch)
+{
+    if (epoch != epoch_ || !running_)
+        return;
+    if (busy_ || ctl_.failedDisk() >= 0)
+    {
+        // Back off without advancing: a slow verify (busy) or a
+        // degraded array (reconstruction owns repair, and scrubUnit
+        // refuses failed disks) just delays this unit's turn.
+        ++stats_.unitsSkipped;
+        scheduleNext();
+        return;
+    }
+    busy_ = true;
+    ctl_.scrubUnit(stripe_, pos_,
+                   [this, epoch](CycleResult r) { scrubDone(epoch, r); });
+}
+
+void Scrubber::scrubDone(std::uint64_t epoch, const CycleResult &result)
+{
+    if (epoch != epoch_)
+        return;
+    busy_ = false;
+    if (result.lost)
+        ++stats_.unitsLost;
+    else if (result.repaired)
+        ++stats_.defectsRepaired;
+    else if (result.skipped)
+        ++stats_.unitsSkipped;
+    else
+        ++stats_.unitsScrubbed;
+    advance();
+    if (running_)
+        scheduleNext();
+}
+
+} // namespace declust

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Online scrubber: background sweep that drains latent defects.
+ *
+ * Latent sector defects are harmless until the array is degraded —
+ * then a defect on a surviving unit turns a routine reconstruction
+ * into data loss. The scrubber walks every mapped stripe unit in
+ * (stripe, position) order, issuing one idle-priority verify read at
+ * a time through ArrayController::scrubUnit. A clean read costs one
+ * background access; a medium error triggers an in-place repair
+ * (regenerate from parity under the stripe lock, rewrite the unit),
+ * converting a silent landmine into a logged, fixed event.
+ *
+ * Pacing: one full pass over the array is spread evenly across the
+ * configured interval, i.e. a unit is verified every
+ * interval / totalUnits seconds. All scrub I/O runs at
+ * Priority::Background, which the disk scheduler only services when
+ * its primary queue is empty, so a saturated array starves the
+ * scrubber rather than the other way round.
+ *
+ * While any disk is hard-failed the scrubber pauses (it keeps
+ * ticking but issues nothing): the reconstruction sweep owns
+ * degraded-mode repair, and scrubUnit refuses units on dead disks.
+ *
+ * Determinism: the schedule is a pure function of the start tick and
+ * the interval; no random numbers are drawn.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "array/controller.hpp"
+#include "array/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace declust {
+
+/** Scrub progress counters (monotonic). */
+struct ScrubStats
+{
+    std::uint64_t unitsScrubbed = 0;   ///< verify reads completed clean
+    std::uint64_t defectsRepaired = 0; ///< latent defects fixed in place
+    std::uint64_t unitsLost = 0;       ///< defects found unrecoverable
+    std::uint64_t unitsSkipped = 0;    ///< ticks skipped (degraded/busy)
+    std::uint64_t passes = 0;          ///< full sweeps completed
+};
+
+/** Paced background verify sweep over every mapped stripe unit. */
+class Scrubber
+{
+  public:
+    /**
+     * @param ctl Array to scrub (must outlive the scrubber).
+     * @param eq Event queue driving the pacing timer.
+     * @param intervalSec Target duration of one full pass; must be
+     *     positive (a zero interval means "no scrubbing" and should be
+     *     handled by not constructing a Scrubber at all).
+     */
+    Scrubber(ArrayController &ctl, EventQueue &eq, double intervalSec);
+
+    ~Scrubber() { stop(); }
+
+    Scrubber(const Scrubber &) = delete;
+    Scrubber &operator=(const Scrubber &) = delete;
+
+    /** Begin (or resume) the sweep from the current position. */
+    void start();
+
+    /**
+     * Stop pacing. Safe while a verify read is in flight: the epoch
+     * guard makes its completion a no-op for scheduling, and the
+     * controller's own drain covers the outstanding I/O.
+     */
+    void stop();
+
+    const ScrubStats &stats() const { return stats_; }
+
+  private:
+    void tick(std::uint64_t epoch);
+    void scrubDone(std::uint64_t epoch, const CycleResult &result);
+    void scheduleNext();
+    void advance();
+
+    ArrayController &ctl_;
+    EventQueue &eq_;
+    /** Pacing step: interval / totalUnits, floored at one tick. */
+    Tick stepTicks_ = 0;
+    std::int64_t stripe_ = 0;
+    int pos_ = 0;
+    bool running_ = false;
+    /** One verify in flight at a time; ticks that land while the
+     * previous verify is still outstanding are counted as skipped. */
+    bool busy_ = false;
+    /** Bumped on stop(); events and completions carrying an older
+     * epoch are stale and must not reschedule. */
+    std::uint64_t epoch_ = 0;
+    ScrubStats stats_;
+};
+
+} // namespace declust

@@ -140,6 +140,18 @@ Disk::dispatch()
         faultModel_->onWrite(p.request.startSector,
                              p.request.sectorCount);
     }
+    if (faultModel_ && faultModel_->failSlow()) {
+        // Gray failure: the whole access (including any retry
+        // revolutions charged above) is served slower by a constant
+        // factor, and the drive intermittently stalls.
+        const FaultModel::SlowOutcome so =
+            faultModel_->onSlowAccess(p.request.isWrite);
+        const Tick service = end - dispatched;
+        end = dispatched +
+              static_cast<Tick>(static_cast<double>(service) *
+                                faultModel_->serviceSlowdown()) +
+              msToTicks(so.stallMs);
+    }
 #if DECLUST_VALIDATE
     // Service must take non-negative time and leave the head parked on
     // a real cylinder; either failing means the timing model (seek
@@ -193,6 +205,11 @@ Disk::complete(int slot, Tick dispatched)
     busy_ = false;
     util_.setIdle(now);
 
+    // A disk that died while this transfer was in service reports the
+    // failure, whatever the fault model decided at dispatch.
+    const IoStatus status =
+        failed_ ? IoStatus::DiskFailed : done.status;
+
     if (tracer_) {
         AccessRecord record;
         record.disk = id_;
@@ -203,13 +220,9 @@ Disk::complete(int slot, Tick dispatched)
         record.enqueued = done.enqueued;
         record.dispatched = dispatched;
         record.completed = now;
+        record.status = status;
         tracer_(record);
     }
-
-    // A disk that died while this transfer was in service reports the
-    // failure, whatever the fault model decided at dispatch.
-    const IoStatus status =
-        failed_ ? IoStatus::DiskFailed : done.status;
 
     // The callback may submit more work to this disk; submit() will start
     // it immediately since we are idle, and the trailing dispatch() below
@@ -230,6 +243,19 @@ Disk::fail()
     drainQueueFailed(*scheduler_);
     if (backgroundScheduler_)
         drainQueueFailed(*backgroundScheduler_);
+}
+
+void
+Disk::beginFailSlow(const FailSlowConfig &slow)
+{
+    if (failed_)
+        DECLUST_FATAL("disk ", id_,
+                      " has hard-failed; fail-slow needs a live disk");
+    if (!faultModel_)
+        DECLUST_FATAL("disk ", id_,
+                      " has no fault model; attach one before enabling "
+                      "fail-slow");
+    faultModel_->beginFailSlow(slow);
 }
 
 void

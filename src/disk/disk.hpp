@@ -67,6 +67,8 @@ struct AccessRecord
     Tick enqueued = 0;
     Tick dispatched = 0;
     Tick completed = 0;
+    /** Completion outcome (what the request's callback receives). */
+    IoStatus status = IoStatus::Ok;
 };
 
 /** Callback invoked at the completion of every traced access. */
@@ -201,6 +203,15 @@ class Disk
 
     /** The attached error injector, or null. */
     FaultModel *faultModel() { return faultModel_.get(); }
+
+    /**
+     * Switch this disk into fail-slow (gray failure) mode: every
+     * access is served slower, with intermittent stalls and escalating
+     * latent defects per @p slow. Requires an attached fault model
+     * (which supplies the mode's RNG stream) and a disk that has not
+     * hard-failed — a dead disk cannot be slow.
+     */
+    void beginFailSlow(const FailSlowConfig &slow);
 
     /**
      * Fail the whole disk now. Queued requests complete immediately

@@ -25,7 +25,12 @@ FaultModel::FaultModel(const FaultConfig &config,
       rng_(mixSeed(config.seed,
                    static_cast<std::uint64_t>(diskId) * 2 + 1)),
       hazardRng_(mixSeed(config.seed,
-                         static_cast<std::uint64_t>(diskId) * 2 + 2))
+                         static_cast<std::uint64_t>(diskId) * 2 + 2)),
+      // Nested mix keeps the fail-slow stream out of the 2k+1/2k+2
+      // salt family the per-disk latent/hazard streams occupy.
+      slowRng_(mixSeed(mixSeed(config.seed, 0xfa57d15cull),
+                       static_cast<std::uint64_t>(diskId))),
+      totalSectors_(totalSectors)
 {
     if (config_.latentErrorProb < 0 || config_.latentErrorProb > 1)
         DECLUST_FATAL("latent error probability ",
@@ -119,6 +124,53 @@ void
 FaultModel::onWrite(std::int64_t startSector, int count)
 {
     popLatent(startSector, count);
+}
+
+void
+FaultModel::beginFailSlow(const FailSlowConfig &slow)
+{
+    if (slow.serviceSlowdown < 1.0)
+        DECLUST_FATAL("fail-slow service slowdown ",
+                      slow.serviceSlowdown, " must be >= 1");
+    if (slow.stallProb < 0 || slow.stallProb >= 1)
+        DECLUST_FATAL("fail-slow stall probability ", slow.stallProb,
+                      " outside [0, 1)");
+    if (slow.stallMs < 0)
+        DECLUST_FATAL("fail-slow stall duration must be non-negative");
+    if (slow.stallProb > 0 && slow.stallMs <= 0)
+        DECLUST_FATAL("fail-slow stalls enabled with zero duration");
+    if (slow.defectProbPerRead < 0 || slow.defectProbPerRead >= 1)
+        DECLUST_FATAL("fail-slow defect probability ",
+                      slow.defectProbPerRead, " outside [0, 1)");
+    slow_ = slow;
+    failSlow_ = true;
+}
+
+FaultModel::SlowOutcome
+FaultModel::onSlowAccess(bool isWrite)
+{
+    SlowOutcome outcome;
+    if (!failSlow_)
+        return outcome;
+    if (slow_.stallProb > 0 && slowRng_.bernoulli(slow_.stallProb)) {
+        outcome.stallMs = slow_.stallMs;
+        ++stats_.stalls;
+    }
+    if (!isWrite && slow_.defectProbPerRead > 0 &&
+        slowRng_.bernoulli(slow_.defectProbPerRead)) {
+        // The failing head scribbles: one new latent defect lands on a
+        // uniformly chosen sector. Duplicates are dropped so latent_
+        // stays a sorted set.
+        const auto sector = static_cast<std::int64_t>(slowRng_.uniformInt(
+            static_cast<std::uint64_t>(totalSectors_)));
+        const auto at =
+            std::lower_bound(latent_.begin(), latent_.end(), sector);
+        if (at == latent_.end() || *at != sector) {
+            latent_.insert(at, sector);
+            ++stats_.defectsGrown;
+        }
+    }
+    return outcome;
 }
 
 } // namespace declust

@@ -25,6 +25,13 @@
  *    from the per-access stream so hazard draws never perturb the
  *    sector-error sequence.
  *
+ *  - Fail-slow (gray failure): a disk can be switched into a degraded
+ *    mode where every access is served slower by a constant factor,
+ *    intermittent stalls add fixed pauses, and the latent-defect
+ *    population grows over time. The mode has its own RNG stream so
+ *    enabling it never perturbs the latent/transient sequences, and at
+ *    zero stall/defect rates it performs zero draws.
+ *
  * The model is consulted only when attached (Disk::setFaultModel); an
  * unattached disk performs zero extra RNG draws and zero extra work, so
  * all default-configuration results stay byte-identical.
@@ -76,12 +83,35 @@ struct FaultConfig
     std::uint64_t seed = 1;
 };
 
+/**
+ * Gray-failure degradation for one disk. A fail-slow disk still
+ * completes every request — slowly. serviceSlowdown multiplies the
+ * modelled service time of every access; stallProb/stallMs add
+ * intermittent fixed pauses (internal recalibration, firmware
+ * retries); defectProbPerRead grows the latent-defect population as
+ * the failing head scribbles, modelling escalating media decay.
+ */
+struct FailSlowConfig
+{
+    /** Service-time multiplier for every access (>= 1). */
+    double serviceSlowdown = 1.0;
+    /** Per-access probability of an intermittent stall. */
+    double stallProb = 0.0;
+    /** Duration of each stall, in milliseconds. */
+    double stallMs = 0.0;
+    /** Per-read probability of seeding one new latent defect at a
+     * uniformly chosen sector. */
+    double defectProbPerRead = 0.0;
+};
+
 /** Counters exposed by one disk's fault model. */
 struct FaultModelStats
 {
     std::uint64_t mediumErrors = 0;     ///< reads reported MediumError
     std::uint64_t transientRetries = 0; ///< re-reads charged
     std::uint64_t sectorsRemapped = 0;  ///< defective sectors retired
+    std::uint64_t stalls = 0;           ///< fail-slow stalls charged
+    std::uint64_t defectsGrown = 0;     ///< latent defects seeded at run time
 };
 
 /** Seeded error injector for a single disk. */
@@ -127,6 +157,36 @@ class FaultModel
      */
     double sampleHazard(double mean) { return hazardRng_.exponential(mean); }
 
+    /**
+     * Switch the disk into fail-slow (gray failure) mode. Validates the
+     * configuration; draws come from a dedicated stream so the
+     * latent/transient sequences are unperturbed.
+     */
+    void beginFailSlow(const FailSlowConfig &slow);
+
+    /** True once beginFailSlow() has been called. */
+    bool failSlow() const { return failSlow_; }
+
+    /** Service-time multiplier while fail-slow (1.0 otherwise). */
+    double serviceSlowdown() const
+    {
+        return failSlow_ ? slow_.serviceSlowdown : 1.0;
+    }
+
+    /** Fail-slow decision for one access. */
+    struct SlowOutcome
+    {
+        /** Intermittent stall charged to this access (milliseconds). */
+        double stallMs = 0.0;
+    };
+
+    /**
+     * Consult the fail-slow process for one access: may charge a stall
+     * and, on reads, may seed a new latent defect. Zero draws when the
+     * respective rates are zero.
+     */
+    SlowOutcome onSlowAccess(bool isWrite);
+
     const FaultModelStats &stats() const { return stats_; }
 
     /** Defective sectors not yet hit (and so not yet remapped). */
@@ -139,9 +199,15 @@ class FaultModel
     FaultConfig config_;
     Rng rng_;
     Rng hazardRng_;
+    /** Fail-slow stream, seeded unconditionally so enabling the mode
+     * mid-run needs no extra seed plumbing. */
+    Rng slowRng_;
+    std::int64_t totalSectors_;
     /** Sorted sector numbers carrying a latent defect. */
     std::vector<std::int64_t> latent_;
     FaultModelStats stats_;
+    FailSlowConfig slow_;
+    bool failSlow_ = false;
 };
 
 } // namespace declust

@@ -76,7 +76,12 @@ namespace declust {
     X(CopybackCycles, "copyback_cycles")                                   \
     X(EventQueueSpills, "event_queue_spills")                              \
     X(EventQueueResizes, "event_queue_resizes")                            \
-    X(EventQueueRebuilds, "event_queue_rebuilds")
+    X(EventQueueRebuilds, "event_queue_rebuilds")                          \
+    X(HedgesLaunched, "hedges_launched")                                   \
+    X(HedgeWins, "hedge_wins")                                             \
+    X(HedgeWasted, "hedge_wasted")                                         \
+    X(ScrubReads, "scrub_reads")                                           \
+    X(ScrubRepairs, "scrub_repairs")
 
 /** Per-phase tick histograms (power-of-two buckets). */
 #define DECLUST_PERF_HIST_LIST(X)                                          \

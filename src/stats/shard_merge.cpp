@@ -28,4 +28,16 @@ PhaseSample::p90Ms() const
     return allHist.count() ? allHist.quantile(0.90) : 0.0;
 }
 
+double
+PhaseSample::p99Ms() const
+{
+    return allHist.count() ? allHist.quantile(0.99) : 0.0;
+}
+
+double
+PhaseSample::p999Ms() const
+{
+    return allHist.count() ? allHist.quantile(0.999) : 0.0;
+}
+
 } // namespace declust

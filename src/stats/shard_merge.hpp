@@ -95,6 +95,8 @@ struct PhaseSample
     double meanWriteMs() const { return writeMs.mean(); }
     double meanMs() const { return allMs.mean(); }
     double p90Ms() const;
+    double p99Ms() const;
+    double p999Ms() const;
     double meanDiskUtilization() const { return diskUtilization.value(); }
     /** @} */
 };

@@ -73,6 +73,12 @@ Options::parse(int argc, char **argv)
     return true;
 }
 
+bool
+Options::has(const std::string &name) const
+{
+    return opts_.find(name) != opts_.end();
+}
+
 std::string
 Options::getString(const std::string &name) const
 {

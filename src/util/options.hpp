@@ -33,6 +33,10 @@ class Options
      */
     bool parse(int argc, char **argv);
 
+    /** True if @p name was registered (shared helpers use this to act
+     * only on the options a driver actually declared). */
+    bool has(const std::string &name) const;
+
     /** @{ Typed accessors for parsed (or default) values. */
     std::string getString(const std::string &name) const;
     long getInt(const std::string &name) const;

@@ -92,12 +92,14 @@ class AllocGuardTest : public ::testing::Test
 
     void
     build(int numDisks, int G, const char *scheduler = "cvscan",
-          ec::DataPlaneMode dataPlane = ec::DataPlaneMode::Off)
+          ec::DataPlaneMode dataPlane = ec::DataPlaneMode::Off,
+          double hedgeAfterMs = 0.0)
     {
         ArrayParams params;
         params.geometry = tinyGeometry();
         params.scheduler = scheduler;
         params.dataPlane = dataPlane;
+        params.hedgeAfterMs = hedgeAfterMs;
         const int units =
             static_cast<int>(params.geometry.totalSectors() / 8);
         auto layout = std::make_unique<DeclusteredLayout>(
@@ -164,6 +166,28 @@ TEST_F(AllocGuardTest, DegradedModeSteadyStateIsAllocationFree)
         allocsDuring([&] { writeRange(0, 96); readRange(0, 96); });
     EXPECT_EQ(steady, 0u)
         << "degraded-mode traffic allocated on a warm array";
+}
+
+/**
+ * Hedged reads ride the same pooled-op spine: the deadline timer is an
+ * 8-byte inline event capture and the reconstruct race reuses the op's
+ * own fan-in state, so arming a hedge on every read must stay heap-free
+ * once the pools are warm. A 1 ms deadline fires long before any ~20 ms
+ * disk access completes, so every read takes the full hedge path.
+ */
+TEST_F(AllocGuardTest, HedgedReadSteadyStateIsAllocationFree)
+{
+    build(5, 4, "cvscan", ec::DataPlaneMode::Off, 1.0);
+    const std::uint64_t warm =
+        allocsDuring([&] { writeRange(0, 64); readRange(0, 64); });
+    EXPECT_GT(warm, 0u) << "warm-up should have grown the pools";
+
+    const std::uint64_t steady =
+        allocsDuring([&] { writeRange(0, 64); readRange(0, 64); });
+    EXPECT_EQ(steady, 0u)
+        << "hedged reads allocated on a warm array";
+    EXPECT_GT(array->hedgeStats().launched, 0u)
+        << "the 1 ms deadline should have hedged the reads";
 }
 
 /**

@@ -318,6 +318,60 @@ TEST(ShardMerge, FoldIsAssociative)
                 1e-9 * left.variance());
 }
 
+// Tail percentiles are read off the merged histogram, so p99/p999 must
+// be exactly associative under shard merge: any grouping of per-shard
+// PhaseSamples yields bit-identical tails, equal to the single-stream
+// histogram's quantiles. This is what lets `--tails` columns stay
+// byte-identical across --shards values.
+TEST(ShardMerge, TailPercentilesAreMergeAssociative)
+{
+    constexpr int kShards = 4;
+    std::vector<PhaseSample> shard(kShards);
+    Histogram stream(80.0, 64);
+    for (int s = 0; s < kShards; ++s) {
+        auto &ps = shard[static_cast<std::size_t>(s)];
+        ps.allHist = Histogram(80.0, 64);
+        for (int i = 0; i < 300 + 41 * s; ++i) {
+            // A long-tailed shape so p99/p999 land in distinct buckets.
+            const double base = 20.0 + 10.0 * std::sin(s * 613 + i);
+            const double x = (i % 97 == 0) ? base + 40.0 : base;
+            ps.allHist.add(x);
+            ps.allMs.add(x);
+            stream.add(x);
+        }
+    }
+
+    PhaseSample left = shard[0];
+    for (int s = 1; s < kShards; ++s)
+        ShardMerge::into(left, shard[static_cast<std::size_t>(s)]);
+
+    PhaseSample mid01 = shard[0], mid23 = shard[2];
+    ShardMerge::into(mid01, shard[1]);
+    ShardMerge::into(mid23, shard[3]);
+    PhaseSample right = mid01;
+    ShardMerge::into(right, mid23);
+
+    // Bit-exact across groupings, and equal to the unsharded stream.
+    EXPECT_EQ(left.p99Ms(), right.p99Ms());
+    EXPECT_EQ(left.p999Ms(), right.p999Ms());
+    EXPECT_EQ(left.p99Ms(), stream.quantile(0.99));
+    EXPECT_EQ(left.p999Ms(), stream.quantile(0.999));
+    EXPECT_GT(left.p999Ms(), left.p99Ms());
+
+    // An empty (but shaped) shard merged in must not disturb the tails.
+    PhaseSample empty;
+    empty.allHist = Histogram(80.0, 64);
+    PhaseSample withEmpty = left;
+    ShardMerge::into(withEmpty, empty);
+    EXPECT_EQ(withEmpty.p99Ms(), left.p99Ms());
+    EXPECT_EQ(withEmpty.p999Ms(), left.p999Ms());
+
+    // And an empty sample reports 0 rather than poking an empty
+    // histogram.
+    EXPECT_EQ(PhaseSample{}.p99Ms(), 0.0);
+    EXPECT_EQ(PhaseSample{}.p999Ms(), 0.0);
+}
+
 TEST(Utilization, BusyFractions)
 {
     UtilizationTracker u;

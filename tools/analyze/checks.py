@@ -34,6 +34,10 @@ Rule ids (one firing fixture each under tools/analyze/fixtures/):
                             the transitive include graph
   transitive-include        using a repo header's symbol while only
                             including that header transitively
+  iostatus-discipline       an IoStatus completion parameter that never
+                            reaches a worseStatus fan-in, continuation,
+                            or explicit check before the op is released
+                            back to its pool (or is overwritten first)
 """
 
 import posixpath
@@ -55,6 +59,7 @@ ALL_RULES = (
     "seed-isolation",
     "ec-isolation",
     "transitive-include",
+    "iostatus-discipline",
 )
 
 # -- shared token helpers ----------------------------------------------
@@ -726,7 +731,78 @@ def check_ec_isolation(files):
     return findings
 
 
-# -- check 6: transitive-include (header hygiene) ----------------------
+# -- check 6: IoStatus discipline --------------------------------------
+#
+# Every disk completion hands its continuation an IoStatus. The fan-in
+# contract (io_op.hpp) is that each leg folds its status into the op
+# (op->status = worseStatus(...), usually via noteStatus) or branches
+# on it BEFORE the op goes back to the pool — otherwise a MediumError
+# or DiskFailed from one leg of a multi-disk operation silently
+# vanishes and the array under-counts faults. The check is linear over
+# the pre-order statement walk: the status parameter must be referenced
+# (fold, forward to another continuation, or condition) before the
+# first pool release on the walk; a plain overwrite of the parameter
+# does not count as a reference, it IS the drop.
+
+_OP_RELEASE_HELPERS = {"opRelease"}
+
+
+def _rhs_ids(stmt):
+    """Identifier spellings right of a top-level '=' (empty if none)."""
+    toks = stmt.tokens
+    depth = 0
+    for i, t in enumerate(toks):
+        tt = t.text
+        if tt in "([{":
+            depth += 1
+        elif tt in ")]}":
+            depth -= 1
+        elif tt == "=" and depth == 0:
+            return {x.text for x in toks[i + 1:] if x.kind == "id"}
+    return set()
+
+
+def _stmt_releases(calls):
+    return [c for c in calls
+            if (c.name in _RELEASE_METHODS and _is_pool_recv(c.recv)) or
+               (c.name in _OP_RELEASE_HELPERS and not c.recv)]
+
+
+def check_iostatus_discipline(files):
+    findings = []
+    for fir in files:
+        for fn in fir.functions:
+            if not fn.has_body:
+                continue
+            pending = {name for types, name in fn.params
+                       if name and "IoStatus" in types}
+            if not pending:
+                continue
+            for stmt in iter_stmts(fn.body):
+                if not pending:
+                    break
+                names = {t.text for t in stmt.tokens
+                         if t.kind == "id"}
+                lhs = _assignment_lhs(stmt)
+                rhs = _rhs_ids(stmt) if lhs in pending else set()
+                for s in sorted(pending & names):
+                    if s == lhs and s not in rhs:
+                        continue  # pure overwrite: still unconsumed
+                    pending.discard(s)
+                for c in _stmt_releases(stmt_calls(stmt)):
+                    for s in sorted(pending):
+                        findings.append(Finding(
+                            fir.rel, c.line, "iostatus-discipline",
+                            "completion status '%s' dropped: the op is "
+                            "released in '%s' before the status reaches "
+                            "a worseStatus fold, a continuation, or an "
+                            "explicit check — a MediumError on this leg "
+                            "would vanish" % (s, fn.qual)))
+                    pending.clear()
+    return findings
+
+
+# -- check 7: transitive-include (header hygiene) ----------------------
 
 _COMMON_NAMES = {
     # Too generic to attribute to one header reliably.
@@ -799,6 +875,7 @@ ALL_CHECKS = (
     check_lock_discipline,
     check_seed_isolation,
     check_ec_isolation,
+    check_iostatus_discipline,
     check_transitive_include,
 )
 

@@ -1,0 +1,48 @@
+// Fixture: completion statuses dropped on the floor. legDone() sends
+// the op back to its pool without the incoming IoStatus ever reaching
+// a worseStatus fold or a check, so a MediumError from this leg of the
+// fan-in would vanish; overwriteDone() clobbers the parameter before
+// releasing, which is the same drop wearing a disguise. cleanDone()
+// folds first and must not fire.
+// EXPECT-ANALYZE: iostatus-discipline
+
+namespace fixture {
+
+enum class IoStatus { Ok, MediumError, DiskFailed };
+
+IoStatus worseStatus(IoStatus a, IoStatus b);
+
+struct IoOp
+{
+    int pending;
+    IoStatus status;
+};
+
+struct OpPool
+{
+    void release(IoOp *op);
+};
+
+void
+legDone(OpPool &pool, IoOp *op, IoStatus status)
+{
+    if (--op->pending == 0)
+        pool.release(op);
+}
+
+void
+overwriteDone(OpPool &pool, IoOp *op, IoStatus status)
+{
+    status = IoStatus::Ok;
+    pool.release(op);
+}
+
+void
+cleanDone(OpPool &pool, IoOp *op, IoStatus status)
+{
+    op->status = worseStatus(op->status, status);
+    if (--op->pending == 0)
+        pool.release(op);
+}
+
+} // namespace fixture
