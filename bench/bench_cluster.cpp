@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Cluster-scale serving bench: a Zipf request router over N declustered
+ * arrays on worker-thread event cores (src/cluster).
+ *
+ * The sweep varies k, the number of arrays concurrently repairing a
+ * failed disk, and reports sustained cluster IOPS plus response-time
+ * tails while the remaining traffic routes around the repairs
+ * (--scenario rolling staggers the k rebuilds; burst starts them at the
+ * same instant). Output is a pure function of (config, seed):
+ * byte-identical for every --cluster-workers count, both --event-queue
+ * implementations, and --data-plane off|verify.
+ *
+ * Worker scaling on few-core machines is reported as a critical-path
+ * projection: each epoch's measured per-array advance times are
+ * LPT-packed into W bins (plus the run's measured serial barrier time),
+ * giving the wall clock a W-worker run would need. The projection rides
+ * in the --json record's cluster_scaling block; it never affects the
+ * table.
+ */
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/runner.hpp"
+
+namespace {
+
+using namespace declust;
+
+/** Per-k payload the projection needs after the sweep finishes. */
+struct ScalingSample
+{
+    int k = 0;
+    /** Row-major per-(epoch, array) advance wall seconds. */
+    std::vector<double> wall;
+    int epochs = 0;
+    int arrays = 0;
+    /** Whole-trial wall clock (advance + serial barrier work). */
+    double trialWallSec = 0.0;
+};
+
+/**
+ * Wall clock a W-worker run would need: per epoch, LPT-pack the
+ * per-array advance times into W bins and charge the largest bin; add
+ * the measured serial (barrier/router) time, which no worker count
+ * removes. W >= arrays degenerates to sum-of-epoch-maxima.
+ */
+double
+projectedWallSec(const ScalingSample &s, int workers)
+{
+    double advance = 0.0;
+    std::vector<double> bins(static_cast<std::size_t>(workers));
+    std::vector<double> epoch(static_cast<std::size_t>(s.arrays));
+    double measuredAdvance = 0.0;
+    for (int e = 0; e < s.epochs; ++e) {
+        const auto base = static_cast<std::size_t>(e) *
+                          static_cast<std::size_t>(s.arrays);
+        epoch.assign(s.wall.begin() + static_cast<std::ptrdiff_t>(base),
+                     s.wall.begin() +
+                         static_cast<std::ptrdiff_t>(base) + s.arrays);
+        std::sort(epoch.rbegin(), epoch.rend());
+        std::fill(bins.begin(), bins.end(), 0.0);
+        for (const double t : epoch) {
+            measuredAdvance += t;
+            *std::min_element(bins.begin(), bins.end()) += t;
+        }
+        advance += *std::max_element(bins.begin(), bins.end());
+    }
+    // Serial residue: everything the trial spent outside array
+    // advances (routing, census, merge) stays serial at any W.
+    const double serial =
+        std::max(s.trialWallSec - measuredAdvance, 0.0);
+    return serial + advance;
+}
+
+} // namespace
+
+static int
+run(int argc, char **argv)
+{
+    using namespace declust::bench;
+
+    Options opts("Cluster serving: Zipf request router over N "
+                 "declustered arrays, swept over k concurrently "
+                 "rebuilding arrays");
+    addCommonOptions(opts);
+    addRobustnessOptions(opts);
+    addClusterOptions(opts);
+    opts.add("k-list", "0,1,2,4",
+             "numbers of concurrently rebuilding arrays to sweep");
+    opts.add("scenario", "rolling",
+             "repair scenario: rolling (staggered) | burst (correlated)");
+    opts.add("stagger", "2",
+             "seconds between rolling rebuild starts");
+    opts.add("G", "6", "parity stripe size per array");
+    if (!opts.parse(argc, argv))
+        return 1;
+    if (!applyEventQueueOption(opts))
+        return 1;
+
+    const std::string scenario = opts.getString("scenario");
+    if (scenario != "rolling" && scenario != "burst") {
+        std::cerr << "unknown --scenario '" << scenario
+                  << "' (expected: rolling | burst)\n";
+        return 1;
+    }
+    const int arrays = static_cast<int>(opts.getInt("cluster-arrays"));
+    const int workers = static_cast<int>(opts.getInt("cluster-workers"));
+    const std::vector<long> kList = opts.getIntList("k-list");
+    for (const long k : kList) {
+        if (k < 0 || k > arrays) {
+            std::cerr << "--k-list entry " << k
+                      << " out of range for " << arrays << " arrays\n";
+            return 1;
+        }
+    }
+
+    SimConfig array;
+    if (!applyRobustnessOptions(opts, &array))
+        return 1;
+    array.numDisks = 21;
+    array.stripeUnits = static_cast<int>(opts.getInt("G"));
+    array.geometry = geometryFrom(opts);
+
+    ClusterConfig base;
+    base.arrays = arrays;
+    base.array = array;
+    base.objects = opts.getInt("objects");
+    base.zipfAlpha = opts.getDouble("zipf-alpha");
+    base.requestsPerSec = opts.getDouble("cluster-rps");
+    base.epochSec = opts.getDouble("epoch");
+    base.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    const double warmup = opts.getDouble("warmup");
+    const double measure = opts.getDouble("measure");
+    const double stagger = opts.getDouble("stagger");
+
+    TablePrinter table({"k", "iops", "mean ms", "p99 ms", "p999 ms",
+                        "redirects", "rebuilds done", "rebuild epochs",
+                        "max qdepth"});
+
+    // Disjoint per-trial slots; the projection reads them after the
+    // sweep (deterministic content whatever the worker interleaving).
+    std::vector<ScalingSample> scaling(kList.size());
+
+    std::vector<Trial> trials;
+    for (std::size_t t = 0; t < kList.size(); ++t) {
+        const int k = static_cast<int>(kList[t]);
+        ScalingSample *slot = &scaling[t];
+        trials.push_back([base, workers, k, warmup, measure, stagger,
+                          scenario, slot] {
+            ClusterRunner runner(base, workers);
+            runner.setWallProbe([] {
+                return std::chrono::duration<double>(
+                           std::chrono::steady_clock::now()
+                               .time_since_epoch())
+                    .count();
+            });
+            // Rebuilds land at the measurement boundary so the window
+            // observes the repairs from their first epoch.
+            if (scenario == "rolling")
+                scheduleRollingRebuilds(runner, k, warmup, stagger);
+            else
+                scheduleFailureBurst(runner, k, warmup);
+            // The scaling sample times the epoch loop only: topology
+            // construction (layout tables, the router's alias table) is
+            // one-time setup, not sustained serving, and would otherwise
+            // be charged to the serial residue of the projection.
+            const auto trialStart = std::chrono::steady_clock::now();
+            const ClusterResult res = runner.run(warmup, measure);
+
+            slot->k = k;
+            slot->wall = res.epochArrayWallSec;
+            slot->epochs = res.totalEpochs;
+            slot->arrays = res.arrays;
+            slot->trialWallSec = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     trialStart)
+                                     .count();
+
+            TrialResult out;
+            out.rows.push_back(
+                {std::to_string(k), fmtDouble(res.sustainedIops, 1),
+                 fmtDouble(res.phase.meanMs(), 1),
+                 fmtDouble(res.phase.p99Ms(), 1),
+                 fmtDouble(res.phase.p999Ms(), 1),
+                 std::to_string(res.counters.redirectsIn),
+                 std::to_string(res.counters.rebuildsCompleted),
+                 std::to_string(res.counters.rebuildingEpochs),
+                 std::to_string(res.counters.maxQueueDepth)});
+            for (int i = 0; i < runner.topology().arrays(); ++i) {
+                const EventQueue &eq =
+                    runner.topology().array(i).eventQueue();
+                out.events += eq.executed();
+                out.simSec += ticksToSec(eq.now());
+            }
+            return out;
+        });
+    }
+
+    const SweepOutcome outcome =
+        runTrials(opts, "bench_cluster", table, trials);
+
+    std::cout << "Cluster serving sweep: " << arrays << " arrays, "
+              << fmtDouble(base.requestsPerSec, 0) << " req/s, Zipf("
+              << fmtDouble(base.zipfAlpha, 2) << ") over "
+              << base.objects << " objects, scenario " << scenario
+              << "\n";
+    emit(opts, table);
+
+    // Worker-scaling projection (see file header); JSON-only so the
+    // table stays byte-identical across machines and worker counts.
+    JsonObject scalingJson;
+    for (const ScalingSample &s : scaling) {
+        if (s.wall.empty())
+            continue;
+        JsonObject entry;
+        const double w1 = projectedWallSec(s, 1);
+        entry.set("measured_wall_sec", s.trialWallSec);
+        for (const int w : {1, 2, 4, 8}) {
+            entry.set("projected_wall_sec_w" + std::to_string(w),
+                      projectedWallSec(s, w));
+        }
+        entry.set("projected_speedup_w8_vs_w1",
+                  w1 > 0.0 ? w1 / projectedWallSec(s, 8) : 0.0);
+        scalingJson.set("k_" + std::to_string(s.k), std::move(entry));
+    }
+    writeJsonRecord(opts, "bench_cluster", outcome, "cluster_scaling",
+                    std::move(scalingJson));
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const declust::ConfigError &e) {
+        std::cerr << "configuration error: " << e.what() << "\n";
+        return 1;
+    }
+}

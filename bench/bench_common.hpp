@@ -197,6 +197,62 @@ faultModelJson(const Options &opts)
     return fm;
 }
 
+/**
+ * Register the cluster-topology knobs (bench_cluster). Every --json
+ * record carries a "cluster" block (clusterJson) whether or not these
+ * are registered, so cluster and single-array records share a schema.
+ */
+inline void
+addClusterOptions(Options &opts)
+{
+    opts.add("cluster-arrays", "8", "arrays in the serving cluster");
+    opts.add("cluster-workers", "1",
+             "worker threads advancing the arrays' event cores "
+             "(0 = hardware threads; output is byte-identical at any "
+             "count)");
+    opts.add("zipf-alpha", "0.9",
+             "Zipf popularity skew over the object population "
+             "(0 = uniform)");
+    opts.add("objects", "100000",
+             "object population the router places across the cluster");
+    opts.add("cluster-rps", "400",
+             "cluster-wide open-loop request rate, requests/sec");
+    opts.add("epoch", "0.25",
+             "virtual-time barrier epoch, seconds");
+}
+
+/**
+ * The run's cluster-topology configuration for the --json record.
+ * Drivers that never registered the cluster knobs report arrays = 0
+ * ("not a cluster run") with the remaining fields at their library
+ * defaults, mirroring how faultModelJson handles unregistered knobs.
+ */
+inline JsonObject
+clusterJson(const Options &opts)
+{
+    JsonObject c;
+    c.set("arrays", opts.has("cluster-arrays")
+                        ? static_cast<std::int64_t>(
+                              opts.getInt("cluster-arrays"))
+                        : std::int64_t{0})
+        .set("workers", opts.has("cluster-workers")
+                            ? static_cast<std::int64_t>(
+                                  opts.getInt("cluster-workers"))
+                            : std::int64_t{0})
+        .set("zipf_alpha",
+             opts.has("zipf-alpha") ? opts.getDouble("zipf-alpha") : 0.0)
+        .set("objects", opts.has("objects")
+                            ? static_cast<std::int64_t>(
+                                  opts.getInt("objects"))
+                            : std::int64_t{0})
+        .set("requests_per_sec",
+             opts.has("cluster-rps") ? opts.getDouble("cluster-rps")
+                                     : 0.0)
+        .set("epoch_sec",
+             opts.has("epoch") ? opts.getDouble("epoch") : 0.0);
+    return c;
+}
+
 /** Register --shards (drivers that support per-trial sharding). */
 inline void
 addShardOption(Options &opts)
@@ -534,10 +590,17 @@ perfJson()
     return block;
 }
 
-/** Write the --json run record, if requested. */
+/**
+ * Write the --json run record, if requested. Drivers with
+ * driver-specific results to record (bench_cluster's worker-scaling
+ * projection) pass them as @p extra under @p extraKey; the shared
+ * schema fields are identical either way.
+ */
 inline void
 writeJsonRecord(const Options &opts, const std::string &benchName,
-                const SweepOutcome &out)
+                const SweepOutcome &out,
+                const std::string &extraKey = "",
+                JsonObject extra = JsonObject{})
 {
     const std::string path = opts.getString("json");
     if (path.empty())
@@ -564,7 +627,10 @@ writeJsonRecord(const Options &opts, const std::string &benchName,
         .set("sim_time_ratio",
              out.wallSec > 0.0 ? out.simSec / out.wallSec : 0.0)
         .set("fault_model", faultModelJson(opts))
+        .set("cluster", clusterJson(opts))
         .set("perf", perfJson());
+    if (!extraKey.empty())
+        record.set(extraKey, std::move(extra));
     std::ofstream file(path);
     if (!file) {
         std::cerr << benchName << ": cannot write " << path << "\n";

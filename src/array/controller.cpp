@@ -2169,6 +2169,11 @@ ArrayController::attachCommon(ReconAlgorithm algorithm)
     DECLUST_ASSERT(!reconActive_, "reconstruction already running");
     algorithm_ = algorithm;
     reconActive_ = true;
+    DECLUST_ANALYZE_SUPPRESS(
+        "hot-path-growth: rebuild-start bookkeeping runs once per "
+        "spare attach (reachable from the cluster advance loop only "
+        "through ClusterRunner's rare begin-rebuild barrier event), "
+        "never in per-request steady state");
     reconstructed_.assign(static_cast<std::size_t>(unitsPerDisk()),
                           kNotRebuilt);
     reconstructedCount_ = 0;

@@ -1,0 +1,253 @@
+#include "cluster/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/controller.hpp"
+#include "cluster/census.hpp"
+#include "cluster/router.hpp"
+#include "cluster/topology.hpp"
+#include "core/array_sim.hpp"
+#include "core/reconstructor.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "stats/shard_merge.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+
+namespace {
+
+/** Whole epochs covering @p sec (>= 1 when sec > 0). */
+int
+epochsFor(double sec, double epochSec)
+{
+    return static_cast<int>(std::ceil(sec / epochSec - 1e-9));
+}
+
+} // namespace
+
+ClusterRunner::ClusterRunner(const ClusterConfig &config, int workers)
+    : config_(config),
+      topology_(config),
+      router_(config, topology_.dataUnitsPerArray()),
+      pool_(workers)
+{
+    const auto n = static_cast<std::size_t>(topology_.arrays());
+    buffers_.resize(n);
+    census_.resize(n);
+    counters_.resize(n);
+    pendingFail_.assign(n, -1);
+    rebuildCounted_.assign(n, false);
+}
+
+void
+ClusterRunner::scheduleRebuild(int array, double atSec, int disk)
+{
+    DECLUST_ASSERT(!ran_, "scheduleRebuild() must precede run()");
+    DECLUST_ASSERT(array >= 0 && array < topology_.arrays(),
+                   "rebuild array ", array, " out of range");
+    DECLUST_ASSERT(disk >= 0 && disk < config_.array.numDisks,
+                   "rebuild disk ", disk, " out of range");
+    DECLUST_ASSERT(atSec >= 0, "rebuild time ", atSec, " is negative");
+    PlannedRebuild p;
+    p.epoch = static_cast<int>(atSec / config_.epochSec);
+    p.array = array;
+    p.disk = disk;
+    planned_.push_back(p);
+}
+
+void
+ClusterRunner::advanceArray(int i, Tick epochEnd, double *wallSlot)
+{
+    const double t0 = wallSlot ? wallProbe_() : 0.0;
+    ArraySimulation &sim = topology_.array(static_cast<int>(i));
+    EventQueue &eq = sim.eventQueue();
+
+    if (pendingFail_[static_cast<std::size_t>(i)] >= 0) {
+        sim.failDiskForRebuild(pendingFail_[static_cast<std::size_t>(i)]);
+        sim.beginRebuild();
+        pendingFail_[static_cast<std::size_t>(i)] = -1;
+    }
+
+    ArrayController &ctl = sim.controller();
+    auto &buf = buffers_[static_cast<std::size_t>(i)];
+    for (const Arrival &a : buf) {
+        // A repair drain can leave this array's clock past an arrival
+        // tick; the request then queues behind the drain (what a real
+        // front end would observe), keeping causality intact.
+        const Tick when = a.when > eq.now() ? a.when : eq.now();
+        if (a.isRead) {
+            eq.scheduleAt(when,
+                          [&ctl, first = a.firstUnit, n = a.units] {
+                              ctl.readUnits(first, n, [] {});
+                          });
+        } else {
+            eq.scheduleAt(when,
+                          [&ctl, first = a.firstUnit, n = a.units] {
+                              ctl.writeUnits(first, n, [] {});
+                          });
+        }
+    }
+    buf.clear();
+
+    eq.runUntil(epochEnd);
+    if (wallSlot)
+        *wallSlot = wallProbe_() - t0;
+}
+
+std::uint64_t
+ClusterRunner::totalEventsExecuted() const
+{
+    std::uint64_t events = 0;
+    for (int i = 0; i < topology_.arrays(); ++i)
+        events += topology_.array(i).eventQueue().executed();
+    return events;
+}
+
+ClusterResult
+ClusterRunner::run(double warmupSec, double measureSec)
+{
+    DECLUST_ASSERT(!ran_, "ClusterRunner::run() is one-shot");
+    DECLUST_ASSERT(warmupSec >= 0, "negative warmup");
+    DECLUST_ASSERT(measureSec > 0, "measured window must be > 0 sec");
+    ran_ = true;
+
+    const int n = topology_.arrays();
+    const Tick epochTicks = secToTicks(config_.epochSec);
+    const int warmupEpochs =
+        warmupSec > 0 ? epochsFor(warmupSec, config_.epochSec) : 0;
+    const int measureEpochs = epochsFor(measureSec, config_.epochSec);
+    const int totalEpochs = warmupEpochs + measureEpochs;
+
+    // Pre-size the arrival staging: Zipf skew can concentrate most of
+    // an epoch's traffic on one array, so every buffer gets room for a
+    // full epoch — steady-state routing then never reallocates.
+    const auto perEpoch =
+        static_cast<std::size_t>(config_.requestsPerSec *
+                                 config_.epochSec) +
+        64;
+    for (auto &b : buffers_)
+        b.reserve(perEpoch);
+
+    std::vector<double> wall;
+    if (wallProbe_)
+        wall.assign(static_cast<std::size_t>(totalEpochs) *
+                        static_cast<std::size_t>(n),
+                    0.0);
+
+    std::uint64_t eventsAtMeasureStart = 0;
+    std::vector<HedgeStats> hedgeAtMeasureStart(
+        static_cast<std::size_t>(n));
+
+    for (int e = 0; e < totalEpochs; ++e) {
+        // ---- barrier: serial coordinator work -----------------------
+        if (e == warmupEpochs) {
+            // Measurement window opens: clear per-array stats and the
+            // cluster counters; in-flight warmup ops complete into the
+            // window like any open-loop phase boundary.
+            for (int i = 0; i < n; ++i) {
+                ArrayController &ctl = topology_.array(i).controller();
+                ctl.resetStats();
+                hedgeAtMeasureStart[static_cast<std::size_t>(i)] =
+                    ctl.hedgeStats();
+            }
+            std::fill(counters_.begin(), counters_.end(),
+                      ClusterCounters{});
+            eventsAtMeasureStart = totalEventsExecuted();
+        }
+        for (const PlannedRebuild &p : planned_) {
+            if (p.epoch == e) {
+                pendingFail_[static_cast<std::size_t>(p.array)] = p.disk;
+                rebuildCounted_[static_cast<std::size_t>(p.array)] =
+                    false;
+            }
+        }
+        const Tick epochStart = epochTicks * static_cast<Tick>(e);
+        const Tick epochEnd = epochTicks * static_cast<Tick>(e + 1);
+        // Routing runs serially against the PREVIOUS barrier's census:
+        // worker interleaving can never influence where a request goes.
+        router_.route(epochStart, epochEnd, census_, buffers_,
+                      counters_);
+
+        // ---- parallel: advance every array to the horizon -----------
+        double *wallRow =
+            wallProbe_ ? &wall[static_cast<std::size_t>(e) *
+                               static_cast<std::size_t>(n)]
+                       : nullptr;
+        pool_.run(n, [this, epochEnd, wallRow](int i) {
+            advanceArray(i, epochEnd, wallRow ? wallRow + i : nullptr);
+        });
+
+        // ---- barrier: census snapshot, index order ------------------
+        for (int i = 0; i < n; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            census_[s] = topology_.snapshot(i);
+            ClusterCounters &c = counters_[s];
+            c.degradedEpochs += census_[s].degraded ? 1 : 0;
+            c.rebuildingEpochs += census_[s].rebuilding ? 1 : 0;
+            if (census_[s].queueDepth > c.maxQueueDepth)
+                c.maxQueueDepth = census_[s].queueDepth;
+            const ReconReport *r = topology_.array(i).rebuildReport();
+            if (r && !rebuildCounted_[s]) {
+                rebuildCounted_[s] = true;
+                c.rebuildsCompleted++;
+                c.rebuiltUnits += r->cycles;
+            }
+        }
+    }
+
+    // ---- final merge, array-index order -----------------------------
+    ClusterResult res;
+    res.arrays = n;
+    res.measuredEpochs = measureEpochs;
+    res.totalEpochs = totalEpochs;
+    res.measuredSec = measureEpochs * config_.epochSec;
+    for (int i = 0; i < n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        ArraySimulation &sim = topology_.array(i);
+        const ArrayController &ctl = sim.controller();
+        ClusterCounters &c = counters_[s];
+        c.completedReads = ctl.userStats().readsDone;
+        c.completedWrites = ctl.userStats().writesDone;
+        if (sim.rebuildActive())
+            c.rebuiltUnits += static_cast<std::uint64_t>(
+                ctl.reconstructedCount());
+        ShardMerge::into(res.phase, sim.samplePhase(res.measuredSec));
+        res.counters.merge(c);
+        const HedgeStats &h = ctl.hedgeStats();
+        const HedgeStats &h0 = hedgeAtMeasureStart[s];
+        res.hedges.launched += h.launched - h0.launched;
+        res.hedges.wins += h.wins - h0.wins;
+        res.hedges.wasted += h.wasted - h0.wasted;
+    }
+    res.events = totalEventsExecuted() - eventsAtMeasureStart;
+    res.sustainedIops =
+        static_cast<double>(res.phase.reads + res.phase.writes) /
+        res.measuredSec;
+    res.finalCensus = census_;
+    res.epochArrayWallSec = std::move(wall);
+    return res;
+}
+
+void
+scheduleRollingRebuilds(ClusterRunner &runner, int k, double startSec,
+                        double staggerSec, int disk)
+{
+    const int arrays = runner.topology().arrays();
+    DECLUST_ASSERT(k >= 0 && k <= arrays, "rolling rebuild count ", k,
+                   " out of range for ", arrays, " arrays");
+    const int stride = k > 0 ? std::max(arrays / k, 1) : 1;
+    for (int j = 0; j < k; ++j)
+        runner.scheduleRebuild((j * stride) % arrays,
+                               startSec + j * staggerSec, disk);
+}
+
+void
+scheduleFailureBurst(ClusterRunner &runner, int k, double atSec,
+                     int disk)
+{
+    scheduleRollingRebuilds(runner, k, atSec, 0.0, disk);
+}
+
+} // namespace declust

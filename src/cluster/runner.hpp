@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Epoch-barriered cluster execution: per-array event cores advanced in
+ * parallel on a persistent worker pool, with deterministic merge.
+ *
+ * Virtual time advances in fixed epochs. Each epoch is three steps:
+ *
+ *   1. SERIAL barrier work — apply any rebuild scheduled for this
+ *      epoch, then the router pre-generates the whole epoch's arrivals
+ *      from one RNG stream, steering around impaired arrays using the
+ *      PREVIOUS barrier's census.
+ *   2. PARALLEL advance — every array schedules its buffered arrivals
+ *      on its private event core and runs to the epoch horizon. An
+ *      array touches nothing but its own state, so workers never
+ *      contend and the dispatch streams are identical at any worker
+ *      count (the TrialRunner/WorkerPool contract).
+ *   3. SERIAL barrier work — snapshot every array's census in index
+ *      order and fold the per-epoch counters.
+ *
+ * Because every cross-array read happens serially at a barrier and
+ * every per-array mutation happens inside that array's exclusive
+ * advance, the whole run is a pure function of (config, seed):
+ * byte-identical output for --cluster-workers 1 and 8, heap and
+ * calendar queues, with or without the SIMD data plane.
+ *
+ * Wall-clock instrumentation is injected (setWallProbe) so this layer
+ * stays free of real-time dependencies; the probe only fills the
+ * per-(epoch, array) wall matrix used for the critical-path scaling
+ * projection — it never influences simulated behavior.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "array/controller.hpp"
+#include "cluster/census.hpp"
+#include "cluster/router.hpp"
+#include "cluster/topology.hpp"
+#include "harness/trial_runner.hpp"
+#include "sim/time.hpp"
+#include "stats/shard_merge.hpp"
+#include "util/annotations.hpp"
+
+namespace declust {
+
+/** Everything a cluster run measured, merged in array-index order. */
+struct ClusterResult
+{
+    /** User response-time sample over the measured window. */
+    PhaseSample phase;
+    /** Routing / repair counters over the measured window. */
+    ClusterCounters counters;
+    /** Hedged-read deltas over the measured window. */
+    HedgeStats hedges;
+    /** Census of every array at the final barrier. */
+    std::vector<ArrayCensus> finalCensus;
+
+    /** Measured window, seconds (epoch-rounded up from the request). */
+    double measuredSec = 0.0;
+    /** Completed user operations per second over the window. */
+    double sustainedIops = 0.0;
+    /** Events executed across all arrays during the window. */
+    std::uint64_t events = 0;
+
+    int arrays = 0;
+    int measuredEpochs = 0;
+    int totalEpochs = 0;
+    /**
+     * Wall seconds spent advancing each array each epoch, row-major
+     * [epoch * arrays + array] over ALL epochs (warmup included).
+     * Empty unless a wall probe was installed; purely observational.
+     */
+    std::vector<double> epochArrayWallSec;
+};
+
+/** Drives a ClusterTopology through epochs on a worker pool. */
+class ClusterRunner
+{
+  public:
+    /**
+     * @param config Cluster description (validated by ClusterTopology).
+     * @param workers Worker threads advancing arrays (<= 0 selects the
+     *        hardware thread count; 1 runs inline with no threads).
+     */
+    ClusterRunner(const ClusterConfig &config, int workers);
+
+    ClusterTopology &topology() { return topology_; }
+    RequestRouter &router() { return router_; }
+    int workers() const { return pool_.jobs(); }
+
+    /**
+     * Plan a disk failure + rebuild on @p array at virtual time
+     * @p atSec (applied at the barrier opening that epoch; the array
+     * completes in-flight work, fails @p disk, and rebuilds while
+     * serving). Call before run().
+     */
+    void scheduleRebuild(int array, double atSec, int disk = 0);
+
+    /**
+     * Install a monotonic wall-clock probe (seconds). Optional; used
+     * only to fill ClusterResult::epochArrayWallSec. Injected so the
+     * cluster layer itself stays wall-clock-free.
+     */
+    void
+    setWallProbe(std::function<double()> probe)
+    {
+        wallProbe_ = std::move(probe);
+    }
+
+    /**
+     * Run warmup then the measured window (both rounded up to whole
+     * epochs) and return the merged result. One run per runner.
+     */
+    ClusterResult run(double warmupSec, double measureSec);
+
+  private:
+    /** Advance array @p i to @p epochEnd (one worker, exclusive). */
+    DECLUST_HOT_PATH
+    void advanceArray(int i, Tick epochEnd, double *wallSlot);
+
+    /** Sum of events executed by every array's event core. */
+    std::uint64_t totalEventsExecuted() const;
+
+    struct PlannedRebuild
+    {
+        int epoch;
+        int array;
+        int disk;
+    };
+
+    ClusterConfig config_;
+    ClusterTopology topology_;
+    RequestRouter router_;
+    TrialRunner pool_;
+    std::function<double()> wallProbe_;
+    bool ran_ = false;
+
+    std::vector<PlannedRebuild> planned_;
+    /** Per-array arrival staging, filled by the router at barriers. */
+    std::vector<std::vector<Arrival>> buffers_;
+    /** Previous barrier's census (what the router routes against). */
+    std::vector<ArrayCensus> census_;
+    std::vector<ClusterCounters> counters_;
+    /** Disk to fail at the next advance of each array (-1 = none). */
+    std::vector<int> pendingFail_;
+    /** Whether a completed rebuild was already folded into counters. */
+    std::vector<bool> rebuildCounted_;
+};
+
+/**
+ * Scenario: k staggered "rolling" rebuilds — array stride*j fails disk
+ * @p disk at startSec + j*staggerSec, so up to k repairs overlap the
+ * serving workload at offsets across the cluster.
+ */
+void scheduleRollingRebuilds(ClusterRunner &runner, int k,
+                             double startSec, double staggerSec,
+                             int disk = 0);
+
+/**
+ * Scenario: correlated failure burst — k arrays (index stride apart)
+ * all fail disk @p disk at the same virtual instant.
+ */
+void scheduleFailureBurst(ClusterRunner &runner, int k, double atSec,
+                          int disk = 0);
+
+} // namespace declust

@@ -1,0 +1,67 @@
+#include "cluster/topology.hpp"
+
+#include "array/controller.hpp"
+#include "cluster/census.hpp"
+#include "core/array_sim.hpp"
+#include "core/health_monitor.hpp"
+#include "sim/seed.hpp"
+#include "util/error.hpp"
+
+namespace declust {
+
+ClusterTopology::ClusterTopology(const ClusterConfig &config)
+    : config_(config)
+{
+    if (config_.arrays < 1)
+        DECLUST_FATAL("cluster needs >= 1 array, got ", config_.arrays);
+    if (config_.objects < 1)
+        DECLUST_FATAL("cluster object population must be >= 1, got ",
+                      config_.objects);
+    if (config_.requestsPerSec <= 0)
+        DECLUST_FATAL("cluster request rate must be > 0, got ",
+                      config_.requestsPerSec);
+    if (config_.readFraction < 0 || config_.readFraction > 1)
+        DECLUST_FATAL("cluster read fraction must be in [0, 1], got ",
+                      config_.readFraction);
+    if (config_.epochSec <= 0)
+        DECLUST_FATAL("cluster epoch must be > 0 sec, got ",
+                      config_.epochSec);
+    if (config_.sizeClassUnits.empty() ||
+        config_.sizeClassUnits.size() != config_.sizeClassWeights.size())
+        DECLUST_FATAL("size classes and weights must be non-empty and "
+                      "the same length");
+    for (const int units : config_.sizeClassUnits)
+        if (units < 1)
+            DECLUST_FATAL("size class of ", units, " units is invalid");
+    for (const double w : config_.sizeClassWeights)
+        if (w < 0)
+            DECLUST_FATAL("negative size-class weight ", w);
+
+    arrays_.reserve(static_cast<std::size_t>(config_.arrays));
+    for (int i = 0; i < config_.arrays; ++i) {
+        SimConfig sc = config_.array;
+        sc.seed = shardSeed(config_.seed, i, config_.arrays);
+        arrays_.push_back(std::make_unique<ArraySimulation>(sc));
+    }
+    dataUnits_ = arrays_.front()->controller().numDataUnits();
+}
+
+ArrayCensus
+ClusterTopology::snapshot(int i) const
+{
+    const ArraySimulation &sim = array(i);
+    const ArrayController &ctl = sim.controller();
+    ArrayCensus c;
+    c.degraded = ctl.failedDisk() >= 0;
+    c.rebuilding = sim.rebuildActive();
+    c.queueDepth = ctl.outstandingUserOps();
+    c.rebuiltUnits = ctl.reconstructedCount();
+    c.unitsToRebuild = ctl.unitsToReconstruct();
+    if (const HealthMonitor *hm = sim.healthMonitor()) {
+        for (int d = 0; d < sim.config().numDisks && !c.slow; ++d)
+            c.slow = hm->health(d) != DiskHealth::Healthy;
+    }
+    return c;
+}
+
+} // namespace declust

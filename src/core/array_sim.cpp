@@ -16,6 +16,7 @@
 #include "sim/seed.hpp"
 #include "sim/time.hpp"
 #include "stats/shard_merge.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "workload/synthetic.hpp"
@@ -215,6 +216,55 @@ ArraySimulation::drain()
         [this] { return controller_->quiescent(); });
     DECLUST_ASSERT(ok || controller_->quiescent(),
                    "array failed to drain");
+}
+
+void
+ArraySimulation::failDiskForRebuild(int disk)
+{
+    // Cluster arrivals are injected externally (no SyntheticWorkload to
+    // stop), so drain() does not apply. Step one event at a time until
+    // the controller has no user work in flight: arrivals scheduled for
+    // later ticks stay pending and run against the degraded array.
+    while (!controller_->quiescent()) {
+        const bool stepped = eq_.step();
+        DECLUST_ASSERT(stepped,
+                       "event core drained with user work in flight");
+    }
+    controller_->failDisk(disk);
+}
+
+void
+ArraySimulation::beginRebuild()
+{
+    DECLUST_ASSERT(controller_->failedDisk() >= 0,
+                   "beginRebuild() needs a failed disk");
+    DECLUST_ASSERT(!rebuildActive(),
+                   "beginRebuild() while a rebuild is running");
+    ReconConfig rc;
+    rc.algorithm = config_.algorithm;
+    rc.processes = config_.reconProcesses;
+    rc.throttleDelay = config_.reconThrottle;
+    rc.distributedSparing = config_.distributedSparing;
+    DECLUST_ANALYZE_SUPPRESS(
+        "hot-path-alloc: one allocation per rebuild start — a rare "
+        "barrier-scheduled control event, not per-request work; the "
+        "Reconstructor itself then runs allocation-free");
+    rebuild_ = std::make_unique<Reconstructor>(*controller_, rc);
+    // Completion is polled at epoch barriers; nothing to do inline.
+    rebuild_->start([] {});
+}
+
+bool
+ArraySimulation::rebuildActive() const
+{
+    return rebuild_ && !rebuild_->finished();
+}
+
+const ReconReport *
+ArraySimulation::rebuildReport() const
+{
+    return rebuild_ && rebuild_->finished() ? &rebuild_->report()
+                                            : nullptr;
 }
 
 PhaseStats

@@ -209,6 +209,31 @@ class ArraySimulation
     void drain();
 
     /**
+     * Cluster-mode repair hooks (src/cluster). The cluster layer feeds
+     * the controller open-loop arrivals of its own and advances the
+     * event core in epochs, so it needs the fail / rebuild primitives
+     * without the phase orchestration (and without drain(), which stops
+     * the synthetic workload this array is not using).
+     */
+    /**
+     * Step the event core until in-flight user work completes, then
+     * fail @p disk. Arrivals already scheduled for later ticks stay
+     * queued and are served degraded.
+     */
+    void failDiskForRebuild(int disk);
+    /**
+     * Start rebuilding the failed disk. The sweep is event-driven: it
+     * progresses as the event core advances and interleaves with user
+     * traffic, potentially across many epochs. Completion is observable
+     * through rebuildActive() / rebuildReport().
+     */
+    void beginRebuild();
+    /** True while a rebuild started by beginRebuild() is running. */
+    bool rebuildActive() const;
+    /** Report of the last completed rebuild (nullptr before that). */
+    const ReconReport *rebuildReport() const;
+
+    /**
      * Proactively retire @p disk onto a hot spare before it hard-fails
      * (the health monitor's Retired verdict is the usual trigger).
      * Consumes one spare (ConfigError when the pool is empty), drains,
@@ -229,7 +254,9 @@ class ArraySimulation
     PhaseSample samplePhase(double windowSec) const;
 
     ArrayController &controller() { return *controller_; }
+    const ArrayController &controller() const { return *controller_; }
     EventQueue &eventQueue() { return eq_; }
+    const EventQueue &eventQueue() const { return eq_; }
     SyntheticWorkload &workload() { return *workload_; }
     const SimConfig &config() const { return config_; }
 
@@ -237,6 +264,7 @@ class ArraySimulation
     Scrubber *scrubber() { return scrubber_.get(); }
     /** Health monitor, when healthMonitor is set (else nullptr). */
     HealthMonitor *healthMonitor() { return health_.get(); }
+    const HealthMonitor *healthMonitor() const { return health_.get(); }
     /** Hot spares not yet consumed by retireDisk(). */
     int sparesLeft() const { return sparesLeft_; }
 
@@ -250,6 +278,8 @@ class ArraySimulation
     std::unique_ptr<SyntheticWorkload> workload_;
     std::unique_ptr<Scrubber> scrubber_;
     std::unique_ptr<HealthMonitor> health_;
+    /** Event-driven rebuild owned across epochs (cluster mode). */
+    std::unique_ptr<Reconstructor> rebuild_;
     int sparesLeft_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "harness/worker_pool.hpp"
 #include "sim/event_queue.hpp"
 #include "util/error.hpp"
 
@@ -34,6 +35,8 @@ TrialRunner::TrialRunner(int jobs)
     }
     jobs_ = jobs;
 }
+
+TrialRunner::~TrialRunner() = default;
 
 void
 TrialRunner::run(int numTasks, const std::function<void(int)> &task,
@@ -124,13 +127,15 @@ TrialRunner::runSharded(int numTrials, int shards,
         }
     };
 
-    const int threads = jobs_ < total ? jobs_ : total;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &th : pool)
-        th.join();
+    // The worker body claims items off the shared counter until the
+    // grid is exhausted, so handing it to min(jobs, total) persistent
+    // workers is equivalent to the old spawn-per-call threads; the
+    // pool's round mutex provides the same happens-before edge join()
+    // did for the results the caller reads next.
+    if (!pool_)
+        pool_ = std::make_unique<WorkerPool>(jobs_);
+    const int participants = jobs_ < total ? jobs_ : total;
+    pool_->runRound(participants, worker);
 
     if (firstError)
         std::rethrow_exception(firstError);

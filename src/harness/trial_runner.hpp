@@ -21,10 +21,13 @@
 
 #include <exception>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace declust {
+
+class WorkerPool;
 
 /**
  * Select the process-wide event-queue implementation by name ("heap" |
@@ -42,9 +45,17 @@ class TrialRunner
   public:
     /**
      * @param jobs Worker threads; <= 0 selects the hardware thread
-     *        count. jobs == 1 never spawns a thread.
+     *        count. jobs == 1 never spawns a thread. Threads live in a
+     *        persistent WorkerPool created on the first parallel run
+     *        and reused across calls, so callers that enter parallel
+     *        sections at high frequency (the cluster layer's per-epoch
+     *        barriers) pay thread creation once, not per section.
      */
     explicit TrialRunner(int jobs);
+    ~TrialRunner();
+
+    TrialRunner(const TrialRunner &) = delete;
+    TrialRunner &operator=(const TrialRunner &) = delete;
 
     /** Resolved worker count (>= 1). */
     int jobs() const { return jobs_; }
@@ -87,6 +98,8 @@ class TrialRunner
 
   private:
     int jobs_;
+    /** Persistent workers, created lazily on the first parallel run. */
+    std::unique_ptr<WorkerPool> pool_;
 };
 
 /**

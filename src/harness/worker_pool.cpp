@@ -1,0 +1,73 @@
+#include "harness/worker_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace declust {
+
+WorkerPool::WorkerPool(int threads)
+{
+    DECLUST_ASSERT(threads >= 1, "worker pool needs >= 1 thread, got ",
+                   threads);
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        workers_.emplace_back([this, t] { workerMain(t); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::runRound(int participants, const std::function<void()> &body)
+{
+    DECLUST_ASSERT(participants >= 1 && participants <= threads(),
+                   "round participants ", participants,
+                   " out of range for a pool of ", threads());
+    DECLUST_ASSERT(body, "round needs a body");
+    std::unique_lock<std::mutex> lock(mu_);
+    body_ = &body;
+    participants_ = participants;
+    remaining_ = participants;
+    ++generation_;
+    workCv_.notify_all();
+    doneCv_.wait(lock, [this] { return remaining_ == 0; });
+    body_ = nullptr;
+}
+
+void
+WorkerPool::workerMain(int id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void()> *body = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock, [this, seen] {
+                return stopping_ || generation_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            // Workers beyond the round's participant count sit this
+            // round out (they were never counted in remaining_).
+            if (id >= participants_)
+                continue;
+            body = body_;
+        }
+        (*body)();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--remaining_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+} // namespace declust

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Persistent worker-thread pool for round-based parallel sections.
+ *
+ * TrialRunner historically spawned fresh std::threads for every sweep
+ * call — fine when one sweep point runs for seconds, but the cluster
+ * layer (src/cluster) enters a parallel section once per epoch barrier,
+ * hundreds of times per run, where per-round thread creation would
+ * dominate. WorkerPool keeps the threads alive across rounds: runRound
+ * wakes the workers, each participating worker runs the round body once
+ * (the body does its own work claiming, typically off a shared atomic
+ * counter), and the caller blocks until every participant returns.
+ *
+ * The pool is generation-stamped: workers sleep on a condition variable
+ * between rounds, so an idle pool burns no CPU, and the mutex
+ * acquire/release around round start and end gives the caller a
+ * happens-before edge over everything the workers wrote — the same
+ * visibility join() used to provide.
+ *
+ * Bodies MUST NOT throw (TrialRunner's round bodies catch everything
+ * and stash the first exception themselves).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace declust {
+
+/** Fixed set of worker threads executing one round body at a time. */
+class WorkerPool
+{
+  public:
+    /** Spawns @p threads workers (>= 1) that idle until runRound. */
+    explicit WorkerPool(int threads);
+    /** Wakes and joins every worker. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Run @p body once on each of the first @p participants workers
+     * (1 <= participants <= threads()), blocking until all return.
+     * @p body must be thread-safe and must not throw.
+     */
+    void runRound(int participants, const std::function<void()> &body);
+
+  private:
+    void workerMain(int id);
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable workCv_; ///< workers wait for a new round
+    std::condition_variable doneCv_; ///< caller waits for round end
+    std::uint64_t generation_ = 0;   ///< bumped once per round
+    int participants_ = 0;
+    int remaining_ = 0;
+    const std::function<void()> *body_ = nullptr;
+    bool stopping_ = false;
+};
+
+} // namespace declust

@@ -1,0 +1,73 @@
+#include "workload/zipf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace declust {
+
+ZipfSampler::ZipfSampler(std::int64_t population, double alpha)
+    : n_(population), alpha_(alpha)
+{
+    if (n_ < 1)
+        DECLUST_FATAL("zipf population must be >= 1, got ", n_);
+    if (n_ > INT32_MAX)
+        DECLUST_FATAL("zipf population too large for alias table: ", n_);
+    if (!(alpha_ >= 0.0))
+        DECLUST_FATAL("zipf alpha must be >= 0, got ", alpha_);
+
+    const auto n = static_cast<std::size_t>(n_);
+    // Unnormalized weights, then the normalization constant. alpha == 0
+    // degenerates to the uniform distribution exactly.
+    std::vector<double> weight(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        weight[i] = std::pow(static_cast<double>(i + 1), -alpha_);
+        harmonic_ += weight[i];
+    }
+
+    // Vose's alias construction: scale each probability by n, then pair
+    // every under-full column with an over-full donor. Index worklists
+    // are plain vectors used as stacks; everything here is set-up cost,
+    // freed on scope exit except the two tables draws touch.
+    accept_.assign(n, 1.0);
+    alias_.resize(n);
+    std::vector<double> scaled(n);
+    std::vector<std::int32_t> small;
+    std::vector<std::int32_t> large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = weight[i] * static_cast<double>(n_) / harmonic_;
+        (scaled[i] < 1.0 ? small : large)
+            .push_back(static_cast<std::int32_t>(i));
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        alias_[i] = static_cast<std::int32_t>(i);
+    while (!small.empty() && !large.empty()) {
+        const std::int32_t s = small.back();
+        const std::int32_t l = large.back();
+        small.pop_back();
+        large.pop_back();
+        accept_[static_cast<std::size_t>(s)] =
+            scaled[static_cast<std::size_t>(s)];
+        alias_[static_cast<std::size_t>(s)] = l;
+        scaled[static_cast<std::size_t>(l)] -=
+            1.0 - scaled[static_cast<std::size_t>(s)];
+        (scaled[static_cast<std::size_t>(l)] < 1.0 ? small : large)
+            .push_back(l);
+    }
+    // Leftovers are numerically ~1; their alias is themselves.
+    for (const std::int32_t i : small)
+        accept_[static_cast<std::size_t>(i)] = 1.0;
+    for (const std::int32_t i : large)
+        accept_[static_cast<std::size_t>(i)] = 1.0;
+}
+
+double
+ZipfSampler::probability(std::int64_t rank) const
+{
+    DECLUST_ASSERT(rank >= 0 && rank < n_, "rank out of range: ", rank);
+    return std::pow(static_cast<double>(rank + 1), -alpha_) / harmonic_;
+}
+
+} // namespace declust

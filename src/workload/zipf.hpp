@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Seeded Zipf(alpha) popularity sampler over a bounded object
+ * population.
+ *
+ * The cluster serving layer models a large user population whose
+ * object popularity is heavy-tailed: rank i (0-based) is requested
+ * with probability proportional to (i + 1)^-alpha. alpha = 0 is the
+ * uniform distribution; the web-serving literature typically measures
+ * alpha in [0.6, 1.1].
+ *
+ * Sampling uses Walker/Vose's alias method: the constructor builds an
+ * acceptance/alias table in O(n), and each draw costs one uniformInt
+ * plus one uniform double — O(1), branch-light, and free of
+ * steady-state allocation, so the router can sit on the cluster hot
+ * path. Construction is deterministic (no RNG); every draw consumes
+ * exactly two distribution draws from the caller's Rng, whose seed
+ * must be derived through sim/seed.hpp like every other stream in the
+ * simulator.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "util/annotations.hpp"
+
+namespace declust {
+
+/** O(1) alias-method sampler for Zipf(alpha) ranks in [0, n). */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param population Number of ranks n (>= 1; <= 2^31 so alias
+     *        indices fit an int32).
+     * @param alpha Skew exponent (>= 0; 0 = uniform).
+     */
+    ZipfSampler(std::int64_t population, double alpha);
+
+    /** Draw one rank in [0, population()); consumes exactly two RNG
+     * values (one integer, one double) per call. */
+    DECLUST_HOT_PATH
+    std::int64_t
+    sample(Rng &rng) const
+    {
+        const auto i = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(n_)));
+        return rng.uniform() < accept_[i]
+                   ? static_cast<std::int64_t>(i)
+                   : static_cast<std::int64_t>(alias_[i]);
+    }
+
+    /** Analytic probability of rank @p rank (for property tests). */
+    double probability(std::int64_t rank) const;
+
+    std::int64_t population() const { return n_; }
+    double alpha() const { return alpha_; }
+
+  private:
+    std::int64_t n_;
+    double alpha_;
+    /** Normalization constant: sum over ranks of (i+1)^-alpha. */
+    double harmonic_ = 0.0;
+    /** Vose tables: accept threshold and alias target per column. */
+    std::vector<double> accept_;
+    std::vector<std::int32_t> alias_;
+};
+
+} // namespace declust

@@ -17,6 +17,7 @@
 #include "harness/json_writer.hpp"
 #include "harness/progress.hpp"
 #include "harness/trial_runner.hpp"
+#include "harness/worker_pool.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -307,6 +308,56 @@ TEST(JsonWriter, DoublesRoundTrip)
     const std::string s = obj.str();
     const double parsed = std::stod(s.substr(s.find(':') + 1));
     EXPECT_DOUBLE_EQ(parsed, 5436.1234567890123);
+}
+
+TEST(WorkerPool, RunsEveryRoundToCompletion)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+    // Many small rounds on the same pool — the cluster layer's usage
+    // pattern (one round per epoch barrier, hundreds per run).
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<int> next{0};
+        std::vector<int> hits(16, 0);
+        pool.runRound(4, [&next, &hits] {
+            for (;;) {
+                const int i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= static_cast<int>(hits.size()))
+                    return;
+                hits[static_cast<std::size_t>(i)] += 1;
+            }
+        });
+        // runRound returning is the barrier: every item done once.
+        for (const int h : hits)
+            ASSERT_EQ(h, 1);
+    }
+}
+
+TEST(WorkerPool, PartialParticipationLeavesOthersIdle)
+{
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+    pool.runRound(2, [&ran] { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 2);
+    pool.runRound(4, [&ran] { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(TrialRunner, PoolIsReusedAcrossRuns)
+{
+    // Repeated parallel runs on one runner must keep working (the
+    // persistent-pool refactor's regression risk is a second run
+    // hanging on a stale generation).
+    TrialRunner runner(3);
+    for (int pass = 0; pass < 50; ++pass) {
+        std::vector<int> out(7, 0);
+        runner.run(7, [&out](int i) {
+            out[static_cast<std::size_t>(i)] = i * i;
+        });
+        for (int i = 0; i < 7; ++i)
+            ASSERT_EQ(out[static_cast<std::size_t>(i)], i * i);
+    }
 }
 
 } // namespace

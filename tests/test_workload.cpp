@@ -8,9 +8,12 @@
 #include <sstream>
 
 #include "core/array_sim.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
 #include "workload/closed_loop.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/trace.hpp"
+#include "workload/zipf.hpp"
 
 namespace declust {
 namespace {
@@ -330,6 +333,84 @@ TEST(Workload, RejectsBadConfig)
     bad.accessesPerSec = 10;
     bad.readFraction = 1.5;
     EXPECT_ANY_THROW(SyntheticWorkload(eq, array, bad));
+}
+
+TEST(Zipf, ProbabilitiesNormalizeAndDecay)
+{
+    const ZipfSampler zipf(100, 0.9);
+    double total = 0.0;
+    for (std::int64_t r = 0; r < zipf.population(); ++r) {
+        total += zipf.probability(r);
+        if (r > 0)
+            EXPECT_LE(zipf.probability(r), zipf.probability(r - 1));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    const ZipfSampler zipf(64, 0.0);
+    for (std::int64_t r = 0; r < 64; ++r)
+        EXPECT_NEAR(zipf.probability(r), 1.0 / 64.0, 1e-12);
+}
+
+/**
+ * Chi-square goodness-of-fit of the alias sampler against the analytic
+ * Zipf pmf. With n - 1 = 49 degrees of freedom the 99.9th-percentile
+ * critical value is 85.35; a correct sampler exceeds it one run in a
+ * thousand, and the fixed seed makes this run reproducible.
+ */
+TEST(Zipf, ChiSquareMatchesAnalyticPmf)
+{
+    const std::int64_t n = 50;
+    const ZipfSampler zipf(n, 0.9);
+    Rng rng(12345);
+    const int draws = 200000;
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::int64_t r = zipf.sample(rng);
+        ASSERT_GE(r, 0);
+        ASSERT_LT(r, n);
+        counts[static_cast<std::size_t>(r)]++;
+    }
+    double chi2 = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+        const double expected = zipf.probability(r) * draws;
+        ASSERT_GT(expected, 5.0); // chi-square validity condition
+        const double diff =
+            static_cast<double>(counts[static_cast<std::size_t>(r)]) -
+            expected;
+        chi2 += diff * diff / expected;
+    }
+    EXPECT_LT(chi2, 85.35) << "sampler deviates from Zipf(0.9) pmf";
+}
+
+TEST(Zipf, SampleIsDeterministicPerSeed)
+{
+    const ZipfSampler zipf(1000, 1.1);
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(zipf.sample(a), zipf.sample(b));
+}
+
+/** Each draw consumes exactly two RNG values (the documented budget). */
+TEST(Zipf, SampleConsumesExactlyTwoDraws)
+{
+    const ZipfSampler zipf(100, 0.8);
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 100; ++i)
+        zipf.sample(a);
+    for (int i = 0; i < 200; ++i)
+        b.next();
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipf, RejectsBadConfig)
+{
+    EXPECT_THROW(ZipfSampler(0, 0.9), ConfigError);
+    EXPECT_THROW(ZipfSampler(10, -0.5), ConfigError);
 }
 
 } // namespace
